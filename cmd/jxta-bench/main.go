@@ -1,0 +1,339 @@
+// Command jxta-bench regenerates every table and figure of the paper's
+// evaluation section (§4) on the simulated Grid'5000 substrate.
+//
+// Usage:
+//
+//	jxta-bench -exp all                 # everything, full scale (minutes)
+//	jxta-bench -exp fig3left -quick     # scaled-down fast pass
+//	jxta-bench -exp fig4right -csv      # machine-readable series
+//
+// Experiments: table1, fig3left, fig3right, fig4left, fig4right,
+// baselines, churn, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"jxta/internal/experiments"
+	"jxta/internal/metrics"
+	"jxta/internal/plot"
+	"jxta/internal/topology"
+)
+
+var (
+	expFlag   = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|ablations|all")
+	quickFlag = flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
+	csvFlag   = flag.Bool("csv", false, "emit CSV instead of ASCII plots")
+	seedFlag  = flag.Int64("seed", 42, "master determinism seed")
+)
+
+func main() {
+	flag.Parse()
+	start := time.Now()
+	runners := map[string]func() error{
+		"table1":    table1,
+		"fig3left":  fig3Left,
+		"fig3right": fig3Right,
+		"fig4left":  fig4Left,
+		"fig4right": fig4Right,
+		"baselines": baselines,
+		"churn":     churn,
+		"ablations": ablations,
+	}
+	order := []string{"table1", "fig3left", "fig3right", "fig4left", "fig4right", "baselines", "churn", "ablations"}
+	var selected []string
+	if *expFlag == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*expFlag, ",") {
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+	for _, name := range selected {
+		fmt.Printf("==== %s ====\n", name)
+		if err := runners[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+}
+
+func table1() error {
+	res, err := experiments.Table1(*seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1 / Figure 2 worked example (§3.3):")
+	fmt.Printf("  ReplicaPos(116, MAX_HASH=200, l=6) = %d   (paper: 3 -> R4)\n", res.Pos)
+	fmt.Printf("  publish messages  = %d                  (paper: 2, O(1))\n", res.PublishMsgs)
+	fmt.Printf("  lookup messages   = %d                  (paper: 4 worst case)\n", res.LookupMsgs)
+	fmt.Printf("  lookup latency    = %.1f ms\n", res.LatencyMs)
+	return nil
+}
+
+func fig3Params() (quickDur time.Duration, chainRs, treeRs []int) {
+	if *quickFlag {
+		return 30 * time.Minute, []int{10, 45, 80}, []int{40}
+	}
+	// Full scale: zero duration lets the driver pick the paper's own
+	// per-size lengths (60 min; 120 min for r=580).
+	return 0, experiments.Fig3LeftDefaultRs, experiments.Fig3LeftTreeRs
+}
+
+func fig3Left() error {
+	quickDur, chainRs, treeRs := fig3Params()
+	chart := plot.Chart{
+		Title:  "Figure 3 (left): peerview size l over time",
+		XLabel: "minutes", YLabel: "known rendezvous",
+	}
+	emit := func(topo topology.Kind, rs []int) error {
+		results, err := experiments.Fig3Left(rs, topo, quickDur, *seedFlag)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			label := fmt.Sprintf("%s r=%d", topo, res.Spec.R)
+			if *csvFlag {
+				fmt.Printf("# %s (max=%d plateau=%.0f consistent=%v)\n%s",
+					label, res.MaxSize, res.PlateauMean, res.ConsistentAtEnd,
+					res.Size.CSV())
+				continue
+			}
+			s := plot.Series{Label: label}
+			for i := 0; i < res.Size.Len(); i++ {
+				at, v := res.Size.At(i)
+				s.X = append(s.X, at.Minutes())
+				s.Y = append(s.Y, v)
+			}
+			chart.Add(s)
+			fmt.Printf("  %-14s max=%-4d plateau=%-6.0f reachedMax=%-5v consistent=%v\n",
+				label, res.MaxSize, res.PlateauMean, res.ReachedMax, res.ConsistentAtEnd)
+		}
+		return nil
+	}
+	if err := emit(topology.Chain, chainRs); err != nil {
+		return err
+	}
+	if err := emit(topology.Tree, treeRs); err != nil {
+		return err
+	}
+	if !*csvFlag {
+		fmt.Println(chart.Render())
+	}
+	return nil
+}
+
+func fig3Right() error {
+	r, dur := 580, 120*time.Minute
+	if *quickFlag {
+		r, dur = 120, 60*time.Minute
+	}
+	res, err := experiments.Fig3Right(r, dur, *seedFlag)
+	if err != nil {
+		return err
+	}
+	adds, removes := res.Events.Counts()
+	firstRemove, _ := res.Events.FirstRemoveAt()
+	lastAdd, _ := res.Events.LastAddAt()
+	fmt.Printf("Figure 3 (right): peerview events at r=%d over %v\n", r, dur)
+	fmt.Printf("  add events=%d remove events=%d distinct peers seen=%d/%d\n",
+		adds, removes, res.Events.DistinctPeers(), r-1)
+	fmt.Printf("  first remove at %.0f min (paper: PVE_EXPIRATION = 20 min)\n",
+		firstRemove.Minutes())
+	fmt.Printf("  last new peer discovered at %.0f min (paper: 117 min, 577/579 seen)\n",
+		lastAdd.Minutes())
+	if *csvFlag {
+		fmt.Println("minutes,kind,peerNum")
+		for _, e := range res.Events.Events {
+			kind := "add"
+			if e.Kind == metrics.EventRemove {
+				kind = "remove"
+			}
+			fmt.Printf("%.2f,%s,%d\n", e.At.Minutes(), kind, e.PeerNum)
+		}
+		return nil
+	}
+	addS := plot.Series{Label: "add"}
+	remS := plot.Series{Label: "remove"}
+	for _, e := range res.Events.Events {
+		if e.Kind == metrics.EventAdd {
+			addS.X = append(addS.X, e.At.Minutes())
+			addS.Y = append(addS.Y, float64(e.PeerNum))
+		} else {
+			remS.X = append(remS.X, e.At.Minutes())
+			remS.Y = append(remS.Y, float64(e.PeerNum))
+		}
+	}
+	chart := plot.Chart{Title: "Figure 3 (right): add/remove events",
+		XLabel: "minutes", YLabel: "rendezvous number"}
+	chart.Add(addS)
+	chart.Add(remS)
+	fmt.Println(chart.Render())
+	return nil
+}
+
+func fig4Left() error {
+	r, dur := 50, 60*time.Minute
+	if *quickFlag {
+		r, dur = 30, 40*time.Minute
+	}
+	def, tuned, err := experiments.Fig4Left(r, dur, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 4 (left): r=%d, default vs tuned PVE_EXPIRATION\n", r)
+	fmt.Printf("  default: max=%d plateau=%.0f (fluctuates below r-1=%d)\n",
+		def.MaxSize, def.PlateauMean, r-1)
+	t1 := "never"
+	if tuned.ReachedMax {
+		t1 = fmt.Sprintf("%.0f min", tuned.ReachedMaxAt.Minutes())
+	}
+	fmt.Printf("  tuned:   max=%d final=%d, reached r-1 at t1=%s (paper: 17 min)\n",
+		tuned.MaxSize, tuned.FinalSize, t1)
+	if *csvFlag {
+		fmt.Printf("# default\n%s# tuned\n%s", def.Size.CSV(), tuned.Size.CSV())
+		return nil
+	}
+	chart := plot.Chart{Title: "Figure 4 (left)", XLabel: "minutes", YLabel: "known rendezvous"}
+	for _, pair := range []struct {
+		label string
+		res   experiments.PeerviewResult
+	}{{"default PVE_EXPIRATION", def}, {"tuned PVE_EXPIRATION", tuned}} {
+		s := plot.Series{Label: pair.label}
+		for i := 0; i < pair.res.Size.Len(); i++ {
+			at, v := pair.res.Size.At(i)
+			s.X = append(s.X, at.Minutes())
+			s.Y = append(s.Y, v)
+		}
+		chart.Add(s)
+	}
+	fmt.Println(chart.Render())
+	return nil
+}
+
+func fig4Right() error {
+	rs := experiments.Fig4RightDefaultRs
+	queries := 100
+	if *quickFlag {
+		rs = []int{5, 25, 75, 150}
+		queries = 40
+	}
+	chart := plot.Chart{Title: "Figure 4 (right): time to discover an advertisement",
+		XLabel: "rendezvous peers", YLabel: "ms"}
+	if *csvFlag {
+		fmt.Println("config,r,meanMs,p95Ms,timeouts,walkFraction")
+	}
+	for _, cfg := range []struct {
+		name  string
+		noise bool
+	}{{"A (no noise)", false}, {"B (50 noisers, 5000 fakes)", true}} {
+		results, err := experiments.Fig4RightParallel(rs, cfg.noise, queries, *seedFlag)
+		if err != nil {
+			return err
+		}
+		s := plot.Series{Label: cfg.name}
+		for _, res := range results {
+			if *csvFlag {
+				fmt.Printf("%s,%d,%.2f,%.2f,%d,%.2f\n", cfg.name, res.Spec.R,
+					res.MeanMs, res.Latency.Quantile(0.95), res.Timeouts, res.WalkFraction)
+			} else {
+				fmt.Printf("  %-28s r=%-4d mean=%6.1f ms  p95=%6.1f  walk=%.0f%%\n",
+					cfg.name, res.Spec.R, res.MeanMs,
+					res.Latency.Quantile(0.95), 100*res.WalkFraction)
+			}
+			s.X = append(s.X, float64(res.Spec.R))
+			s.Y = append(s.Y, res.MeanMs)
+		}
+		chart.Add(s)
+	}
+	if !*csvFlag {
+		fmt.Println(chart.Render())
+	}
+	return nil
+}
+
+func baselines() error {
+	ns := []int{16, 64, 128}
+	ops := 50
+	if *quickFlag {
+		ns = []int{16, 48}
+		ops = 20
+	}
+	fmt.Println("Baselines (§3.3 complexity contrast): LC-DHT vs Chord vs flooding")
+	fmt.Printf("  %-5s %-22s %-28s %-22s\n", "n",
+		"LC-DHT ms / msgs-op", "Chord ms / hops / msgs-op", "Flood ms / msgs-op")
+	for _, n := range ns {
+		res, err := experiments.RunBaselines(n, ops, *seedFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-5d %6.1f / %-13.1f %6.1f / %4.1f / %-13.1f %6.1f / %-10.1f\n",
+			n, res.LCDHTMeanMs, res.LCDHTMsgsPerOp,
+			res.ChordMeanMs, res.ChordMeanHops, res.ChordMsgsPerOp,
+			res.FloodMeanMs, res.FloodMsgsPerOp)
+	}
+	return nil
+}
+
+func churn() error {
+	r, kills, queries := 40, 10, 100
+	if *quickFlag {
+		r, kills, queries = 16, 4, 30
+	}
+	res, err := experiments.RunChurn(experiments.ChurnSpec{
+		R: r, Kills: kills, Queries: queries, KillEvery: 90 * time.Second, Seed: *seedFlag,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Volatility extension (paper §5 future work): r=%d, %d crashes\n", r, kills)
+	fmt.Printf("  queries ok=%d/%d timeouts=%d\n", res.Succeeded, queries, res.Timeouts)
+	fmt.Printf("  latency %s\n", res.Latency.Summary())
+	fmt.Printf("  walk fallback used on %.0f%% of queries\n", 100*res.WalkFraction)
+	return nil
+}
+
+func ablations() error {
+	r, dur := 60, 45*time.Minute
+	if *quickFlag {
+		r, dur = 30, 24*time.Minute
+	}
+	fmt.Printf("Ablations at r=%d (steady-state view size vs bandwidth):\n", r)
+	refs, err := experiments.AblateReferrals(r, nil, dur, *seedFlag)
+	if err != nil {
+		return err
+	}
+	ivals, err := experiments.AblateInterval(r, nil, dur, *seedFlag)
+	if err != nil {
+		return err
+	}
+	exps, err := experiments.AblateExpiry(r, nil, dur, *seedFlag)
+	if err != nil {
+		return err
+	}
+	for _, res := range []experiments.AblationResult{refs, ivals, exps} {
+		fmt.Printf("  %s:\n", res.Parameter)
+		for _, pt := range res.Points {
+			fmt.Printf("    %-8s plateau l=%-6.1f msgs/peer/min=%.1f\n",
+				pt.Label, pt.PlateauL, pt.MsgsPerPeerPerMin)
+		}
+	}
+	walk, err := experiments.AblateWalk(75, 40, *seedFlag)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  walk fallback (r=%d, %d queries):\n", walk.R, walk.Queries)
+	fmt.Printf("    with walk:    %d ok, mean %.1f ms\n", walk.WithWalkOK, walk.WithWalkMeanMs)
+	fmt.Printf("    without walk: %d ok, %d lost\n", walk.WithoutWalkOK, walk.WithoutWalkLost)
+	return nil
+}

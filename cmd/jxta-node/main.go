@@ -1,0 +1,150 @@
+// Command jxta-node runs one real JXTA peer over TCP — the same protocol
+// stack the simulator exercises at scale, bound to a live socket. Start a
+// rendezvous, attach edges to it, publish and search:
+//
+//	jxta-node -rdv -listen 127.0.0.1:9701 -name rdv1
+//	jxta-node -listen 127.0.0.1:9702 -name pub \
+//	          -seed-addr tcp://127.0.0.1:9701 -publish mydata -wait 5s
+//	jxta-node -listen 127.0.0.1:9703 -name searcher \
+//	          -seed-addr tcp://127.0.0.1:9701 -search mydata -wait 10s
+//
+// The seed's peer ID is discovered automatically through the endpoint hello
+// bootstrap, so only its address needs configuring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/discovery"
+	"jxta/internal/env"
+	"jxta/internal/ids"
+	"jxta/internal/node"
+	"jxta/internal/peerview"
+	"jxta/internal/transport"
+)
+
+var (
+	rdvFlag     = flag.Bool("rdv", false, "run as a rendezvous peer")
+	listenFlag  = flag.String("listen", "127.0.0.1:0", "TCP listen host:port")
+	seedAddr    = flag.String("seed-addr", "", "seed rendezvous transport address (tcp://host:port)")
+	nameFlag    = flag.String("name", "peer", "peer name")
+	publishFlag = flag.String("publish", "", "publish a resource advertisement with this name")
+	searchFlag  = flag.String("search", "", "search for a resource advertisement with this name")
+	waitFlag    = flag.Duration("wait", 0, "exit after this long (0 = run until interrupt)")
+	rngSeed     = flag.Int64("rngseed", 0, "peer ID RNG seed (0 = time-based)")
+)
+
+func main() {
+	flag.Parse()
+	seed := *rngSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	tr, err := transport.ListenTCP(*listenFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+	e := env.NewReal(*nameFlag, seed)
+
+	role := node.Edge
+	if *rdvFlag {
+		role = node.Rendezvous
+	}
+	var n *node.Node
+	e.Locked(func() {
+		n = node.New(e, tr, node.Config{
+			Name:      *nameFlag,
+			Role:      role,
+			Discovery: discovery.DefaultConfig(),
+		})
+		n.Start()
+	})
+	fmt.Printf("peer %s (%s) listening on %s\n", n.ID, role, tr.Addr())
+
+	if *seedAddr != "" {
+		joined := make(chan bool, 1)
+		e.Locked(func() {
+			n.Endpoint.Hello(transport.Addr(*seedAddr), func(peer ids.ID, ok bool) {
+				if !ok {
+					joined <- false
+					return
+				}
+				fmt.Printf("seed %s is peer %s\n", *seedAddr, peer.Short())
+				n.AddSeed(peerview.Seed{ID: peer, Addr: transport.Addr(*seedAddr)})
+				joined <- true
+			})
+		})
+		if !<-joined {
+			fmt.Fprintln(os.Stderr, "seed did not answer hello")
+			os.Exit(1)
+		}
+		// Give the lease a moment to settle.
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			connected := *rdvFlag
+			e.Locked(func() {
+				if !*rdvFlag {
+					_, connected = n.Rendezvous.ConnectedRdv()
+				}
+			})
+			if connected {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	if *publishFlag != "" {
+		e.Locked(func() {
+			adv := &advResource{name: *publishFlag, owner: n.ID}
+			n.Discovery.Publish(adv.build(), 0)
+		})
+		fmt.Printf("published resource %q\n", *publishFlag)
+	}
+	if *searchFlag != "" {
+		found := make(chan string, 4)
+		e.Locked(func() {
+			n.Discovery.Query("Resource", "Name", *searchFlag,
+				func(r discovery.Result) {
+					found <- fmt.Sprintf("found %d advertisement(s) from %s in %v",
+						len(r.Advs), r.From.Short(), r.Elapsed.Round(time.Millisecond))
+				},
+				func() { found <- "search timed out" })
+		})
+		select {
+		case msg := <-found:
+			fmt.Println(msg)
+		case <-time.After(40 * time.Second):
+			fmt.Println("search never resolved")
+		}
+	}
+
+	if *waitFlag > 0 {
+		time.Sleep(*waitFlag)
+	} else {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
+	e.Locked(func() { n.Stop() })
+}
+
+// advResource builds the published resource advertisement.
+type advResource struct {
+	name  string
+	owner ids.ID
+}
+
+func (a *advResource) build() *advertisement.Resource {
+	return &advertisement.Resource{
+		ResID: ids.FromName(ids.KindAdv, a.owner.String()+"/"+a.name),
+		Name:  a.name,
+	}
+}

@@ -1,0 +1,145 @@
+// Command jxta-sim runs an arbitrary JXTA overlay scenario on the simulated
+// Grid'5000 network: choose the rendezvous count, topology, protocol
+// tunables and an optional churn process, then watch the peerview converge
+// and run a publish/discover workload.
+//
+// Examples:
+//
+//	jxta-sim -r 50 -topology chain -duration 30m
+//	jxta-sim -r 80 -expiry 5m -interval 15s -duration 45m
+//	jxta-sim -r 40 -churn 2m -duration 40m
+//	jxta-sim -scenario overlay.json -duration 30m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jxta/internal/deploy"
+	"jxta/internal/discovery"
+	"jxta/internal/peerview"
+	"jxta/internal/topology"
+)
+
+var (
+	rFlag        = flag.Int("r", 20, "number of rendezvous peers")
+	topoFlag     = flag.String("topology", "chain", "seed topology: chain|tree|star")
+	fanoutFlag   = flag.Int("fanout", 2, "tree fanout")
+	durationFlag = flag.Duration("duration", 30*time.Minute, "virtual experiment length")
+	intervalFlag = flag.Duration("interval", 0, "PEERVIEW_INTERVAL override (default 30s)")
+	expiryFlag   = flag.Duration("expiry", 0, "PVE_EXPIRATION override (default 20m)")
+	churnFlag    = flag.Duration("churn", 0, "kill one rendezvous this often (0 = none)")
+	edgesFlag    = flag.Int("edges", 2, "edge peers (publisher on rdv0, searcher on last, rest spread)")
+	seedFlag     = flag.Int64("seed", 1, "determinism seed")
+	sampleFlag   = flag.Duration("sample", 2*time.Minute, "status print period (virtual)")
+	scenarioFlag = flag.String("scenario", "", "JSON scenario file (overrides the topology flags)")
+)
+
+func main() {
+	flag.Parse()
+	var o *deploy.Overlay
+	if *scenarioFlag != "" {
+		var err error
+		o, err = deploy.LoadScenario(*scenarioFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		*rFlag = len(o.Rdvs)
+	} else {
+		kind, err := topology.ParseKind(*topoFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		var groups []deploy.EdgeGroup
+		if *edgesFlag > 0 {
+			groups = append(groups, deploy.EdgeGroup{AttachTo: 0, Count: 1, Prefix: "publisher"})
+		}
+		if *edgesFlag > 1 {
+			groups = append(groups, deploy.EdgeGroup{AttachTo: *rFlag - 1, Count: 1, Prefix: "searcher"})
+		}
+		for i := 2; i < *edgesFlag; i++ {
+			groups = append(groups, deploy.EdgeGroup{AttachTo: i % *rFlag, Count: 1})
+		}
+		o, err = deploy.Build(deploy.Spec{
+			Seed:      *seedFlag,
+			NumRdv:    *rFlag,
+			Topology:  kind,
+			Fanout:    *fanoutFlag,
+			Peerview:  peerview.Config{Interval: *intervalFlag, EntryExpiry: *expiryFlag},
+			Discovery: discovery.DefaultConfig(),
+			Edges:     groups,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	o.StartAll()
+	fmt.Printf("deployed %d rendezvous + %d edges, seed %d\n",
+		*rFlag, len(o.Edges), *seedFlag)
+
+	// Optional churn process.
+	if *churnFlag > 0 {
+		victim := 1
+		var kill func()
+		kill = func() {
+			if victim < *rFlag-1 {
+				fmt.Printf("[%6.1f min] churn: killing rdv%d\n",
+					o.Sched.Now().Minutes(), victim)
+				o.KillRdv(victim)
+				victim += 2
+				o.Sched.After(*churnFlag, kill)
+			}
+		}
+		o.Sched.After(*churnFlag, kill)
+	}
+
+	// Publish once the overlay has had a moment.
+	if len(o.Edges) >= 1 {
+		o.Sched.After(2*time.Minute, func() {
+			adv := o.Edges[0].PeerAdv()
+			adv.Name = "Test"
+			o.Edges[0].Discovery.Publish(adv, 0)
+			fmt.Printf("[%6.1f min] publisher: published peer advertisement Name=Test\n",
+				o.Sched.Now().Minutes())
+		})
+	}
+
+	observed := o.Rdvs[*rFlag/2]
+	for t := *sampleFlag; t <= *durationFlag; t += *sampleFlag {
+		o.Sched.Run(t)
+		live := 0
+		for _, rdv := range o.Rdvs {
+			if _, ok := o.Net.Lookup(rdv.Endpoint.Addr()); ok {
+				live++
+			}
+		}
+		fmt.Printf("[%6.1f min] peerview l=%d/%d live-rdv=%d msgs=%d\n",
+			t.Minutes(), observed.PeerView.Size(), *rFlag-1, live,
+			o.Net.Stats().Messages)
+	}
+
+	// Final discovery probe.
+	if len(o.Edges) >= 2 {
+		searcher := o.Edges[1]
+		done := false
+		searcher.Discovery.Query("Peer", "Name", "Test", func(res discovery.Result) {
+			if !done {
+				done = true
+				fmt.Printf("[%6.1f min] searcher: found %d advertisement(s) in %.1f ms (from %s)\n",
+					o.Sched.Now().Minutes(), len(res.Advs),
+					float64(res.Elapsed)/float64(time.Millisecond), res.From.Short())
+			}
+		}, func() {
+			fmt.Printf("[%6.1f min] searcher: discovery timed out\n", o.Sched.Now().Minutes())
+		})
+		o.Sched.Run(o.Sched.Now() + time.Minute)
+	}
+	st := o.Net.Stats()
+	fmt.Printf("totals: %d messages, %.1f MiB, %d dropped\n",
+		st.Messages, float64(st.Bytes)/(1<<20), st.Dropped)
+}

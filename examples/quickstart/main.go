@@ -1,0 +1,59 @@
+// Quickstart: the paper's Table 1 / Figure 2 worked example as a running
+// program. Six rendezvous peers form a peerview; edge peer E1 publishes a
+// peer advertisement with Name "Test"; edge peer E2 discovers it through
+// the LC-DHT (hash the tuple "PeerNameTest", map it onto the ordered
+// peerview, forward to the replica, deliver from the publisher).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"jxta"
+)
+
+func main() {
+	sim, err := jxta.NewSimulation(jxta.SimOptions{
+		Seed:       2006, // the year of the paper's experiments
+		Rendezvous: 6,
+		Topology:   "chain",
+		Edges: []jxta.EdgeSpec{
+			{AttachTo: 0, Name: "E1"},
+			{AttachTo: 1, Name: "E2"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.Start()
+	defer sim.Stop()
+
+	// Let the peerview protocol converge (property (2) holds quickly for
+	// r = 6: every local view reaches l = r-1 = 5).
+	sim.Run(12 * time.Minute)
+	for i := 0; i < sim.NumRendezvous(); i++ {
+		fmt.Printf("R%d peerview size: %d (want %d)\n",
+			i+1, sim.Rendezvous(i).PeerViewSize(), sim.NumRendezvous()-1)
+	}
+
+	e1, e2 := sim.Edge(0), sim.Edge(1)
+	fmt.Printf("E1 connected: %v, E2 connected: %v\n", e1.Connected(), e2.Connected())
+
+	// E1 publishes its peer advertisement: index tuple "PeerNameTest"
+	// travels E1 -> R1 -> replica peer (2 messages, the O(1) publish).
+	adv := e1.PublishPeerAdv()
+	sim.Run(30 * time.Second)
+	fmt.Printf("E1 published peer advertisement Name=%q\n", adv.Name)
+
+	// E2 looks it up: E2 -> R2 -> replica -> E1 -> E2 (4 messages).
+	advs, elapsed, err := e2.Discover("Peer", "Name", adv.Name, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("E2 discovered %d advertisement(s) in %.1f ms\n",
+		len(advs), float64(elapsed)/float64(time.Millisecond))
+	fmt.Printf("  -> %s\n", advs[0].Document())
+}

@@ -1,0 +1,189 @@
+package chord
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"jxta/internal/netmodel"
+	"jxta/internal/simnet"
+	"jxta/internal/transport"
+)
+
+func build(t testing.TB, n int, seed int64) (*simnet.Scheduler, *Ring) {
+	t.Helper()
+	sched := simnet.NewScheduler(seed)
+	net := transport.NewNetwork(sched, netmodel.Grid5000())
+	ring, err := Build(sched, net, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, ring
+}
+
+func TestBuildErrors(t *testing.T) {
+	sched := simnet.NewScheduler(1)
+	net := transport.NewNetwork(sched, netmodel.Grid5000())
+	if _, err := Build(sched, net, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestSuccessorGroundTruth(t *testing.T) {
+	_, ring := build(t, 16, 1)
+	nodes := ring.Nodes()
+	for i, n := range nodes {
+		// successor(n.ID) is n itself; successor(n.ID+1) is the next node.
+		if ring.successor(n.ID) != n.ID {
+			t.Fatal("successor of own ID is not self")
+		}
+		next := nodes[(i+1)%len(nodes)]
+		if ring.successor(n.ID+1) != next.ID && n.ID+1 != 0 {
+			t.Fatal("successor of ID+1 is not the next ring member")
+		}
+	}
+}
+
+func TestLookupFindsCorrectOwner(t *testing.T) {
+	sched, ring := build(t, 32, 2)
+	nodes := ring.Nodes()
+	rng := sched.DeriveRand(5)
+	for i := 0; i < 50; i++ {
+		key := rng.Uint64()
+		from := nodes[rng.Intn(len(nodes))]
+		want := ring.Owner(key).ID
+		var got uint64
+		done := false
+		ring.Lookup(from, key, func(owner uint64, hops int, _ time.Duration) {
+			got = owner
+			done = true
+		})
+		sched.Run(sched.Now() + time.Second)
+		if !done {
+			t.Fatalf("lookup %d never completed", i)
+		}
+		if got != want {
+			t.Fatalf("lookup %d found %x, want %x", i, got, want)
+		}
+	}
+}
+
+func TestStoreThenOwnerHasKey(t *testing.T) {
+	sched, ring := build(t, 16, 3)
+	nodes := ring.Nodes()
+	key := uint64(0xdeadbeefcafef00d)
+	done := false
+	ring.Store(nodes[0], key, func(owner uint64, _ int, _ time.Duration) { done = true })
+	sched.Run(time.Second)
+	if !done {
+		t.Fatal("store never completed")
+	}
+	if !ring.Owner(key).Stored(key) {
+		t.Fatal("owner does not hold the stored key")
+	}
+}
+
+func TestLocalLookupZeroHops(t *testing.T) {
+	sched, ring := build(t, 8, 4)
+	n := ring.Nodes()[3]
+	var hops int
+	done := false
+	ring.Lookup(n, n.ID, func(_ uint64, h int, _ time.Duration) {
+		hops = h
+		done = true
+	})
+	sched.Run(time.Second)
+	if !done || hops != 0 {
+		t.Fatalf("self lookup hops=%d done=%v, want 0 hops", hops, done)
+	}
+}
+
+func TestHopCountLogarithmic(t *testing.T) {
+	// The defining property of the baseline: mean hops ~ (1/2) log2 n.
+	for _, n := range []int{16, 64, 256} {
+		sched, ring := build(t, n, 7)
+		nodes := ring.Nodes()
+		rng := sched.DeriveRand(11)
+		total, count := 0, 0
+		for i := 0; i < 200; i++ {
+			key := rng.Uint64()
+			from := nodes[rng.Intn(len(nodes))]
+			ring.Lookup(from, key, func(_ uint64, hops int, _ time.Duration) {
+				total += hops
+				count++
+			})
+		}
+		sched.Run(sched.Now() + time.Minute)
+		if count != 200 {
+			t.Fatalf("n=%d: only %d lookups completed", n, count)
+		}
+		mean := float64(total) / float64(count)
+		logN := math.Log2(float64(n))
+		if mean > 1.5*logN {
+			t.Fatalf("n=%d: mean hops %.1f exceeds 1.5*log2(n)=%.1f", n, mean, 1.5*logN)
+		}
+		if mean < 0.25*logN {
+			t.Fatalf("n=%d: mean hops %.1f suspiciously low (< 0.25*log2 n)", n, mean)
+		}
+	}
+}
+
+func TestHopCountGrowsWithN(t *testing.T) {
+	means := map[int]float64{}
+	for _, n := range []int{8, 512} {
+		sched, ring := build(t, n, 13)
+		nodes := ring.Nodes()
+		rng := sched.DeriveRand(17)
+		total, count := 0, 0
+		for i := 0; i < 300; i++ {
+			ring.Lookup(nodes[rng.Intn(len(nodes))], rng.Uint64(),
+				func(_ uint64, hops int, _ time.Duration) {
+					total += hops
+					count++
+				})
+		}
+		sched.Run(sched.Now() + time.Minute)
+		means[n] = float64(total) / float64(count)
+	}
+	if means[512] <= means[8] {
+		t.Fatalf("hops do not grow with n: %v", means)
+	}
+}
+
+func TestLatencyMeasured(t *testing.T) {
+	sched, ring := build(t, 64, 19)
+	nodes := ring.Nodes()
+	var elapsed time.Duration
+	ring.Lookup(nodes[0], nodes[30].ID, func(_ uint64, hops int, d time.Duration) {
+		elapsed = d
+	})
+	sched.Run(time.Minute)
+	if elapsed <= 0 {
+		t.Fatal("latency not measured")
+	}
+}
+
+func TestDeterministicRing(t *testing.T) {
+	_, r1 := build(t, 20, 99)
+	_, r2 := build(t, 20, 99)
+	a, b := r1.Nodes(), r2.Nodes()
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("same seed built different rings")
+		}
+	}
+}
+
+func BenchmarkLookup256(b *testing.B) {
+	sched, ring := build(b, 256, 1)
+	nodes := ring.Nodes()
+	rng := sched.DeriveRand(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ring.Lookup(nodes[rng.Intn(len(nodes))], rng.Uint64(),
+			func(uint64, int, time.Duration) {})
+		for sched.Pending() > 0 {
+			sched.Step()
+		}
+	}
+}

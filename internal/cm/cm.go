@@ -1,0 +1,208 @@
+// Package cm implements the advertisement cache manager: each peer's local
+// store of advertisements with attribute indexing and lifetime-based
+// eviction (JXTA-C's "CM" component). Edge peers keep their own published
+// advertisements and cache discovered ones here; the discovery benchmark's
+// per-query "flush of the local searcher cache" (§4.2) maps to Flush.
+package cm
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/env"
+	"jxta/internal/ids"
+)
+
+// Record is a stored advertisement plus bookkeeping.
+type Record struct {
+	Adv     advertisement.Advertisement
+	Expires time.Duration // absolute env time; 0 = never
+	Local   bool          // published locally (survives Flush)
+}
+
+// Cache is one peer's advertisement store. Not safe for concurrent use; the
+// env callback serialization covers it.
+type Cache struct {
+	env  env.Env
+	byID map[ids.ID]*Record
+	// index maps "Type+Attr+Value" keys to the advertisement IDs carrying
+	// that field.
+	index map[string]map[ids.ID]struct{}
+}
+
+// New builds an empty cache.
+func New(e env.Env) *Cache {
+	return &Cache{
+		env:   e,
+		byID:  make(map[ids.ID]*Record),
+		index: make(map[string]map[ids.ID]struct{}),
+	}
+}
+
+// Len returns the number of stored advertisements.
+func (c *Cache) Len() int { return len(c.byID) }
+
+// IndexSize returns the number of index entries, the quantity that drives
+// the simulated per-query scan cost on loaded rendezvous peers.
+func (c *Cache) IndexSize() int {
+	n := 0
+	for _, set := range c.index {
+		n += len(set)
+	}
+	return n
+}
+
+// Put stores or replaces an advertisement. lifetime bounds its validity
+// (zero means no expiry); local marks advertisements published by this peer.
+func (c *Cache) Put(adv advertisement.Advertisement, lifetime time.Duration, local bool) {
+	id := adv.ID()
+	if old, ok := c.byID[id]; ok {
+		c.unindex(old.Adv)
+	}
+	var expires time.Duration
+	if lifetime > 0 {
+		expires = c.env.Now() + lifetime
+	}
+	rec := &Record{Adv: adv, Expires: expires, Local: local}
+	c.byID[id] = rec
+	for _, f := range adv.IndexFields() {
+		key := f.Key(adv.Type())
+		set, ok := c.index[key]
+		if !ok {
+			set = make(map[ids.ID]struct{})
+			c.index[key] = set
+		}
+		set[id] = struct{}{}
+	}
+}
+
+func (c *Cache) unindex(adv advertisement.Advertisement) {
+	id := adv.ID()
+	for _, f := range adv.IndexFields() {
+		key := f.Key(adv.Type())
+		if set, ok := c.index[key]; ok {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(c.index, key)
+			}
+		}
+	}
+}
+
+// Get returns the advertisement with the given ID if present and fresh.
+func (c *Cache) Get(id ids.ID) (advertisement.Advertisement, bool) {
+	rec, ok := c.byID[id]
+	if !ok || c.expired(rec) {
+		return nil, false
+	}
+	return rec.Adv, true
+}
+
+// Remove deletes an advertisement.
+func (c *Cache) Remove(id ids.ID) {
+	if rec, ok := c.byID[id]; ok {
+		c.unindex(rec.Adv)
+		delete(c.byID, id)
+	}
+}
+
+func (c *Cache) expired(rec *Record) bool {
+	return rec.Expires > 0 && rec.Expires <= c.env.Now()
+}
+
+// Search returns fresh advertisements of advType whose attr matches value.
+// A trailing '*' in value performs a prefix match (the simple wildcard JXTA
+// discovery supports); exact matches use the index directly.
+func (c *Cache) Search(advType, attr, value string) []advertisement.Advertisement {
+	var out []advertisement.Advertisement
+	if strings.HasSuffix(value, "*") {
+		prefix := advType + attr + strings.TrimSuffix(value, "*")
+		for key, set := range c.index {
+			if !strings.HasPrefix(key, prefix) {
+				continue
+			}
+			out = c.collect(out, advType, set)
+		}
+		return out
+	}
+	key := advertisement.IndexField{Attr: attr, Value: value}.Key(advType)
+	if set, ok := c.index[key]; ok {
+		out = c.collect(out, advType, set)
+	}
+	return out
+}
+
+func (c *Cache) collect(out []advertisement.Advertisement, advType string, set map[ids.ID]struct{}) []advertisement.Advertisement {
+	for id := range set {
+		rec, ok := c.byID[id]
+		if !ok || c.expired(rec) || rec.Adv.Type() != advType {
+			continue
+		}
+		out = append(out, rec.Adv)
+	}
+	return out
+}
+
+// SearchRange returns fresh advertisements of advType whose attr parses as
+// an integer within [lo, hi] — the complex-query extension (linear scan,
+// like JXTA-C's CM).
+func (c *Cache) SearchRange(advType, attr string, lo, hi int64) []advertisement.Advertisement {
+	var out []advertisement.Advertisement
+	for _, rec := range c.byID {
+		if c.expired(rec) || rec.Adv.Type() != advType {
+			continue
+		}
+		for _, f := range rec.Adv.IndexFields() {
+			if f.Attr != attr {
+				continue
+			}
+			v, err := strconv.ParseInt(f.Value, 10, 64)
+			if err != nil {
+				continue
+			}
+			if v >= lo && v <= hi {
+				out = append(out, rec.Adv)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// LocalAdvertisements returns the fresh locally published advertisements
+// (the set the SRDI pusher advertises to the rendezvous).
+func (c *Cache) LocalAdvertisements() []advertisement.Advertisement {
+	var out []advertisement.Advertisement
+	for _, rec := range c.byID {
+		if rec.Local && !c.expired(rec) {
+			out = append(out, rec.Adv)
+		}
+	}
+	return out
+}
+
+// Flush drops every non-local advertisement — the benchmark's cache flush
+// between consecutive discovery queries, preventing cache speedup.
+func (c *Cache) Flush() {
+	for id, rec := range c.byID {
+		if !rec.Local {
+			c.unindex(rec.Adv)
+			delete(c.byID, id)
+		}
+	}
+}
+
+// GC removes expired advertisements and returns how many were evicted.
+func (c *Cache) GC() int {
+	evicted := 0
+	for id, rec := range c.byID {
+		if c.expired(rec) {
+			c.unindex(rec.Adv)
+			delete(c.byID, id)
+			evicted++
+		}
+	}
+	return evicted
+}

@@ -1,0 +1,284 @@
+package cm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/ids"
+	"jxta/internal/simnet"
+)
+
+func newCache() (*Cache, *simnet.Scheduler) {
+	sched := simnet.NewScheduler(1)
+	return New(sched.NewEnv("n")), sched
+}
+
+func res(name string, attrs ...advertisement.IndexField) *advertisement.Resource {
+	return &advertisement.Resource{
+		ResID: ids.FromName(ids.KindAdv, name),
+		Name:  name,
+		Attrs: attrs,
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	c, _ := newCache()
+	adv := res("node1")
+	c.Put(adv, 0, true)
+	got, ok := c.Get(adv.ID())
+	if !ok || got.(*advertisement.Resource).Name != "node1" {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ok := c.Get(ids.FromName(ids.KindAdv, "ghost")); ok {
+		t.Fatal("ghost advertisement found")
+	}
+}
+
+func TestPutReplacesAndReindexes(t *testing.T) {
+	c, _ := newCache()
+	a1 := res("old")
+	c.Put(a1, 0, true)
+	// Same ID, new name.
+	a2 := &advertisement.Resource{ResID: a1.ResID, Name: "new"}
+	c.Put(a2, 0, true)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after replace", c.Len())
+	}
+	if got := c.Search("Resource", "Name", "old"); len(got) != 0 {
+		t.Fatal("stale index entry for replaced advertisement")
+	}
+	if got := c.Search("Resource", "Name", "new"); len(got) != 1 {
+		t.Fatal("new index entry missing")
+	}
+}
+
+func TestSearchExact(t *testing.T) {
+	c, _ := newCache()
+	c.Put(res("a", advertisement.IndexField{Attr: "Site", Value: "rennes"}), 0, true)
+	c.Put(res("b", advertisement.IndexField{Attr: "Site", Value: "lyon"}), 0, true)
+	got := c.Search("Resource", "Site", "rennes")
+	if len(got) != 1 || got[0].(*advertisement.Resource).Name != "a" {
+		t.Fatalf("Search = %v", got)
+	}
+	if len(c.Search("Resource", "Site", "mars")) != 0 {
+		t.Fatal("bogus value matched")
+	}
+	if len(c.Search("Peer", "Site", "rennes")) != 0 {
+		t.Fatal("wrong type matched")
+	}
+}
+
+func TestSearchWildcardPrefix(t *testing.T) {
+	c, _ := newCache()
+	for i := 0; i < 5; i++ {
+		c.Put(res(fmt.Sprintf("node%d", i)), 0, true)
+	}
+	c.Put(res("other"), 0, true)
+	got := c.Search("Resource", "Name", "node*")
+	if len(got) != 5 {
+		t.Fatalf("wildcard matched %d, want 5", len(got))
+	}
+	if len(c.Search("Resource", "Name", "*")) != 6 {
+		t.Fatal("bare * should match all")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	c, sched := newCache()
+	adv := res("ephemeral")
+	c.Put(adv, time.Minute, false)
+	if _, ok := c.Get(adv.ID()); !ok {
+		t.Fatal("fresh advertisement missing")
+	}
+	sched.Run(2 * time.Minute)
+	if _, ok := c.Get(adv.ID()); ok {
+		t.Fatal("expired advertisement still served")
+	}
+	if got := c.Search("Resource", "Name", "ephemeral"); len(got) != 0 {
+		t.Fatal("expired advertisement matched a search")
+	}
+	// GC actually removes it.
+	if n := c.GC(); n != 1 {
+		t.Fatalf("GC evicted %d, want 1", n)
+	}
+	if c.Len() != 0 {
+		t.Fatal("record survived GC")
+	}
+}
+
+func TestZeroLifetimeNeverExpires(t *testing.T) {
+	c, sched := newCache()
+	adv := res("forever")
+	c.Put(adv, 0, true)
+	sched.Run(1000 * time.Hour)
+	if _, ok := c.Get(adv.ID()); !ok {
+		t.Fatal("zero-lifetime advertisement expired")
+	}
+	if c.GC() != 0 {
+		t.Fatal("GC evicted an immortal record")
+	}
+}
+
+func TestFlushKeepsLocal(t *testing.T) {
+	c, _ := newCache()
+	local := res("mine")
+	remote := res("theirs")
+	c.Put(local, 0, true)
+	c.Put(remote, 0, false)
+	c.Flush()
+	if _, ok := c.Get(local.ID()); !ok {
+		t.Fatal("Flush dropped a local advertisement")
+	}
+	if _, ok := c.Get(remote.ID()); ok {
+		t.Fatal("Flush kept a remote advertisement")
+	}
+	if got := c.Search("Resource", "Name", "theirs"); len(got) != 0 {
+		t.Fatal("flushed advertisement still indexed")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c, _ := newCache()
+	adv := res("x")
+	c.Put(adv, 0, true)
+	c.Remove(adv.ID())
+	if c.Len() != 0 || len(c.Search("Resource", "Name", "x")) != 0 {
+		t.Fatal("Remove incomplete")
+	}
+	c.Remove(adv.ID()) // idempotent
+}
+
+func TestLocalAdvertisements(t *testing.T) {
+	c, sched := newCache()
+	c.Put(res("l1"), 0, true)
+	c.Put(res("l2"), time.Minute, true)
+	c.Put(res("r1"), 0, false)
+	if got := c.LocalAdvertisements(); len(got) != 2 {
+		t.Fatalf("LocalAdvertisements = %d, want 2", len(got))
+	}
+	sched.Run(2 * time.Minute) // l2 expires
+	if got := c.LocalAdvertisements(); len(got) != 1 {
+		t.Fatalf("after expiry LocalAdvertisements = %d, want 1", len(got))
+	}
+}
+
+func TestIndexSize(t *testing.T) {
+	c, _ := newCache()
+	if c.IndexSize() != 0 {
+		t.Fatal("empty cache has index entries")
+	}
+	// A Resource indexes Name plus each attr.
+	c.Put(res("a", advertisement.IndexField{Attr: "CPU", Value: "x"}), 0, true)
+	if c.IndexSize() != 2 {
+		t.Fatalf("IndexSize = %d, want 2", c.IndexSize())
+	}
+	c.Remove(ids.FromName(ids.KindAdv, "a"))
+	if c.IndexSize() != 0 {
+		t.Fatal("index entries leaked after Remove")
+	}
+}
+
+func TestPeerAdvertisementSearch(t *testing.T) {
+	// The paper's Table 1 example: a peer advertisement with Name=Test is
+	// findable under key inputs ("Peer", "Name", "Test").
+	c, _ := newCache()
+	p := &advertisement.Peer{PeerID: ids.FromName(ids.KindPeer, "t"), Name: "Test"}
+	c.Put(p, 0, true)
+	got := c.Search("Peer", "Name", "Test")
+	if len(got) != 1 {
+		t.Fatalf("peer advertisement not found: %v", got)
+	}
+}
+
+// Property: after any sequence of Put/Remove, Search("Name", x) returns
+// exactly the live advertisements named x.
+func TestSearchConsistencyProperty(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _ := newCache()
+		live := map[string]map[ids.ID]bool{}
+		names := []string{"a", "b", "c"}
+		for i := 0; i < int(ops); i++ {
+			name := names[rng.Intn(len(names))]
+			id := ids.FromName(ids.KindAdv, fmt.Sprintf("%s-%d", name, rng.Intn(5)))
+			if rng.Intn(3) == 0 {
+				c.Remove(id)
+				if live[name] != nil {
+					delete(live[name], id)
+				}
+			} else {
+				adv := &advertisement.Resource{ResID: id, Name: name}
+				// The same ID may previously be under another name.
+				for _, m := range live {
+					delete(m, id)
+				}
+				c.Put(adv, 0, true)
+				if live[name] == nil {
+					live[name] = map[ids.ID]bool{}
+				}
+				live[name][id] = true
+			}
+		}
+		for _, name := range names {
+			got := c.Search("Resource", "Name", name)
+			if len(got) != len(live[name]) {
+				return false
+			}
+			for _, adv := range got {
+				if !live[name][adv.ID()] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSearchExactLargeCache(b *testing.B) {
+	sched := simnet.NewScheduler(1)
+	c := New(sched.NewEnv("n"))
+	for i := 0; i < 5000; i++ {
+		c.Put(res(fmt.Sprintf("fake%d", i)), 0, true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Search("Resource", "Name", "fake2500")
+	}
+}
+
+func TestSearchRange(t *testing.T) {
+	c, sched := newCache()
+	for i, ram := range []string{"1024", "2048", "4096", "not-a-number"} {
+		c.Put(res(fmt.Sprintf("n%d", i),
+			advertisement.IndexField{Attr: "RAM", Value: ram}), 0, true)
+	}
+	if got := c.SearchRange("Resource", "RAM", 2000, 5000); len(got) != 2 {
+		t.Fatalf("range [2000,5000] = %d advs, want 2", len(got))
+	}
+	if got := c.SearchRange("Resource", "RAM", 1024, 1024); len(got) != 1 {
+		t.Fatal("inclusive point range wrong")
+	}
+	if got := c.SearchRange("Resource", "CPU", 0, 1<<40); len(got) != 0 {
+		t.Fatal("wrong attribute matched")
+	}
+	if got := c.SearchRange("Peer", "RAM", 0, 1<<40); len(got) != 0 {
+		t.Fatal("wrong type matched")
+	}
+	// Expired advertisements excluded.
+	c.Put(res("tmp", advertisement.IndexField{Attr: "RAM", Value: "3000"}),
+		time.Minute, false)
+	sched.Run(2 * time.Minute)
+	if got := c.SearchRange("Resource", "RAM", 2999, 3001); len(got) != 0 {
+		t.Fatal("expired advertisement matched range")
+	}
+}

@@ -1,0 +1,181 @@
+// Package deploy instantiates whole overlays onto the simulator from a
+// declarative specification — the role ADAGE (with the authors' JXTA
+// plug-in) played in the paper: "overlays can be described in a concise
+// manner, and generation of configuration files for JXTA automated".
+package deploy
+
+import (
+	"fmt"
+
+	"jxta/internal/discovery"
+	"jxta/internal/netmodel"
+	"jxta/internal/node"
+	"jxta/internal/peerview"
+	"jxta/internal/rendezvous"
+	"jxta/internal/simnet"
+	"jxta/internal/topology"
+	"jxta/internal/transport"
+)
+
+// EdgeGroup attaches Count edge peers to the rendezvous at index AttachTo.
+type EdgeGroup struct {
+	AttachTo int
+	Count    int
+	Prefix   string // node name prefix, default "edge"
+}
+
+// Spec declares an overlay.
+type Spec struct {
+	// Seed is the experiment master seed (determinism).
+	Seed int64
+	// Model is the network model; nil selects the Grid'5000 model.
+	Model *netmodel.Model
+	// NumRdv is the number of rendezvous peers (r in the paper).
+	NumRdv int
+	// Topology is the seed-graph shape (chain in most experiments).
+	Topology topology.Kind
+	// Fanout applies to tree topologies.
+	Fanout int
+	// Peerview, Lease, Discovery tune the protocols; zero = paper defaults.
+	Peerview  peerview.Config
+	Lease     rendezvous.Config
+	Discovery discovery.Config
+	// Edges attaches edge peers to rendezvous.
+	Edges []EdgeGroup
+}
+
+// Overlay is a deployed set of peers sharing one simulator.
+type Overlay struct {
+	Sched *simnet.Scheduler
+	Net   *transport.Network
+	Rdvs  []*node.Node
+	Edges []*node.Node
+
+	spec      Spec
+	edgeCount int
+}
+
+// Build deploys the overlay. Rendezvous peers are spread round-robin over
+// the nine Grid'5000 sites, as the paper's multi-site runs were.
+func Build(spec Spec) (*Overlay, error) {
+	if spec.NumRdv < 0 {
+		return nil, fmt.Errorf("deploy: NumRdv=%d", spec.NumRdv)
+	}
+	model := spec.Model
+	if model == nil {
+		model = netmodel.Grid5000()
+	}
+	sched := simnet.NewScheduler(spec.Seed)
+	net := transport.NewNetwork(sched, model)
+	o := &Overlay{Sched: sched, Net: net, spec: spec}
+
+	seedIdx, err := topology.Seeds(spec.Topology, spec.NumRdv, spec.Fanout)
+	if err != nil {
+		return nil, err
+	}
+	sites := netmodel.SpreadSites(spec.NumRdv)
+	for i := 0; i < spec.NumRdv; i++ {
+		name := fmt.Sprintf("rdv%d", i)
+		e := sched.NewEnv(name)
+		tr, err := net.Attach(name, sites[i])
+		if err != nil {
+			return nil, err
+		}
+		var seeds []peerview.Seed
+		for _, s := range seedIdx[i] {
+			seeds = append(seeds, o.Rdvs[s].Seed())
+		}
+		n := node.New(e, tr, node.Config{
+			Name:      name,
+			Role:      node.Rendezvous,
+			Seeds:     seeds,
+			Peerview:  spec.Peerview,
+			Lease:     spec.Lease,
+			Discovery: spec.Discovery,
+		})
+		o.Rdvs = append(o.Rdvs, n)
+	}
+	for _, g := range spec.Edges {
+		if g.AttachTo < 0 || g.AttachTo >= spec.NumRdv {
+			return nil, fmt.Errorf("deploy: edge group attaches to rdv %d of %d", g.AttachTo, spec.NumRdv)
+		}
+		prefix := g.Prefix
+		if prefix == "" {
+			prefix = "edge"
+		}
+		for j := 0; j < g.Count; j++ {
+			if _, err := o.AddEdge(fmt.Sprintf("%s%d", prefix, o.edgeCount), g.AttachTo); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return o, nil
+}
+
+// AddEdge attaches one more edge peer to the given rendezvous. The edge
+// lives on the same site as its rendezvous (the paper's noisers and
+// publisher/searcher run on testbed nodes beside their rendezvous cluster).
+func (o *Overlay) AddEdge(name string, attachTo int) (*node.Node, error) {
+	rdv := o.Rdvs[attachTo]
+	e := o.Sched.NewEnv(name)
+	site := siteOfRdv(o, attachTo)
+	tr, err := o.Net.Attach(name, site)
+	if err != nil {
+		return nil, err
+	}
+	n := node.New(e, tr, node.Config{
+		Name:      name,
+		Role:      node.Edge,
+		Seeds:     []peerview.Seed{rdv.Seed()},
+		Lease:     o.spec.Lease,
+		Discovery: o.spec.Discovery,
+	})
+	o.Edges = append(o.Edges, n)
+	o.edgeCount++
+	return n, nil
+}
+
+func siteOfRdv(o *Overlay, idx int) netmodel.Site {
+	sites := netmodel.SpreadSites(len(o.Rdvs))
+	if idx < len(sites) {
+		return sites[idx]
+	}
+	return netmodel.Rennes
+}
+
+// StartAll starts every deployed peer.
+func (o *Overlay) StartAll() {
+	for _, n := range o.Rdvs {
+		n.Start()
+	}
+	for _, n := range o.Edges {
+		n.Start()
+	}
+}
+
+// StopAll stops every peer.
+func (o *Overlay) StopAll() {
+	for _, n := range o.Edges {
+		n.Stop()
+	}
+	for _, n := range o.Rdvs {
+		n.Stop()
+	}
+}
+
+// KillRdv crashes a rendezvous peer abruptly: timers stop and the transport
+// detaches, so in-flight messages to it are lost (churn experiments). Note
+// the abrupt variant does not cancel leases — clients discover the death by
+// renewal timeout, as on a real testbed.
+func (o *Overlay) KillRdv(i int) {
+	n := o.Rdvs[i]
+	n.Stop()
+	o.Net.Detach(n.Endpoint.Addr())
+}
+
+// KillEdge crashes an edge peer abruptly.
+func (o *Overlay) KillEdge(i int) {
+	n := o.Edges[i]
+	n.Stop()
+	o.Net.Detach(n.Endpoint.Addr())
+}

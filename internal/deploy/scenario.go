@@ -1,0 +1,143 @@
+package deploy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"jxta/internal/discovery"
+	"jxta/internal/peerview"
+	"jxta/internal/rendezvous"
+	"jxta/internal/topology"
+)
+
+// Scenario is the JSON form of an overlay specification — the concise,
+// file-based deployment description ADAGE provided in the paper. Durations
+// are strings in Go syntax ("30s", "20m").
+//
+//	{
+//	  "seed": 42,
+//	  "rendezvous": 50,
+//	  "topology": "chain",
+//	  "peerview": {"interval": "30s", "entryExpiry": "20m"},
+//	  "edges": [{"attachTo": 0, "count": 1, "prefix": "publisher"}]
+//	}
+type Scenario struct {
+	Seed       int64           `json:"seed"`
+	Rendezvous int             `json:"rendezvous"`
+	Topology   string          `json:"topology"`
+	Fanout     int             `json:"fanout"`
+	Peerview   *ScenarioTuning `json:"peerview"`
+	Lease      *ScenarioLease  `json:"lease"`
+	Edges      []ScenarioEdge  `json:"edges"`
+	// RealisticCosts enables the SRDI scan-cost model (default true).
+	RealisticCosts *bool `json:"realisticCosts"`
+}
+
+// ScenarioTuning carries the peerview tunables.
+type ScenarioTuning struct {
+	Interval          string `json:"interval"`
+	EntryExpiry       string `json:"entryExpiry"`
+	HappySize         int    `json:"happySize"`
+	ReferralsPerProbe int    `json:"referralsPerProbe"`
+}
+
+// ScenarioLease carries the lease tunables.
+type ScenarioLease struct {
+	Duration        string `json:"duration"`
+	ResponseTimeout string `json:"responseTimeout"`
+}
+
+// ScenarioEdge mirrors EdgeGroup.
+type ScenarioEdge struct {
+	AttachTo int    `json:"attachTo"`
+	Count    int    `json:"count"`
+	Prefix   string `json:"prefix"`
+}
+
+func parseDur(field, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("deploy: scenario field %s: %w", field, err)
+	}
+	return d, nil
+}
+
+// Spec converts the scenario into a deployable Spec.
+func (sc *Scenario) Spec() (Spec, error) {
+	spec := Spec{
+		Seed:   sc.Seed,
+		NumRdv: sc.Rendezvous,
+		Fanout: sc.Fanout,
+	}
+	if sc.Topology != "" {
+		kind, err := topology.ParseKind(sc.Topology)
+		if err != nil {
+			return spec, err
+		}
+		spec.Topology = kind
+	}
+	if sc.Peerview != nil {
+		var err error
+		var cfg peerview.Config
+		if cfg.Interval, err = parseDur("peerview.interval", sc.Peerview.Interval); err != nil {
+			return spec, err
+		}
+		if cfg.EntryExpiry, err = parseDur("peerview.entryExpiry", sc.Peerview.EntryExpiry); err != nil {
+			return spec, err
+		}
+		cfg.HappySize = sc.Peerview.HappySize
+		cfg.ReferralsPerProbe = sc.Peerview.ReferralsPerProbe
+		spec.Peerview = cfg
+	}
+	if sc.Lease != nil {
+		var err error
+		var cfg rendezvous.Config
+		if cfg.LeaseDuration, err = parseDur("lease.duration", sc.Lease.Duration); err != nil {
+			return spec, err
+		}
+		if cfg.ResponseTimeout, err = parseDur("lease.responseTimeout", sc.Lease.ResponseTimeout); err != nil {
+			return spec, err
+		}
+		spec.Lease = cfg
+	}
+	if sc.RealisticCosts == nil || *sc.RealisticCosts {
+		spec.Discovery = discovery.DefaultConfig()
+	}
+	for _, e := range sc.Edges {
+		spec.Edges = append(spec.Edges, EdgeGroup{
+			AttachTo: e.AttachTo, Count: e.Count, Prefix: e.Prefix,
+		})
+	}
+	return spec, nil
+}
+
+// LoadScenario parses a scenario file and builds the overlay.
+func LoadScenario(path string) (*Overlay, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return BuildScenario(data)
+}
+
+// BuildScenario parses scenario JSON bytes and builds the overlay. Unknown
+// fields are rejected so configuration typos fail loudly.
+func BuildScenario(data []byte) (*Overlay, error) {
+	var sc Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("deploy: scenario: %w", err)
+	}
+	spec, err := sc.Spec()
+	if err != nil {
+		return nil, err
+	}
+	return Build(spec)
+}

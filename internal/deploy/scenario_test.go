@@ -1,0 +1,91 @@
+package deploy
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"jxta/internal/topology"
+)
+
+const sampleScenario = `{
+  "seed": 7,
+  "rendezvous": 4,
+  "topology": "tree",
+  "fanout": 2,
+  "peerview": {"interval": "15s", "entryExpiry": "5m"},
+  "lease": {"duration": "2m", "responseTimeout": "10s"},
+  "edges": [{"attachTo": 0, "count": 2, "prefix": "pub"}]
+}`
+
+func TestBuildScenario(t *testing.T) {
+	o, err := BuildScenario([]byte(sampleScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Rdvs) != 4 || len(o.Edges) != 2 {
+		t.Fatalf("shape %d/%d", len(o.Rdvs), len(o.Edges))
+	}
+	if o.spec.Topology != topology.Tree || o.spec.Peerview.Interval != 15*time.Second {
+		t.Fatalf("tunables lost: %+v", o.spec)
+	}
+	if o.spec.Lease.LeaseDuration != 2*time.Minute {
+		t.Fatal("lease tunables lost")
+	}
+	if o.spec.Discovery.ScanCost == 0 {
+		t.Fatal("realistic costs not defaulted on")
+	}
+	// The deployed overlay actually runs.
+	o.StartAll()
+	o.Sched.Run(8 * time.Minute)
+	if o.Rdvs[0].PeerView.Size() != 3 {
+		t.Fatalf("scenario overlay did not converge: %d", o.Rdvs[0].PeerView.Size())
+	}
+	o.StopAll()
+}
+
+func TestBuildScenarioErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":        `{"rendezvous":`,
+		"unknown field":   `{"rendezvouz": 3}`,
+		"bad topology":    `{"rendezvous": 3, "topology": "donut"}`,
+		"bad duration":    `{"rendezvous": 3, "peerview": {"interval": "soon"}}`,
+		"bad lease dur":   `{"rendezvous": 3, "lease": {"duration": "whenever"}}`,
+		"bad edge attach": `{"rendezvous": 2, "edges": [{"attachTo": 9, "count": 1}]}`,
+	}
+	for name, js := range cases {
+		if _, err := BuildScenario([]byte(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestScenarioCostsOptOut(t *testing.T) {
+	off := false
+	_ = off
+	o, err := BuildScenario([]byte(`{"rendezvous": 2, "realisticCosts": false}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.spec.Discovery.ScanCost != 0 {
+		t.Fatal("cost opt-out ignored")
+	}
+}
+
+func TestLoadScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(sampleScenario), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Rdvs) != 4 {
+		t.Fatal("file scenario wrong")
+	}
+	if _, err := LoadScenario(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,762 @@
+// Package discovery implements the JXTA peer discovery protocol and the
+// Loosely-Consistent DHT (LC-DHT, §3.3 of the paper) it relies on.
+//
+// Publishing: an edge peer stores its advertisement locally, then pushes the
+// advertisement's attribute table — tuples (Type+Attr+Value, publisher,
+// lifetime) — to its rendezvous (SRDI push). The rendezvous keeps a copy
+// and replicates each tuple to the replica peer computed by hashing the
+// tuple over its local peerview: 2 messages total, the paper's O(1) publish.
+//
+// Discovery: a query travels edge → rendezvous (resolver protocol); the
+// rendezvous answers from its own SRDI if it can, otherwise forwards to the
+// computed replica peer; on a miss there (peerviews inconsistent, churn) the
+// query walks the ID-ordered peerview in both directions — the O(r)
+// fallback. Whoever finds a matching tuple forwards the query to the
+// publishing peer, which sends the advertisement directly back to the
+// requester: 4 messages end-to-end when property (2) holds.
+package discovery
+
+import (
+	"errors"
+	"strconv"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/cm"
+	"jxta/internal/document"
+	"jxta/internal/endpoint"
+	"jxta/internal/env"
+	"jxta/internal/ids"
+	"jxta/internal/message"
+	"jxta/internal/rendezvous"
+	"jxta/internal/resolver"
+	"jxta/internal/srdi"
+	"jxta/internal/transport"
+)
+
+// HandlerName is the resolver handler the discovery protocol registers.
+const HandlerName = "urn:jxta:disco"
+
+// SRDIService is the endpoint service receiving index pushes.
+const SRDIService = "disco.srdi"
+
+// Query lifecycle stages, carried in the query payload so each rendezvous
+// knows its role in the pipeline.
+const (
+	stageInitial = "initial" // from the requesting peer to its rendezvous
+	stageReplica = "replica" // forwarded to the computed replica peer
+	stageDeliver = "deliver" // forwarded to the publishing peer
+
+	// Range-query stages (the paper's §5 complex-query extension): ranges
+	// cannot be hashed onto a replica, so they walk the whole peerview.
+	stageRange        = "range"
+	stageRangeDeliver = "range-deliver"
+)
+
+// Config tunes the discovery service.
+type Config struct {
+	// PushInterval is the SRDI delta-push period (paper: 30 s).
+	PushInterval time.Duration
+	// AdvLifetime is the default lifetime of published advertisements and
+	// their index tuples.
+	AdvLifetime time.Duration
+	// WalkTTL bounds each direction of the fallback walk; zero means "walk
+	// the whole peerview" (TTL = view size, the paper's O(r) worst case).
+	WalkTTL int
+	// ScanCost is the simulated processing time a rendezvous spends per
+	// SRDI registration when serving one query — JXTA-C scans its index
+	// linearly, which is what makes heavily loaded rendezvous slow in the
+	// paper's configuration B. Zero disables cost modeling (unit tests).
+	ScanCost time.Duration
+	// DisableWalk turns the O(r) fallback walk off (ablation experiments
+	// only): replica misses then go unanswered.
+	DisableWalk bool
+}
+
+// DefaultConfig returns paper-faithful defaults. ScanCost is calibrated so
+// that configuration B's ~1000-entry rendezvous adds the paper's ≈18 ms.
+func DefaultConfig() Config {
+	return Config{
+		PushInterval: 30 * time.Second,
+		AdvLifetime:  advertisement.DefaultExpiration,
+		WalkTTL:      0,
+		ScanCost:     4 * time.Microsecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.PushInterval <= 0 {
+		c.PushInterval = d.PushInterval
+	}
+	if c.AdvLifetime <= 0 {
+		c.AdvLifetime = d.AdvLifetime
+	}
+	return c
+}
+
+// BusySink lets the service model local processing cost on its transport
+// (implemented by transport.Sim; nil for real transports, where processing
+// cost is real).
+type BusySink interface {
+	Busy(d time.Duration)
+}
+
+// Result delivers the outcome of a discovery query.
+type Result struct {
+	Advs    []advertisement.Advertisement
+	From    ids.ID
+	Elapsed time.Duration
+}
+
+// Stats counts discovery-protocol activity on this peer.
+type Stats struct {
+	QueriesSent      uint64
+	QueriesHandled   uint64
+	LocalHits        uint64 // answered from the rendezvous' own SRDI
+	ReplicaForwards  uint64
+	WalksStarted     uint64
+	WalkHits         uint64
+	Delivered        uint64 // queries answered by this peer as publisher
+	TuplesReplicated uint64
+}
+
+// Errors.
+var ErrNotConnected = errors.New("discovery: edge has no rendezvous lease")
+
+// Service is one peer's discovery service.
+type Service struct {
+	env   env.Env
+	ep    *endpoint.Endpoint
+	res   *resolver.Service
+	rdv   *rendezvous.Service
+	cache *cm.Cache
+	cfg   Config
+	busy  BusySink
+
+	index  *srdi.Index // rendezvous role only
+	pushed map[string]bool
+	ticker *env.Ticker
+
+	// seen dedups (src, qid) pairs at a rendezvous so the replica forward
+	// and the walk cannot double-process one query.
+	seen map[string]bool
+
+	Stats Stats
+}
+
+// New assembles the discovery service over the peer's resolver, rendezvous
+// service and cache. busy may be nil.
+func New(e env.Env, ep *endpoint.Endpoint, res *resolver.Service, rdvSvc *rendezvous.Service, cache *cm.Cache, cfg Config, busy BusySink) *Service {
+	s := &Service{
+		env:    e,
+		ep:     ep,
+		res:    res,
+		rdv:    rdvSvc,
+		cache:  cache,
+		cfg:    cfg.withDefaults(),
+		busy:   busy,
+		pushed: make(map[string]bool),
+		seen:   make(map[string]bool),
+	}
+	res.RegisterHandler(HandlerName, s.handleQuery)
+	if rdvSvc.IsRendezvous() {
+		s.index = srdi.New(e)
+		ep.Register(SRDIService, s.receiveSRDI)
+		rdvSvc.SetWalkHandler(s.handleWalk)
+	} else {
+		// Re-push the whole index table when the edge (re)connects — the
+		// paper notes edges publish their tuples whenever they connect to
+		// a new rendezvous (§3.3).
+		rdvSvc.AddLeaseListener(func(_ ids.ID, connected bool) {
+			if connected {
+				s.pushed = make(map[string]bool)
+				s.pushAll()
+			}
+		})
+	}
+	return s
+}
+
+// Index exposes the SRDI (nil on edges); experiments read its size.
+func (s *Service) Index() *srdi.Index { return s.index }
+
+// Cache exposes the local advertisement cache.
+func (s *Service) Cache() *cm.Cache { return s.cache }
+
+// Start begins periodic SRDI pushing (edges) or index GC (rendezvous).
+func (s *Service) Start() {
+	if s.ticker != nil {
+		return
+	}
+	if s.rdv.IsRendezvous() {
+		s.ticker = env.NewTicker(s.env, s.cfg.PushInterval, func() { s.index.GC() })
+		return
+	}
+	s.ticker = env.NewTicker(s.env, s.cfg.PushInterval, s.pushAll)
+}
+
+// Stop halts periodic work.
+func (s *Service) Stop() {
+	if s.ticker != nil {
+		s.ticker.Stop()
+		s.ticker = nil
+	}
+}
+
+// --- Publishing ---
+
+// Publish stores an advertisement locally and pushes its index tuples to
+// the rendezvous network. Lifetime zero uses the configured default.
+func (s *Service) Publish(adv advertisement.Advertisement, lifetime time.Duration) {
+	if lifetime <= 0 {
+		lifetime = s.cfg.AdvLifetime
+	}
+	s.cache.Put(adv, lifetime, true)
+	s.pushTuples(s.tuplesOf(adv, lifetime))
+}
+
+// FlushCache drops remotely discovered advertisements (the benchmark's
+// per-query cache flush).
+func (s *Service) FlushCache() { s.cache.Flush() }
+
+func (s *Service) tuplesOf(adv advertisement.Advertisement, lifetime time.Duration) []srdi.Tuple {
+	fields := adv.IndexFields()
+	tuples := make([]srdi.Tuple, 0, len(fields))
+	for _, f := range fields {
+		tpl := srdi.Tuple{
+			Key:           f.Key(adv.Type()),
+			Publisher:     s.ep.ID(),
+			PublisherAddr: s.ep.Addr(),
+			Lifetime:      lifetime,
+		}
+		// Integer-valued fields also register in the numeric tier for
+		// range queries.
+		if v, err := strconv.ParseInt(f.Value, 10, 64); err == nil {
+			tpl.NumAttr = adv.Type() + f.Attr
+			tpl.NumValue = v
+		}
+		tuples = append(tuples, tpl)
+	}
+	return tuples
+}
+
+// pushAll re-sends tuples for every fresh local advertisement that has not
+// been pushed to the current rendezvous yet (delta push; a fresh lease
+// clears the set, forcing a full push).
+func (s *Service) pushAll() {
+	var pending []srdi.Tuple
+	for _, adv := range s.cache.LocalAdvertisements() {
+		for _, tpl := range s.tuplesOf(adv, s.cfg.AdvLifetime) {
+			if !s.pushed[tpl.Key] {
+				pending = append(pending, tpl)
+			}
+		}
+	}
+	if len(pending) > 0 {
+		s.pushTuples(pending)
+	}
+}
+
+// pushTuples delivers tuples to this peer's rendezvous tier: a rendezvous
+// indexes (and replicates) directly; an edge sends one SRDI message to its
+// lease holder.
+func (s *Service) pushTuples(tuples []srdi.Tuple) {
+	if len(tuples) == 0 {
+		return
+	}
+	if s.rdv.IsRendezvous() {
+		for _, tpl := range tuples {
+			s.indexAndReplicate(tpl, false)
+			s.pushed[tpl.Key] = true
+		}
+		return
+	}
+	rdvID, ok := s.rdv.ConnectedRdv()
+	if !ok {
+		return // pushAll retries on the next tick / lease
+	}
+	m := message.New()
+	for _, tpl := range tuples {
+		m.Add("srdi", "Tuple", encodeTuple(tpl))
+	}
+	if err := s.ep.Send(rdvID, SRDIService, m); err != nil {
+		return
+	}
+	for _, tpl := range tuples {
+		s.pushed[tpl.Key] = true
+	}
+}
+
+func encodeTuple(t srdi.Tuple) []byte {
+	doc := document.NewElement("srdi:Tuple").
+		AppendText("Key", t.Key).
+		AppendText("Pub", t.Publisher.String()).
+		AppendText("Addr", string(t.PublisherAddr)).
+		AppendText("Life", strconv.FormatInt(int64(t.Lifetime), 10))
+	if t.NumAttr != "" {
+		doc.AppendText("NA", t.NumAttr)
+		doc.AppendText("NV", strconv.FormatInt(t.NumValue, 10))
+	}
+	data, err := doc.Marshal()
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+func decodeTuple(data []byte) (srdi.Tuple, error) {
+	doc, err := document.Unmarshal(data)
+	if err != nil {
+		return srdi.Tuple{}, err
+	}
+	pub, err := ids.Parse(doc.ChildText("Pub"))
+	if err != nil {
+		return srdi.Tuple{}, err
+	}
+	life, err := strconv.ParseInt(doc.ChildText("Life"), 10, 64)
+	if err != nil {
+		return srdi.Tuple{}, err
+	}
+	tpl := srdi.Tuple{
+		Key:           doc.ChildText("Key"),
+		Publisher:     pub,
+		PublisherAddr: transport.Addr(doc.ChildText("Addr")),
+		Lifetime:      time.Duration(life),
+	}
+	if na := doc.ChildText("NA"); na != "" {
+		nv, err := strconv.ParseInt(doc.ChildText("NV"), 10, 64)
+		if err != nil {
+			return srdi.Tuple{}, err
+		}
+		tpl.NumAttr = na
+		tpl.NumValue = nv
+	}
+	return tpl, nil
+}
+
+// receiveSRDI handles index pushes at a rendezvous. Replicated pushes are
+// stored but not re-replicated (loop guard).
+func (s *Service) receiveSRDI(src ids.ID, m *message.Message) {
+	replicated := m.GetString("srdi", "Replicated") == "1"
+	for _, el := range m.Elements() {
+		if el.Namespace != "srdi" || el.Name != "Tuple" {
+			continue
+		}
+		tpl, err := decodeTuple(el.Data)
+		if err != nil {
+			continue
+		}
+		s.indexAndReplicate(tpl, replicated)
+	}
+}
+
+// indexAndReplicate stores a tuple and, unless it already is a replica copy,
+// forwards it to the replica peer computed over the local peerview — the
+// second (and last) message of the paper's O(1) publish path.
+func (s *Service) indexAndReplicate(tpl srdi.Tuple, replicated bool) {
+	s.index.Add(tpl)
+	if tpl.NumAttr != "" {
+		s.index.AddNumeric(tpl.NumAttr, tpl.NumValue, tpl.Publisher,
+			tpl.PublisherAddr, tpl.Lifetime)
+	}
+	if replicated {
+		return
+	}
+	view := s.rdv.PeerView().View()
+	replica := ReplicaPeer(view, tpl.Key)
+	if replica.IsNil() || replica.Equal(s.ep.ID()) {
+		return
+	}
+	m := message.New()
+	m.AddString("srdi", "Replicated", "1")
+	m.Add("srdi", "Tuple", encodeTuple(tpl))
+	if err := s.ep.Send(replica, SRDIService, m); err == nil {
+		s.Stats.TuplesReplicated++
+	}
+}
+
+// --- Discovery ---
+
+// Query searches the overlay for advertisements of advType whose attr equals
+// value. The local cache is consulted first; a remote query is issued on a
+// miss. cb receives every response; onTimeout (optional) fires if nothing
+// came back within the resolver timeout.
+func (s *Service) Query(advType, attr, value string, cb func(Result), onTimeout func()) error {
+	if local := s.cache.Search(advType, attr, value); len(local) > 0 {
+		res := Result{Advs: local, From: s.ep.ID()}
+		s.env.After(0, func() { cb(res) })
+		return nil
+	}
+	target := s.ep.ID() // a rendezvous acts as its own rendezvous
+	if !s.rdv.IsRendezvous() {
+		rdvID, ok := s.rdv.ConnectedRdv()
+		if !ok {
+			return ErrNotConnected
+		}
+		target = rdvID
+	}
+	payload := encodeQuery(advType, attr, value, stageInitial)
+	start := s.env.Now()
+	s.Stats.QueriesSent++
+	_, err := s.res.SendQuery(target, HandlerName, payload,
+		func(data []byte, from ids.ID) {
+			advs := decodeResponse(data)
+			for _, adv := range advs {
+				s.cache.Put(adv, advertisement.DefaultExpiration, false)
+			}
+			cb(Result{Advs: advs, From: from, Elapsed: s.env.Now() - start})
+		},
+		func(uint64) {
+			if onTimeout != nil {
+				onTimeout()
+			}
+		})
+	return err
+}
+
+// QueryRange searches the overlay for advertisements of advType whose attr
+// is an integer within [lo, hi] — the complex-query extension of the
+// paper's §5. Ranges cannot be hashed onto a single replica, so the query
+// walks the whole peerview; every rendezvous with matching numeric
+// registrations forwards it to the publishers, and each publisher answers
+// directly. cb fires per responder.
+func (s *Service) QueryRange(advType, attr string, lo, hi int64, cb func(Result), onTimeout func()) error {
+	if local := s.cache.SearchRange(advType, attr, lo, hi); len(local) > 0 {
+		res := Result{Advs: local, From: s.ep.ID()}
+		s.env.After(0, func() { cb(res) })
+		return nil
+	}
+	target := s.ep.ID()
+	if !s.rdv.IsRendezvous() {
+		rdvID, ok := s.rdv.ConnectedRdv()
+		if !ok {
+			return ErrNotConnected
+		}
+		target = rdvID
+	}
+	payload := encodeRangeQuery(advType, attr, lo, hi, stageRange)
+	start := s.env.Now()
+	s.Stats.QueriesSent++
+	_, err := s.res.SendQuery(target, HandlerName, payload,
+		func(data []byte, from ids.ID) {
+			advs := decodeResponse(data)
+			for _, adv := range advs {
+				s.cache.Put(adv, advertisement.DefaultExpiration, false)
+			}
+			cb(Result{Advs: advs, From: from, Elapsed: s.env.Now() - start})
+		},
+		func(uint64) {
+			if onTimeout != nil {
+				onTimeout()
+			}
+		})
+	return err
+}
+
+func encodeQuery(advType, attr, value, stage string) []byte {
+	doc := document.NewElement("disco:Q").
+		AppendText("Type", advType).
+		AppendText("Attr", attr).
+		AppendText("Value", value).
+		AppendText("Stage", stage)
+	data, err := doc.Marshal()
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+type queryBody struct {
+	advType, attr, value, stage string
+	lo, hi                      int64 // range stages only
+}
+
+func (b queryBody) isRange() bool {
+	return b.stage == stageRange || b.stage == stageRangeDeliver
+}
+
+func decodeQuery(data []byte) (queryBody, error) {
+	doc, err := document.Unmarshal(data)
+	if err != nil {
+		return queryBody{}, err
+	}
+	b := queryBody{
+		advType: doc.ChildText("Type"),
+		attr:    doc.ChildText("Attr"),
+		value:   doc.ChildText("Value"),
+		stage:   doc.ChildText("Stage"),
+	}
+	if b.isRange() {
+		if b.lo, err = strconv.ParseInt(doc.ChildText("Lo"), 10, 64); err != nil {
+			return queryBody{}, err
+		}
+		if b.hi, err = strconv.ParseInt(doc.ChildText("Hi"), 10, 64); err != nil {
+			return queryBody{}, err
+		}
+	}
+	return b, nil
+}
+
+func encodeRangeQuery(advType, attr string, lo, hi int64, stage string) []byte {
+	doc := document.NewElement("disco:Q").
+		AppendText("Type", advType).
+		AppendText("Attr", attr).
+		AppendText("Stage", stage).
+		AppendText("Lo", strconv.FormatInt(lo, 10)).
+		AppendText("Hi", strconv.FormatInt(hi, 10))
+	data, err := doc.Marshal()
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+func encodeResponse(advs []advertisement.Advertisement) []byte {
+	doc := document.NewElement("disco:R")
+	for _, adv := range advs {
+		doc.Append(adv.Document())
+	}
+	data, err := doc.Marshal()
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+func decodeResponse(data []byte) []advertisement.Advertisement {
+	doc, err := document.Unmarshal(data)
+	if err != nil {
+		return nil
+	}
+	var advs []advertisement.Advertisement
+	for _, child := range doc.Children {
+		if adv, err := advertisement.Decode(child); err == nil {
+			advs = append(advs, adv)
+		}
+	}
+	return advs
+}
+
+// handleQuery is the resolver handler running on every peer.
+func (s *Service) handleQuery(q *resolver.Query) {
+	body, err := decodeQuery(q.Payload)
+	if err != nil {
+		return
+	}
+	s.Stats.QueriesHandled++
+	if body.stage == stageDeliver || body.stage == stageRangeDeliver || !s.rdv.IsRendezvous() {
+		// We are (believed to be) the publisher: answer from the local
+		// cache, directly to the requester.
+		s.deliver(q, body)
+		return
+	}
+	// Rendezvous pipeline. Model the SRDI scan cost, then continue.
+	cost := time.Duration(s.index.Size()) * s.cfg.ScanCost
+	if cost > 0 && s.busy != nil {
+		s.busy.Busy(cost)
+	}
+	if cost > 0 {
+		s.env.After(cost, func() { s.routeQuery(q, body) })
+		return
+	}
+	s.routeQuery(q, body)
+}
+
+// deliver answers a query from the local cache. Duplicate deliveries of the
+// same query (a range walk can reach this publisher through several
+// rendezvous) are answered once.
+func (s *Service) deliver(q *resolver.Query, body queryBody) {
+	dedup := "dlv/" + q.Src.String() + "/" + strconv.FormatUint(q.QID, 10)
+	if s.seen[dedup] {
+		return
+	}
+	s.seen[dedup] = true
+	if len(s.seen) > 16384 {
+		s.seen = make(map[string]bool)
+	}
+	var matches []advertisement.Advertisement
+	if body.isRange() {
+		matches = s.cache.SearchRange(body.advType, body.attr, body.lo, body.hi)
+	} else {
+		matches = s.cache.Search(body.advType, body.attr, body.value)
+	}
+	if len(matches) == 0 {
+		return // nothing to say; the requester times out or hears others
+	}
+	s.Stats.Delivered++
+	_ = s.res.Respond(q, encodeResponse(matches))
+}
+
+// routeQuery runs the rendezvous-side LC-DHT logic.
+func (s *Service) routeQuery(q *resolver.Query, body queryBody) {
+	dedup := q.Src.String() + "/" + strconv.FormatUint(q.QID, 10)
+	if s.seen[dedup] {
+		return
+	}
+	s.seen[dedup] = true
+	if len(s.seen) > 16384 {
+		s.seen = make(map[string]bool)
+	}
+
+	if body.stage == stageRange {
+		s.routeRange(q, body)
+		return
+	}
+
+	key := body.advType + body.attr + body.value
+
+	// 1. Local index hit: forward straight to the publisher(s).
+	if pubs := s.index.Publishers(key); len(pubs) > 0 {
+		s.Stats.LocalHits++
+		s.forwardToPublishers(q, body, pubs)
+		return
+	}
+	// Also serve from the local advertisement cache (a rendezvous can
+	// publish its own advertisements).
+	if matches := s.cache.Search(body.advType, body.attr, body.value); len(matches) > 0 {
+		s.Stats.Delivered++
+		_ = s.res.Respond(q, encodeResponse(matches))
+		return
+	}
+
+	// 2. Initial stage: forward to the computed replica peer.
+	if body.stage == stageInitial {
+		view := s.rdv.PeerView().View()
+		replica := ReplicaPeer(view, key)
+		if !replica.IsNil() && !replica.Equal(s.ep.ID()) {
+			s.Stats.ReplicaForwards++
+			fq := *q
+			fq.Payload = encodeQuery(body.advType, body.attr, body.value, stageReplica)
+			_ = s.res.Forward(&fq, replica)
+			return
+		}
+		// We are the replica ourselves: fall through to the walk.
+	}
+
+	// 3. Replica miss: walk the peerview in both directions (§3.3).
+	if s.cfg.DisableWalk {
+		return
+	}
+	s.startWalk(q, body)
+}
+
+// routeRange serves the rendezvous side of a range query: forward to every
+// locally known matching publisher, then walk the whole view in both
+// directions so every rendezvous gets the same chance. Range queries never
+// use the replica shortcut — there is no single hash to route by.
+func (s *Service) routeRange(q *resolver.Query, body queryBody) {
+	if pubs := s.index.RangePublishers(body.advType+body.attr, body.lo, body.hi); len(pubs) > 0 {
+		s.Stats.LocalHits++
+		s.forwardToPublishers(q, body, pubs)
+	}
+	if matches := s.cache.SearchRange(body.advType, body.attr, body.lo, body.hi); len(matches) > 0 {
+		s.Stats.Delivered++
+		_ = s.res.Respond(q, encodeResponse(matches))
+	}
+	if !s.cfg.DisableWalk {
+		s.startWalk(q, body)
+	}
+}
+
+func (s *Service) forwardToPublishers(q *resolver.Query, body queryBody, pubs []srdi.Tuple) {
+	fq := *q
+	if body.isRange() {
+		fq.Payload = encodeRangeQuery(body.advType, body.attr, body.lo, body.hi, stageRangeDeliver)
+	} else {
+		fq.Payload = encodeQuery(body.advType, body.attr, body.value, stageDeliver)
+	}
+	for _, pub := range pubs {
+		if pub.Publisher.Equal(s.ep.ID()) {
+			// We published it ourselves; answer directly.
+			s.deliver(q, body)
+			continue
+		}
+		s.ep.AddRoute(pub.Publisher, pub.PublisherAddr)
+		_ = s.res.Forward(&fq, pub.Publisher)
+	}
+}
+
+// startWalk launches the up and down walks carrying the resolver query.
+func (s *Service) startWalk(q *resolver.Query, body queryBody) {
+	ttl := s.cfg.WalkTTL
+	if ttl <= 0 {
+		ttl = s.rdv.PeerView().Size() + 1
+	}
+	s.Stats.WalksStarted++
+	wm := message.New()
+	wm.AddString("disco", "QID", strconv.FormatUint(q.QID, 10))
+	wm.AddString("disco", "Src", q.Src.String())
+	wm.AddString("disco", "SrcAddr", string(q.SrcAddr))
+	wm.AddString("disco", "Hops", strconv.Itoa(q.Hops))
+	if body.isRange() {
+		wm.AddString("disco", "Range", "1")
+	} else {
+		wm.AddString("disco", "Key", body.advType+body.attr+body.value)
+	}
+	wm.Add("disco", "Payload", q.Payload)
+	s.rdv.Walk(rendezvous.Up, ttl, HandlerName, wm)
+	s.rdv.Walk(rendezvous.Down, ttl, HandlerName, wm)
+}
+
+// handleWalk inspects a walked query at each visited rendezvous: on an SRDI
+// hit the query is forwarded to the publisher and the walk stops.
+func (s *Service) handleWalk(origin ids.ID, dir rendezvous.Direction, bodyMsg *message.Message) bool {
+	key := bodyMsg.GetString("disco", "Key")
+	isRange := bodyMsg.GetString("disco", "Range") == "1"
+	if key == "" && !isRange {
+		return false
+	}
+	cost := time.Duration(s.index.Size()) * s.cfg.ScanCost
+	if cost > 0 && s.busy != nil {
+		s.busy.Busy(cost)
+	}
+	var pubs []srdi.Tuple
+	var rangeBody queryBody
+	if isRange {
+		payload, _ := bodyMsg.Get("disco", "Payload")
+		var err error
+		rangeBody, err = decodeQuery(payload)
+		if err != nil {
+			return false
+		}
+		pubs = s.index.RangePublishers(rangeBody.advType+rangeBody.attr,
+			rangeBody.lo, rangeBody.hi)
+	} else {
+		pubs = s.index.Publishers(key)
+	}
+	if len(pubs) == 0 {
+		return false // keep walking
+	}
+	s.Stats.WalkHits++
+	qid, err := strconv.ParseUint(bodyMsg.GetString("disco", "QID"), 10, 64)
+	if err != nil {
+		return true
+	}
+	src, err := ids.Parse(bodyMsg.GetString("disco", "Src"))
+	if err != nil {
+		return true
+	}
+	hops, _ := strconv.Atoi(bodyMsg.GetString("disco", "Hops"))
+	payload, _ := bodyMsg.Get("disco", "Payload")
+	body, err := decodeQuery(payload)
+	if err != nil {
+		return true
+	}
+	q := &resolver.Query{
+		Handler: HandlerName,
+		QID:     qid,
+		Src:     src,
+		SrcAddr: transport.Addr(bodyMsg.GetString("disco", "SrcAddr")),
+		Hops:    hops + 1,
+		Payload: payload,
+	}
+	if cost > 0 {
+		s.env.After(cost, func() { s.forwardToPublishers(q, body, pubs) })
+	} else {
+		s.forwardToPublishers(q, body, pubs)
+	}
+	// Exact-match walks stop at the first hit; range walks must visit the
+	// whole view so every matching publisher is reached.
+	return !isRange
+}

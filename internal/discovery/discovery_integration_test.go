@@ -1,0 +1,353 @@
+package discovery_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/deploy"
+	"jxta/internal/discovery"
+	"jxta/internal/ids"
+	"jxta/internal/netmodel"
+	"jxta/internal/node"
+	"jxta/internal/peerview"
+	"jxta/internal/rendezvous"
+	"jxta/internal/srdi"
+	"jxta/internal/topology"
+)
+
+// buildOverlay deploys r rendezvous + 2 edges (publisher on rdv0, searcher
+// on the last rdv), lets peerviews converge and leases settle.
+func buildOverlay(t testing.TB, r int, seed int64, converge time.Duration) (*deploy.Overlay, *node.Node, *node.Node) {
+	t.Helper()
+	o, err := deploy.Build(deploy.Spec{
+		Seed:     seed,
+		NumRdv:   r,
+		Topology: topology.Chain,
+		Edges: []deploy.EdgeGroup{
+			{AttachTo: 0, Count: 1, Prefix: "publisher"},
+			{AttachTo: r - 1, Count: 1, Prefix: "searcher"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.StartAll()
+	o.Sched.Run(converge)
+	return o, o.Edges[0], o.Edges[1]
+}
+
+func TestPublishAndDiscoverAcrossOverlay(t *testing.T) {
+	o, pub, search := buildOverlay(t, 6, 1, 10*time.Minute)
+	adv := &advertisement.Peer{PeerID: pub.ID, Name: "Test",
+		Addresses: []string{string(pub.Endpoint.Addr())}}
+	pub.Discovery.Publish(adv, 0)
+	o.Sched.Run(o.Sched.Now() + time.Minute) // SRDI push + replication
+
+	var got *discovery.Result
+	err := search.Discovery.Query("Peer", "Name", "Test", func(r discovery.Result) {
+		got = &r
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Sched.Run(o.Sched.Now() + time.Minute)
+	if got == nil {
+		t.Fatal("discovery never completed")
+	}
+	if len(got.Advs) != 1 {
+		t.Fatalf("got %d advertisements", len(got.Advs))
+	}
+	p, ok := got.Advs[0].(*advertisement.Peer)
+	if !ok || p.Name != "Test" || !p.PeerID.Equal(pub.ID) {
+		t.Fatalf("wrong advertisement: %+v", got.Advs[0])
+	}
+	if !got.From.Equal(pub.ID) {
+		t.Fatalf("response came from %s, want the publisher", got.From.Short())
+	}
+	if got.Elapsed <= 0 {
+		t.Fatal("elapsed time not measured")
+	}
+}
+
+func TestPublishMessageComplexity(t *testing.T) {
+	// §3.3: publish is O(1) — at most 2 messages (edge -> rdv -> replica).
+	o, pub, _ := buildOverlay(t, 6, 2, 10*time.Minute)
+	o.Net.ResetStats()
+	adv := &advertisement.Peer{PeerID: pub.ID, Name: "Complexity"}
+	pub.Discovery.Publish(adv, 0)
+	o.Sched.Run(o.Sched.Now() + 10*time.Second)
+	// The peerview keeps gossiping during the window; count only SRDI and
+	// related push messages by using a quiet protocol overlay instead:
+	// tolerate the background and assert the *publish-specific* bound via
+	// the publisher's stats.
+	msgs := o.Net.Stats().Messages
+	// Peer adv has 2 index fields, each field may replicate once:
+	// edge->rdv (1) + up to 2 replications = 3 messages upper bound.
+	// Background peerview traffic in 10s: each rdv sends <= ~6 msgs per
+	// 30s round; allow a generous envelope and verify we did not flood.
+	if msgs > 60 {
+		t.Fatalf("publish generated %d messages, expected a handful", msgs)
+	}
+	if pub.Discovery.Stats.QueriesSent != 0 {
+		t.Fatal("publish issued queries")
+	}
+}
+
+func TestConsistentLookupUsesNoWalk(t *testing.T) {
+	o, pub, search := buildOverlay(t, 8, 3, 12*time.Minute)
+	pub.Discovery.Publish(&advertisement.Peer{PeerID: pub.ID, Name: "Test"}, 0)
+	o.Sched.Run(o.Sched.Now() + time.Minute)
+	done := false
+	search.Discovery.Query("Peer", "Name", "Test", func(discovery.Result) { done = true }, nil)
+	o.Sched.Run(o.Sched.Now() + time.Minute)
+	if !done {
+		t.Fatal("query failed")
+	}
+	var walks uint64
+	for _, r := range o.Rdvs {
+		walks += r.Discovery.Stats.WalksStarted
+	}
+	if walks != 0 {
+		t.Fatalf("consistent overlay still walked %d times", walks)
+	}
+}
+
+func TestWalkFallbackFindsMisplacedTuple(t *testing.T) {
+	o, _, search := buildOverlay(t, 8, 4, 12*time.Minute)
+	// Choose a key whose replica is NOT rdv2, then plant the tuple only on
+	// rdv2's index: the replica lookup must miss and the walk must find it.
+	holder := o.Rdvs[2]
+	view := holder.PeerView.View()
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("misplaced%d", i)
+		if !discovery.ReplicaPeer(view, "Resource"+"Name"+key).Equal(holder.ID) {
+			break
+		}
+	}
+	// The "publisher" is the searcher edge, holding the advertisement as a
+	// non-local cache entry: the deliver stage can answer from it, but the
+	// SRDI pusher will not advertise it — so the only index entry in the
+	// whole overlay is the one planted on the wrong rendezvous below.
+	adv := &advertisement.Resource{ResID: ids.FromName(ids.KindAdv, key), Name: key}
+	search.Cache.Put(adv, 0, false)
+	holder.Discovery.Index().Add(srdi.Tuple{
+		Key:           "ResourceName" + key,
+		Publisher:     search.ID,
+		PublisherAddr: search.Endpoint.Addr(),
+	})
+	var got *discovery.Result
+	// Query through a different edge so the searcher acts purely as the
+	// publisher side.
+	other, err := o.AddEdge("probe", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Start()
+	o.Sched.Run(o.Sched.Now() + time.Minute) // lease
+	err = other.Discovery.Query("Resource", "Name", key, func(r discovery.Result) {
+		got = &r
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Sched.Run(o.Sched.Now() + 2*time.Minute)
+	if got == nil {
+		t.Fatal("walk fallback never delivered the advertisement")
+	}
+	var walks, walkHits uint64
+	for _, r := range o.Rdvs {
+		walks += r.Discovery.Stats.WalksStarted
+		walkHits += r.Discovery.Stats.WalkHits
+	}
+	if walks == 0 || walkHits == 0 {
+		t.Fatalf("walks=%d hits=%d, expected the fallback path", walks, walkHits)
+	}
+}
+
+func TestLocalCacheHitAndFlush(t *testing.T) {
+	o, pub, search := buildOverlay(t, 4, 5, 10*time.Minute)
+	pub.Discovery.Publish(&advertisement.Peer{PeerID: pub.ID, Name: "Test"}, 0)
+	o.Sched.Run(o.Sched.Now() + time.Minute)
+	first := false
+	search.Discovery.Query("Peer", "Name", "Test", func(discovery.Result) { first = true }, nil)
+	o.Sched.Run(o.Sched.Now() + time.Minute)
+	if !first {
+		t.Fatal("first query failed")
+	}
+	// Second query: cached, answered locally with zero elapsed time.
+	var second *discovery.Result
+	search.Discovery.Query("Peer", "Name", "Test", func(r discovery.Result) { second = &r }, nil)
+	o.Sched.Run(o.Sched.Now() + time.Second)
+	if second == nil || !second.From.Equal(search.ID) || second.Elapsed != 0 {
+		t.Fatalf("cached query not served locally: %+v", second)
+	}
+	// After a flush the query must travel again.
+	search.Discovery.FlushCache()
+	var third *discovery.Result
+	search.Discovery.Query("Peer", "Name", "Test", func(r discovery.Result) { third = &r }, nil)
+	o.Sched.Run(o.Sched.Now() + time.Minute)
+	if third == nil || third.From.Equal(search.ID) || third.Elapsed == 0 {
+		t.Fatalf("post-flush query did not travel: %+v", third)
+	}
+}
+
+func TestQueryForMissingResourceTimesOut(t *testing.T) {
+	o, _, search := buildOverlay(t, 4, 6, 10*time.Minute)
+	timedOut := false
+	search.Discovery.Query("Peer", "Name", "Nonexistent",
+		func(discovery.Result) { t.Error("response for missing resource") },
+		func() { timedOut = true })
+	o.Sched.Run(o.Sched.Now() + 2*time.Minute)
+	if !timedOut {
+		t.Fatal("missing-resource query never timed out")
+	}
+}
+
+func TestDisconnectedEdgeQueryFails(t *testing.T) {
+	o, err := deploy.Build(deploy.Spec{Seed: 7, NumRdv: 1, Topology: topology.Chain,
+		Edges: []deploy.EdgeGroup{{AttachTo: 0, Count: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Do not start anything: no lease.
+	edge := o.Edges[0]
+	err = edge.Discovery.Query("Peer", "Name", "Test", func(discovery.Result) {}, nil)
+	if err != discovery.ErrNotConnected {
+		t.Fatalf("err = %v, want ErrNotConnected", err)
+	}
+}
+
+func TestRepublishAfterRdvFailover(t *testing.T) {
+	// The publisher's rendezvous dies. The edge must fail over to its
+	// backup seed, re-push its SRDI table, and stay discoverable — the
+	// paper's §3.3 note that edges publish their tuples whenever they
+	// connect to a new rendezvous.
+	o, err := deploy.Build(deploy.Spec{
+		Seed:     9,
+		NumRdv:   4,
+		Topology: topology.Chain,
+		Lease: rendezvous.Config{
+			LeaseDuration:   2 * time.Minute,
+			ResponseTimeout: 10 * time.Second,
+		},
+		Edges: []deploy.EdgeGroup{{AttachTo: 3, Count: 1, Prefix: "searcher"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.StartAll()
+	o.Sched.Run(10 * time.Minute)
+
+	// A dual-seed publisher, built directly (deploy.AddEdge wires one seed).
+	e := o.Sched.NewEnv("pub2")
+	tr, err := o.Net.Attach("pub2", netmodel.Rennes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := node.New(e, tr, node.Config{
+		Name:  "pub2",
+		Role:  node.Edge,
+		Seeds: []peerview.Seed{o.Rdvs[1].Seed(), o.Rdvs[2].Seed()},
+		Lease: rendezvous.Config{
+			LeaseDuration:   2 * time.Minute,
+			ResponseTimeout: 10 * time.Second,
+		},
+	})
+	pub.Start()
+	o.Sched.Run(o.Sched.Now() + time.Minute)
+	if rdv, ok := pub.Rendezvous.ConnectedRdv(); !ok || !rdv.Equal(o.Rdvs[1].ID) {
+		t.Fatal("publisher not connected to its first seed")
+	}
+	pub.Discovery.Publish(&advertisement.Peer{PeerID: pub.ID, Name: "Survivor"}, 0)
+	o.Sched.Run(o.Sched.Now() + time.Minute)
+
+	// Kill the publisher's rendezvous; wait past lease renewal + failover.
+	o.KillRdv(1)
+	o.Sched.Run(o.Sched.Now() + 25*time.Minute)
+	if rdv, ok := pub.Rendezvous.ConnectedRdv(); !ok || !rdv.Equal(o.Rdvs[2].ID) {
+		got := "none"
+		if ok {
+			got = rdv.Short()
+		}
+		t.Fatalf("publisher did not fail over (connected to %s)", got)
+	}
+
+	searcher := o.Edges[0]
+	searcher.Discovery.FlushCache()
+	var got *discovery.Result
+	searcher.Discovery.Query("Peer", "Name", "Survivor", func(r discovery.Result) {
+		got = &r
+	}, nil)
+	o.Sched.Run(o.Sched.Now() + 2*time.Minute)
+	if got == nil || len(got.Advs) == 0 {
+		t.Fatal("resource not discoverable after rendezvous failover")
+	}
+}
+
+func TestWalkTTLBoundsSearchRadius(t *testing.T) {
+	// With WalkTTL=1 the fallback walk only reaches the immediate
+	// neighbours of the replica; a tuple planted far away stays invisible.
+	o, err := deploy.Build(deploy.Spec{
+		Seed:     31,
+		NumRdv:   10,
+		Topology: topology.Chain,
+		Discovery: discovery.Config{
+			WalkTTL: 1,
+		},
+		Edges: []deploy.EdgeGroup{
+			{AttachTo: 0, Count: 1, Prefix: "holder"},
+			{AttachTo: 9, Count: 1, Prefix: "probe"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.StartAll()
+	o.Sched.Run(12 * time.Minute)
+	holderEdge, probe := o.Edges[0], o.Edges[1]
+
+	// Find the ID-order extremes of the rendezvous view; planting the
+	// tuple at one end while the replica is at least 3 positions away
+	// guarantees a TTL-1 walk cannot bridge the gap.
+	view := o.Rdvs[0].PeerView.View()
+	byID := map[string]*node.Node{}
+	for _, r := range o.Rdvs {
+		byID[r.ID.String()] = r
+	}
+	ends := []*node.Node{byID[view[0].String()], byID[view[len(view)-1].String()]}
+	var key string
+	var holder *node.Node
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("far-%d", i)
+		full := "ResourceName" + key
+		replica := discovery.ReplicaPeer(view, full)
+		pos := 0
+		for j, id := range view {
+			if id.Equal(replica) {
+				pos = j
+			}
+		}
+		if pos >= 3 && pos <= len(view)-4 {
+			holder = ends[0]
+			break
+		}
+	}
+	adv := &advertisement.Resource{ResID: ids.FromName(ids.KindAdv, key), Name: key}
+	holderEdge.Cache.Put(adv, 0, false)
+	holder.Discovery.Index().Add(srdi.Tuple{
+		Key:           "ResourceName" + key,
+		Publisher:     holderEdge.ID,
+		PublisherAddr: holderEdge.Endpoint.Addr(),
+	})
+	timedOut := false
+	probe.Discovery.Query("Resource", "Name", key,
+		func(discovery.Result) { t.Error("TTL-1 walk reached a distant holder") },
+		func() { timedOut = true })
+	o.Sched.Run(o.Sched.Now() + 2*time.Minute)
+	if !timedOut {
+		t.Fatal("query neither answered nor timed out")
+	}
+}

@@ -1,0 +1,154 @@
+package discovery
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jxta/internal/ids"
+)
+
+// TestTable1WorkedExample reproduces the paper's §3.3 example exactly: a
+// peer advertisement with Name=Test hashes (by assumption) to 116 with
+// MAX_HASH=200 over a 6-entry peerview, landing at position 3 — rendezvous
+// R4 in Table 1.
+func TestTable1WorkedExample(t *testing.T) {
+	if got := ReplicaPos(116, 200, 6); got != 3 {
+		t.Fatalf("ReplicaPos(116, 200, 6) = %d, want 3 (Table 1, R4)", got)
+	}
+}
+
+func TestReplicaPosEdgeCases(t *testing.T) {
+	if ReplicaPos(0, 200, 6) != 0 {
+		t.Fatal("hash 0 must map to position 0")
+	}
+	// hash == MAX_HASH clamps into range.
+	if got := ReplicaPos(200, 200, 6); got != 5 {
+		t.Fatalf("hash=MAX_HASH -> %d, want 5", got)
+	}
+	if ReplicaPos(117, 200, 0) != 0 || ReplicaPos(117, 200, -3) != 0 {
+		t.Fatal("non-positive l must map to 0")
+	}
+}
+
+func TestReplicaPosPanicsOnZeroMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MAX_HASH=0 did not panic")
+		}
+	}()
+	ReplicaPos(1, 0, 6)
+}
+
+func TestKeyHashDeterministic(t *testing.T) {
+	if KeyHash("PeerNameTest") != KeyHash("PeerNameTest") {
+		t.Fatal("KeyHash not deterministic")
+	}
+	if KeyHash("PeerNameTest") == KeyHash("PeerNameTest2") {
+		t.Fatal("trivial collision")
+	}
+}
+
+func TestReplicaPeerEmptyView(t *testing.T) {
+	if !ReplicaPeer(nil, "k").IsNil() {
+		t.Fatal("empty view must return Nil")
+	}
+}
+
+func TestReplicaPeerSingletonView(t *testing.T) {
+	self := ids.FromName(ids.KindPeer, "self")
+	if !ReplicaPeer([]ids.ID{self}, "anything").Equal(self) {
+		t.Fatal("singleton view must always select the only peer")
+	}
+}
+
+// Property: position is always within [0, l) and scales monotonically with
+// the hash (the defining property of the paper's mapping).
+func TestReplicaPosProperties(t *testing.T) {
+	f := func(h1, h2, max uint64, lRaw uint8) bool {
+		if max == 0 {
+			max = 1
+		}
+		l := int(lRaw%64) + 1
+		if h1 > max {
+			h1 %= max + 1
+		}
+		if h2 > max {
+			h2 %= max + 1
+		}
+		p1, p2 := ReplicaPos(h1, max, l), ReplicaPos(h2, max, l)
+		if p1 < 0 || p1 >= l || p2 < 0 || p2 >= l {
+			return false
+		}
+		if h1 <= h2 && p1 > p2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: consistent views yield consistent replica choices — any two
+// peers holding the same ordered view compute the same replica for any key.
+// (This is the paper's property (2) payoff.)
+func TestReplicaConsistencyProperty(t *testing.T) {
+	f := func(seed int64, n uint8, key string) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := int(n%32) + 1
+		view := make([]ids.ID, l)
+		for i := range view {
+			view[i] = ids.NewRandom(ids.KindPeer, rng)
+		}
+		ids.SortIDs(view)
+		a := ReplicaPeer(view, key)
+		viewCopy := append([]ids.ID(nil), view...)
+		b := ReplicaPeer(viewCopy, key)
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicaDistributionUniform verifies the hash spreads keys roughly
+// evenly over the view — the load-balancing the paper relies on for the
+// noise experiment's decay.
+func TestReplicaDistributionUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const l = 10
+	view := make([]ids.ID, l)
+	for i := range view {
+		view[i] = ids.NewRandom(ids.KindPeer, rng)
+	}
+	ids.SortIDs(view)
+	counts := map[ids.ID]int{}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		key := "ResourceNamefake" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+i/260))
+		counts[ReplicaPeer(view, key)]++
+	}
+	want := trials / l
+	for id, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("peer %s got %d of %d keys (expected ~%d)", id.Short(), c, trials, want)
+		}
+	}
+	if len(counts) != l {
+		t.Fatalf("only %d of %d peers received keys", len(counts), l)
+	}
+}
+
+func BenchmarkReplicaPeer(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	view := make([]ids.ID, 300)
+	for i := range view {
+		view[i] = ids.NewRandom(ids.KindPeer, rng)
+	}
+	ids.SortIDs(view)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReplicaPeer(view, "PeerNameTest")
+	}
+}

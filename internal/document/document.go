@@ -1,0 +1,293 @@
+// Package document implements the lightweight structured documents that JXTA
+// protocols exchange. The JXTA 2.0 specification defines every protocol
+// payload and every advertisement as an XML document; this package provides
+// an element tree plus a round-trippable XML codec on top of encoding/xml.
+package document
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Attr is a single XML attribute. Attributes keep their document order so
+// encoding is deterministic (the simulator depends on byte-stable output for
+// reproducible message sizes).
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Element is a node of a structured document: a name, optional attributes,
+// either text content or child elements (mixed content is not used by any
+// JXTA document type and is rejected by the codec).
+type Element struct {
+	Name     string
+	Attrs    []Attr
+	Text     string
+	Children []*Element
+}
+
+// NewElement builds an element with the given name.
+func NewElement(name string) *Element { return &Element{Name: name} }
+
+// WithText sets the text content and returns the element for chaining.
+func (e *Element) WithText(text string) *Element {
+	e.Text = text
+	return e
+}
+
+// WithAttr appends an attribute and returns the element for chaining.
+func (e *Element) WithAttr(name, value string) *Element {
+	e.Attrs = append(e.Attrs, Attr{Name: name, Value: value})
+	return e
+}
+
+// Append adds children and returns the receiver for chaining.
+func (e *Element) Append(children ...*Element) *Element {
+	e.Children = append(e.Children, children...)
+	return e
+}
+
+// AppendText adds a child element carrying only text. This is the dominant
+// shape in advertisements (e.g. <Name>Test</Name>).
+func (e *Element) AppendText(name, text string) *Element {
+	return e.Append(NewElement(name).WithText(text))
+}
+
+// Attr returns the value of the named attribute and whether it was present.
+func (e *Element) Attr(name string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Child returns the first child with the given name, or nil.
+func (e *Element) Child(name string) *Element {
+	for _, c := range e.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildText returns the text of the first child with the given name, or "".
+func (e *Element) ChildText(name string) string {
+	if c := e.Child(name); c != nil {
+		return c.Text
+	}
+	return ""
+}
+
+// Each calls fn for every child with the given name.
+func (e *Element) Each(name string, fn func(*Element)) {
+	for _, c := range e.Children {
+		if c.Name == name {
+			fn(c)
+		}
+	}
+}
+
+// Clone returns a deep copy.
+func (e *Element) Clone() *Element {
+	if e == nil {
+		return nil
+	}
+	cp := &Element{Name: e.Name, Text: e.Text}
+	if len(e.Attrs) > 0 {
+		cp.Attrs = append([]Attr(nil), e.Attrs...)
+	}
+	for _, c := range e.Children {
+		cp.Children = append(cp.Children, c.Clone())
+	}
+	return cp
+}
+
+// Equal reports deep structural equality.
+func (e *Element) Equal(o *Element) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.Name != o.Name || e.Text != o.Text ||
+		len(e.Attrs) != len(o.Attrs) || len(e.Children) != len(o.Children) {
+		return false
+	}
+	for i := range e.Attrs {
+		if e.Attrs[i] != o.Attrs[i] {
+			return false
+		}
+	}
+	for i := range e.Children {
+		if !e.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size estimates the encoded byte size without performing the encoding.
+// Transports use it to model bandwidth/latency costs cheaply.
+func (e *Element) Size() int {
+	if e == nil {
+		return 0
+	}
+	n := 2*len(e.Name) + 5 // <name></name>
+	for _, a := range e.Attrs {
+		n += len(a.Name) + len(a.Value) + 4
+	}
+	n += len(e.Text)
+	for _, c := range e.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// ErrMixedContent reports a document mixing text and child elements.
+var ErrMixedContent = errors.New("document: element mixes text and children")
+
+// Marshal encodes the element tree. Output is deterministic.
+func (e *Element) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	if err := encodeElement(enc, e); err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeElement(enc *xml.Encoder, e *Element) error {
+	if e.Text != "" && len(e.Children) > 0 {
+		return fmt.Errorf("%w: <%s>", ErrMixedContent, e.Name)
+	}
+	start := xml.StartElement{Name: xml.Name{Local: e.Name}}
+	for _, a := range e.Attrs {
+		start.Attr = append(start.Attr, xml.Attr{Name: xml.Name{Local: a.Name}, Value: a.Value})
+	}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	if e.Text != "" {
+		if err := enc.EncodeToken(xml.CharData(e.Text)); err != nil {
+			return err
+		}
+	}
+	for _, c := range e.Children {
+		if err := encodeElement(enc, c); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(start.End())
+}
+
+// Unmarshal decodes a single element tree from data. Whitespace-only
+// character data between child elements is discarded, matching how JXTA
+// implementations treat pretty-printed advertisements.
+func Unmarshal(data []byte) (*Element, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err == io.EOF {
+				return nil, errors.New("document: no element found")
+			}
+			return nil, err
+		}
+		if start, ok := tok.(xml.StartElement); ok {
+			return decodeElement(dec, start, nil)
+		}
+	}
+}
+
+// qualified reconstructs a prefixed name ("jxta:PA") from the decoder's
+// (space, local) split. When an xmlns declaration is in scope the decoder
+// resolves the prefix to its URI; ns maps URIs back to the original
+// prefixes. Undeclared prefixes pass through verbatim in Space.
+func qualified(n xml.Name, ns map[string]string) string {
+	if n.Space == "" {
+		return n.Local
+	}
+	if prefix, ok := ns[n.Space]; ok {
+		if prefix == "" {
+			return n.Local
+		}
+		return prefix + ":" + n.Local
+	}
+	return n.Space + ":" + n.Local
+}
+
+func decodeElement(dec *xml.Decoder, start xml.StartElement, ns map[string]string) (*Element, error) {
+	// Collect namespace declarations opened by this element (copy-on-write
+	// so sibling scopes stay independent).
+	for _, a := range start.Attr {
+		var prefix string
+		switch {
+		case a.Name.Space == "xmlns":
+			prefix = a.Name.Local
+		case a.Name.Space == "" && a.Name.Local == "xmlns":
+			prefix = ""
+		default:
+			continue
+		}
+		cp := make(map[string]string, len(ns)+1)
+		for k, v := range ns {
+			cp[k] = v
+		}
+		cp[a.Value] = prefix
+		ns = cp
+	}
+	e := NewElement(qualified(start.Name, ns))
+	for _, a := range start.Attr {
+		switch {
+		case a.Name.Space == "xmlns":
+			e.Attrs = append(e.Attrs, Attr{Name: "xmlns:" + a.Name.Local, Value: a.Value})
+		case a.Name.Space == "" && a.Name.Local == "xmlns":
+			e.Attrs = append(e.Attrs, Attr{Name: "xmlns", Value: a.Value})
+		default:
+			e.Attrs = append(e.Attrs, Attr{Name: qualified(a.Name, ns), Value: a.Value})
+		}
+	}
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child, err := decodeElement(dec, t, ns)
+			if err != nil {
+				return nil, err
+			}
+			e.Children = append(e.Children, child)
+		case xml.CharData:
+			text.Write(t)
+		case xml.EndElement:
+			raw := text.String()
+			if len(e.Children) == 0 {
+				e.Text = raw
+			} else if strings.TrimSpace(raw) != "" {
+				return nil, fmt.Errorf("%w: <%s>", ErrMixedContent, e.Name)
+			}
+			return e, nil
+		}
+	}
+}
+
+// String renders the XML form, or a diagnostic on error.
+func (e *Element) String() string {
+	b, err := e.Marshal()
+	if err != nil {
+		return "<!-- " + err.Error() + " -->"
+	}
+	return string(b)
+}

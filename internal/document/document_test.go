@@ -1,0 +1,254 @@
+package document
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleDoc() *Element {
+	return NewElement("jxta:PA").
+		WithAttr("xmlns:jxta", "http://jxta.org").
+		AppendText("PID", "urn:jxta:uuid-00").
+		AppendText("Name", "Test").
+		Append(NewElement("Svc").
+			AppendText("MCID", "mod-1").
+			AppendText("Parm", "tcp://10.0.0.1:9701"))
+}
+
+func TestBuilderAccessors(t *testing.T) {
+	d := sampleDoc()
+	if d.Name != "jxta:PA" {
+		t.Fatalf("Name = %q", d.Name)
+	}
+	if v, ok := d.Attr("xmlns:jxta"); !ok || v != "http://jxta.org" {
+		t.Fatalf("Attr = %q, %v", v, ok)
+	}
+	if _, ok := d.Attr("missing"); ok {
+		t.Fatal("missing attribute reported present")
+	}
+	if d.ChildText("Name") != "Test" {
+		t.Fatalf("ChildText(Name) = %q", d.ChildText("Name"))
+	}
+	if d.ChildText("Nope") != "" {
+		t.Fatal("missing child text not empty")
+	}
+	if d.Child("Svc") == nil || d.Child("Svc").ChildText("Parm") != "tcp://10.0.0.1:9701" {
+		t.Fatal("nested child lookup failed")
+	}
+}
+
+func TestEach(t *testing.T) {
+	d := NewElement("root").
+		AppendText("EA", "1").
+		AppendText("EA", "2").
+		AppendText("Other", "x").
+		AppendText("EA", "3")
+	var got []string
+	d.Each("EA", func(e *Element) { got = append(got, e.Text) })
+	if strings.Join(got, ",") != "1,2,3" {
+		t.Fatalf("Each visited %v", got)
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	d := sampleDoc()
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(d) {
+		t.Fatalf("round trip changed document:\n%s\nvs\n%s", d, back)
+	}
+}
+
+func TestUnmarshalSkipsProlog(t *testing.T) {
+	data := []byte("<?xml version=\"1.0\"?>\n<!-- adv -->\n<Doc><A>x</A></Doc>")
+	d, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "Doc" || d.ChildText("A") != "x" {
+		t.Fatalf("unexpected decode: %s", d)
+	}
+}
+
+func TestUnmarshalPrettyPrintedWhitespace(t *testing.T) {
+	data := []byte("<Doc>\n  <A>x</A>\n  <B>y</B>\n</Doc>")
+	d, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Children) != 2 || d.Text != "" {
+		t.Fatalf("whitespace mishandled: %#v", d)
+	}
+}
+
+func TestMixedContentRejected(t *testing.T) {
+	e := NewElement("Doc").WithText("hello").AppendText("A", "x")
+	if _, err := e.Marshal(); err == nil {
+		t.Fatal("marshal of mixed content succeeded")
+	}
+	if _, err := Unmarshal([]byte("<Doc>text<A>x</A></Doc>")); err == nil {
+		t.Fatal("unmarshal of mixed content succeeded")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	for _, bad := range []string{"", "   ", "<unclosed>", "<a><b></a></b>"} {
+		if _, err := Unmarshal([]byte(bad)); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestEscapingRoundTrip(t *testing.T) {
+	d := NewElement("Doc").WithAttr("q", `a"b<c>&`).AppendText("T", "x < y & z > w")
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(d) {
+		t.Fatalf("escaping round trip changed document: %s vs %s", d, back)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := sampleDoc()
+	cp := d.Clone()
+	if !cp.Equal(d) {
+		t.Fatal("clone not equal")
+	}
+	cp.Child("Svc").Children[0].Text = "changed"
+	cp.Attrs[0].Value = "changed"
+	if d.Child("Svc").ChildText("MCID") == "changed" {
+		t.Fatal("clone shares child nodes")
+	}
+	if v, _ := d.Attr("xmlns:jxta"); v == "changed" {
+		t.Fatal("clone shares attrs")
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	var e *Element
+	if e.Clone() != nil {
+		t.Fatal("Clone of nil not nil")
+	}
+}
+
+func TestEqualEdgeCases(t *testing.T) {
+	var nilEl *Element
+	a := NewElement("A")
+	if !nilEl.Equal(nil) {
+		t.Fatal("nil != nil")
+	}
+	if a.Equal(nil) || nilEl.Equal(a) {
+		t.Fatal("nil equals non-nil")
+	}
+	b := NewElement("A").WithText("x")
+	if a.Equal(b) {
+		t.Fatal("different text compared equal")
+	}
+}
+
+func TestSizePositiveAndMonotone(t *testing.T) {
+	small := NewElement("A")
+	big := sampleDoc()
+	if small.Size() <= 0 {
+		t.Fatal("Size not positive")
+	}
+	if big.Size() <= small.Size() {
+		t.Fatal("bigger document not bigger")
+	}
+	var nilEl *Element
+	if nilEl.Size() != 0 {
+		t.Fatal("nil Size not 0")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	d := sampleDoc()
+	a, _ := d.Marshal()
+	b, _ := d.Marshal()
+	if string(a) != string(b) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+// randomElement builds a random document tree for property testing.
+func randomElement(rng *rand.Rand, depth int) *Element {
+	names := []string{"A", "B", "Cde", "jxta:PA", "Name", "Svc"}
+	e := NewElement(names[rng.Intn(len(names))])
+	for i := 0; i < rng.Intn(3); i++ {
+		e.WithAttr(names[rng.Intn(len(names))]+"attr", randText(rng))
+	}
+	if depth > 0 && rng.Intn(2) == 0 {
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			e.Append(randomElement(rng, depth-1))
+		}
+	} else {
+		e.Text = randText(rng)
+	}
+	return e
+}
+
+func randText(rng *rand.Rand) string {
+	const alpha = "abc <>&\"'xyz123"
+	n := rng.Intn(12)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alpha[rng.Intn(len(alpha))])
+	}
+	// Leading/trailing whitespace is legitimately normalized away in the
+	// child-bearing case; keep text trimmed to make equality exact.
+	return strings.TrimSpace(sb.String())
+}
+
+// Property: Marshal then Unmarshal is the identity on generated trees.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomElement(rng, 3)
+		data, err := d.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return back.Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	d := sampleDoc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	data, _ := sampleDoc().Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Package endpoint implements the JXTA endpoint service and the Endpoint
+// Routing Protocol (ERP). The endpoint service is the bottom of the JXTA
+// stack (Figure 1 of the paper): it owns the peer's transport, demultiplexes
+// inbound messages to the services above (resolver, rendezvous, discovery),
+// and finds routes from a source peer to a destination peer.
+//
+// Routing model: every peer keeps a route table peerID -> transport address.
+// Routes are learned from advertisements (rendezvous advertisements carry
+// addresses), from inbound traffic (each envelope carries the sender's
+// address), from ERP route responses, and can be relayed: a message whose
+// destination is not the receiving peer is forwarded along the receiver's
+// own route, hop count permitting — this is how edge peers reach peers they
+// only know through their rendezvous.
+package endpoint
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/env"
+	"jxta/internal/ids"
+	"jxta/internal/message"
+	"jxta/internal/transport"
+)
+
+// Envelope element names, namespace "ep".
+const (
+	ns          = "ep"
+	elemSrc     = "Src"     // sender peer ID
+	elemDst     = "Dst"     // destination peer ID
+	elemSvc     = "Svc"     // destination service name
+	elemSrcAddr = "SrcAddr" // sender transport address (return route learning)
+	elemTTL     = "TTL"     // remaining relay hops
+)
+
+// ERP protocol element names (service "erp").
+const (
+	erpService   = "erp"
+	elemRouteQ   = "RouteQuery"    // target peer ID being resolved
+	elemRouteRsp = "RouteResponse" // route advertisement XML
+	elemRouteTgt = "RouteTarget"   // address of the target
+)
+
+// defaultTTL bounds relay forwarding.
+const defaultTTL = 8
+
+// Hello bootstrap protocol (service "ep.hello"): a node that only knows a
+// transport address sends a hello request; the receiver answers, revealing
+// its peer ID through the envelope. Live TCP deployments use it to turn a
+// configured seed address into a peerview.Seed.
+const (
+	helloService = "ep.hello"
+	elemHelloReq = "HelloReq"
+	elemHelloAck = "HelloAck"
+)
+
+// helloTimeout bounds a Hello exchange.
+const helloTimeout = 10 * time.Second
+
+// Handler consumes a message addressed to a registered service.
+type Handler func(src ids.ID, msg *message.Message)
+
+// helloWaiter is a pending Hello resolution.
+type helloWaiter struct {
+	addr transport.Addr
+	cb   func(peer ids.ID)
+}
+
+// RouteCallback receives the outcome of an asynchronous route resolution.
+type RouteCallback func(target ids.ID, addr transport.Addr, ok bool)
+
+// Errors.
+var (
+	ErrNoRoute     = errors.New("endpoint: no route to peer")
+	ErrNoService   = errors.New("endpoint: no such service")
+	ErrBadEnvelope = errors.New("endpoint: malformed envelope")
+)
+
+// Endpoint is one peer's endpoint service.
+type Endpoint struct {
+	env          env.Env
+	id           ids.ID
+	tr           transport.Transport
+	routes       map[ids.ID]transport.Addr
+	handlers     map[string]Handler
+	pending      map[ids.ID][]RouteCallback
+	helloWaiters []helloWaiter
+
+	// Drops counts messages that could not be delivered locally or
+	// forwarded (no handler, TTL exhausted, no route).
+	Drops uint64
+}
+
+// New binds an endpoint service for peer id over the given transport and
+// registers the ERP handler. The transport's inbound handler is claimed.
+func New(e env.Env, id ids.ID, tr transport.Transport) *Endpoint {
+	ep := &Endpoint{
+		env:      e,
+		id:       id,
+		tr:       tr,
+		routes:   make(map[ids.ID]transport.Addr),
+		handlers: make(map[string]Handler),
+		pending:  make(map[ids.ID][]RouteCallback),
+	}
+	// Honor the env serialization contract: transports that deliver from
+	// their own goroutines (TCP read loops) must enter protocol code under
+	// the node lock. The simulator's env has no Locked — its event loop is
+	// already the only execution context — so the handler runs directly.
+	if l, ok := e.(interface{ Locked(func()) }); ok {
+		tr.SetHandler(func(src transport.Addr, m *message.Message) {
+			l.Locked(func() { ep.receive(src, m) })
+		})
+	} else {
+		tr.SetHandler(ep.receive)
+	}
+	ep.handlers[erpService] = ep.handleERP
+	ep.handlers[helloService] = ep.handleHello
+	return ep
+}
+
+// Hello resolves the peer ID listening at a transport address. cb fires
+// once, with ok=false on timeout.
+func (ep *Endpoint) Hello(addr transport.Addr, cb func(peer ids.ID, ok bool)) {
+	done := false
+	timer := ep.env.After(helloTimeout, func() {
+		if !done {
+			done = true
+			cb(ids.Nil, false)
+		}
+	})
+	ep.helloWaiters = append(ep.helloWaiters, helloWaiter{
+		addr: addr,
+		cb: func(peer ids.ID) {
+			if !done {
+				done = true
+				timer.Cancel()
+				cb(peer, true)
+			}
+		},
+	})
+	m := message.New().AddString(ns, elemHelloReq, "1")
+	if err := ep.sendTo(addr, ids.Nil, helloService, m, defaultTTL); err != nil {
+		// Transport refused outright; fail via the timer path immediately.
+		ep.env.After(0, func() {
+			if !done {
+				done = true
+				timer.Cancel()
+				cb(ids.Nil, false)
+			}
+		})
+	}
+}
+
+func (ep *Endpoint) handleHello(src ids.ID, msg *message.Message) {
+	if msg.GetString(ns, elemHelloReq) != "" {
+		ack := message.New().AddString(ns, elemHelloAck, "1")
+		_ = ep.Send(src, helloService, ack)
+		return
+	}
+	if msg.GetString(ns, elemHelloAck) == "" {
+		return
+	}
+	addr, ok := ep.RouteTo(src)
+	if !ok {
+		return
+	}
+	kept := ep.helloWaiters[:0]
+	for _, w := range ep.helloWaiters {
+		if w.addr == addr {
+			w.cb(src)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	ep.helloWaiters = kept
+}
+
+// ID returns the local peer ID.
+func (ep *Endpoint) ID() ids.ID { return ep.id }
+
+// Addr returns the local transport address.
+func (ep *Endpoint) Addr() transport.Addr { return ep.tr.Addr() }
+
+// Register installs a service handler. Registering the same name twice
+// replaces the handler (services restart across leases).
+func (ep *Endpoint) Register(service string, h Handler) {
+	ep.handlers[service] = h
+}
+
+// AddRoute records a direct route to a peer.
+func (ep *Endpoint) AddRoute(peer ids.ID, addr transport.Addr) {
+	if peer.Equal(ep.id) || addr == "" {
+		return
+	}
+	ep.routes[peer] = addr
+	// Wake any pending resolutions.
+	if cbs, ok := ep.pending[peer]; ok {
+		delete(ep.pending, peer)
+		for _, cb := range cbs {
+			cb(peer, addr, true)
+		}
+	}
+}
+
+// DropRoute forgets a route (lease expiry, crash suspicion).
+func (ep *Endpoint) DropRoute(peer ids.ID) { delete(ep.routes, peer) }
+
+// RouteTo reports the known route to a peer.
+func (ep *Endpoint) RouteTo(peer ids.ID) (transport.Addr, bool) {
+	a, ok := ep.routes[peer]
+	return a, ok
+}
+
+// KnownPeers returns the peers with direct routes, in unspecified order.
+func (ep *Endpoint) KnownPeers() []ids.ID {
+	out := make([]ids.ID, 0, len(ep.routes))
+	for id := range ep.routes {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Send delivers msg to the named service on the destination peer, using the
+// direct route. The message is wrapped in an envelope carrying the local
+// peer ID and address so the receiver learns the return route.
+func (ep *Endpoint) Send(dst ids.ID, service string, msg *message.Message) error {
+	if dst.Equal(ep.id) {
+		// Local delivery without touching the network (a rendezvous acts
+		// as its own rendezvous, §3.3 step 1).
+		if h, ok := ep.handlers[service]; ok {
+			local := msg.Clone()
+			ep.env.After(0, func() { h(ep.id, local) })
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrNoService, service)
+	}
+	addr, ok := ep.routes[dst]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRoute, dst.Short())
+	}
+	return ep.sendTo(addr, dst, service, msg, defaultTTL)
+}
+
+// SendVia relays msg toward dst through an intermediate peer with a known
+// route (the edge peer's rendezvous, typically).
+func (ep *Endpoint) SendVia(relay, dst ids.ID, service string, msg *message.Message) error {
+	addr, ok := ep.routes[relay]
+	if !ok {
+		return fmt.Errorf("%w: relay %s", ErrNoRoute, relay.Short())
+	}
+	return ep.sendTo(addr, dst, service, msg, defaultTTL)
+}
+
+func (ep *Endpoint) sendTo(addr transport.Addr, dst ids.ID, service string, msg *message.Message, ttl int) error {
+	wire := msg.Clone()
+	wire.AddString(ns, elemSrc, ep.id.String())
+	wire.AddString(ns, elemDst, dst.String())
+	wire.AddString(ns, elemSvc, service)
+	wire.AddString(ns, elemSrcAddr, string(ep.tr.Addr()))
+	wire.AddString(ns, elemTTL, strconv.Itoa(ttl))
+	return ep.tr.Send(addr, wire)
+}
+
+// ServiceOf reports which service a wire message is addressed to.
+// Instrumentation (message-complexity experiments) uses it to classify
+// traffic without depending on envelope internals.
+func ServiceOf(m *message.Message) string { return m.GetString(ns, elemSvc) }
+
+// receive demultiplexes an inbound wire message: learn the return route,
+// then either deliver locally or relay toward the destination.
+func (ep *Endpoint) receive(from transport.Addr, wire *message.Message) {
+	srcID, err := ids.Parse(wire.GetString(ns, elemSrc))
+	if err != nil {
+		ep.Drops++
+		return
+	}
+	dstID, err := ids.Parse(wire.GetString(ns, elemDst))
+	if err != nil {
+		ep.Drops++
+		return
+	}
+	service := wire.GetString(ns, elemSvc)
+	if srcAddr := wire.GetString(ns, elemSrcAddr); srcAddr != "" {
+		ep.AddRoute(srcID, transport.Addr(srcAddr))
+	}
+	// A nil destination addresses "whichever peer listens at this address"
+	// — the hello bootstrap, when the sender does not yet know our ID.
+	if !dstID.IsNil() && !dstID.Equal(ep.id) {
+		ep.relay(dstID, wire)
+		return
+	}
+	h, ok := ep.handlers[service]
+	if !ok {
+		ep.Drops++
+		return
+	}
+	h(srcID, wire)
+}
+
+// relay forwards a transit message toward its destination, decrementing the
+// TTL. The envelope (including the original source) is preserved.
+func (ep *Endpoint) relay(dst ids.ID, wire *message.Message) {
+	ttl, err := strconv.Atoi(wire.GetString(ns, elemTTL))
+	if err != nil || ttl <= 1 {
+		ep.Drops++
+		return
+	}
+	addr, ok := ep.routes[dst]
+	if !ok {
+		ep.Drops++
+		return
+	}
+	fwd := message.New()
+	for _, el := range wire.Elements() {
+		if el.Namespace == ns && el.Name == elemTTL {
+			fwd.AddString(ns, elemTTL, strconv.Itoa(ttl-1))
+			continue
+		}
+		fwd.Add(el.Namespace, el.Name, el.Data)
+	}
+	if err := ep.tr.Send(addr, fwd); err != nil {
+		ep.Drops++
+	}
+}
+
+// ResolveRoute asynchronously resolves a route to target by querying a peer
+// we can already reach (usually the rendezvous). If the route is already
+// known the callback fires on the next tick.
+func (ep *Endpoint) ResolveRoute(target, via ids.ID, cb RouteCallback) {
+	if addr, ok := ep.routes[target]; ok {
+		ep.env.After(0, func() { cb(target, addr, true) })
+		return
+	}
+	ep.pending[target] = append(ep.pending[target], cb)
+	q := message.New().AddString(ns, elemRouteQ, target.String())
+	if err := ep.Send(via, erpService, q); err != nil {
+		// The relay itself is unreachable; fail the resolution.
+		delete(ep.pending, target)
+		ep.env.After(0, func() { cb(target, "", false) })
+	}
+}
+
+// handleERP answers route queries and consumes route responses.
+func (ep *Endpoint) handleERP(src ids.ID, msg *message.Message) {
+	if q := msg.GetString(ns, elemRouteQ); q != "" {
+		target, err := ids.Parse(q)
+		if err != nil {
+			return
+		}
+		addr, ok := ep.routes[target]
+		if !ok {
+			return // unanswerable; requester times out
+		}
+		route := &advertisement.Route{DestID: target}
+		data, err := advertisement.EncodeXML(route)
+		if err != nil {
+			return
+		}
+		rsp := message.New()
+		rsp.Add(ns, elemRouteRsp, data)
+		rsp.AddString(ns, elemRouteTgt, string(addr))
+		// Best effort: the requester is reachable, we just heard from it.
+		_ = ep.Send(src, erpService, rsp)
+		return
+	}
+	if data, ok := msg.Get(ns, elemRouteRsp); ok {
+		adv, err := advertisement.DecodeXML(data)
+		if err != nil {
+			return
+		}
+		route, ok := adv.(*advertisement.Route)
+		if !ok {
+			return
+		}
+		addr := transport.Addr(msg.GetString(ns, elemRouteTgt))
+		if addr != "" {
+			ep.AddRoute(route.DestID, addr) // also fires pending callbacks
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package env
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowMonotonic(t *testing.T) {
+	r := NewReal("n", 1)
+	a := r.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := r.Now()
+	if b <= a {
+		t.Fatalf("Now not monotonic: %v then %v", a, b)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	r := NewReal("n", 1)
+	done := make(chan struct{})
+	r.After(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("After callback never fired")
+	}
+}
+
+func TestRealAfterCancel(t *testing.T) {
+	r := NewReal("n", 1)
+	fired := make(chan struct{}, 1)
+	tm := r.After(50*time.Millisecond, func() { fired <- struct{}{} })
+	if !tm.Cancel() {
+		t.Fatal("Cancel reported not-pending for pending timer")
+	}
+	select {
+	case <-fired:
+		t.Fatal("canceled callback fired")
+	case <-time.After(120 * time.Millisecond):
+	}
+}
+
+func TestRealCallbacksSerialized(t *testing.T) {
+	r := NewReal("n", 1)
+	var inCritical int32
+	var wg sync.WaitGroup
+	violation := false
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		r.After(time.Duration(i%3)*time.Millisecond, func() {
+			defer wg.Done()
+			inCritical++
+			if inCritical != 1 {
+				violation = true
+			}
+			time.Sleep(time.Millisecond)
+			inCritical--
+		})
+	}
+	wg.Wait()
+	if violation {
+		t.Fatal("callbacks overlapped")
+	}
+}
+
+func TestRealLockedExcludesCallbacks(t *testing.T) {
+	r := NewReal("n", 1)
+	order := make(chan string, 2)
+	r.Locked(func() {
+		r.After(0, func() { order <- "cb" })
+		time.Sleep(20 * time.Millisecond)
+		order <- "locked"
+	})
+	first := <-order
+	if first != "locked" {
+		t.Fatalf("callback ran while Locked section held the node: first=%q", first)
+	}
+}
+
+func TestRealRandDeterministic(t *testing.T) {
+	a := NewReal("a", 99).Rand().Int63()
+	b := NewReal("b", 99).Rand().Int63()
+	if a != b {
+		t.Fatal("same seed produced different first values")
+	}
+}
+
+func TestTickerStopFromInsideCallback(t *testing.T) {
+	r := NewReal("n", 1)
+	var mu sync.Mutex
+	count := 0
+	var tk *Ticker
+	done := make(chan struct{})
+	r.Locked(func() {
+		tk = NewTicker(r, 5*time.Millisecond, func() {
+			mu.Lock()
+			defer mu.Unlock()
+			count++
+			if count == 3 {
+				tk.Stop()
+				close(done)
+			}
+		})
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ticker never reached 3 firings")
+	}
+	time.Sleep(30 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after Stop, want 3", count)
+	}
+}
+
+func TestName(t *testing.T) {
+	if NewReal("edge-1", 0).Name() != "edge-1" {
+		t.Fatal("Name mismatch")
+	}
+}

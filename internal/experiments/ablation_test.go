@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblateReferralsMonotone(t *testing.T) {
+	// More referrals per probe => faster refresh => larger steady view.
+	res, err := AblateReferrals(40, []int{1, 3}, 30*time.Minute, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	if res.Points[1].PlateauL <= res.Points[0].PlateauL {
+		t.Fatalf("fan-out 3 plateau %.1f not above fan-out 1 plateau %.1f",
+			res.Points[1].PlateauL, res.Points[0].PlateauL)
+	}
+}
+
+func TestAblateIntervalTradeoff(t *testing.T) {
+	// Shorter PEERVIEW_INTERVAL buys freshness (bigger view) with
+	// bandwidth (more messages) — the §4.1 compromise.
+	res, err := AblateInterval(40,
+		[]time.Duration{10 * time.Second, 60 * time.Second}, 30*time.Minute, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := res.Points[0], res.Points[1]
+	if fast.PlateauL <= slow.PlateauL {
+		t.Fatalf("10s interval plateau %.1f not above 60s plateau %.1f",
+			fast.PlateauL, slow.PlateauL)
+	}
+	if fast.MsgsPerPeerPerMin <= slow.MsgsPerPeerPerMin {
+		t.Fatalf("10s interval bandwidth %.1f not above 60s bandwidth %.1f",
+			fast.MsgsPerPeerPerMin, slow.MsgsPerPeerPerMin)
+	}
+}
+
+func TestAblateExpiryMonotone(t *testing.T) {
+	// Longer PVE_EXPIRATION keeps more entries — Figure 4 (left)
+	// generalized into a sweep.
+	res, err := AblateExpiry(40,
+		[]time.Duration{5 * time.Minute, 365 * 24 * time.Hour}, 30*time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, inf := res.Points[0], res.Points[1]
+	if inf.PlateauL <= short.PlateauL {
+		t.Fatalf("infinite expiry plateau %.1f not above 5min plateau %.1f",
+			inf.PlateauL, short.PlateauL)
+	}
+	if inf.Label != "inf" {
+		t.Fatalf("label = %q", inf.Label)
+	}
+}
+
+func TestAblateWalkSafetyNet(t *testing.T) {
+	// At r beyond the consistency threshold, disabling the walk must lose
+	// queries that the walk would have saved.
+	res, err := AblateWalk(75, 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithWalkOK <= res.WithoutWalkOK {
+		t.Fatalf("walk saved nothing: with=%d without=%d ok",
+			res.WithWalkOK, res.WithoutWalkOK)
+	}
+	if res.WithoutWalkLost == 0 {
+		t.Fatal("no losses without the walk — r too small for this test")
+	}
+	if res.WithWalkOK+res.WithWalkTimeouts != res.Queries {
+		t.Fatalf("accounting broken: %d+%d != %d",
+			res.WithWalkOK, res.WithWalkTimeouts, res.Queries)
+	}
+}

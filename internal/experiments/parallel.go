@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Sweep runs n independent experiment points concurrently on a bounded
+// worker pool. Each point owns its own simulator (simulations share
+// nothing), so sweeps parallelize perfectly across cores — this is what
+// makes regenerating the full Figure 4 (right) r-sweep fast on a laptop,
+// standing in for the paper's fleet of physical testbed runs.
+//
+// run(i) produces the i-th point; results keep their index order. The first
+// error (if any) is returned after every worker drains.
+func Sweep(n int, run func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := run(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}
+
+// Fig4RightParallel runs the Figure 4 (right) sweep with every (r, config)
+// point on its own core.
+func Fig4RightParallel(rs []int, noise bool, queries int, seed int64) ([]DiscoveryResult, error) {
+	if len(rs) == 0 {
+		rs = Fig4RightDefaultRs
+	}
+	out := make([]DiscoveryResult, len(rs))
+	err := Sweep(len(rs), func(i int) error {
+		res, err := RunDiscovery(DiscoverySpec{R: rs[i], Noise: noise,
+			Queries: queries, Seed: seed + int64(rs[i])})
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	return out, err
+}
+
+// Fig3LeftParallel runs the Figure 3 (left) family with one overlay per
+// core.
+func Fig3LeftParallel(specs []PeerviewSpec) ([]PeerviewResult, error) {
+	out := make([]PeerviewResult, len(specs))
+	err := Sweep(len(specs), func(i int) error {
+		res, err := RunPeerview(specs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = res
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jxta/internal/topology"
+)
+
+func TestSweepRunsAll(t *testing.T) {
+	var count int64
+	err := Sweep(37, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	})
+	if err != nil || count != 37 {
+		t.Fatalf("count=%d err=%v", count, err)
+	}
+}
+
+func TestSweepReportsFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	err := Sweep(10, func(i int) error {
+		if i%3 == 0 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	if err := Sweep(0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4RightParallelMatchesSequential(t *testing.T) {
+	rs := []int{5, 8}
+	par, err := Fig4RightParallel(rs, false, 10, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Fig4Right(rs, false, 10, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		if par[i].MeanMs != seq[i].MeanMs {
+			t.Fatalf("r=%d: parallel %.3f != sequential %.3f (determinism broken)",
+				rs[i], par[i].MeanMs, seq[i].MeanMs)
+		}
+	}
+}
+
+func TestFig3LeftParallel(t *testing.T) {
+	specs := []PeerviewSpec{
+		{R: 8, Topology: topology.Chain, Duration: 10 * time.Minute, Seed: 1},
+		{R: 10, Topology: topology.Chain, Duration: 10 * time.Minute, Seed: 2},
+	}
+	out, err := Fig3LeftParallel(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Spec.R != 8 || out[1].Spec.R != 10 {
+		t.Fatal("results out of order")
+	}
+	if out[0].FinalSize != 7 || out[1].FinalSize != 9 {
+		t.Fatalf("sizes %d/%d", out[0].FinalSize, out[1].FinalSize)
+	}
+}

@@ -1,0 +1,252 @@
+// Package ids implements JXTA-style identifiers.
+//
+// JXTA identifies every abstraction (peers, peer groups, advertisements,
+// pipes, module classes) with a UUID-derived URN of the form
+//
+//	urn:jxta:uuid-<hex>
+//
+// The peerview protocol keeps rendezvous peers in a list ordered by peer ID,
+// and the LC-DHT replica function maps SHA-1 hashes onto positions of that
+// ordered list, so IDs must provide a stable total order and hashing helpers.
+package ids
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Kind distinguishes the JXTA ID namespaces.
+type Kind byte
+
+const (
+	// KindPeer identifies a peer.
+	KindPeer Kind = iota + 1
+	// KindGroup identifies a peer group.
+	KindGroup
+	// KindAdv identifies an advertisement instance.
+	KindAdv
+	// KindPipe identifies a pipe.
+	KindPipe
+	// KindModule identifies a module class.
+	KindModule
+	// KindQuery identifies a resolver query.
+	KindQuery
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPeer:
+		return "peer"
+	case KindGroup:
+		return "group"
+	case KindAdv:
+		return "adv"
+	case KindPipe:
+		return "pipe"
+	case KindModule:
+		return "module"
+	case KindQuery:
+		return "query"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// valid reports whether the kind is one of the defined namespaces.
+func (k Kind) valid() bool { return k >= KindPeer && k <= KindQuery }
+
+// ID is a JXTA identifier: a kind tag plus a 16-byte UUID payload.
+// The zero value is the nil ID.
+type ID struct {
+	kind Kind
+	uuid [16]byte
+}
+
+// Nil is the zero ID. It is not a member of any namespace.
+var Nil ID
+
+// ErrBadID reports a malformed textual ID.
+var ErrBadID = errors.New("ids: malformed JXTA ID")
+
+// New builds an ID of the given kind from a 16-byte payload.
+func New(kind Kind, uuid [16]byte) ID { return ID{kind: kind, uuid: uuid} }
+
+// NewRandom draws a fresh ID of the given kind from rng. Experiments use
+// per-node seeded generators so that overlays are reproducible; passing a nil
+// rng panics rather than silently falling back to a global source.
+func NewRandom(kind Kind, rng *rand.Rand) ID {
+	if rng == nil {
+		panic("ids: NewRandom requires a seeded *rand.Rand")
+	}
+	var u [16]byte
+	binary.BigEndian.PutUint64(u[0:8], rng.Uint64())
+	binary.BigEndian.PutUint64(u[8:16], rng.Uint64())
+	// Set UUID version (4) and variant bits like RFC 4122 so that the
+	// textual form looks like a genuine JXTA UUID URN.
+	u[6] = (u[6] & 0x0f) | 0x40
+	u[8] = (u[8] & 0x3f) | 0x80
+	return ID{kind: kind, uuid: u}
+}
+
+// FromName derives a stable ID of the given kind from a human-readable name
+// (SHA-1 based, like JXTA's well-known group IDs).
+func FromName(kind Kind, name string) ID {
+	sum := sha1.Sum([]byte(string(rune(kind)) + ":" + name))
+	var u [16]byte
+	copy(u[:], sum[:16])
+	return ID{kind: kind, uuid: u}
+}
+
+// Kind returns the ID namespace.
+func (id ID) Kind() Kind { return id.kind }
+
+// IsNil reports whether the ID is the zero ID.
+func (id ID) IsNil() bool { return id == Nil }
+
+// Bytes returns the 16-byte UUID payload.
+func (id ID) Bytes() [16]byte { return id.uuid }
+
+// Compare orders IDs first by UUID payload, then by kind. The peerview
+// protocol relies on this order being total and stable.
+func (id ID) Compare(other ID) int {
+	if c := bytes.Compare(id.uuid[:], other.uuid[:]); c != 0 {
+		return c
+	}
+	switch {
+	case id.kind < other.kind:
+		return -1
+	case id.kind > other.kind:
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether id orders strictly before other.
+func (id ID) Less(other ID) bool { return id.Compare(other) < 0 }
+
+// Equal reports whether two IDs are identical.
+func (id ID) Equal(other ID) bool { return id == other }
+
+// String renders the canonical URN form, e.g.
+// "urn:jxta:uuid-5B7D…-peer". The kind suffix is a readability extension;
+// Parse accepts both suffixed and plain forms.
+func (id ID) String() string {
+	if id.IsNil() {
+		return "urn:jxta:nil"
+	}
+	return "urn:jxta:uuid-" + hex.EncodeToString(id.uuid[:]) + "-" + id.kind.String()
+}
+
+// Short returns an abbreviated form (first 8 hex digits) for logs and plots.
+func (id ID) Short() string {
+	if id.IsNil() {
+		return "nil"
+	}
+	return hex.EncodeToString(id.uuid[:4])
+}
+
+// Parse decodes the canonical URN form produced by String.
+func Parse(s string) (ID, error) {
+	if s == "urn:jxta:nil" {
+		return Nil, nil
+	}
+	const prefix = "urn:jxta:uuid-"
+	if !strings.HasPrefix(s, prefix) {
+		return Nil, fmt.Errorf("%w: %q lacks %q prefix", ErrBadID, s, prefix)
+	}
+	rest := s[len(prefix):]
+	hexPart := rest
+	kind := Kind(0)
+	if i := strings.IndexByte(rest, '-'); i >= 0 {
+		hexPart = rest[:i]
+		switch rest[i+1:] {
+		case "peer":
+			kind = KindPeer
+		case "group":
+			kind = KindGroup
+		case "adv":
+			kind = KindAdv
+		case "pipe":
+			kind = KindPipe
+		case "module":
+			kind = KindModule
+		case "query":
+			kind = KindQuery
+		default:
+			return Nil, fmt.Errorf("%w: unknown kind suffix %q", ErrBadID, rest[i+1:])
+		}
+	}
+	raw, err := hex.DecodeString(hexPart)
+	if err != nil || len(raw) != 16 {
+		return Nil, fmt.Errorf("%w: bad uuid payload in %q", ErrBadID, s)
+	}
+	var u [16]byte
+	copy(u[:], raw)
+	if kind == 0 {
+		kind = KindPeer // plain form defaults to the peer namespace
+	}
+	return ID{kind: kind, uuid: u}, nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (id ID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (id *ID) UnmarshalText(text []byte) error {
+	parsed, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*id = parsed
+	return nil
+}
+
+// Hash64 returns the first 8 bytes (big endian) of the SHA-1 digest of s.
+// The LC-DHT replica function uses this as the hash whose range is
+// MAX_HASH = 2^64-1 (see discovery.ReplicaPos).
+func Hash64(s string) uint64 {
+	sum := sha1.Sum([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// SortIDs sorts a slice of IDs in ascending Compare order, in place.
+func SortIDs(s []ID) {
+	// Insertion sort is fine for the small peerview slices this serves,
+	// but views can reach hundreds of entries, so use a simple quicksort
+	// via the comparison order.
+	sortIDs(s)
+}
+
+func sortIDs(s []ID) {
+	if len(s) < 12 {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j].Less(s[j-1]); j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return
+	}
+	pivot := s[len(s)/2]
+	left, right := 0, len(s)-1
+	for left <= right {
+		for s[left].Less(pivot) {
+			left++
+		}
+		for pivot.Less(s[right]) {
+			right--
+		}
+		if left <= right {
+			s[left], s[right] = s[right], s[left]
+			left++
+			right--
+		}
+	}
+	sortIDs(s[:right+1])
+	sortIDs(s[left:])
+}

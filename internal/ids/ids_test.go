@@ -1,0 +1,272 @@
+package ids
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindPeer:   "peer",
+		KindGroup:  "group",
+		KindAdv:    "adv",
+		KindPipe:   "pipe",
+		KindModule: "module",
+		KindQuery:  "query",
+		Kind(99):   "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNewRandomDeterministic(t *testing.T) {
+	a := NewRandom(KindPeer, rand.New(rand.NewSource(7)))
+	b := NewRandom(KindPeer, rand.New(rand.NewSource(7)))
+	if !a.Equal(b) {
+		t.Fatalf("same seed produced different IDs: %s vs %s", a, b)
+	}
+	c := NewRandom(KindPeer, rand.New(rand.NewSource(8)))
+	if a.Equal(c) {
+		t.Fatalf("different seeds produced identical IDs: %s", a)
+	}
+}
+
+func TestNewRandomPanicsOnNilRNG(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRandom(nil) did not panic")
+		}
+	}()
+	NewRandom(KindPeer, nil)
+}
+
+func TestNewRandomSetsUUIDBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		id := NewRandom(KindAdv, rng)
+		u := id.Bytes()
+		if u[6]&0xf0 != 0x40 {
+			t.Fatalf("version nibble not 4: %x", u[6])
+		}
+		if u[8]&0xc0 != 0x80 {
+			t.Fatalf("variant bits not RFC4122: %x", u[8])
+		}
+	}
+}
+
+func TestFromNameStable(t *testing.T) {
+	a := FromName(KindGroup, "NetPeerGroup")
+	b := FromName(KindGroup, "NetPeerGroup")
+	if !a.Equal(b) {
+		t.Fatal("FromName is not stable")
+	}
+	if a.Equal(FromName(KindGroup, "OtherGroup")) {
+		t.Fatal("distinct names collided")
+	}
+	if a.Equal(FromName(KindPeer, "NetPeerGroup")) {
+		t.Fatal("distinct kinds collided for the same name")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	kinds := []Kind{KindPeer, KindGroup, KindAdv, KindPipe, KindModule, KindQuery}
+	for _, k := range kinds {
+		id := NewRandom(k, rng)
+		back, err := Parse(id.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", id.String(), err)
+		}
+		if !back.Equal(id) {
+			t.Fatalf("round trip changed ID: %s -> %s", id, back)
+		}
+	}
+	// Nil round-trips too.
+	back, err := Parse(Nil.String())
+	if err != nil || !back.IsNil() {
+		t.Fatalf("nil round trip: %v %v", back, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"uuid-abcd",
+		"urn:jxta:uuid-zzzz-peer",
+		"urn:jxta:uuid-abcd-peer",           // too short
+		"urn:jxta:uuid-" + h32() + "-bogus", // unknown kind
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func h32() string {
+	const hexDigits = "0123456789abcdef"
+	b := make([]byte, 32)
+	for i := range b {
+		b[i] = hexDigits[i%16]
+	}
+	return string(b)
+}
+
+func TestParsePlainFormDefaultsToPeer(t *testing.T) {
+	id, err := Parse("urn:jxta:uuid-" + h32())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Kind() != KindPeer {
+		t.Fatalf("plain form kind = %v, want peer", id.Kind())
+	}
+}
+
+func TestMarshalTextRoundTrip(t *testing.T) {
+	id := FromName(KindPipe, "pipe-x")
+	text, err := id.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ID
+	if err := back.UnmarshalText(text); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(id) {
+		t.Fatalf("text round trip changed ID")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	idsList := make([]ID, 200)
+	for i := range idsList {
+		idsList[i] = NewRandom(KindPeer, rng)
+	}
+	SortIDs(idsList)
+	if !sort.SliceIsSorted(idsList, func(i, j int) bool { return idsList[i].Less(idsList[j]) }) {
+		t.Fatal("SortIDs did not sort")
+	}
+	for i := 1; i < len(idsList); i++ {
+		if idsList[i].Less(idsList[i-1]) {
+			t.Fatal("order violated")
+		}
+	}
+}
+
+func TestSortIDsSmall(t *testing.T) {
+	for n := 0; n < 15; n++ {
+		rng := rand.New(rand.NewSource(int64(n)))
+		s := make([]ID, n)
+		for i := range s {
+			s[i] = NewRandom(KindPeer, rng)
+		}
+		SortIDs(s)
+		if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i].Less(s[j]) }) {
+			t.Fatalf("n=%d: not sorted", n)
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b [16]byte, ka, kb uint8) bool {
+		ia := New(Kind(ka%6+1), a)
+		ib := New(Kind(kb%6+1), b)
+		c1, c2 := ia.Compare(ib), ib.Compare(ia)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == ia.Equal(ib)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parse(String(id)) is the identity.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(u [16]byte, k uint8) bool {
+		id := New(Kind(k%6+1), u)
+		back, err := Parse(id.String())
+		return err == nil && back.Equal(id)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sorting is idempotent and a permutation.
+func TestSortProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := make([]ID, int(n%64))
+		for i := range s {
+			s[i] = NewRandom(KindPeer, rng)
+		}
+		count := map[ID]int{}
+		for _, id := range s {
+			count[id]++
+		}
+		SortIDs(s)
+		if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i].Less(s[j]) }) {
+			return false
+		}
+		for _, id := range s {
+			count[id]--
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHash64(t *testing.T) {
+	if Hash64("PeerNameTest") != Hash64("PeerNameTest") {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64("a") == Hash64("b") {
+		t.Fatal("trivial collision")
+	}
+}
+
+func TestShort(t *testing.T) {
+	if Nil.Short() != "nil" {
+		t.Fatalf("Nil.Short() = %q", Nil.Short())
+	}
+	id := FromName(KindPeer, "x")
+	if len(id.Short()) != 8 {
+		t.Fatalf("Short() length = %d, want 8", len(id.Short()))
+	}
+}
+
+func BenchmarkSortIDs(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := make([]ID, 580)
+	for i := range base {
+		base[i] = NewRandom(KindPeer, rng)
+	}
+	s := make([]ID, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(s, base)
+		SortIDs(s)
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Hash64("PeerNameTest")
+	}
+}

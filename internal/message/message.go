@@ -1,0 +1,229 @@
+// Package message implements the JXTA message abstraction: an ordered
+// sequence of named, namespaced elements carrying opaque bytes (typically
+// XML documents). Messages are what the endpoint service moves between
+// peers; every protocol above (resolver, rendezvous, discovery) speaks in
+// message elements.
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"jxta/internal/document"
+)
+
+// Element is one named payload inside a message.
+type Element struct {
+	Namespace string // e.g. "jxta"
+	Name      string // e.g. "ResolverQuery"
+	Data      []byte
+}
+
+// Size returns the approximate wire footprint of the element.
+func (e Element) Size() int { return len(e.Namespace) + len(e.Name) + len(e.Data) + 12 }
+
+// Message is an ordered collection of elements. The zero value is an empty
+// message ready to use.
+type Message struct {
+	elements []Element
+}
+
+// New returns an empty message.
+func New() *Message { return &Message{} }
+
+// Len returns the number of elements.
+func (m *Message) Len() int { return len(m.elements) }
+
+// Add appends a raw element.
+func (m *Message) Add(namespace, name string, data []byte) *Message {
+	m.elements = append(m.elements, Element{Namespace: namespace, Name: name, Data: data})
+	return m
+}
+
+// AddString appends a text element.
+func (m *Message) AddString(namespace, name, value string) *Message {
+	return m.Add(namespace, name, []byte(value))
+}
+
+// AddDocument appends a structured document as an XML element.
+func (m *Message) AddDocument(namespace, name string, doc *document.Element) error {
+	data, err := doc.Marshal()
+	if err != nil {
+		return err
+	}
+	m.Add(namespace, name, data)
+	return nil
+}
+
+// Get returns the payload of the first element with the given namespace and
+// name, and whether it exists.
+func (m *Message) Get(namespace, name string) ([]byte, bool) {
+	for _, e := range m.elements {
+		if e.Namespace == namespace && e.Name == name {
+			return e.Data, true
+		}
+	}
+	return nil, false
+}
+
+// GetString returns a text element's payload, or "" if absent.
+func (m *Message) GetString(namespace, name string) string {
+	data, _ := m.Get(namespace, name)
+	return string(data)
+}
+
+// GetDocument decodes an XML element into a structured document.
+func (m *Message) GetDocument(namespace, name string) (*document.Element, error) {
+	data, ok := m.Get(namespace, name)
+	if !ok {
+		return nil, fmt.Errorf("message: element %s:%s absent", namespace, name)
+	}
+	return document.Unmarshal(data)
+}
+
+// Elements returns the elements in order. The slice is shared; callers must
+// not mutate it.
+func (m *Message) Elements() []Element { return m.elements }
+
+// Clone returns a deep copy, used by the simulated transport so that the
+// receiver can never observe sender-side mutation (the sim must behave like
+// a real network that serializes bytes).
+func (m *Message) Clone() *Message {
+	cp := &Message{elements: make([]Element, len(m.elements))}
+	for i, e := range m.elements {
+		data := make([]byte, len(e.Data))
+		copy(data, e.Data)
+		cp.elements[i] = Element{Namespace: e.Namespace, Name: e.Name, Data: data}
+	}
+	return cp
+}
+
+// Size returns the approximate wire footprint of the whole message. The
+// network model charges transmission time proportional to this.
+func (m *Message) Size() int {
+	n := 8 // header
+	for _, e := range m.elements {
+		n += e.Size()
+	}
+	return n
+}
+
+// Wire format:
+//
+//	magic "JXM1" | uvarint elementCount | elements...
+//	element: uvarint nsLen | ns | uvarint nameLen | name | uvarint dataLen | data
+const magic = "JXM1"
+
+// Unmarshal hard limits guarding against corrupt or hostile frames.
+const (
+	maxElements    = 1 << 12
+	maxElementSize = 1 << 24
+)
+
+// Errors returned by Unmarshal.
+var (
+	ErrBadMagic  = errors.New("message: bad magic")
+	ErrTruncated = errors.New("message: truncated frame")
+	ErrTooLarge  = errors.New("message: element exceeds limits")
+)
+
+// Marshal encodes the message into a self-delimiting binary frame.
+func (m *Message) Marshal() []byte {
+	buf := make([]byte, 0, m.Size())
+	buf = append(buf, magic...)
+	buf = binary.AppendUvarint(buf, uint64(len(m.elements)))
+	for _, e := range m.elements {
+		buf = binary.AppendUvarint(buf, uint64(len(e.Namespace)))
+		buf = append(buf, e.Namespace...)
+		buf = binary.AppendUvarint(buf, uint64(len(e.Name)))
+		buf = append(buf, e.Name...)
+		buf = binary.AppendUvarint(buf, uint64(len(e.Data)))
+		buf = append(buf, e.Data...)
+	}
+	return buf
+}
+
+// Unmarshal decodes a frame produced by Marshal.
+func Unmarshal(data []byte) (*Message, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, ErrBadMagic
+	}
+	rest := data[len(magic):]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	if count > maxElements {
+		return nil, fmt.Errorf("%w: %d elements", ErrTooLarge, count)
+	}
+	rest = rest[n:]
+	m := &Message{elements: make([]Element, 0, count)}
+	readChunk := func() ([]byte, error) {
+		l, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, ErrTruncated
+		}
+		if l > maxElementSize {
+			return nil, fmt.Errorf("%w: chunk of %d bytes", ErrTooLarge, l)
+		}
+		rest = rest[n:]
+		if uint64(len(rest)) < l {
+			return nil, ErrTruncated
+		}
+		chunk := rest[:l]
+		rest = rest[l:]
+		return chunk, nil
+	}
+	for i := uint64(0); i < count; i++ {
+		ns, err := readChunk()
+		if err != nil {
+			return nil, err
+		}
+		name, err := readChunk()
+		if err != nil {
+			return nil, err
+		}
+		payload, err := readChunk()
+		if err != nil {
+			return nil, err
+		}
+		data := make([]byte, len(payload))
+		copy(data, payload)
+		m.elements = append(m.elements, Element{
+			Namespace: string(ns),
+			Name:      string(name),
+			Data:      data,
+		})
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("message: %d trailing bytes", len(rest))
+	}
+	return m, nil
+}
+
+// Equal reports whether two messages have identical element sequences.
+func (m *Message) Equal(o *Message) bool {
+	if m.Len() != o.Len() {
+		return false
+	}
+	for i, e := range m.elements {
+		oe := o.elements[i]
+		if e.Namespace != oe.Namespace || e.Name != oe.Name || string(e.Data) != string(oe.Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the message for logs.
+func (m *Message) String() string {
+	s := "msg{"
+	for i, e := range m.elements {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s:%s(%dB)", e.Namespace, e.Name, len(e.Data))
+	}
+	return s + "}"
+}

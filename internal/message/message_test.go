@@ -1,0 +1,245 @@
+package message
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jxta/internal/document"
+)
+
+func sample() *Message {
+	m := New()
+	m.AddString("jxta", "SrcPeer", "urn:jxta:uuid-01")
+	m.Add("jxta", "Payload", []byte{0x00, 0x01, 0xff})
+	m.AddString("app", "Note", "hello")
+	return m
+}
+
+func TestAddGet(t *testing.T) {
+	m := sample()
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if got := m.GetString("jxta", "SrcPeer"); got != "urn:jxta:uuid-01" {
+		t.Fatalf("GetString = %q", got)
+	}
+	if data, ok := m.Get("jxta", "Payload"); !ok || len(data) != 3 || data[2] != 0xff {
+		t.Fatalf("Get payload = %v, %v", data, ok)
+	}
+	if _, ok := m.Get("jxta", "Missing"); ok {
+		t.Fatal("missing element reported present")
+	}
+	if m.GetString("none", "none") != "" {
+		t.Fatal("missing GetString not empty")
+	}
+}
+
+func TestGetFirstOfDuplicates(t *testing.T) {
+	m := New()
+	m.AddString("ns", "k", "first")
+	m.AddString("ns", "k", "second")
+	if got := m.GetString("ns", "k"); got != "first" {
+		t.Fatalf("duplicate lookup = %q, want first", got)
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	m := sample()
+	back, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m) {
+		t.Fatalf("round trip changed message: %s vs %s", m, back)
+	}
+}
+
+func TestEmptyMessageRoundTrip(t *testing.T) {
+	back, err := Unmarshal(New().Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("empty round trip has %d elements", back.Len())
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	valid := sample().Marshal()
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE1234"),
+		"truncated 1": valid[:len(valid)-2],
+		"truncated 2": valid[:6],
+		"trailing":    append(append([]byte{}, valid...), 0x00),
+	}
+	for name, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("%s: Unmarshal succeeded", name)
+		}
+	}
+}
+
+func TestUnmarshalElementCountLimit(t *testing.T) {
+	frame := []byte(magic)
+	frame = append(frame, 0xff, 0xff, 0xff, 0xff, 0x7f) // huge uvarint count
+	if _, err := Unmarshal(frame); err == nil {
+		t.Fatal("huge element count accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := sample()
+	cp := m.Clone()
+	if !cp.Equal(m) {
+		t.Fatal("clone differs")
+	}
+	data, _ := cp.Get("jxta", "Payload")
+	data[0] = 0x99
+	orig, _ := m.Get("jxta", "Payload")
+	if orig[0] == 0x99 {
+		t.Fatal("clone shares payload bytes")
+	}
+}
+
+func TestDocumentElementRoundTrip(t *testing.T) {
+	doc := document.NewElement("jxta:RdvAdv").AppendText("Name", "r1")
+	m := New()
+	if err := m.AddDocument("jxta", "RdvAdv", doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.GetDocument("jxta", "RdvAdv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(doc) {
+		t.Fatalf("document changed in transit: %s vs %s", doc, got)
+	}
+}
+
+func TestGetDocumentAbsent(t *testing.T) {
+	if _, err := New().GetDocument("a", "b"); err == nil {
+		t.Fatal("absent document lookup succeeded")
+	}
+}
+
+func TestAddDocumentMixedContentError(t *testing.T) {
+	bad := document.NewElement("X").WithText("t").AppendText("C", "c")
+	if err := New().AddDocument("ns", "n", bad); err == nil {
+		t.Fatal("AddDocument accepted unencodable document")
+	}
+}
+
+func TestSizeTracksContent(t *testing.T) {
+	small := New().AddString("a", "b", "c")
+	large := New().Add("a", "b", make([]byte, 10_000))
+	if small.Size() <= 8 {
+		t.Fatal("size missing element overhead")
+	}
+	if large.Size() < 10_000 {
+		t.Fatal("size undercounts payload")
+	}
+	if got := len(small.Marshal()); got > small.Size()+16 {
+		t.Fatalf("Size() estimate %d far from wire %d", small.Size(), got)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "jxta:SrcPeer") || !strings.Contains(s, "app:Note") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := sample()
+	b := sample()
+	if !a.Equal(b) {
+		t.Fatal("identical messages unequal")
+	}
+	b.AddString("x", "y", "z")
+	if a.Equal(b) {
+		t.Fatal("different lengths equal")
+	}
+	c := New().AddString("jxta", "SrcPeer", "other").
+		Add("jxta", "Payload", []byte{0, 1, 0xff}).AddString("app", "Note", "hello")
+	if a.Equal(c) {
+		t.Fatal("different payloads equal")
+	}
+}
+
+// Property: Marshal/Unmarshal is the identity for arbitrary element content,
+// including empty and binary payloads.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ns, name string, data []byte, ns2, name2 string, data2 []byte) bool {
+		m := New().Add(ns, name, data).Add(ns2, name2, data2)
+		back, err := Unmarshal(m.Marshal())
+		return err == nil && back.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary input.
+func TestUnmarshalRobustness(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// Also fuzz mutations of a valid frame.
+	valid := sample().Marshal()
+	for i := range valid {
+		mutated := append([]byte{}, valid...)
+		mutated[i] ^= 0xff
+		_, _ = Unmarshal(mutated)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	m := sample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Marshal()
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	data := sample().Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	m := sample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Clone()
+	}
+}
+
+// Property: Size() stays within a small constant factor of the true wire
+// length (the network model charges latency by it).
+func TestSizeTracksWireLengthProperty(t *testing.T) {
+	f := func(ns, name string, data []byte) bool {
+		m := New().Add(ns, name, data)
+		wire := len(m.Marshal())
+		est := m.Size()
+		return est >= wire/2 && est <= wire*2+32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package node assembles the full JXTA stack for one peer: transport,
+// endpoint service + ERP, resolver, rendezvous service (peerview + lease +
+// propagation, role-dependent), cache manager and discovery/LC-DHT. It is
+// the unit the deployment layer instantiates — one Node per simulated or
+// real peer.
+package node
+
+import (
+	"jxta/internal/advertisement"
+	"jxta/internal/cm"
+	"jxta/internal/discovery"
+	"jxta/internal/endpoint"
+	"jxta/internal/env"
+	"jxta/internal/ids"
+	"jxta/internal/peerview"
+	"jxta/internal/rendezvous"
+	"jxta/internal/resolver"
+	"jxta/internal/transport"
+)
+
+// Role selects the peer's place in the super-peer overlay.
+type Role int
+
+// The two JXTA 2.x peer roles the paper's overlays use.
+const (
+	// Edge peers attach to a rendezvous via the lease protocol.
+	Edge Role = iota
+	// Rendezvous peers run the peerview and the LC-DHT.
+	Rendezvous
+)
+
+// String names the role.
+func (r Role) String() string {
+	if r == Rendezvous {
+		return "rendezvous"
+	}
+	return "edge"
+}
+
+// Config describes one peer.
+type Config struct {
+	// Name is the human-readable peer name (also the advertisement name).
+	Name string
+	// Role selects edge or rendezvous behaviour.
+	Role Role
+	// Group is the peer group ID (defaults to the NetPeerGroup).
+	Group ids.ID
+	// Seeds are the initial rendezvous contacts: peerview bootstrap for a
+	// rendezvous, lease targets for an edge.
+	Seeds []peerview.Seed
+	// Peerview tunables (rendezvous only); zero fields take paper defaults.
+	Peerview peerview.Config
+	// Lease tunables.
+	Lease rendezvous.Config
+	// Discovery tunables.
+	Discovery discovery.Config
+}
+
+// Node is a fully assembled peer.
+type Node struct {
+	Env        env.Env
+	ID         ids.ID
+	Config     Config
+	Endpoint   *endpoint.Endpoint
+	Resolver   *resolver.Service
+	PeerView   *peerview.PeerView // nil for edges
+	Rendezvous *rendezvous.Service
+	Discovery  *discovery.Service
+	Cache      *cm.Cache
+
+	rdvAdv  *advertisement.Rdv
+	started bool
+}
+
+// New assembles a peer over the given environment and transport. The peer
+// ID is drawn from the env's deterministic RNG, so overlays are reproducible
+// under a fixed experiment seed.
+func New(e env.Env, tr transport.Transport, cfg Config) *Node {
+	if cfg.Group.IsNil() {
+		cfg.Group = ids.FromName(ids.KindGroup, "NetPeerGroup")
+	}
+	if cfg.Name == "" {
+		cfg.Name = e.Name()
+	}
+	id := ids.NewRandom(ids.KindPeer, e.Rand())
+	ep := endpoint.New(e, id, tr)
+	res := resolver.New(e, ep)
+	cache := cm.New(e)
+
+	n := &Node{
+		Env:      e,
+		ID:       id,
+		Config:   cfg,
+		Endpoint: ep,
+		Resolver: res,
+		Cache:    cache,
+	}
+	if cfg.Role == Rendezvous {
+		n.rdvAdv = &advertisement.Rdv{
+			PeerID:  id,
+			GroupID: cfg.Group,
+			Name:    cfg.Name,
+			Address: string(tr.Addr()),
+		}
+		n.PeerView = peerview.New(e, ep, n.rdvAdv, cfg.Peerview, cfg.Seeds)
+		n.Rendezvous = rendezvous.NewRendezvous(e, ep, n.PeerView, cfg.Lease)
+	} else {
+		n.Rendezvous = rendezvous.NewEdge(e, ep, cfg.Seeds, cfg.Lease)
+	}
+	var busy discovery.BusySink
+	if sink, ok := tr.(discovery.BusySink); ok {
+		busy = sink
+	}
+	n.Discovery = discovery.New(e, ep, res, n.Rendezvous, cache, cfg.Discovery, busy)
+	return n
+}
+
+// Start brings the peer's services up.
+func (n *Node) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	if n.PeerView != nil {
+		n.PeerView.Start()
+	}
+	n.Rendezvous.Start()
+	n.Discovery.Start()
+}
+
+// Stop shuts the peer's services down (lease cancelled, timers stopped).
+func (n *Node) Stop() {
+	if !n.started {
+		return
+	}
+	n.started = false
+	n.Discovery.Stop()
+	n.Rendezvous.Stop()
+	if n.PeerView != nil {
+		n.PeerView.Stop()
+	}
+}
+
+// AddSeed wires an additional rendezvous seed at runtime and, for edges,
+// immediately tries to lease from it.
+func (n *Node) AddSeed(seed peerview.Seed) {
+	if n.PeerView != nil {
+		n.PeerView.AddSeed(seed)
+	}
+	n.Rendezvous.AddSeed(seed)
+	n.Rendezvous.Connect()
+}
+
+// Seed returns this peer as a seed entry for wiring other peers.
+func (n *Node) Seed() peerview.Seed {
+	return peerview.Seed{ID: n.ID, Addr: n.Endpoint.Addr()}
+}
+
+// RdvAdv returns the rendezvous advertisement (nil for edges).
+func (n *Node) RdvAdv() *advertisement.Rdv { return n.rdvAdv }
+
+// IsRendezvous reports the role.
+func (n *Node) IsRendezvous() bool { return n.PeerView != nil }
+
+// PeerAdv builds this peer's peer advertisement (the Table 1 example
+// publishes one of these with Name "Test").
+func (n *Node) PeerAdv() *advertisement.Peer {
+	return &advertisement.Peer{
+		PeerID:    n.ID,
+		Name:      n.Config.Name,
+		Addresses: []string{string(n.Endpoint.Addr())},
+	}
+}

@@ -1,0 +1,181 @@
+package node_test
+
+import (
+	"testing"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/discovery"
+	"jxta/internal/env"
+	"jxta/internal/ids"
+	"jxta/internal/node"
+	"jxta/internal/peerview"
+	"jxta/internal/rendezvous"
+	"jxta/internal/transport"
+)
+
+// livePeer bundles a real-TCP peer for integration tests.
+type livePeer struct {
+	n  *node.Node
+	e  *env.Real
+	tr *transport.TCP
+}
+
+func newLivePeer(t *testing.T, name string, role node.Role, seeds []peerview.Seed, rngSeed int64) *livePeer {
+	t.Helper()
+	tr, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	e := env.NewReal(name, rngSeed)
+	var n *node.Node
+	e.Locked(func() {
+		n = node.New(e, tr, node.Config{
+			Name:      name,
+			Role:      role,
+			Seeds:     seeds,
+			Discovery: discovery.DefaultConfig(),
+		})
+		n.Start()
+	})
+	t.Cleanup(func() { e.Locked(func() { n.Stop() }) })
+	return &livePeer{n: n, e: e, tr: tr}
+}
+
+func (p *livePeer) connected() bool {
+	ok := false
+	p.e.Locked(func() { _, ok = p.n.Rendezvous.ConnectedRdv() })
+	return ok
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFullStackOverTCP runs the complete protocol stack — lease, SRDI push,
+// LC-DHT replica, resolver, direct response — over real localhost sockets.
+func TestFullStackOverTCP(t *testing.T) {
+	rdv := newLivePeer(t, "rdv", node.Rendezvous, nil, 1)
+	seed := peerview.Seed{ID: rdv.n.ID, Addr: rdv.tr.Addr()}
+	pub := newLivePeer(t, "pub", node.Edge, []peerview.Seed{seed}, 2)
+	search := newLivePeer(t, "search", node.Edge, []peerview.Seed{seed}, 3)
+
+	waitFor(t, "leases", 10*time.Second, func() bool {
+		return pub.connected() && search.connected()
+	})
+
+	pub.e.Locked(func() {
+		pub.n.Discovery.Publish(&advertisement.Resource{
+			ResID: ids.FromName(ids.KindAdv, "tcp-test"),
+			Name:  "tcp-test",
+		}, 0)
+	})
+
+	found := make(chan discovery.Result, 1)
+	// The SRDI push needs a moment on the wire before the query.
+	time.Sleep(200 * time.Millisecond)
+	search.e.Locked(func() {
+		search.n.Discovery.Query("Resource", "Name", "tcp-test",
+			func(r discovery.Result) {
+				select {
+				case found <- r:
+				default:
+				}
+			}, nil)
+	})
+	select {
+	case r := <-found:
+		if len(r.Advs) != 1 || !r.From.Equal(pub.n.ID) {
+			t.Fatalf("wrong result: %d advs from %s", len(r.Advs), r.From.Short())
+		}
+		if r.Elapsed <= 0 {
+			t.Fatal("no latency measured")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("discovery over TCP never completed")
+	}
+}
+
+// TestHelloBootstrapOverTCP exercises the live join path used by
+// cmd/jxta-node: learn the seed's ID from its address, then lease.
+func TestHelloBootstrapOverTCP(t *testing.T) {
+	rdv := newLivePeer(t, "rdv2", node.Rendezvous, nil, 4)
+	joiner := newLivePeer(t, "joiner", node.Edge, nil, 5)
+
+	resolved := make(chan ids.ID, 1)
+	joiner.e.Locked(func() {
+		joiner.n.Endpoint.Hello(rdv.tr.Addr(), func(peer ids.ID, ok bool) {
+			if ok {
+				resolved <- peer
+			} else {
+				resolved <- ids.Nil
+			}
+		})
+	})
+	var seedID ids.ID
+	select {
+	case seedID = <-resolved:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hello never resolved")
+	}
+	if !seedID.Equal(rdv.n.ID) {
+		t.Fatalf("hello resolved %s, want %s", seedID.Short(), rdv.n.ID.Short())
+	}
+	joiner.e.Locked(func() {
+		joiner.n.AddSeed(peerview.Seed{ID: seedID, Addr: rdv.tr.Addr()})
+	})
+	waitFor(t, "post-hello lease", 10*time.Second, joiner.connected)
+}
+
+// TestLeaseSurvivesOverTCP checks wall-clock renewal on the live stack with
+// a short lease.
+func TestLeaseSurvivesOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock renewal test")
+	}
+	rdv := newLivePeer(t, "rdv3", node.Rendezvous, nil, 6)
+	seed := peerview.Seed{ID: rdv.n.ID, Addr: rdv.tr.Addr()}
+
+	tr, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	e := env.NewReal("shortlease", 7)
+	var n *node.Node
+	e.Locked(func() {
+		n = node.New(e, tr, node.Config{
+			Name: "shortlease", Role: node.Edge,
+			Seeds: []peerview.Seed{seed},
+			Lease: leaseConfig(400*time.Millisecond, 150*time.Millisecond),
+		})
+		n.Start()
+	})
+	t.Cleanup(func() { e.Locked(func() { n.Stop() }) })
+
+	waitFor(t, "initial lease", 5*time.Second, func() bool {
+		ok := false
+		e.Locked(func() { _, ok = n.Rendezvous.ConnectedRdv() })
+		return ok
+	})
+	// Survive several renewal cycles.
+	time.Sleep(1500 * time.Millisecond)
+	stillClient := false
+	rdv.e.Locked(func() { stillClient = rdv.n.Rendezvous.HasClient(n.ID) })
+	if !stillClient {
+		t.Fatal("lease lapsed despite renewals on the live stack")
+	}
+}
+
+func leaseConfig(duration, timeout time.Duration) rendezvous.Config {
+	return rendezvous.Config{LeaseDuration: duration, ResponseTimeout: timeout}
+}

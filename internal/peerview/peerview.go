@@ -1,0 +1,425 @@
+// Package peerview implements the JXTA peerview protocol (§3.2 of the
+// paper), the sub-protocol of the rendezvous protocol by which rendezvous
+// peers organize themselves into a loosely-consistent, ID-ordered membership
+// view. The local peerview drives both message routing across the rendezvous
+// network and the LC-DHT replica mapping, so its convergence behaviour is
+// exactly what the paper's Figure 3 and Figure 4 (left) measure.
+//
+// The periodic algorithm is the paper's Algorithm 1, with the same tunables
+// and defaults:
+//
+//	PEERVIEW_INTERVAL = 30 s   (Config.Interval)
+//	PVE_EXPIRATION    = 20 min (Config.EntryExpiry)
+//	HAPPY_SIZE        = 4      (Config.HappySize)
+//
+// Every iteration the peer (1) removes expired entries, (2) probes its
+// upper and lower neighbours in the ID order — or, when the view is happy,
+// replaces one probe in three with a one-way update of its own entry — and
+// (3) probes its seed rendezvous while the view is below HAPPY_SIZE. A probe
+// carries the sender's rendezvous advertisement; the receiver answers with
+// its own advertisement and, in a separate message, a referral: the
+// advertisement of a randomly chosen third rendezvous. A referral for an
+// unknown peer is not inserted directly — the peer probes the referred
+// rendezvous first and inserts it when it answers (§3.2).
+package peerview
+
+import (
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/endpoint"
+	"jxta/internal/env"
+	"jxta/internal/ids"
+	"jxta/internal/message"
+	"jxta/internal/transport"
+)
+
+// ServiceName is the endpoint service the peerview protocol listens on.
+const ServiceName = "rdv.peerview"
+
+// Message element names, namespace "pv".
+const (
+	ns       = "pv"
+	elemType = "Type"
+	elemAdv  = "RdvAdv"
+
+	typeProbe    = "probe"
+	typeResponse = "response"
+	typeReferral = "referral"
+	typeUpdate   = "update"
+)
+
+// Config carries the protocol tunables. The zero value is replaced by the
+// paper's defaults.
+type Config struct {
+	// Interval is PEERVIEW_INTERVAL, the pause between loop iterations.
+	Interval time.Duration
+	// EntryExpiry is PVE_EXPIRATION, the lifetime of an un-refreshed
+	// peerview entry. Set very large (e.g. 365 days) to reproduce the
+	// paper's "tuned" configuration of Figure 4 (left).
+	EntryExpiry time.Duration
+	// HappySize is HAPPY_SIZE, the minimum view size below which the peer
+	// probes aggressively (neighbours every round, plus seeds).
+	HappySize int
+	// ReferralsPerProbe is how many referral advertisements a rendezvous
+	// returns for each probe. JXTA-C returns one referral message per
+	// probe; the message may carry several advertisements. This is the
+	// gossip fan-out that sets the steady-state view size at large r.
+	ReferralsPerProbe int
+}
+
+// DefaultConfig returns the paper's default tunables.
+func DefaultConfig() Config {
+	return Config{
+		Interval:          30 * time.Second,
+		EntryExpiry:       20 * time.Minute,
+		HappySize:         4,
+		ReferralsPerProbe: 2,
+	}
+}
+
+// withDefaults fills zero fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Interval <= 0 {
+		c.Interval = d.Interval
+	}
+	if c.EntryExpiry <= 0 {
+		c.EntryExpiry = d.EntryExpiry
+	}
+	if c.HappySize <= 0 {
+		c.HappySize = d.HappySize
+	}
+	if c.ReferralsPerProbe <= 0 {
+		c.ReferralsPerProbe = d.ReferralsPerProbe
+	}
+	return c
+}
+
+// Seed identifies an initial rendezvous contact.
+type Seed struct {
+	ID   ids.ID
+	Addr transport.Addr
+}
+
+// EventKind classifies peerview membership events (Figure 3 right).
+type EventKind int
+
+// Membership event kinds.
+const (
+	EventAdd EventKind = iota
+	EventRemove
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if k == EventAdd {
+		return "add"
+	}
+	return "remove"
+}
+
+// Listener observes membership events as they happen.
+type Listener func(kind EventKind, peer ids.ID, at time.Duration)
+
+// entry is one peerview slot: the advertisement plus its last refresh time.
+type entry struct {
+	adv     *advertisement.Rdv
+	renewed time.Duration
+}
+
+// PeerView runs the protocol for one rendezvous peer.
+type PeerView struct {
+	env   env.Env
+	ep    *endpoint.Endpoint
+	self  *advertisement.Rdv
+	cfg   Config
+	seeds []Seed
+
+	// entries is the local peerview, sorted by peer ID, excluding self
+	// (the paper's measurements exclude the local peer, footnote 2).
+	entries  []*entry
+	byID     map[ids.ID]*entry
+	ticker   *env.Ticker
+	listener Listener
+
+	// probed tracks outstanding probes triggered by referrals, so one
+	// referral storm cannot launch duplicate probes within an interval.
+	probed map[ids.ID]time.Duration
+
+	// Rounds counts loop iterations (diagnostics).
+	Rounds int
+}
+
+// New builds a peerview for the rendezvous peer described by self. Start
+// must be called to begin the periodic algorithm.
+func New(e env.Env, ep *endpoint.Endpoint, self *advertisement.Rdv, cfg Config, seeds []Seed) *PeerView {
+	pv := &PeerView{
+		env:    e,
+		ep:     ep,
+		self:   self,
+		cfg:    cfg.withDefaults(),
+		seeds:  seeds,
+		byID:   make(map[ids.ID]*entry),
+		probed: make(map[ids.ID]time.Duration),
+	}
+	ep.Register(ServiceName, pv.receive)
+	return pv
+}
+
+// Start begins the periodic algorithm. The first iteration runs immediately
+// (bootstrap probing of seeds), subsequent ones every Interval.
+func (pv *PeerView) Start() {
+	if pv.ticker != nil {
+		return
+	}
+	pv.env.After(0, pv.iterate)
+	pv.ticker = env.NewTicker(pv.env, pv.cfg.Interval, pv.iterate)
+}
+
+// Stop halts the periodic algorithm ("until rendezvous service is stopped").
+func (pv *PeerView) Stop() {
+	if pv.ticker != nil {
+		pv.ticker.Stop()
+		pv.ticker = nil
+	}
+}
+
+// AddSeed appends a bootstrap seed at runtime (live joins).
+func (pv *PeerView) AddSeed(seed Seed) { pv.seeds = append(pv.seeds, seed) }
+
+// SetListener installs the membership event observer.
+func (pv *PeerView) SetListener(l Listener) { pv.listener = l }
+
+// Size returns l, the local peerview size excluding the local peer.
+func (pv *PeerView) Size() int { return len(pv.entries) }
+
+// Contains reports whether the peer is currently in the view.
+func (pv *PeerView) Contains(id ids.ID) bool {
+	_, ok := pv.byID[id]
+	return ok
+}
+
+// View returns the ordered peerview including the local peer — the list the
+// LC-DHT replica function indexes into (§3.3 computes positions on the full
+// ordered list).
+func (pv *PeerView) View() []ids.ID {
+	out := make([]ids.ID, 0, len(pv.entries)+1)
+	inserted := false
+	for _, en := range pv.entries {
+		if !inserted && pv.self.PeerID.Less(en.adv.PeerID) {
+			out = append(out, pv.self.PeerID)
+			inserted = true
+		}
+		out = append(out, en.adv.PeerID)
+	}
+	if !inserted {
+		out = append(out, pv.self.PeerID)
+	}
+	return out
+}
+
+// Neighbors returns the current lower_rdv and upper_rdv: the entries whose
+// IDs immediately precede and follow the local peer ID in the sorted view.
+// Either may be Nil when the view is empty on that side (peers at the ends
+// of the sorted list have only one neighbour to probe).
+func (pv *PeerView) Neighbors() (lower, upper ids.ID) {
+	for _, en := range pv.entries {
+		if en.adv.PeerID.Less(pv.self.PeerID) {
+			lower = en.adv.PeerID
+		} else {
+			return lower, en.adv.PeerID
+		}
+	}
+	return lower, ids.Nil
+}
+
+// iterate is one pass of Algorithm 1.
+func (pv *PeerView) iterate() {
+	pv.Rounds++
+	pv.expireSweep()
+
+	l := pv.Size()
+	lower, upper := pv.Neighbors()
+	for _, rdv := range [2]ids.ID{upper, lower} {
+		if rdv.IsNil() {
+			continue
+		}
+		if l < pv.cfg.HappySize {
+			pv.sendProbe(rdv)
+		} else if pv.env.Rand().Intn(3) == 0 {
+			pv.sendUpdate(rdv)
+		} else {
+			pv.sendProbe(rdv)
+		}
+	}
+	if l < pv.cfg.HappySize {
+		for _, seed := range pv.seeds {
+			if seed.ID.Equal(pv.self.PeerID) {
+				continue
+			}
+			pv.ep.AddRoute(seed.ID, seed.Addr)
+			pv.sendProbe(seed.ID)
+		}
+	}
+	// Garbage-collect the referral-probe dedup set.
+	cutoff := pv.env.Now() - pv.cfg.Interval
+	for id, at := range pv.probed {
+		if at < cutoff {
+			delete(pv.probed, id)
+		}
+	}
+}
+
+// expireSweep removes entries older than EntryExpiry (Algorithm 1, line 3).
+func (pv *PeerView) expireSweep() {
+	now := pv.env.Now()
+	kept := pv.entries[:0]
+	for _, en := range pv.entries {
+		if now-en.renewed > pv.cfg.EntryExpiry {
+			delete(pv.byID, en.adv.PeerID)
+			pv.notify(EventRemove, en.adv.PeerID)
+			continue
+		}
+		kept = append(kept, en)
+	}
+	pv.entries = kept
+}
+
+func (pv *PeerView) notify(kind EventKind, peer ids.ID) {
+	if pv.listener != nil {
+		pv.listener(kind, peer, pv.env.Now())
+	}
+}
+
+// upsert inserts or refreshes an entry from a received advertisement,
+// keeping the slice sorted. It reports whether the entry was new.
+func (pv *PeerView) upsert(adv *advertisement.Rdv) bool {
+	if adv.PeerID.Equal(pv.self.PeerID) {
+		return false
+	}
+	pv.ep.AddRoute(adv.PeerID, transport.Addr(adv.Address))
+	if en, ok := pv.byID[adv.PeerID]; ok {
+		en.adv = adv
+		en.renewed = pv.env.Now()
+		return false
+	}
+	en := &entry{adv: adv, renewed: pv.env.Now()}
+	pv.byID[adv.PeerID] = en
+	// Binary insertion keeping ID order.
+	lo, hi := 0, len(pv.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pv.entries[mid].adv.PeerID.Less(adv.PeerID) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	pv.entries = append(pv.entries, nil)
+	copy(pv.entries[lo+1:], pv.entries[lo:])
+	pv.entries[lo] = en
+	pv.notify(EventAdd, adv.PeerID)
+	return true
+}
+
+// send transmits a typed peerview message carrying the given advertisement.
+func (pv *PeerView) send(to ids.ID, msgType string, adv *advertisement.Rdv) {
+	m := advertisementMessage(msgType, adv)
+	if m == nil {
+		return
+	}
+	_ = pv.ep.Send(to, ServiceName, m) // unreachable peers age out naturally
+}
+
+func advertisementMessage(msgType string, adv *advertisement.Rdv) *message.Message {
+	data, err := advertisement.EncodeXML(adv)
+	if err != nil {
+		return nil
+	}
+	m := message.New()
+	m.AddString(ns, elemType, msgType)
+	m.Add(ns, elemAdv, data)
+	return m
+}
+
+func (pv *PeerView) sendProbe(to ids.ID)  { pv.send(to, typeProbe, pv.self) }
+func (pv *PeerView) sendUpdate(to ids.ID) { pv.send(to, typeUpdate, pv.self) }
+
+// receive handles inbound peerview messages.
+func (pv *PeerView) receive(src ids.ID, m *message.Message) {
+	msgType := m.GetString(ns, elemType)
+	data, ok := m.Get(ns, elemAdv)
+	if !ok {
+		return
+	}
+	advAny, err := advertisement.DecodeXML(data)
+	if err != nil {
+		return
+	}
+	adv, ok := advAny.(*advertisement.Rdv)
+	if !ok {
+		return
+	}
+
+	switch msgType {
+	case typeProbe:
+		// The probe carries the sender's advertisement: learn/refresh it,
+		// then answer with our own advertisement plus a separate referral
+		// message naming randomly chosen other rendezvous.
+		pv.upsert(adv)
+		pv.send(src, typeResponse, pv.self)
+		pv.sendReferrals(src)
+	case typeResponse:
+		pv.upsert(adv)
+	case typeUpdate:
+		pv.upsert(adv)
+	case typeReferral:
+		if pv.byID[adv.PeerID] != nil {
+			// Known peer: the referral's fresh advertisement renews it.
+			pv.upsert(adv)
+			return
+		}
+		if adv.PeerID.Equal(pv.self.PeerID) {
+			return
+		}
+		// Unknown peer: probe before adding (§3.2). Dedup within an
+		// interval to avoid probe storms under referral bursts.
+		if _, inflight := pv.probed[adv.PeerID]; inflight {
+			return
+		}
+		pv.probed[adv.PeerID] = pv.env.Now()
+		pv.ep.AddRoute(adv.PeerID, transport.Addr(adv.Address))
+		pv.sendProbe(adv.PeerID)
+	}
+}
+
+// sendReferrals picks up to ReferralsPerProbe random entries (excluding the
+// prober and ourselves) and sends each as a referral message to the prober.
+func (pv *PeerView) sendReferrals(to ids.ID) {
+	n := len(pv.entries)
+	if n == 0 {
+		return
+	}
+	want := pv.cfg.ReferralsPerProbe
+	if want > n {
+		want = n
+	}
+	rng := pv.env.Rand()
+	sent := 0
+	// Sample without replacement via a bounded number of draws.
+	seen := make(map[int]bool, want*2)
+	for tries := 0; tries < 4*want && sent < want; tries++ {
+		i := rng.Intn(n)
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		adv := pv.entries[i].adv
+		if adv.PeerID.Equal(to) {
+			continue
+		}
+		pv.send(to, typeReferral, adv)
+		sent++
+	}
+}

@@ -1,0 +1,176 @@
+// Package pipe implements JXTA unicast pipes: the virtual communication
+// channels applications use on top of the discovery machinery (the paper's
+// §3.1 lists peer-to-peer communication among the building blocks the
+// protocols provide). A receiving peer binds an input pipe and publishes
+// the pipe advertisement; a sending peer resolves the advertisement through
+// the LC-DHT discovery protocol — which is exactly the pipe binding
+// protocol's job in JXTA — and then sends messages point to point over the
+// endpoint service.
+package pipe
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/discovery"
+	"jxta/internal/endpoint"
+	"jxta/internal/env"
+	"jxta/internal/ids"
+	"jxta/internal/message"
+)
+
+// ServiceName is the endpoint service pipe messages travel on.
+const ServiceName = "pipe.msg"
+
+// Message elements, namespace "pipe".
+const (
+	ns         = "pipe"
+	elemPipeID = "Id"
+	elemData   = "Data"
+)
+
+// UnicastType is the pipe type tag for point-to-point pipes.
+const UnicastType = "JxtaUnicast"
+
+// Receiver consumes inbound pipe payloads.
+type Receiver func(src ids.ID, data []byte)
+
+// Errors.
+var (
+	ErrAlreadyBound = errors.New("pipe: pipe already bound on this peer")
+	ErrNotResolved  = errors.New("pipe: endpoint not resolved")
+	ErrResolve      = errors.New("pipe: could not resolve pipe binder")
+)
+
+// Service is one peer's pipe service.
+type Service struct {
+	env   env.Env
+	ep    *endpoint.Endpoint
+	disco *discovery.Service
+	bound map[ids.ID]*InputPipe
+}
+
+// New wires the pipe service into a peer's endpoint and discovery services.
+func New(e env.Env, ep *endpoint.Endpoint, disco *discovery.Service) *Service {
+	s := &Service{
+		env:   e,
+		ep:    ep,
+		disco: disco,
+		bound: make(map[ids.ID]*InputPipe),
+	}
+	ep.Register(ServiceName, s.receive)
+	return s
+}
+
+// InputPipe is a bound receiving end.
+type InputPipe struct {
+	svc  *Service
+	Adv  *advertisement.Pipe
+	recv Receiver
+	// Received counts delivered payloads.
+	Received uint64
+}
+
+// Bind attaches a receiver to the pipe described by adv and publishes the
+// advertisement so senders can resolve this peer. One binder per pipe per
+// peer.
+func (s *Service) Bind(adv *advertisement.Pipe, recv Receiver) (*InputPipe, error) {
+	if adv.Kind == "" {
+		adv.Kind = UnicastType
+	}
+	if _, dup := s.bound[adv.PipeID]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrAlreadyBound, adv.PipeID.Short())
+	}
+	in := &InputPipe{svc: s, Adv: adv, recv: recv}
+	s.bound[adv.PipeID] = in
+	s.disco.Publish(adv, 0)
+	return in, nil
+}
+
+// Close unbinds the pipe. Already-in-flight messages are dropped.
+func (in *InputPipe) Close() {
+	delete(in.svc.bound, in.Adv.PipeID)
+}
+
+// OutputPipe is a resolved sending end.
+type OutputPipe struct {
+	svc    *Service
+	PipeID ids.ID
+	// Binder is the peer holding the input pipe.
+	Binder ids.ID
+	// Sent counts transmitted payloads.
+	Sent uint64
+}
+
+// Connect resolves the pipe's binder through the discovery protocol and
+// hands an OutputPipe to cb. cb fires with err != nil if resolution fails
+// within the discovery timeout.
+func (s *Service) Connect(pipeID ids.ID, cb func(*OutputPipe, error)) {
+	err := s.disco.Query("Pipe", "Id", pipeID.String(),
+		func(r discovery.Result) {
+			// The responder is the publisher of the pipe advertisement,
+			// i.e. the binder; the response installed a route to it.
+			cb(&OutputPipe{svc: s, PipeID: pipeID, Binder: r.From}, nil)
+		},
+		func() { cb(nil, ErrResolve) })
+	if err != nil {
+		s.env.After(0, func() { cb(nil, err) })
+	}
+}
+
+// ConnectAdv resolves from an already-known advertisement (skips the
+// discovery lookup when the binder's route is known).
+func (s *Service) ConnectAdv(adv *advertisement.Pipe, binder ids.ID) *OutputPipe {
+	return &OutputPipe{svc: s, PipeID: adv.PipeID, Binder: binder}
+}
+
+// Send transmits one payload to the binder.
+func (o *OutputPipe) Send(data []byte) error {
+	if o.Binder.IsNil() {
+		return ErrNotResolved
+	}
+	m := message.New()
+	m.AddString(ns, elemPipeID, o.PipeID.String())
+	m.Add(ns, elemData, data)
+	if err := o.svc.ep.Send(o.Binder, ServiceName, m); err != nil {
+		return err
+	}
+	o.Sent++
+	return nil
+}
+
+// receive dispatches inbound pipe traffic to the bound receiver.
+func (s *Service) receive(src ids.ID, m *message.Message) {
+	pipeID, err := ids.Parse(m.GetString(ns, elemPipeID))
+	if err != nil {
+		return
+	}
+	in, ok := s.bound[pipeID]
+	if !ok {
+		return // unbound or closed: silently dropped, like JXTA
+	}
+	data, ok := m.Get(ns, elemData)
+	if !ok {
+		return
+	}
+	in.Received++
+	if in.recv != nil {
+		in.recv(src, data)
+	}
+}
+
+// NewPipeAdv mints a pipe advertisement with a deterministic ID derived
+// from the owner and name.
+func NewPipeAdv(owner ids.ID, name string) *advertisement.Pipe {
+	return &advertisement.Pipe{
+		PipeID: ids.FromName(ids.KindPipe, owner.String()+"/"+name),
+		Name:   name,
+		Kind:   UnicastType,
+	}
+}
+
+// ResolveTimeout is how long Connect effectively waits (the discovery
+// resolver timeout governs it); exposed for documentation.
+const ResolveTimeout = 30 * time.Second

@@ -1,0 +1,191 @@
+package pipe_test
+
+import (
+	"testing"
+	"time"
+
+	"jxta/internal/deploy"
+	"jxta/internal/ids"
+	"jxta/internal/node"
+	"jxta/internal/pipe"
+	"jxta/internal/topology"
+)
+
+// rig deploys a small converged overlay with two edges and pipe services.
+type rig struct {
+	o       *deploy.Overlay
+	binder  *node.Node
+	sender  *node.Node
+	binderP *pipe.Service
+	senderP *pipe.Service
+}
+
+func newRig(t *testing.T, seed int64) *rig {
+	t.Helper()
+	o, err := deploy.Build(deploy.Spec{
+		Seed:     seed,
+		NumRdv:   5,
+		Topology: topology.Chain,
+		Edges: []deploy.EdgeGroup{
+			{AttachTo: 0, Count: 1, Prefix: "binder"},
+			{AttachTo: 4, Count: 1, Prefix: "sender"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.StartAll()
+	binder, sender := o.Edges[0], o.Edges[1]
+	r := &rig{
+		o:       o,
+		binder:  binder,
+		sender:  sender,
+		binderP: pipe.New(binder.Env, binder.Endpoint, binder.Discovery),
+		senderP: pipe.New(sender.Env, sender.Endpoint, sender.Discovery),
+	}
+	o.Sched.Run(12 * time.Minute) // converge + leases
+	return r
+}
+
+func (r *rig) run(d time.Duration) { r.o.Sched.Run(r.o.Sched.Now() + d) }
+
+func TestBindConnectSend(t *testing.T) {
+	r := newRig(t, 1)
+	adv := pipe.NewPipeAdv(r.binder.ID, "inbox")
+	var got []string
+	var from ids.ID
+	in, err := r.binderP.Bind(adv, func(src ids.ID, data []byte) {
+		got = append(got, string(data))
+		from = src
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run(time.Minute) // SRDI push of the pipe advertisement
+
+	var out *pipe.OutputPipe
+	r.senderP.Connect(adv.PipeID, func(o *pipe.OutputPipe, err error) {
+		if err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		out = o
+	})
+	r.run(time.Minute)
+	if out == nil {
+		t.Fatal("pipe never resolved")
+	}
+	if !out.Binder.Equal(r.binder.ID) {
+		t.Fatalf("resolved binder %s, want %s", out.Binder.Short(), r.binder.ID.Short())
+	}
+	for _, payload := range []string{"hello", "world"} {
+		if err := out.Send([]byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.run(time.Minute)
+	if len(got) != 2 || got[0] != "hello" || got[1] != "world" {
+		t.Fatalf("received %v", got)
+	}
+	if !from.Equal(r.sender.ID) {
+		t.Fatal("sender identity lost")
+	}
+	if in.Received != 2 || out.Sent != 2 {
+		t.Fatalf("counters: in=%d out=%d", in.Received, out.Sent)
+	}
+}
+
+func TestDoubleBindRejected(t *testing.T) {
+	r := newRig(t, 2)
+	adv := pipe.NewPipeAdv(r.binder.ID, "dup")
+	if _, err := r.binderP.Bind(adv, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.binderP.Bind(adv, nil); err == nil {
+		t.Fatal("double bind accepted")
+	}
+}
+
+func TestConnectUnknownPipeFails(t *testing.T) {
+	r := newRig(t, 3)
+	ghost := ids.FromName(ids.KindPipe, "ghost")
+	var gotErr error
+	done := false
+	r.senderP.Connect(ghost, func(_ *pipe.OutputPipe, err error) {
+		gotErr = err
+		done = true
+	})
+	r.run(2 * time.Minute)
+	if !done || gotErr == nil {
+		t.Fatalf("unresolvable connect: done=%v err=%v", done, gotErr)
+	}
+}
+
+func TestClosedPipeDropsMessages(t *testing.T) {
+	r := newRig(t, 4)
+	adv := pipe.NewPipeAdv(r.binder.ID, "closing")
+	received := 0
+	in, err := r.binderP.Bind(adv, func(ids.ID, []byte) { received++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run(time.Minute)
+	out := r.senderP.ConnectAdv(adv, r.binder.ID)
+	// Route to the binder: learn it from the rendezvous network by
+	// resolving once through Connect.
+	var live *pipe.OutputPipe
+	r.senderP.Connect(adv.PipeID, func(o *pipe.OutputPipe, err error) {
+		if err == nil {
+			live = o
+		}
+	})
+	r.run(time.Minute)
+	if live == nil {
+		t.Fatal("resolution failed")
+	}
+	_ = out
+	live.Send([]byte("before"))
+	r.run(time.Minute)
+	in.Close()
+	live.Send([]byte("after"))
+	r.run(time.Minute)
+	if received != 1 {
+		t.Fatalf("received %d payloads, want 1 (post-close drop)", received)
+	}
+}
+
+func TestSendUnresolved(t *testing.T) {
+	r := newRig(t, 5)
+	out := &pipe.OutputPipe{}
+	_ = r
+	if err := out.Send([]byte("x")); err == nil {
+		t.Fatal("send on unresolved pipe succeeded")
+	}
+}
+
+func TestTwoPipesIndependent(t *testing.T) {
+	r := newRig(t, 6)
+	advA := pipe.NewPipeAdv(r.binder.ID, "a")
+	advB := pipe.NewPipeAdv(r.binder.ID, "b")
+	var gotA, gotB []string
+	if _, err := r.binderP.Bind(advA, func(_ ids.ID, d []byte) { gotA = append(gotA, string(d)) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.binderP.Bind(advB, func(_ ids.ID, d []byte) { gotB = append(gotB, string(d)) }); err != nil {
+		t.Fatal(err)
+	}
+	r.run(time.Minute)
+	var outA, outB *pipe.OutputPipe
+	r.senderP.Connect(advA.PipeID, func(o *pipe.OutputPipe, err error) { outA = o })
+	r.senderP.Connect(advB.PipeID, func(o *pipe.OutputPipe, err error) { outB = o })
+	r.run(time.Minute)
+	if outA == nil || outB == nil {
+		t.Fatal("resolution failed")
+	}
+	outA.Send([]byte("to-a"))
+	outB.Send([]byte("to-b"))
+	r.run(time.Minute)
+	if len(gotA) != 1 || gotA[0] != "to-a" || len(gotB) != 1 || gotB[0] != "to-b" {
+		t.Fatalf("cross-talk: a=%v b=%v", gotA, gotB)
+	}
+}

@@ -1,0 +1,446 @@
+// Package rendezvous implements the JXTA rendezvous protocol minus the
+// peerview (which lives in internal/peerview): the rendezvous lease
+// protocol, by which edge peers subscribe to a rendezvous peer, and the
+// rendezvous propagation protocol (the walker), which moves messages across
+// the ID-ordered rendezvous network (§3.2 items 2 and 3).
+//
+// Roles: a peer runs either as a rendezvous (super-peer, owns a peerview,
+// serves leases) or as an edge (holds a lease on one rendezvous and renews
+// it; fails over to another seed when the rendezvous dies).
+package rendezvous
+
+import (
+	"strconv"
+	"time"
+
+	"jxta/internal/endpoint"
+	"jxta/internal/env"
+	"jxta/internal/ids"
+	"jxta/internal/message"
+	"jxta/internal/peerview"
+)
+
+// Endpoint service names.
+const (
+	LeaseService = "rdv.lease"
+	WalkService  = "rdv.walk"
+)
+
+// Lease protocol elements, namespace "lease".
+const (
+	leaseNS       = "lease"
+	elemRequest   = "Request" // requested duration (ns)
+	elemGranted   = "Granted" // granted duration (ns)
+	elemCancelled = "Cancel"  // edge departing
+)
+
+// Walk protocol elements, namespace "walk".
+const (
+	walkNS      = "walk"
+	elemDir     = "Dir" // "up" or "down"
+	elemTTL     = "TTL"
+	elemSvc     = "Svc"    // target endpoint service at each hop
+	elemPayload = "Body"   // embedded message bytes
+	elemOrigin  = "Origin" // originating peer (dedup / diagnostics)
+	elemWalkID  = "WID"    // walk instance ID
+)
+
+// Direction of a peerview walk.
+type Direction int
+
+// Walk directions along the ID-sorted peerview.
+const (
+	Up Direction = iota
+	Down
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// Config tunes the lease protocol.
+type Config struct {
+	// LeaseDuration is how long a granted lease lasts (default 20 min,
+	// mirroring JXTA-C).
+	LeaseDuration time.Duration
+	// RenewFraction of the lease after which the edge renews (default 0.5).
+	RenewFraction float64
+	// ResponseTimeout bounds the wait for a lease grant before the edge
+	// fails over to the next seed (default 15 s).
+	ResponseTimeout time.Duration
+}
+
+// DefaultConfig returns JXTA-C-like lease tunables.
+func DefaultConfig() Config {
+	return Config{
+		LeaseDuration:   20 * time.Minute,
+		RenewFraction:   0.5,
+		ResponseTimeout: 15 * time.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.LeaseDuration <= 0 {
+		c.LeaseDuration = d.LeaseDuration
+	}
+	if c.RenewFraction <= 0 || c.RenewFraction >= 1 {
+		c.RenewFraction = d.RenewFraction
+	}
+	if c.ResponseTimeout <= 0 {
+		c.ResponseTimeout = d.ResponseTimeout
+	}
+	return c
+}
+
+// WalkHandler consumes a walked message at each visited rendezvous. Returning
+// true stops the walk at this peer (the walk found what it was looking for).
+type WalkHandler func(origin ids.ID, dir Direction, body *message.Message) (stop bool)
+
+// LeaseListener observes edge connectivity changes.
+type LeaseListener func(rdv ids.ID, connected bool)
+
+// Service is the rendezvous service of one peer, in either role.
+type Service struct {
+	env env.Env
+	ep  *endpoint.Endpoint
+	cfg Config
+
+	// Rendezvous role.
+	pv          *peerview.PeerView // nil on edges
+	clients     map[ids.ID]time.Duration
+	clientSweep *env.Ticker
+	walkHandler WalkHandler
+	walkSeen    map[string]bool
+	nextWalkID  uint64
+
+	// Edge role.
+	seeds       []peerview.Seed
+	seedIdx     int
+	connectedTo ids.ID
+	renewTimer  env.Timer
+	grantTimer  env.Timer
+	listeners   []LeaseListener
+	started     bool
+}
+
+// NewRendezvous builds the service in the rendezvous role, bound to the
+// peer's peerview.
+func NewRendezvous(e env.Env, ep *endpoint.Endpoint, pv *peerview.PeerView, cfg Config) *Service {
+	s := &Service{
+		env:      e,
+		ep:       ep,
+		cfg:      cfg.withDefaults(),
+		pv:       pv,
+		clients:  make(map[ids.ID]time.Duration),
+		walkSeen: make(map[string]bool),
+	}
+	ep.Register(LeaseService, s.receiveLease)
+	ep.Register(WalkService, s.receiveWalk)
+	return s
+}
+
+// NewEdge builds the service in the edge role with the given rendezvous
+// seeds (tried in order, wrapping around, on connect/failover).
+func NewEdge(e env.Env, ep *endpoint.Endpoint, seeds []peerview.Seed, cfg Config) *Service {
+	s := &Service{
+		env:   e,
+		ep:    ep,
+		cfg:   cfg.withDefaults(),
+		seeds: seeds,
+	}
+	ep.Register(LeaseService, s.receiveLease)
+	return s
+}
+
+// IsRendezvous reports the role.
+func (s *Service) IsRendezvous() bool { return s.pv != nil }
+
+// PeerView exposes the peerview (nil for edges).
+func (s *Service) PeerView() *peerview.PeerView { return s.pv }
+
+// AddLeaseListener registers an edge connectivity observer. Multiple
+// listeners are supported (the discovery service and the application may
+// both care about lease changes).
+func (s *Service) AddLeaseListener(l LeaseListener) {
+	s.listeners = append(s.listeners, l)
+}
+
+// SetWalkHandler installs the per-hop consumer for walked messages
+// (rendezvous role).
+func (s *Service) SetWalkHandler(h WalkHandler) { s.walkHandler = h }
+
+// Start begins the role's periodic work: client sweeping for rendezvous,
+// lease acquisition for edges.
+func (s *Service) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	if s.IsRendezvous() {
+		s.clientSweep = env.NewTicker(s.env, s.cfg.LeaseDuration/4, s.sweepClients)
+		return
+	}
+	s.env.After(0, s.requestLease)
+}
+
+// Stop halts periodic work and (for edges) cancels the lease.
+func (s *Service) Stop() {
+	if !s.started {
+		return
+	}
+	s.started = false
+	if s.clientSweep != nil {
+		s.clientSweep.Stop()
+		s.clientSweep = nil
+	}
+	s.cancelTimers()
+	if !s.connectedTo.IsNil() {
+		m := message.New().AddString(leaseNS, elemCancelled, "1")
+		_ = s.ep.Send(s.connectedTo, LeaseService, m)
+		s.setConnected(ids.Nil)
+	}
+}
+
+func (s *Service) cancelTimers() {
+	if s.renewTimer != nil {
+		s.renewTimer.Cancel()
+		s.renewTimer = nil
+	}
+	if s.grantTimer != nil {
+		s.grantTimer.Cancel()
+		s.grantTimer = nil
+	}
+}
+
+// --- Edge side: lease acquisition and renewal ---
+
+// AddSeed appends a rendezvous seed at runtime (live joins that discovered
+// the seed's ID via the endpoint hello).
+func (s *Service) AddSeed(seed peerview.Seed) {
+	s.seeds = append(s.seeds, seed)
+}
+
+// Connect (edge role) triggers an immediate lease request, e.g. after a
+// late AddSeed on an already-started service.
+func (s *Service) Connect() {
+	if s.started && !s.IsRendezvous() {
+		s.requestLease()
+	}
+}
+
+// ConnectedRdv returns the rendezvous currently holding this edge's lease.
+func (s *Service) ConnectedRdv() (ids.ID, bool) {
+	return s.connectedTo, !s.connectedTo.IsNil()
+}
+
+func (s *Service) setConnected(rdv ids.ID) {
+	if s.connectedTo.Equal(rdv) {
+		return
+	}
+	old := s.connectedTo
+	s.connectedTo = rdv
+	for _, l := range s.listeners {
+		if !old.IsNil() {
+			l(old, false)
+		}
+		if !rdv.IsNil() {
+			l(rdv, true)
+		}
+	}
+}
+
+// requestLease asks the current seed for a lease and arms the failover
+// timer.
+func (s *Service) requestLease() {
+	if !s.started || len(s.seeds) == 0 {
+		return
+	}
+	seed := s.seeds[s.seedIdx%len(s.seeds)]
+	s.ep.AddRoute(seed.ID, seed.Addr)
+	m := message.New().AddString(leaseNS, elemRequest,
+		strconv.FormatInt(int64(s.cfg.LeaseDuration), 10))
+	err := s.ep.Send(seed.ID, LeaseService, m)
+	target := seed.ID
+	s.grantTimer = s.env.After(s.cfg.ResponseTimeout, func() {
+		// No grant arrived: the rendezvous is presumed dead. Drop the
+		// stale connection (if this was a renewal) and fail over to the
+		// next seed.
+		if s.connectedTo.Equal(target) {
+			s.setConnected(ids.Nil)
+		}
+		s.seedIdx++
+		s.requestLease()
+	})
+	if err != nil {
+		// Send failed outright; the timer will advance to the next seed.
+		return
+	}
+}
+
+// --- Rendezvous side ---
+
+// Clients returns the edges currently holding leases.
+func (s *Service) Clients() []ids.ID {
+	out := make([]ids.ID, 0, len(s.clients))
+	for id := range s.clients {
+		out = append(out, id)
+	}
+	return out
+}
+
+// HasClient reports whether the edge currently leases here.
+func (s *Service) HasClient(edge ids.ID) bool {
+	expiry, ok := s.clients[edge]
+	return ok && expiry > s.env.Now()
+}
+
+func (s *Service) sweepClients() {
+	now := s.env.Now()
+	for id, expiry := range s.clients {
+		if expiry <= now {
+			delete(s.clients, id)
+		}
+	}
+}
+
+// receiveLease handles both sides of the lease protocol.
+func (s *Service) receiveLease(src ids.ID, m *message.Message) {
+	if req := m.GetString(leaseNS, elemRequest); req != "" {
+		if !s.IsRendezvous() {
+			return // edges do not grant leases
+		}
+		dur := s.cfg.LeaseDuration
+		if v, err := strconv.ParseInt(req, 10, 64); err == nil && v > 0 && time.Duration(v) < dur {
+			dur = time.Duration(v)
+		}
+		s.clients[src] = s.env.Now() + dur
+		rsp := message.New().AddString(leaseNS, elemGranted,
+			strconv.FormatInt(int64(dur), 10))
+		_ = s.ep.Send(src, LeaseService, rsp)
+		return
+	}
+	if m.GetString(leaseNS, elemCancelled) != "" {
+		delete(s.clients, src)
+		return
+	}
+	if granted := m.GetString(leaseNS, elemGranted); granted != "" {
+		v, err := strconv.ParseInt(granted, 10, 64)
+		if err != nil || v <= 0 {
+			return
+		}
+		if s.grantTimer != nil {
+			s.grantTimer.Cancel()
+			s.grantTimer = nil
+		}
+		s.setConnected(src)
+		renewIn := time.Duration(float64(v) * s.cfg.RenewFraction)
+		if s.renewTimer != nil {
+			s.renewTimer.Cancel()
+		}
+		s.renewTimer = s.env.After(renewIn, func() {
+			if s.started {
+				s.requestLease()
+			}
+		})
+	}
+}
+
+// --- Propagation protocol: the directional walker ---
+
+// Walk sends body to the walk handler of up to ttl successive rendezvous
+// peers in the given direction along this peer's view of the ID order. The
+// local peer is not visited. Rendezvous role only.
+func (s *Service) Walk(dir Direction, ttl int, svc string, body *message.Message) {
+	if !s.IsRendezvous() || ttl <= 0 {
+		return
+	}
+	lower, upper := s.pv.Neighbors()
+	next := upper
+	if dir == Down {
+		next = lower
+	}
+	if next.IsNil() {
+		return
+	}
+	s.nextWalkID++
+	wid := s.ep.ID().Short() + "-" + strconv.FormatUint(s.nextWalkID, 10)
+	s.forwardWalk(next, dir, ttl, wid, svc, body)
+}
+
+func (s *Service) forwardWalk(to ids.ID, dir Direction, ttl int, wid, svc string, body *message.Message) {
+	m := message.New()
+	m.AddString(walkNS, elemDir, dir.String())
+	m.AddString(walkNS, elemTTL, strconv.Itoa(ttl))
+	m.AddString(walkNS, elemSvc, svc)
+	m.AddString(walkNS, elemOrigin, s.ep.ID().String())
+	m.AddString(walkNS, elemWalkID, wid)
+	m.Add(walkNS, elemPayload, body.Marshal())
+	_ = s.ep.Send(to, WalkService, m)
+}
+
+// receiveWalk consumes a walked message: hand it to the walk handler, then
+// forward along the same direction using *this* peer's peerview (each hop
+// re-reads its own view, exactly how the LC-DHT fallback walks a partially
+// consistent overlay).
+func (s *Service) receiveWalk(src ids.ID, m *message.Message) {
+	if !s.IsRendezvous() {
+		return
+	}
+	dirStr := m.GetString(walkNS, elemDir)
+	ttl, err := strconv.Atoi(m.GetString(walkNS, elemTTL))
+	if err != nil || ttl <= 0 {
+		return
+	}
+	wid := m.GetString(walkNS, elemWalkID)
+	if wid == "" || s.walkSeen[wid] {
+		return // loop guard on inconsistent views
+	}
+	s.walkSeen[wid] = true
+	if len(s.walkSeen) > 8192 {
+		s.walkSeen = make(map[string]bool) // coarse reset; walks are short-lived
+	}
+	originID, err := ids.Parse(m.GetString(walkNS, elemOrigin))
+	if err != nil {
+		return
+	}
+	payload, ok := m.Get(walkNS, elemPayload)
+	if !ok {
+		return
+	}
+	body, err := message.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	dir := Up
+	if dirStr == Down.String() {
+		dir = Down
+	}
+	if s.walkHandler != nil && s.walkHandler(originID, dir, body) {
+		return // handler satisfied the walk
+	}
+	if ttl <= 1 {
+		return
+	}
+	lower, upper := s.pv.Neighbors()
+	next := upper
+	if dir == Down {
+		next = lower
+	}
+	if next.IsNil() || next.Equal(src) {
+		return
+	}
+	// Re-wrap preserving the original origin and walk ID.
+	fwd := message.New()
+	fwd.AddString(walkNS, elemDir, dir.String())
+	fwd.AddString(walkNS, elemTTL, strconv.Itoa(ttl-1))
+	fwd.AddString(walkNS, elemSvc, m.GetString(walkNS, elemSvc))
+	fwd.AddString(walkNS, elemOrigin, originID.String())
+	fwd.AddString(walkNS, elemWalkID, wid)
+	fwd.Add(walkNS, elemPayload, payload)
+	_ = s.ep.Send(next, WalkService, fwd)
+}

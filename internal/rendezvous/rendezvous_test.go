@@ -1,0 +1,423 @@
+package rendezvous
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/endpoint"
+	"jxta/internal/ids"
+	"jxta/internal/message"
+	"jxta/internal/netmodel"
+	"jxta/internal/peerview"
+	"jxta/internal/simnet"
+	"jxta/internal/transport"
+)
+
+var testGroup = ids.FromName(ids.KindGroup, "NetPeerGroup")
+
+type rdvPeer struct {
+	id  ids.ID
+	ep  *endpoint.Endpoint
+	pv  *peerview.PeerView
+	svc *Service
+	tr  *transport.Sim
+}
+
+type edgePeer struct {
+	id  ids.ID
+	ep  *endpoint.Endpoint
+	svc *Service
+	tr  *transport.Sim
+}
+
+// newRdvOverlay builds n rendezvous peers (chain seeds) with running
+// peerviews and rendezvous services.
+func newRdvOverlay(t *testing.T, sched *simnet.Scheduler, net *transport.Network, n int) []*rdvPeer {
+	t.Helper()
+	peers := make([]*rdvPeer, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("rdv%d", i)
+		e := sched.NewEnv(name)
+		tr, err := net.Attach(name, netmodel.Site(i%netmodel.NumSites))
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := ids.NewRandom(ids.KindPeer, e.Rand())
+		adv := &advertisement.Rdv{PeerID: id, GroupID: testGroup, Name: name,
+			Address: string(tr.Addr())}
+		ep := endpoint.New(e, id, tr)
+		var seeds []peerview.Seed
+		if i > 0 {
+			seeds = []peerview.Seed{{ID: peers[i-1].id, Addr: peers[i-1].tr.Addr()}}
+		}
+		pv := peerview.New(e, ep, adv, peerview.DefaultConfig(), seeds)
+		svc := NewRendezvous(e, ep, pv, DefaultConfig())
+		peers[i] = &rdvPeer{id: id, ep: ep, pv: pv, svc: svc, tr: tr}
+		pv.Start()
+		svc.Start()
+	}
+	return peers
+}
+
+func newEdge(t *testing.T, sched *simnet.Scheduler, net *transport.Network, name string, seeds []peerview.Seed, cfg Config) *edgePeer {
+	t.Helper()
+	e := sched.NewEnv(name)
+	tr, err := net.Attach(name, netmodel.Site(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ids.NewRandom(ids.KindPeer, e.Rand())
+	ep := endpoint.New(e, id, tr)
+	svc := NewEdge(e, ep, seeds, cfg)
+	return &edgePeer{id: id, ep: ep, svc: svc, tr: tr}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Up.String() != "up" || Down.String() != "down" {
+		t.Fatal("direction strings wrong")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg != DefaultConfig() {
+		t.Fatalf("withDefaults = %+v", cfg)
+	}
+	odd := Config{LeaseDuration: time.Minute, RenewFraction: 1.5, ResponseTimeout: time.Second}
+	got := odd.withDefaults()
+	if got.RenewFraction != 0.5 {
+		t.Fatal("out-of-range RenewFraction not defaulted")
+	}
+	if got.LeaseDuration != time.Minute {
+		t.Fatal("valid LeaseDuration overwritten")
+	}
+}
+
+func TestEdgeAcquiresLease(t *testing.T) {
+	sched := simnet.NewScheduler(1)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 1)
+	edge := newEdge(t, sched, net, "edge0",
+		[]peerview.Seed{{ID: rdvs[0].id, Addr: rdvs[0].tr.Addr()}}, DefaultConfig())
+	var events []bool
+	edge.svc.AddLeaseListener(func(rdv ids.ID, connected bool) {
+		if !rdv.Equal(rdvs[0].id) {
+			t.Errorf("lease event about wrong rdv")
+		}
+		events = append(events, connected)
+	})
+	edge.svc.Start()
+	sched.Run(time.Minute)
+	if got, ok := edge.svc.ConnectedRdv(); !ok || !got.Equal(rdvs[0].id) {
+		t.Fatal("edge not connected to its rendezvous")
+	}
+	if !rdvs[0].svc.HasClient(edge.id) {
+		t.Fatal("rendezvous does not list the edge as client")
+	}
+	if len(events) != 1 || !events[0] {
+		t.Fatalf("lease events = %v", events)
+	}
+}
+
+func TestLeaseRenewalKeepsClientAlive(t *testing.T) {
+	sched := simnet.NewScheduler(2)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 1)
+	cfg := Config{LeaseDuration: 2 * time.Minute}
+	edge := newEdge(t, sched, net, "edge0",
+		[]peerview.Seed{{ID: rdvs[0].id, Addr: rdvs[0].tr.Addr()}}, cfg)
+	edge.svc.Start()
+	// Run far past several lease durations: renewals must keep the client.
+	sched.Run(20 * time.Minute)
+	if !rdvs[0].svc.HasClient(edge.id) {
+		t.Fatal("client lapsed despite renewals")
+	}
+}
+
+func TestEdgeFailoverToSecondSeed(t *testing.T) {
+	sched := simnet.NewScheduler(3)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 2)
+	seeds := []peerview.Seed{
+		{ID: rdvs[0].id, Addr: rdvs[0].tr.Addr()},
+		{ID: rdvs[1].id, Addr: rdvs[1].tr.Addr()},
+	}
+	cfg := Config{LeaseDuration: 2 * time.Minute, ResponseTimeout: 10 * time.Second}
+	edge := newEdge(t, sched, net, "edge0", seeds, cfg)
+	edge.svc.Start()
+	sched.Run(time.Minute)
+	if got, _ := edge.svc.ConnectedRdv(); !got.Equal(rdvs[0].id) {
+		t.Fatal("edge did not connect to first seed")
+	}
+	// Kill rdv0: renewals fail, edge must fail over to rdv1.
+	rdvs[0].pv.Stop()
+	rdvs[0].svc.Stop()
+	rdvs[0].tr.Close()
+	sched.Run(20 * time.Minute)
+	got, ok := edge.svc.ConnectedRdv()
+	if !ok || !got.Equal(rdvs[1].id) {
+		t.Fatalf("edge did not fail over: connected=%v to %s", ok, got.Short())
+	}
+}
+
+func TestEdgeStopCancelsLease(t *testing.T) {
+	sched := simnet.NewScheduler(4)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 1)
+	edge := newEdge(t, sched, net, "edge0",
+		[]peerview.Seed{{ID: rdvs[0].id, Addr: rdvs[0].tr.Addr()}}, DefaultConfig())
+	edge.svc.Start()
+	sched.Run(time.Minute)
+	edge.svc.Stop()
+	sched.Run(2 * time.Minute)
+	if rdvs[0].svc.HasClient(edge.id) {
+		t.Fatal("lease survived explicit cancel")
+	}
+	if _, ok := edge.svc.ConnectedRdv(); ok {
+		t.Fatal("edge still connected after Stop")
+	}
+}
+
+func TestClientSweepExpiresSilentEdges(t *testing.T) {
+	sched := simnet.NewScheduler(5)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 1)
+	cfg := Config{LeaseDuration: 2 * time.Minute}
+	edge := newEdge(t, sched, net, "edge0",
+		[]peerview.Seed{{ID: rdvs[0].id, Addr: rdvs[0].tr.Addr()}}, cfg)
+	edge.svc.Start()
+	sched.Run(time.Minute)
+	// Edge dies without cancelling.
+	edge.svc.cancelTimers()
+	edge.svc.started = false
+	edge.tr.Close()
+	sched.Run(30 * time.Minute)
+	if rdvs[0].svc.HasClient(edge.id) {
+		t.Fatal("dead edge's lease never swept")
+	}
+	if len(rdvs[0].svc.Clients()) != 0 {
+		t.Fatal("clients list not empty")
+	}
+}
+
+func TestEdgesDoNotGrantLeases(t *testing.T) {
+	sched := simnet.NewScheduler(6)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	e1 := newEdge(t, sched, net, "e1", nil, DefaultConfig())
+	e2 := newEdge(t, sched, net, "e2",
+		[]peerview.Seed{{ID: e1.id, Addr: e1.tr.Addr()}}, DefaultConfig())
+	e2.svc.Start()
+	sched.Run(5 * time.Minute)
+	if _, ok := e2.svc.ConnectedRdv(); ok {
+		t.Fatal("edge obtained a lease from another edge")
+	}
+}
+
+func TestWalkVisitsPeersInOrder(t *testing.T) {
+	sched := simnet.NewScheduler(7)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 6)
+	sched.Run(10 * time.Minute) // converge peerviews
+
+	// Global ID order.
+	order := make([]ids.ID, len(rdvs))
+	byID := map[ids.ID]*rdvPeer{}
+	for i, p := range rdvs {
+		order[i] = p.id
+		byID[p.id] = p
+	}
+	ids.SortIDs(order)
+
+	var visited []ids.ID
+	for _, p := range rdvs {
+		p := p
+		p.svc.SetWalkHandler(func(origin ids.ID, dir Direction, body *message.Message) bool {
+			visited = append(visited, p.id)
+			return false
+		})
+	}
+	// Walk up from the lowest peer: must visit the rest in ascending order.
+	src := byID[order[0]]
+	src.svc.Walk(Up, 10, "svc", message.New().AddString("x", "y", "z"))
+	sched.Run(sched.Now() + time.Minute)
+	if len(visited) != len(rdvs)-1 {
+		t.Fatalf("walk visited %d peers, want %d", len(visited), len(rdvs)-1)
+	}
+	for i, id := range visited {
+		if !id.Equal(order[i+1]) {
+			t.Fatalf("walk order wrong at %d", i)
+		}
+	}
+}
+
+func TestWalkTTLBounds(t *testing.T) {
+	sched := simnet.NewScheduler(8)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 8)
+	sched.Run(10 * time.Minute)
+	order := make([]ids.ID, len(rdvs))
+	byID := map[ids.ID]*rdvPeer{}
+	for i, p := range rdvs {
+		order[i] = p.id
+		byID[p.id] = p
+	}
+	ids.SortIDs(order)
+	count := 0
+	for _, p := range rdvs {
+		p.svc.SetWalkHandler(func(ids.ID, Direction, *message.Message) bool {
+			count++
+			return false
+		})
+	}
+	byID[order[0]].svc.Walk(Up, 3, "svc", message.New())
+	sched.Run(sched.Now() + time.Minute)
+	if count != 3 {
+		t.Fatalf("TTL=3 walk visited %d peers", count)
+	}
+}
+
+func TestWalkStopsWhenHandlerSatisfied(t *testing.T) {
+	sched := simnet.NewScheduler(9)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 6)
+	sched.Run(10 * time.Minute)
+	order := make([]ids.ID, len(rdvs))
+	byID := map[ids.ID]*rdvPeer{}
+	for i, p := range rdvs {
+		order[i] = p.id
+		byID[p.id] = p
+	}
+	ids.SortIDs(order)
+	count := 0
+	for _, p := range rdvs {
+		p.svc.SetWalkHandler(func(ids.ID, Direction, *message.Message) bool {
+			count++
+			return count >= 2 // satisfied at the second hop
+		})
+	}
+	byID[order[0]].svc.Walk(Up, 100, "svc", message.New())
+	sched.Run(sched.Now() + time.Minute)
+	if count != 2 {
+		t.Fatalf("walk continued after satisfaction: %d visits", count)
+	}
+}
+
+func TestWalkDown(t *testing.T) {
+	sched := simnet.NewScheduler(10)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 5)
+	sched.Run(10 * time.Minute)
+	order := make([]ids.ID, len(rdvs))
+	byID := map[ids.ID]*rdvPeer{}
+	for i, p := range rdvs {
+		order[i] = p.id
+		byID[p.id] = p
+	}
+	ids.SortIDs(order)
+	var visited []ids.ID
+	for _, p := range rdvs {
+		p := p
+		p.svc.SetWalkHandler(func(ids.ID, Direction, *message.Message) bool {
+			visited = append(visited, p.id)
+			return false
+		})
+	}
+	byID[order[len(order)-1]].svc.Walk(Down, 10, "svc", message.New())
+	sched.Run(sched.Now() + time.Minute)
+	if len(visited) != len(rdvs)-1 {
+		t.Fatalf("down walk visited %d peers", len(visited))
+	}
+	for i, id := range visited {
+		if !id.Equal(order[len(order)-2-i]) {
+			t.Fatalf("down walk order wrong at %d", i)
+		}
+	}
+}
+
+func TestWalkBodyIntact(t *testing.T) {
+	sched := simnet.NewScheduler(11)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 3)
+	sched.Run(10 * time.Minute)
+	order := make([]ids.ID, len(rdvs))
+	byID := map[ids.ID]*rdvPeer{}
+	for i, p := range rdvs {
+		order[i] = p.id
+		byID[p.id] = p
+	}
+	ids.SortIDs(order)
+	var bodies []string
+	var origins []ids.ID
+	for _, p := range rdvs {
+		p.svc.SetWalkHandler(func(origin ids.ID, _ Direction, body *message.Message) bool {
+			bodies = append(bodies, body.GetString("disco", "query"))
+			origins = append(origins, origin)
+			return false
+		})
+	}
+	src := byID[order[0]]
+	src.svc.Walk(Up, 5, "disco", message.New().AddString("disco", "query", "find-me"))
+	sched.Run(sched.Now() + time.Minute)
+	if len(bodies) != 2 {
+		t.Fatalf("visits = %d", len(bodies))
+	}
+	for i := range bodies {
+		if bodies[i] != "find-me" {
+			t.Fatal("walk body corrupted")
+		}
+		if !origins[i].Equal(src.id) {
+			t.Fatal("walk origin lost")
+		}
+	}
+}
+
+func TestWalkOnEdgeIsNoop(t *testing.T) {
+	sched := simnet.NewScheduler(12)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	edge := newEdge(t, sched, net, "e", nil, DefaultConfig())
+	edge.svc.Walk(Up, 5, "svc", message.New()) // must not panic
+	sched.Run(time.Second)
+	if net.Stats().Messages != 0 {
+		t.Fatal("edge walk sent traffic")
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	sched := simnet.NewScheduler(13)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 1)
+	rdvs[0].svc.Start() // second start
+	rdvs[0].svc.Stop()
+	rdvs[0].svc.Stop() // second stop
+	sched.Run(time.Minute)
+}
+
+func TestAddSeedAndConnectLate(t *testing.T) {
+	// An edge started with no seeds joins later via AddSeed + Connect —
+	// the live-join path cmd/jxta-node uses after the hello bootstrap.
+	sched := simnet.NewScheduler(21)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 1)
+	edge := newEdge(t, sched, net, "late-edge", nil, DefaultConfig())
+	edge.svc.Start()
+	sched.Run(2 * time.Minute)
+	if _, ok := edge.svc.ConnectedRdv(); ok {
+		t.Fatal("seedless edge connected to something")
+	}
+	edge.svc.AddSeed(peerview.Seed{ID: rdvs[0].id, Addr: rdvs[0].tr.Addr()})
+	edge.svc.Connect()
+	sched.Run(sched.Now() + time.Minute)
+	if got, ok := edge.svc.ConnectedRdv(); !ok || !got.Equal(rdvs[0].id) {
+		t.Fatal("late AddSeed+Connect did not lease")
+	}
+}
+
+func TestConnectOnRendezvousIsNoop(t *testing.T) {
+	sched := simnet.NewScheduler(22)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 1)
+	rdvs[0].svc.Connect() // must not panic or send lease requests
+	sched.Run(time.Minute)
+}

@@ -1,0 +1,224 @@
+// Package resolver implements the JXTA peer resolver protocol: the generic,
+// topology-independent query/response layer sitting between the rendezvous
+// protocol and higher services (Figure 1 of the paper). Services register a
+// named handler; queries carry the handler name, a query ID, the source
+// peer and its return address, and a hop count. A handler may answer a
+// query, forward it toward a better-placed peer (the LC-DHT replica walk),
+// or ignore it. Responses travel directly back to the querying peer.
+package resolver
+
+import (
+	"strconv"
+	"time"
+
+	"jxta/internal/endpoint"
+	"jxta/internal/env"
+	"jxta/internal/ids"
+	"jxta/internal/message"
+	"jxta/internal/transport"
+)
+
+// ServiceName is the endpoint service the resolver listens on.
+const ServiceName = "resolver"
+
+// Message elements, namespace "res".
+const (
+	ns           = "res"
+	elemHandler  = "Handler"
+	elemQID      = "QID"
+	elemSrc      = "Src"
+	elemSrcAddr  = "SrcAddr"
+	elemHops     = "Hops"
+	elemQuery    = "Query"
+	elemResponse = "Response"
+)
+
+// MaxHops bounds query forwarding; the LC-DHT walk is O(r) so the bound must
+// exceed any experiment's rendezvous count.
+const MaxHops = 1024
+
+// Query is an in-flight resolver query as seen by a handler.
+type Query struct {
+	Handler string
+	QID     uint64
+	Src     ids.ID         // the originating peer
+	SrcAddr transport.Addr // return route hint
+	Hops    int
+	Payload []byte
+}
+
+// Handler processes queries addressed to a registered name. The handler owns
+// the query: it may call Respond, Forward, both or neither.
+type Handler func(q *Query)
+
+// ResponseCallback receives a response to a locally issued query. from is
+// the responding peer.
+type ResponseCallback func(payload []byte, from ids.ID)
+
+// TimeoutCallback fires if no response arrived within the query timeout.
+type TimeoutCallback func(qid uint64)
+
+// Service is one peer's resolver.
+type Service struct {
+	env env.Env
+	ep  *endpoint.Endpoint
+
+	handlers map[string]Handler
+	pending  map[uint64]*pendingQuery
+	nextQID  uint64
+
+	// Timeout is how long a locally issued query waits for its first
+	// response before the timeout callback fires. Zero disables timeouts.
+	Timeout time.Duration
+}
+
+type pendingQuery struct {
+	cb        ResponseCallback
+	onTimeout TimeoutCallback
+	timer     env.Timer
+}
+
+// New builds the resolver for a peer and registers its endpoint handler.
+func New(e env.Env, ep *endpoint.Endpoint) *Service {
+	s := &Service{
+		env:      e,
+		ep:       ep,
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint64]*pendingQuery),
+		Timeout:  30 * time.Second,
+	}
+	ep.Register(ServiceName, s.receive)
+	return s
+}
+
+// RegisterHandler installs (or replaces) the named query handler.
+func (s *Service) RegisterHandler(name string, h Handler) {
+	s.handlers[name] = h
+}
+
+// SendQuery issues a query to the given peer (an edge peer sends to its
+// rendezvous; a rendezvous may query any peerview member). cb fires for
+// every response received; onTimeout (optional) fires once if nothing
+// arrived within Timeout. The query ID is returned for correlation.
+func (s *Service) SendQuery(dst ids.ID, handler string, payload []byte, cb ResponseCallback, onTimeout TimeoutCallback) (uint64, error) {
+	s.nextQID++
+	qid := s.nextQID
+	p := &pendingQuery{cb: cb, onTimeout: onTimeout}
+	if s.Timeout > 0 {
+		p.timer = s.env.After(s.Timeout, func() {
+			if cur, ok := s.pending[qid]; ok && cur == p {
+				delete(s.pending, qid)
+				if p.onTimeout != nil {
+					p.onTimeout(qid)
+				}
+			}
+		})
+	}
+	s.pending[qid] = p
+
+	m := message.New()
+	m.AddString(ns, elemHandler, handler)
+	m.AddString(ns, elemQID, strconv.FormatUint(qid, 10))
+	m.AddString(ns, elemSrc, s.ep.ID().String())
+	m.AddString(ns, elemSrcAddr, string(s.ep.Addr()))
+	m.AddString(ns, elemHops, "0")
+	m.Add(ns, elemQuery, payload)
+	if err := s.ep.Send(dst, ServiceName, m); err != nil {
+		delete(s.pending, qid)
+		if p.timer != nil {
+			p.timer.Cancel()
+		}
+		return 0, err
+	}
+	return qid, nil
+}
+
+// Cancel abandons a pending query; late responses are dropped silently.
+func (s *Service) Cancel(qid uint64) {
+	if p, ok := s.pending[qid]; ok {
+		delete(s.pending, qid)
+		if p.timer != nil {
+			p.timer.Cancel()
+		}
+	}
+}
+
+// Respond sends a response for the given query directly to its originator.
+// The responder learns the originator's route from the query itself.
+func (s *Service) Respond(q *Query, payload []byte) error {
+	if q.SrcAddr != "" {
+		s.ep.AddRoute(q.Src, q.SrcAddr)
+	}
+	m := message.New()
+	m.AddString(ns, elemHandler, q.Handler)
+	m.AddString(ns, elemQID, strconv.FormatUint(q.QID, 10))
+	m.Add(ns, elemResponse, payload)
+	return s.ep.Send(q.Src, ServiceName, m)
+}
+
+// Forward relays the query to another peer, preserving the originator and
+// query ID and incrementing the hop count. Handlers use this to route
+// queries toward the LC-DHT replica peer or along the walk.
+func (s *Service) Forward(q *Query, to ids.ID) error {
+	if q.Hops+1 >= MaxHops {
+		return nil // poisoned query: drop silently
+	}
+	m := message.New()
+	m.AddString(ns, elemHandler, q.Handler)
+	m.AddString(ns, elemQID, strconv.FormatUint(q.QID, 10))
+	m.AddString(ns, elemSrc, q.Src.String())
+	m.AddString(ns, elemSrcAddr, string(q.SrcAddr))
+	m.AddString(ns, elemHops, strconv.Itoa(q.Hops+1))
+	m.Add(ns, elemQuery, q.Payload)
+	return s.ep.Send(to, ServiceName, m)
+}
+
+// HandlerOf reports which resolver handler a wire message addresses (empty
+// for non-resolver messages). Used by traffic-classification instrumentation.
+func HandlerOf(m *message.Message) string { return m.GetString(ns, elemHandler) }
+
+// receive demultiplexes resolver traffic.
+func (s *Service) receive(src ids.ID, m *message.Message) {
+	qidStr := m.GetString(ns, elemQID)
+	qid, err := strconv.ParseUint(qidStr, 10, 64)
+	if err != nil {
+		return
+	}
+	if payload, ok := m.Get(ns, elemResponse); ok {
+		if p, ok := s.pending[qid]; ok {
+			// First response resolves the timeout; later responses still
+			// reach the callback (multi-responder queries).
+			if p.timer != nil {
+				p.timer.Cancel()
+				p.timer = nil
+			}
+			p.cb(payload, src)
+		}
+		return
+	}
+	payload, ok := m.Get(ns, elemQuery)
+	if !ok {
+		return
+	}
+	srcID, err := ids.Parse(m.GetString(ns, elemSrc))
+	if err != nil {
+		return
+	}
+	hops, err := strconv.Atoi(m.GetString(ns, elemHops))
+	if err != nil || hops < 0 || hops >= MaxHops {
+		return
+	}
+	name := m.GetString(ns, elemHandler)
+	h, ok := s.handlers[name]
+	if !ok {
+		return
+	}
+	h(&Query{
+		Handler: name,
+		QID:     qid,
+		Src:     srcID,
+		SrcAddr: transport.Addr(m.GetString(ns, elemSrcAddr)),
+		Hops:    hops,
+		Payload: payload,
+	})
+}

@@ -1,0 +1,46 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"jxta/internal/env"
+)
+
+// NodeEnv adapts a Scheduler to the env.Env interface for one simulated
+// node. All NodeEnvs of a scheduler share the single-threaded event loop, so
+// the serialization contract holds trivially.
+type NodeEnv struct {
+	s    *Scheduler
+	name string
+	rng  *rand.Rand
+}
+
+var _ env.Env = (*NodeEnv)(nil)
+
+// NewEnv creates a node environment with its own deterministic RNG stream.
+// Envs must be created in a fixed order for reproducibility; the stream is
+// derived from the creation index.
+func (s *Scheduler) NewEnv(name string) *NodeEnv {
+	e := &NodeEnv{s: s, name: name, rng: s.DeriveRand(int64(s.nodes))}
+	s.nodes++
+	return e
+}
+
+// Now implements env.Env.
+func (n *NodeEnv) Now() time.Duration { return n.s.Now() }
+
+// Name implements env.Env.
+func (n *NodeEnv) Name() string { return n.name }
+
+// Rand implements env.Env.
+func (n *NodeEnv) Rand() *rand.Rand { return n.rng }
+
+// After implements env.Env.
+func (n *NodeEnv) After(d time.Duration, fn func()) env.Timer {
+	return n.s.After(d, fn)
+}
+
+// Scheduler exposes the underlying engine (used by transports to model
+// delivery latency on the shared clock).
+func (n *NodeEnv) Scheduler() *Scheduler { return n.s }

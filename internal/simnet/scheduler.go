@@ -1,0 +1,191 @@
+// Package simnet is a deterministic discrete-event simulation engine. It is
+// the substrate standing in for the Grid'5000 testbed: the paper's
+// experiments run 580 rendezvous peers for two hours of virtual time, which
+// the engine executes in seconds while replaying bit-for-bit under a fixed
+// seed.
+//
+// The engine is single-threaded: events execute strictly in (time, sequence)
+// order, so all per-node protocol state is safe without locks, matching the
+// env.Env contract. Parallelism lives one level up: independent experiments
+// (sweep points, each with its own Scheduler) run concurrently via
+// experiments.Sweep — overlays share nothing, so that scales linearly with
+// cores without any cross-scheduler synchronization.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at    time.Duration
+	seq   uint64 // FIFO tie-break for equal times: determinism
+	fn    func()
+	index int // heap index, -1 once popped or canceled
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler owns virtual time and the event queue.
+type Scheduler struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	seed   int64
+	nodes  int // count of envs created, used to derive per-node seeds
+	steps  uint64
+	halted bool
+}
+
+// NewScheduler creates an empty scheduler at virtual time zero. seed is the
+// experiment master seed from which every per-node RNG stream derives.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{seed: seed}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// Pending returns the number of events currently queued.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is a
+// programming error and panics: silently reordering history would destroy
+// the determinism guarantee.
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: scheduling at %v before now %v", t, s.now))
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return &Event{e: e, s: s}
+}
+
+// After schedules fn at now+d.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Event is a handle to a scheduled event, supporting cancellation.
+type Event struct {
+	e *event
+	s *Scheduler
+}
+
+// Cancel removes the event from the queue if it has not fired. It reports
+// whether the event was still pending.
+func (ev *Event) Cancel() bool {
+	if ev.e.index < 0 {
+		return false
+	}
+	heap.Remove(&ev.s.queue, ev.e.index)
+	ev.e.index = -1
+	ev.e.fn = nil
+	return true
+}
+
+// Step executes the single earliest event. It reports false if the queue is
+// empty.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	if e.at < s.now {
+		panic("simnet: time went backwards")
+	}
+	s.now = e.at
+	s.steps++
+	if e.fn != nil {
+		e.fn()
+	}
+	return true
+}
+
+// Run executes events until the queue drains or virtual time would exceed
+// until. Events at exactly `until` execute. It returns the number of events
+// executed.
+func (s *Scheduler) Run(until time.Duration) uint64 {
+	start := s.steps
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		if s.queue[0].at > until {
+			break
+		}
+		s.Step()
+	}
+	if s.now < until {
+		// Even with no events, time logically advances to the horizon so
+		// subsequent scheduling is relative to it.
+		s.now = until
+	}
+	return s.steps - start
+}
+
+// RunAll executes events until the queue is empty. Protocol tickers re-arm
+// themselves forever, so experiments should prefer Run(until).
+func (s *Scheduler) RunAll() uint64 {
+	start := s.steps
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		s.Step()
+	}
+	return s.steps - start
+}
+
+// Halt stops Run/RunAll after the current event returns. Intended for
+// callbacks that detect an experiment end condition early.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// DeriveRand returns a deterministic RNG stream for the given index,
+// decorrelated from other streams by hashing the master seed with the index
+// (SplitMix64 finalizer).
+func (s *Scheduler) DeriveRand(index int64) *rand.Rand {
+	z := uint64(s.seed) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}

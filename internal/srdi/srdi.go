@@ -1,0 +1,200 @@
+// Package srdi implements the Shared Resource Distributed Index: the tuple
+// store rendezvous peers keep for the LC-DHT (§3.3). Edge peers publish
+// attribute tables — tuples (index attribute, value) with a life duration
+// and the identity of the publishing peer — to their rendezvous; rendezvous
+// peers keep a copy and replicate each tuple to the replica peer computed by
+// hashing the tuple over the local peerview.
+package srdi
+
+import (
+	"time"
+
+	"jxta/internal/env"
+	"jxta/internal/ids"
+	"jxta/internal/transport"
+)
+
+// Tuple is one published index entry.
+type Tuple struct {
+	// Key is the hash input "Type+Attr+Value" (e.g. "PeerNameTest").
+	Key string
+	// Publisher is the peer holding the advertisement.
+	Publisher ids.ID
+	// PublisherAddr lets any rendezvous forward queries to the publisher
+	// without a prior route.
+	PublisherAddr transport.Addr
+	// Lifetime bounds the entry's validity at the index.
+	Lifetime time.Duration
+	// NumAttr/NumValue carry the optional numeric tier registration: when
+	// NumAttr ("Type+Attr") is non-empty the tuple's value is an integer
+	// NumValue, range-searchable via RangePublishers.
+	NumAttr  string
+	NumValue int64
+}
+
+// entryInfo tracks one publisher's registration under a key.
+type entryInfo struct {
+	addr    transport.Addr
+	expires time.Duration // absolute env time; 0 = never
+}
+
+// numericEntry is one publisher's numeric registration under an attribute.
+type numericEntry struct {
+	value   int64
+	addr    transport.Addr
+	expires time.Duration
+}
+
+// Index is a rendezvous peer's SRDI store. Not safe for concurrent use
+// (env serialization covers it). Besides the exact-match tier the LC-DHT
+// hashes over, it keeps a numeric tier supporting the range queries the
+// paper's conclusion lists as future work ("the mechanisms used by JXTA-C
+// to address complex queries, such as range queries").
+type Index struct {
+	env     env.Env
+	entries map[string]map[ids.ID]entryInfo
+	// numeric maps "Type+Attr" to per-publisher numeric values.
+	numeric map[string]map[ids.ID]numericEntry
+	size    int
+}
+
+// New builds an empty index.
+func New(e env.Env) *Index {
+	return &Index{
+		env:     e,
+		entries: make(map[string]map[ids.ID]entryInfo),
+		numeric: make(map[string]map[ids.ID]numericEntry),
+	}
+}
+
+// Size returns the total number of (key, publisher) registrations — the
+// quantity the simulated per-query scan cost scales with (JXTA-C scans its
+// SRDI linearly).
+func (x *Index) Size() int { return x.size }
+
+// Add registers a tuple, replacing any previous registration by the same
+// publisher under the same key.
+func (x *Index) Add(t Tuple) {
+	set, ok := x.entries[t.Key]
+	if !ok {
+		set = make(map[ids.ID]entryInfo)
+		x.entries[t.Key] = set
+	}
+	if _, exists := set[t.Publisher]; !exists {
+		x.size++
+	}
+	var expires time.Duration
+	if t.Lifetime > 0 {
+		expires = x.env.Now() + t.Lifetime
+	}
+	set[t.Publisher] = entryInfo{addr: t.PublisherAddr, expires: expires}
+}
+
+// Publishers returns the fresh publishers registered under key, with their
+// addresses.
+func (x *Index) Publishers(key string) []Tuple {
+	set, ok := x.entries[key]
+	if !ok {
+		return nil
+	}
+	now := x.env.Now()
+	var out []Tuple
+	for pub, info := range set {
+		if info.expires > 0 && info.expires <= now {
+			continue
+		}
+		out = append(out, Tuple{Key: key, Publisher: pub, PublisherAddr: info.addr})
+	}
+	return out
+}
+
+// Has reports whether at least one fresh publisher exists for key.
+func (x *Index) Has(key string) bool { return len(x.Publishers(key)) > 0 }
+
+// RemovePublisher drops every registration by a publisher (peer departure).
+func (x *Index) RemovePublisher(pub ids.ID) {
+	for key, set := range x.entries {
+		if _, ok := set[pub]; ok {
+			delete(set, pub)
+			x.size--
+			if len(set) == 0 {
+				delete(x.entries, key)
+			}
+		}
+	}
+	for key, set := range x.numeric {
+		delete(set, pub)
+		if len(set) == 0 {
+			delete(x.numeric, key)
+		}
+	}
+}
+
+// GC evicts expired registrations and returns how many were removed.
+func (x *Index) GC() int {
+	now := x.env.Now()
+	evicted := 0
+	for key, set := range x.entries {
+		for pub, info := range set {
+			if info.expires > 0 && info.expires <= now {
+				delete(set, pub)
+				x.size--
+				evicted++
+			}
+		}
+		if len(set) == 0 {
+			delete(x.entries, key)
+		}
+	}
+	for key, set := range x.numeric {
+		for pub, e := range set {
+			if e.expires > 0 && e.expires <= now {
+				delete(set, pub)
+				evicted++
+			}
+		}
+		if len(set) == 0 {
+			delete(x.numeric, key)
+		}
+	}
+	return evicted
+}
+
+// Keys returns the number of distinct keys (diagnostics).
+func (x *Index) Keys() int { return len(x.entries) }
+
+// AddNumeric registers a publisher's numeric value under "Type+Attr".
+// Replaces any previous registration by the same publisher.
+func (x *Index) AddNumeric(typeAttr string, value int64, pub ids.ID, addr transport.Addr, lifetime time.Duration) {
+	set, ok := x.numeric[typeAttr]
+	if !ok {
+		set = make(map[ids.ID]numericEntry)
+		x.numeric[typeAttr] = set
+	}
+	var expires time.Duration
+	if lifetime > 0 {
+		expires = x.env.Now() + lifetime
+	}
+	set[pub] = numericEntry{value: value, addr: addr, expires: expires}
+}
+
+// RangePublishers returns the fresh publishers whose registered value under
+// "Type+Attr" lies in [lo, hi].
+func (x *Index) RangePublishers(typeAttr string, lo, hi int64) []Tuple {
+	set, ok := x.numeric[typeAttr]
+	if !ok {
+		return nil
+	}
+	now := x.env.Now()
+	var out []Tuple
+	for pub, e := range set {
+		if e.expires > 0 && e.expires <= now {
+			continue
+		}
+		if e.value < lo || e.value > hi {
+			continue
+		}
+		out = append(out, Tuple{Key: typeAttr, Publisher: pub, PublisherAddr: e.addr})
+	}
+	return out
+}

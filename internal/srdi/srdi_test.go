@@ -1,0 +1,214 @@
+package srdi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"jxta/internal/ids"
+	"jxta/internal/simnet"
+	"jxta/internal/transport"
+)
+
+func newIndex() (*Index, *simnet.Scheduler) {
+	sched := simnet.NewScheduler(1)
+	return New(sched.NewEnv("rdv")), sched
+}
+
+func tup(key, pub string, life time.Duration) Tuple {
+	return Tuple{
+		Key:           key,
+		Publisher:     ids.FromName(ids.KindPeer, pub),
+		PublisherAddr: transport.Addr("sim://rennes/" + pub),
+		Lifetime:      life,
+	}
+}
+
+func TestAddLookup(t *testing.T) {
+	x, _ := newIndex()
+	x.Add(tup("PeerNameTest", "e1", 0))
+	if !x.Has("PeerNameTest") {
+		t.Fatal("key not found")
+	}
+	pubs := x.Publishers("PeerNameTest")
+	if len(pubs) != 1 || !pubs[0].Publisher.Equal(ids.FromName(ids.KindPeer, "e1")) {
+		t.Fatalf("Publishers = %v", pubs)
+	}
+	if pubs[0].PublisherAddr != "sim://rennes/e1" {
+		t.Fatal("address lost")
+	}
+	if x.Has("Nope") {
+		t.Fatal("bogus key found")
+	}
+	if x.Size() != 1 || x.Keys() != 1 {
+		t.Fatalf("Size=%d Keys=%d", x.Size(), x.Keys())
+	}
+}
+
+func TestMultiplePublishersSameKey(t *testing.T) {
+	x, _ := newIndex()
+	x.Add(tup("k", "e1", 0))
+	x.Add(tup("k", "e2", 0))
+	if got := len(x.Publishers("k")); got != 2 {
+		t.Fatalf("publishers = %d, want 2", got)
+	}
+	if x.Size() != 2 || x.Keys() != 1 {
+		t.Fatalf("Size=%d Keys=%d", x.Size(), x.Keys())
+	}
+}
+
+func TestReAddRefreshesNotDuplicates(t *testing.T) {
+	x, sched := newIndex()
+	x.Add(tup("k", "e1", time.Minute))
+	sched.Run(45 * time.Second)
+	x.Add(tup("k", "e1", time.Minute)) // refresh
+	if x.Size() != 1 {
+		t.Fatalf("Size = %d after re-add", x.Size())
+	}
+	sched.Run(90 * time.Second) // 45s after refresh: still alive
+	if !x.Has("k") {
+		t.Fatal("refreshed entry expired early")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	x, sched := newIndex()
+	x.Add(tup("k", "e1", time.Minute))
+	x.Add(tup("k", "e2", 0)) // immortal
+	sched.Run(2 * time.Minute)
+	pubs := x.Publishers("k")
+	if len(pubs) != 1 || !pubs[0].Publisher.Equal(ids.FromName(ids.KindPeer, "e2")) {
+		t.Fatalf("expired publisher still returned: %v", pubs)
+	}
+	if n := x.GC(); n != 1 {
+		t.Fatalf("GC evicted %d, want 1", n)
+	}
+	if x.Size() != 1 {
+		t.Fatalf("Size = %d after GC", x.Size())
+	}
+}
+
+func TestGCRemovesEmptyKeys(t *testing.T) {
+	x, sched := newIndex()
+	x.Add(tup("k", "e1", time.Second))
+	sched.Run(time.Minute)
+	x.GC()
+	if x.Keys() != 0 {
+		t.Fatal("empty key survived GC")
+	}
+}
+
+func TestRemovePublisher(t *testing.T) {
+	x, _ := newIndex()
+	x.Add(tup("k1", "e1", 0))
+	x.Add(tup("k2", "e1", 0))
+	x.Add(tup("k1", "e2", 0))
+	x.RemovePublisher(ids.FromName(ids.KindPeer, "e1"))
+	if x.Has("k2") {
+		t.Fatal("k2 should be gone with its only publisher")
+	}
+	if got := len(x.Publishers("k1")); got != 1 {
+		t.Fatalf("k1 publishers = %d, want 1", got)
+	}
+	if x.Size() != 1 {
+		t.Fatalf("Size = %d", x.Size())
+	}
+}
+
+// Property: Size always equals the sum of live registrations.
+func TestSizeInvariantProperty(t *testing.T) {
+	f := func(seed int64, ops uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x, _ := newIndex()
+		truth := map[string]map[string]bool{}
+		count := 0
+		for i := 0; i < int(ops); i++ {
+			key := fmt.Sprintf("k%d", rng.Intn(4))
+			pub := fmt.Sprintf("p%d", rng.Intn(4))
+			if rng.Intn(4) == 0 {
+				x.RemovePublisher(ids.FromName(ids.KindPeer, pub))
+				for _, set := range truth {
+					if set[pub] {
+						delete(set, pub)
+						count--
+					}
+				}
+			} else {
+				x.Add(tup(key, pub, 0))
+				if truth[key] == nil {
+					truth[key] = map[string]bool{}
+				}
+				if !truth[key][pub] {
+					truth[key][pub] = true
+					count++
+				}
+			}
+		}
+		return x.Size() == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup5000(b *testing.B) {
+	sched := simnet.NewScheduler(1)
+	x := New(sched.NewEnv("rdv"))
+	for i := 0; i < 5000; i++ {
+		x.Add(tup(fmt.Sprintf("ResourceNamefake%d", i), fmt.Sprintf("e%d", i%50), 0))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Publishers("ResourceNamefake2500")
+	}
+}
+
+func TestNumericTier(t *testing.T) {
+	x, sched := newIndex()
+	pubA := ids.FromName(ids.KindPeer, "a")
+	pubB := ids.FromName(ids.KindPeer, "b")
+	x.AddNumeric("ResourceRAM", 2048, pubA, "sim://rennes/a", 0)
+	x.AddNumeric("ResourceRAM", 4096, pubB, "sim://rennes/b", time.Minute)
+
+	in := x.RangePublishers("ResourceRAM", 2000, 5000)
+	if len(in) != 2 {
+		t.Fatalf("range [2000,5000] = %d publishers, want 2", len(in))
+	}
+	lo := x.RangePublishers("ResourceRAM", 0, 2048)
+	if len(lo) != 1 || !lo[0].Publisher.Equal(pubA) {
+		t.Fatalf("inclusive upper bound wrong: %v", lo)
+	}
+	if got := x.RangePublishers("ResourceRAM", 5000, 9000); len(got) != 0 {
+		t.Fatalf("empty range matched %v", got)
+	}
+	if got := x.RangePublishers("ResourceCPU", 0, 1<<40); len(got) != 0 {
+		t.Fatal("wrong attribute matched")
+	}
+	// Expiry applies.
+	sched.Run(2 * time.Minute)
+	if got := x.RangePublishers("ResourceRAM", 0, 1<<40); len(got) != 1 {
+		t.Fatalf("expired numeric entry still served: %v", got)
+	}
+	if x.GC() == 0 {
+		t.Fatal("GC missed the expired numeric entry")
+	}
+}
+
+func TestNumericReplaceAndRemovePublisher(t *testing.T) {
+	x, _ := newIndex()
+	pub := ids.FromName(ids.KindPeer, "a")
+	x.AddNumeric("ResourceRAM", 1024, pub, "sim://rennes/a", 0)
+	x.AddNumeric("ResourceRAM", 8192, pub, "sim://rennes/a", 0) // replaces
+	if got := x.RangePublishers("ResourceRAM", 0, 2000); len(got) != 0 {
+		t.Fatal("stale numeric value survived replacement")
+	}
+	if got := x.RangePublishers("ResourceRAM", 8000, 9000); len(got) != 1 {
+		t.Fatal("replacement value missing")
+	}
+	x.RemovePublisher(pub)
+	if got := x.RangePublishers("ResourceRAM", 0, 1<<40); len(got) != 0 {
+		t.Fatal("RemovePublisher missed the numeric tier")
+	}
+}

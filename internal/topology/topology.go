@@ -1,0 +1,102 @@
+// Package topology generates the seed-graph shapes used by the paper's
+// deployments (§4.1 tested chains and trees; a star is included as the
+// degenerate single-seed shape). A topology here is the bootstrap wiring —
+// which already-deployed rendezvous each new rendezvous probes first; the
+// peerview protocol then gossips the full membership regardless of the
+// initial shape, which is exactly the paper's observation ("this initial
+// parameter has no significant influence on the peerview behavior").
+package topology
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind enumerates the supported seed-graph shapes.
+type Kind int
+
+// The supported topologies.
+const (
+	// Chain: peer i seeds on peer i-1.
+	Chain Kind = iota
+	// Tree: peer i seeds on its parent (i-1)/fanout.
+	Tree
+	// Star: every peer seeds on peer 0.
+	Star
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Chain:
+		return "chain"
+	case Tree:
+		return "tree"
+	case Star:
+		return "star"
+	}
+	return fmt.Sprintf("topology(%d)", int(k))
+}
+
+// ParseKind resolves a topology name.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "chain":
+		return Chain, nil
+	case "tree":
+		return Tree, nil
+	case "star":
+		return Star, nil
+	}
+	return 0, fmt.Errorf("topology: unknown kind %q", name)
+}
+
+// ErrBadShape reports invalid generation parameters.
+var ErrBadShape = errors.New("topology: invalid parameters")
+
+// Seeds returns, for each of n peers, the indices of the peers it seeds on.
+// Peer 0 is always the root with no seeds; every other peer seeds only on
+// lower-indexed peers, so the graph is acyclic and bootstrappable in
+// deployment order. fanout applies to Tree only (default 2 when <= 0).
+func Seeds(kind Kind, n, fanout int) ([][]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadShape, n)
+	}
+	if fanout <= 0 {
+		fanout = 2
+	}
+	out := make([][]int, n)
+	for i := 1; i < n; i++ {
+		switch kind {
+		case Chain:
+			out[i] = []int{i - 1}
+		case Tree:
+			out[i] = []int{(i - 1) / fanout}
+		case Star:
+			out[i] = []int{0}
+		default:
+			return nil, fmt.Errorf("%w: kind %v", ErrBadShape, kind)
+		}
+	}
+	return out, nil
+}
+
+// Depth returns the longest seed-path length from any node to the root —
+// the bootstrap propagation depth of the shape.
+func Depth(seeds [][]int) int {
+	depth := make([]int, len(seeds))
+	max := 0
+	for i := 1; i < len(seeds); i++ {
+		d := 0
+		for _, s := range seeds[i] {
+			if depth[s]+1 > d {
+				d = depth[s] + 1
+			}
+		}
+		depth[i] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,140 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Chain.String() != "chain" || Tree.String() != "tree" || Star.String() != "star" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() != "topology(9)" {
+		t.Fatal("unknown kind name")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{Chain, Tree, Star} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("ring"); err == nil {
+		t.Fatal("unknown kind parsed")
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	seeds, err := Seeds(Chain, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds[0]) != 0 {
+		t.Fatal("root has seeds")
+	}
+	for i := 1; i < 5; i++ {
+		if len(seeds[i]) != 1 || seeds[i][0] != i-1 {
+			t.Fatalf("chain peer %d seeds = %v", i, seeds[i])
+		}
+	}
+	if Depth(seeds) != 4 {
+		t.Fatalf("chain depth = %d, want 4", Depth(seeds))
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	seeds, err := Seeds(Tree, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantParents := []int{-1, 0, 0, 1, 1, 2, 2}
+	for i := 1; i < 7; i++ {
+		if seeds[i][0] != wantParents[i] {
+			t.Fatalf("tree peer %d parent = %d, want %d", i, seeds[i][0], wantParents[i])
+		}
+	}
+	if Depth(seeds) != 2 {
+		t.Fatalf("tree depth = %d, want 2", Depth(seeds))
+	}
+}
+
+func TestTreeDefaultFanout(t *testing.T) {
+	a, _ := Seeds(Tree, 10, 0)
+	b, _ := Seeds(Tree, 10, 2)
+	for i := range a {
+		if len(a[i]) != len(b[i]) || (len(a[i]) > 0 && a[i][0] != b[i][0]) {
+			t.Fatal("default fanout is not 2")
+		}
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	seeds, err := Seeds(Star, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 6; i++ {
+		if seeds[i][0] != 0 {
+			t.Fatal("star spoke not seeded on hub")
+		}
+	}
+	if Depth(seeds) != 1 {
+		t.Fatalf("star depth = %d", Depth(seeds))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Seeds(Chain, -1, 0); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := Seeds(Kind(42), 3, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	for _, k := range []Kind{Chain, Tree, Star} {
+		for _, n := range []int{0, 1} {
+			seeds, err := Seeds(k, n, 0)
+			if err != nil || len(seeds) != n {
+				t.Fatalf("%v n=%d: %v, %v", k, n, seeds, err)
+			}
+			if Depth(seeds) != 0 {
+				t.Fatal("trivial depth not 0")
+			}
+		}
+	}
+}
+
+// Property: every non-root peer seeds only on lower-indexed peers
+// (deployable in order, acyclic), and the root never has seeds.
+func TestAcyclicProperty(t *testing.T) {
+	f := func(kindRaw, nRaw, fanRaw uint8) bool {
+		kind := Kind(int(kindRaw) % 3)
+		n := int(nRaw) % 200
+		fanout := int(fanRaw)%5 - 1 // includes invalid 0/-1 (defaulted)
+		seeds, err := Seeds(kind, n, fanout)
+		if err != nil || len(seeds) != n {
+			return false
+		}
+		if n > 0 && len(seeds[0]) != 0 {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if len(seeds[i]) == 0 {
+				return false // every non-root must be connected
+			}
+			for _, s := range seeds[i] {
+				if s < 0 || s >= i {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

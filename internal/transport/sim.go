@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"jxta/internal/message"
+	"jxta/internal/netmodel"
+	"jxta/internal/simnet"
+)
+
+// Stats aggregates network-wide traffic counters. Experiments read it to
+// verify the paper's message-complexity claims (LC-DHT publish ≤ 2 messages,
+// consistent lookup ≤ 4).
+type Stats struct {
+	Messages uint64
+	Bytes    uint64
+	Dropped  uint64 // loss injection + sends to detached peers
+}
+
+// Network is the simulated Grid'5000 fabric: it owns the latency model, the
+// attached endpoints and the delivery bookkeeping. All methods must be
+// called from the simulation goroutine (the event loop), which is the only
+// execution context in a simnet experiment.
+type Network struct {
+	sched *simnet.Scheduler
+	model *netmodel.Model
+	rng   *rand.Rand
+	nodes map[Addr]*Sim
+	stats Stats
+	// OnSend, when non-nil, observes every accepted send. Used by
+	// experiments to count per-exchange messages.
+	OnSend func(from, to Addr, msg *message.Message)
+}
+
+// reserved DeriveRand index for the network's own jitter/loss stream, far
+// above any node index.
+const networkRandIndex = 1 << 40
+
+// NewNetwork builds a fabric over the given scheduler and latency model.
+func NewNetwork(sched *simnet.Scheduler, model *netmodel.Model) *Network {
+	return &Network{
+		sched: sched,
+		model: model,
+		rng:   sched.DeriveRand(networkRandIndex),
+		nodes: make(map[Addr]*Sim),
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Detach forcibly removes an endpoint by address, modeling a peer crash
+// from outside the peer (deployment-level churn injection). Messages in
+// flight to it are dropped. It reports whether the endpoint existed.
+func (n *Network) Detach(addr Addr) bool {
+	s, ok := n.nodes[addr]
+	if ok {
+		s.closed = true
+		delete(n.nodes, addr)
+	}
+	return ok
+}
+
+// Lookup returns the endpoint bound to addr, if attached.
+func (n *Network) Lookup(addr Addr) (*Sim, bool) {
+	s, ok := n.nodes[addr]
+	return s, ok
+}
+
+// ResetStats zeroes the counters (used between experiment phases).
+func (n *Network) ResetStats() { n.stats = Stats{} }
+
+// Model returns the latency model (read-only use).
+func (n *Network) Model() *netmodel.Model { return n.model }
+
+// Sim is a simulated endpoint attached to a Network.
+type Sim struct {
+	net       *Network
+	addr      Addr
+	site      netmodel.Site
+	handler   Handler
+	busyUntil time.Duration
+	closed    bool
+	// lastArrival enforces per-destination FIFO ordering: JXTA transports
+	// are connection-oriented (TCP), so two messages from one peer to
+	// another never reorder, whatever the jitter draws say.
+	lastArrival map[Addr]time.Duration
+}
+
+var _ Transport = (*Sim)(nil)
+
+// Attach creates an endpoint for a node at the given site. The name must be
+// unique within the network.
+func (n *Network) Attach(name string, site netmodel.Site) (*Sim, error) {
+	addr := Addr(fmt.Sprintf("sim://%s/%s", site, name))
+	if _, dup := n.nodes[addr]; dup {
+		return nil, fmt.Errorf("transport: duplicate sim endpoint %s", addr)
+	}
+	s := &Sim{net: n, addr: addr, site: site,
+		lastArrival: make(map[Addr]time.Duration)}
+	n.nodes[addr] = s
+	return s, nil
+}
+
+// Addr implements Transport.
+func (s *Sim) Addr() Addr { return s.addr }
+
+// Site returns the Grid'5000 site this endpoint lives on.
+func (s *Sim) Site() netmodel.Site { return s.site }
+
+// SetHandler implements Transport.
+func (s *Sim) SetHandler(h Handler) { s.handler = h }
+
+// Close implements Transport. It detaches the endpoint: in-flight messages
+// to it are silently dropped, modeling a crashed peer (churn experiments).
+func (s *Sim) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	delete(s.net.nodes, s.addr)
+	return nil
+}
+
+// Busy extends the endpoint's service queue by d, modeling local processing
+// (e.g. a rendezvous scanning its SRDI index before answering a query).
+// Subsequent inbound messages are handed to the handler only after the busy
+// period elapses.
+func (s *Sim) Busy(d time.Duration) {
+	now := s.net.sched.Now()
+	if s.busyUntil < now {
+		s.busyUntil = now
+	}
+	s.busyUntil += d
+}
+
+// Send implements Transport. Latency is propagation (site matrix + jitter)
+// plus transmission; on arrival the message queues FIFO behind the
+// receiver's stack service time, so a loaded receiver serves slowly — the
+// effect the paper's configuration B stresses.
+func (s *Sim) Send(to Addr, msg *message.Message) error {
+	if s.closed {
+		return ErrClosed
+	}
+	n := s.net
+	n.stats.Messages++
+	n.stats.Bytes += uint64(msg.Size())
+	if n.OnSend != nil {
+		n.OnSend(s.addr, to, msg)
+	}
+	if n.model.Drop(n.rng) {
+		n.stats.Dropped++
+		return nil // loss is silent, like UDP on a real WAN
+	}
+	// The destination may be unknown at send time (boot races) or gone
+	// (churn); bytes leave anyway and the receiver is resolved at arrival.
+	dstSite := siteOf(n, to)
+	latency := n.model.SampleLatency(s.site, dstSite, msg.Size(), n.rng)
+	// Clamp to per-pair FIFO order (connection-oriented transport).
+	arrival := n.sched.Now() + latency
+	if last := s.lastArrival[to]; arrival <= last {
+		arrival = last + time.Microsecond
+	}
+	s.lastArrival[to] = arrival
+	latency = arrival - n.sched.Now()
+	frame := msg.Clone() // receiver must never share memory with sender
+	n.sched.After(latency, func() {
+		rcv, ok := n.nodes[to]
+		if !ok || rcv.handler == nil {
+			n.stats.Dropped++
+			return
+		}
+		arrival := n.sched.Now()
+		start := rcv.busyUntil
+		if start < arrival {
+			start = arrival
+		}
+		handAt := start + n.model.StackService
+		rcv.busyUntil = handAt
+		n.sched.At(handAt, func() {
+			// Re-check liveness: the peer may have crashed while the
+			// message sat in its queue.
+			if cur, ok := n.nodes[to]; ok && cur == rcv && rcv.handler != nil {
+				rcv.handler(s.addr, frame)
+			} else {
+				n.stats.Dropped++
+			}
+		})
+	})
+	return nil
+}
+
+// siteOf resolves the destination site from the address (known endpoints) or
+// by parsing the sim:// address for not-yet-attached ones.
+func siteOf(n *Network, a Addr) netmodel.Site {
+	if node, ok := n.nodes[a]; ok {
+		return node.site
+	}
+	// sim://<site>/<name>
+	s := string(a)
+	const prefix = "sim://"
+	if len(s) > len(prefix) && s[:len(prefix)] == prefix {
+		rest := s[len(prefix):]
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '/' {
+				if site, err := netmodel.ParseSite(rest[:i]); err == nil {
+					return site
+				}
+				break
+			}
+		}
+	}
+	return netmodel.Rennes // arbitrary but deterministic fallback
+}

@@ -1,0 +1,256 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"jxta/internal/message"
+)
+
+// maxFrame bounds a single TCP frame (16 MiB), mirroring the message
+// decoder's own limits.
+const maxFrame = 1 << 24
+
+// helloName identifies the handshake element carrying the dialer's address.
+const (
+	helloNS   = "transport"
+	helloName = "Hello"
+)
+
+// TCP is a real wire transport: each endpoint runs a listener; connections
+// are dialed lazily, cached, and carry length-prefixed frames of
+// message.Marshal bytes. The first frame on a dialed connection is a hello
+// announcing the dialer's listen address, so the receiver can attribute
+// inbound traffic to a peer address rather than an ephemeral port.
+type TCP struct {
+	listener net.Listener
+	addr     Addr
+
+	mu      sync.Mutex
+	handler Handler
+	conns   map[Addr]net.Conn
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+// ListenTCP binds a listener on the given host (host may be "127.0.0.1:0"
+// for an ephemeral test port).
+func ListenTCP(hostport string) (*TCP, error) {
+	l, err := net.Listen("tcp", hostport)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCP{
+		listener: l,
+		addr:     Addr("tcp://" + l.Addr().String()),
+		conns:    make(map[Addr]net.Conn),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *TCP) Addr() Addr { return t.addr }
+
+// SetHandler implements Transport.
+func (t *TCP) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// Close implements Transport: stops the listener, closes every cached
+// connection and waits for reader goroutines to drain.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	err := t.listener.Close()
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.conns = map[Addr]net.Conn{}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+// Send implements Transport.
+func (t *TCP) Send(to Addr, msg *message.Message) error {
+	conn, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, msg.Marshal()); err != nil {
+		// Connection went bad: drop it so the next send redials.
+		t.dropConn(to, conn)
+		return err
+	}
+	return nil
+}
+
+// conn returns a cached connection to the peer, dialing and handshaking if
+// needed.
+func (t *TCP) conn(to Addr) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	hostport, ok := stripScheme(to)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s is not a tcp address", ErrUnknownPeer, to)
+	}
+	c, err := net.Dial("tcp", hostport)
+	if err != nil {
+		return nil, err
+	}
+	hello := message.New().AddString(helloNS, helloName, string(t.addr))
+	if err := writeFrame(c, hello.Marshal()); err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Lost a dial race; keep the existing connection.
+		t.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	t.wg.Add(1)
+	go t.readLoop(to, c)
+	t.mu.Unlock()
+	return c, nil
+}
+
+func (t *TCP) dropConn(peer Addr, c net.Conn) {
+	t.mu.Lock()
+	if cur, ok := t.conns[peer]; ok && cur == c {
+		delete(t.conns, peer)
+	}
+	t.mu.Unlock()
+	c.Close()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.handshakeInbound(c)
+	}
+}
+
+// handshakeInbound reads the hello frame from a dialer, registers the
+// connection under the announced address, and enters the read loop.
+func (t *TCP) handshakeInbound(c net.Conn) {
+	defer t.wg.Done()
+	frame, err := readFrame(c)
+	if err != nil {
+		c.Close()
+		return
+	}
+	hello, err := message.Unmarshal(frame)
+	if err != nil {
+		c.Close()
+		return
+	}
+	peer := Addr(hello.GetString(helloNS, helloName))
+	if peer == "" {
+		c.Close()
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return
+	}
+	if _, dup := t.conns[peer]; !dup {
+		t.conns[peer] = c
+	}
+	t.wg.Add(1)
+	t.mu.Unlock()
+	t.readLoop(peer, c)
+}
+
+func (t *TCP) readLoop(peer Addr, c net.Conn) {
+	defer t.wg.Done()
+	defer t.dropConn(peer, c)
+	for {
+		frame, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		msg, err := message.Unmarshal(frame)
+		if err != nil {
+			return // corrupt stream: drop the connection
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(peer, msg)
+		}
+	}
+}
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func stripScheme(a Addr) (string, bool) {
+	const prefix = "tcp://"
+	s := string(a)
+	if len(s) <= len(prefix) || s[:len(prefix)] != prefix {
+		return "", false
+	}
+	return s[len(prefix):], true
+}

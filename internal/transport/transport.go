@@ -1,0 +1,47 @@
+// Package transport moves JXTA messages between peers. Three
+// implementations share one interface:
+//
+//   - Sim: the simulated Grid'5000 network (deterministic, virtual time,
+//     per-receiver FIFO service queues) used by all large-scale experiments;
+//   - TCP: a real wire transport (length-prefixed frames over TCP) proving
+//     the protocol stack runs outside the simulator;
+//   - Loopback: an in-process hub for unit tests.
+package transport
+
+import (
+	"errors"
+
+	"jxta/internal/message"
+)
+
+// Addr names a transport endpoint. Formats:
+//
+//	sim://<site>/<name>   simulated node
+//	tcp://<host>:<port>   TCP listener
+//	loop://<name>         loopback hub member
+type Addr string
+
+// Handler consumes an inbound message. The owning node must ensure the
+// handler runs serialized with its other protocol callbacks (the simulator
+// guarantees this; the TCP node wraps handlers in env.Locked).
+type Handler func(src Addr, msg *message.Message)
+
+// Transport is a bound endpoint able to send and receive messages.
+type Transport interface {
+	// Addr returns the endpoint's own address.
+	Addr() Addr
+	// Send transmits a message. Delivery is best-effort and asynchronous;
+	// an error means the message could not even be handed to the network.
+	Send(to Addr, msg *message.Message) error
+	// SetHandler installs the inbound message consumer.
+	SetHandler(h Handler)
+	// Close releases the endpoint. Further Sends fail; queued inbound
+	// deliveries are dropped.
+	Close() error
+}
+
+// Errors shared by implementations.
+var (
+	ErrClosed      = errors.New("transport: endpoint closed")
+	ErrUnknownPeer = errors.New("transport: unknown destination")
+)

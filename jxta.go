@@ -1,0 +1,336 @@
+// Package jxta is a from-scratch Go implementation of the JXTA 2.x
+// peer-to-peer protocol stack — endpoint routing, resolver, rendezvous
+// (peerview, lease, propagation) and discovery over the Loosely-Consistent
+// DHT — together with a deterministic Grid'5000-style network simulator
+// that reproduces the experiments of "Performance scalability of the JXTA
+// P2P framework" (Antoniu, Cudennec, Duigou, Jan; INRIA RR-6064).
+//
+// The package is a facade over the internal protocol packages. A typical
+// session builds a simulated overlay, publishes advertisements from edge
+// peers and discovers them through the LC-DHT:
+//
+//	sim, _ := jxta.NewSimulation(jxta.SimOptions{
+//		Rendezvous: 6,
+//		Edges:      []jxta.EdgeSpec{{AttachTo: 0}, {AttachTo: 5}},
+//	})
+//	sim.Start()
+//	sim.Run(15 * time.Minute) // let the peerview converge
+//	pub, search := sim.Edge(0), sim.Edge(1)
+//	pub.PublishResource("Test", nil)
+//	advs, elapsed, _ := search.Discover("Resource", "Name", "Test", time.Minute)
+//
+// Everything is deterministic under SimOptions.Seed. For live deployments
+// over real TCP, see cmd/jxta-node; for the paper's experiment drivers, see
+// cmd/jxta-bench.
+package jxta
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/deploy"
+	"jxta/internal/discovery"
+	"jxta/internal/ids"
+	"jxta/internal/netmodel"
+	"jxta/internal/node"
+	"jxta/internal/topology"
+)
+
+// Advertisement is a published resource description (peer, rendezvous,
+// route, pipe, module or generic resource).
+type Advertisement = advertisement.Advertisement
+
+// Resource is the generic application advertisement type.
+type Resource = advertisement.Resource
+
+// PeerAdv is a peer advertisement.
+type PeerAdv = advertisement.Peer
+
+// IndexField is one searchable (attribute, value) pair.
+type IndexField = advertisement.IndexField
+
+// EdgeSpec attaches one edge peer to a rendezvous (by deployment index).
+type EdgeSpec struct {
+	// AttachTo is the rendezvous index in [0, Rendezvous).
+	AttachTo int
+	// Name optionally names the peer.
+	Name string
+}
+
+// SimOptions configures a simulated overlay.
+type SimOptions struct {
+	// Seed drives all randomness; equal seeds replay identical runs.
+	Seed int64
+	// Rendezvous is the number of rendezvous peers (the paper's r).
+	Rendezvous int
+	// Topology is the bootstrap seed shape: "chain" (default), "tree",
+	// or "star".
+	Topology string
+	// Edges lists the edge peers to deploy.
+	Edges []EdgeSpec
+}
+
+// Simulation owns a deployed overlay and its virtual clock.
+type Simulation struct {
+	overlay *deploy.Overlay
+	edges   []*Peer
+	rdvs    []*Peer
+	started bool
+}
+
+// Peer wraps one deployed peer (edge or rendezvous).
+type Peer struct {
+	sim *Simulation
+	n   *node.Node
+}
+
+// ErrTimeout reports a Discover call that saw no response in its window.
+var ErrTimeout = errors.New("jxta: discovery timed out")
+
+// NewSimulation deploys the overlay described by opts. Peers are created
+// but not started.
+func NewSimulation(opts SimOptions) (*Simulation, error) {
+	kind := topology.Chain
+	if opts.Topology != "" {
+		var err error
+		kind, err = topology.ParseKind(opts.Topology)
+		if err != nil {
+			return nil, err
+		}
+	}
+	spec := deploy.Spec{
+		Seed:      opts.Seed,
+		NumRdv:    opts.Rendezvous,
+		Topology:  kind,
+		Discovery: discovery.DefaultConfig(),
+	}
+	for i, e := range opts.Edges {
+		if e.AttachTo < 0 || e.AttachTo >= opts.Rendezvous {
+			return nil, fmt.Errorf("jxta: edge %d attaches to rendezvous %d of %d",
+				i, e.AttachTo, opts.Rendezvous)
+		}
+	}
+	o, err := deploy.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	sim := &Simulation{overlay: o}
+	for _, r := range o.Rdvs {
+		sim.rdvs = append(sim.rdvs, &Peer{sim: sim, n: r})
+	}
+	for i, e := range opts.Edges {
+		name := e.Name
+		if name == "" {
+			name = fmt.Sprintf("edge%d", i)
+		}
+		n, err := o.AddEdge(name, e.AttachTo)
+		if err != nil {
+			return nil, err
+		}
+		sim.edges = append(sim.edges, &Peer{sim: sim, n: n})
+	}
+	return sim, nil
+}
+
+// Start brings every peer up.
+func (s *Simulation) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.overlay.StartAll()
+}
+
+// Stop shuts every peer down.
+func (s *Simulation) Stop() {
+	if !s.started {
+		return
+	}
+	s.started = false
+	s.overlay.StopAll()
+}
+
+// Run advances virtual time by d.
+func (s *Simulation) Run(d time.Duration) {
+	s.overlay.Sched.Run(s.overlay.Sched.Now() + d)
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Duration { return s.overlay.Sched.Now() }
+
+// Rendezvous returns the i-th rendezvous peer.
+func (s *Simulation) Rendezvous(i int) *Peer { return s.rdvs[i] }
+
+// Edge returns the i-th edge peer (deployment order of SimOptions.Edges).
+func (s *Simulation) Edge(i int) *Peer { return s.edges[i] }
+
+// NumRendezvous and NumEdges report the overlay shape.
+func (s *Simulation) NumRendezvous() int { return len(s.rdvs) }
+
+// NumEdges reports how many edge peers were deployed.
+func (s *Simulation) NumEdges() int { return len(s.edges) }
+
+// Messages returns the total messages the simulated network carried.
+func (s *Simulation) Messages() uint64 { return s.overlay.Net.Stats().Messages }
+
+// KillRendezvous crashes the i-th rendezvous (volatility experiments).
+func (s *Simulation) KillRendezvous(i int) { s.overlay.KillRdv(i) }
+
+// ID returns the peer's JXTA ID in URN form.
+func (p *Peer) ID() string { return p.n.ID.String() }
+
+// Name returns the peer's configured name.
+func (p *Peer) Name() string { return p.n.Config.Name }
+
+// IsRendezvous reports the peer's role.
+func (p *Peer) IsRendezvous() bool { return p.n.IsRendezvous() }
+
+// PeerViewSize returns l, the peer's local peerview size (rendezvous only;
+// -1 for edges).
+func (p *Peer) PeerViewSize() int {
+	if p.n.PeerView == nil {
+		return -1
+	}
+	return p.n.PeerView.Size()
+}
+
+// Connected reports whether an edge currently holds a rendezvous lease.
+func (p *Peer) Connected() bool {
+	if p.n.IsRendezvous() {
+		return true
+	}
+	_, ok := p.n.Rendezvous.ConnectedRdv()
+	return ok
+}
+
+// Publish stores an advertisement and pushes its index to the LC-DHT.
+// Lifetime zero uses the stack default (2 h).
+func (p *Peer) Publish(adv Advertisement, lifetime time.Duration) {
+	p.n.Discovery.Publish(adv, lifetime)
+}
+
+// PublishResource publishes a generic resource advertisement with the given
+// name and extra indexed attributes. It returns the advertisement.
+func (p *Peer) PublishResource(name string, attrs map[string]string) *Resource {
+	fields := make([]IndexField, 0, len(attrs))
+	for k, v := range attrs {
+		fields = append(fields, IndexField{Attr: k, Value: v})
+	}
+	// Deterministic advertisement ID from publisher + name.
+	adv := &Resource{
+		ResID: ids.FromName(ids.KindAdv, p.n.ID.String()+"/"+name),
+		Name:  name,
+		Attrs: fields,
+	}
+	p.n.Discovery.Publish(adv, 0)
+	return adv
+}
+
+// PublishPeerAdv publishes this peer's own peer advertisement (the paper's
+// Table 1 workload publishes one with Name "Test").
+func (p *Peer) PublishPeerAdv() *PeerAdv {
+	adv := p.n.PeerAdv()
+	p.n.Discovery.Publish(adv, 0)
+	return adv
+}
+
+// FlushCache drops remotely discovered advertisements (the benchmark's
+// anti-caching step).
+func (p *Peer) FlushCache() { p.n.Discovery.FlushCache() }
+
+// discoverSettle is how long Discover keeps merging responses from further
+// publishers after the first one answered (virtual time).
+const discoverSettle = 100 * time.Millisecond
+
+// Discover searches the overlay for advertisements of advType whose attr
+// equals value, advancing virtual time until a response arrives or `within`
+// elapses. Responses from multiple publishers arriving shortly after the
+// first are merged (deduplicated by advertisement ID). It returns the
+// advertisements, the latency of the first response, and ErrTimeout when
+// nothing answered.
+func (p *Peer) Discover(advType, attr, value string, within time.Duration) ([]Advertisement, time.Duration, error) {
+	var first *discovery.Result
+	var merged []Advertisement
+	seen := map[string]bool{}
+	err := p.n.Discovery.Query(advType, attr, value, func(r discovery.Result) {
+		if first == nil {
+			first = &r
+		}
+		for _, adv := range r.Advs {
+			key := adv.ID().String()
+			if !seen[key] {
+				seen[key] = true
+				merged = append(merged, adv)
+			}
+		}
+	}, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	sched := p.sim.overlay.Sched
+	deadline := sched.Now() + within
+	for first == nil && sched.Now() < deadline {
+		step := sched.Now() + 10*time.Millisecond
+		if step > deadline {
+			step = deadline
+		}
+		sched.Run(step)
+	}
+	if first == nil {
+		return nil, 0, ErrTimeout
+	}
+	sched.Run(sched.Now() + discoverSettle)
+	return merged, first.Elapsed, nil
+}
+
+// DiscoverRange searches for advertisements of advType whose attr is an
+// integer within [lo, hi] — the complex-query extension (paper §5 future
+// work). Ranges walk the whole rendezvous view, so responses from several
+// publishers are merged over the settle window.
+func (p *Peer) DiscoverRange(advType, attr string, lo, hi int64, within time.Duration) ([]Advertisement, time.Duration, error) {
+	var first *discovery.Result
+	var merged []Advertisement
+	seen := map[string]bool{}
+	err := p.n.Discovery.QueryRange(advType, attr, lo, hi, func(r discovery.Result) {
+		if first == nil {
+			first = &r
+		}
+		for _, adv := range r.Advs {
+			key := adv.ID().String()
+			if !seen[key] {
+				seen[key] = true
+				merged = append(merged, adv)
+			}
+		}
+	}, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	sched := p.sim.overlay.Sched
+	deadline := sched.Now() + within
+	for first == nil && sched.Now() < deadline {
+		step := sched.Now() + 10*time.Millisecond
+		if step > deadline {
+			step = deadline
+		}
+		sched.Run(step)
+	}
+	if first == nil {
+		return nil, 0, ErrTimeout
+	}
+	sched.Run(sched.Now() + discoverSettle)
+	return merged, first.Elapsed, nil
+}
+
+// Grid5000Sites returns the nine modeled site names, for documentation and
+// tooling.
+func Grid5000Sites() []string {
+	sites := netmodel.AllSites()
+	out := make([]string, len(sites))
+	for i, s := range sites {
+		out[i] = s.String()
+	}
+	return out
+}

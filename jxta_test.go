@@ -1,0 +1,190 @@
+package jxta
+
+import (
+	"testing"
+	"time"
+)
+
+func newSim(t *testing.T, r int, edges ...int) *Simulation {
+	t.Helper()
+	specs := make([]EdgeSpec, len(edges))
+	for i, at := range edges {
+		specs[i] = EdgeSpec{AttachTo: at}
+	}
+	sim, err := NewSimulation(SimOptions{Seed: 1, Rendezvous: r, Edges: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestSimulationShape(t *testing.T) {
+	sim := newSim(t, 4, 0, 3)
+	if sim.NumRendezvous() != 4 || sim.NumEdges() != 2 {
+		t.Fatalf("shape %d/%d", sim.NumRendezvous(), sim.NumEdges())
+	}
+	if !sim.Rendezvous(0).IsRendezvous() || sim.Edge(0).IsRendezvous() {
+		t.Fatal("roles wrong")
+	}
+	if sim.Edge(0).Name() != "edge0" {
+		t.Fatalf("edge name %q", sim.Edge(0).Name())
+	}
+	if sim.Edge(0).ID() == "" || sim.Edge(0).ID() == sim.Edge(1).ID() {
+		t.Fatal("IDs wrong")
+	}
+}
+
+func TestSimulationValidation(t *testing.T) {
+	if _, err := NewSimulation(SimOptions{Rendezvous: 2,
+		Edges: []EdgeSpec{{AttachTo: 7}}}); err == nil {
+		t.Fatal("bad attachment accepted")
+	}
+	if _, err := NewSimulation(SimOptions{Rendezvous: 2, Topology: "mobius"}); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+}
+
+func TestPublishDiscoverEndToEnd(t *testing.T) {
+	sim := newSim(t, 6, 0, 5)
+	sim.Start()
+	defer sim.Stop()
+	sim.Run(12 * time.Minute)
+
+	pub, search := sim.Edge(0), sim.Edge(1)
+	if !pub.Connected() || !search.Connected() {
+		t.Fatal("edges not connected")
+	}
+	pub.PublishResource("compute-node-42", map[string]string{"Site": "rennes"})
+	sim.Run(time.Minute)
+
+	advs, elapsed, err := search.Discover("Resource", "Name", "compute-node-42", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advs) != 1 || elapsed <= 0 {
+		t.Fatalf("advs=%d elapsed=%v", len(advs), elapsed)
+	}
+	res, ok := advs[0].(*Resource)
+	if !ok || res.Name != "compute-node-42" {
+		t.Fatalf("wrong advertisement %+v", advs[0])
+	}
+	// Attribute search works too (after flushing the cached copy the
+	// query must travel again and still succeed).
+	search.FlushCache()
+	advs, _, err = search.Discover("Resource", "Site", "rennes", time.Minute)
+	if err != nil || len(advs) != 1 {
+		t.Fatalf("attribute discovery failed: %v, %d advs", err, len(advs))
+	}
+}
+
+func TestDiscoverTimeout(t *testing.T) {
+	sim := newSim(t, 3, 0)
+	sim.Start()
+	defer sim.Stop()
+	sim.Run(10 * time.Minute)
+	_, _, err := sim.Edge(0).Discover("Resource", "Name", "ghost", 45*time.Second)
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestPublishPeerAdv(t *testing.T) {
+	sim := newSim(t, 4, 0, 3)
+	sim.Start()
+	defer sim.Stop()
+	sim.Run(12 * time.Minute)
+	adv := sim.Edge(0).PublishPeerAdv()
+	sim.Run(time.Minute)
+	advs, _, err := sim.Edge(1).Discover("Peer", "Name", adv.Name, time.Minute)
+	if err != nil || len(advs) != 1 {
+		t.Fatalf("peer adv discovery: %v, %d advs", err, len(advs))
+	}
+}
+
+func TestPeerViewSizeAccessor(t *testing.T) {
+	sim := newSim(t, 5, 0)
+	sim.Start()
+	defer sim.Stop()
+	sim.Run(12 * time.Minute)
+	if got := sim.Rendezvous(0).PeerViewSize(); got != 4 {
+		t.Fatalf("rendezvous view size = %d, want 4", got)
+	}
+	if sim.Edge(0).PeerViewSize() != -1 {
+		t.Fatal("edge reported a peerview")
+	}
+}
+
+func TestKillRendezvousAndMessages(t *testing.T) {
+	sim := newSim(t, 4, 0)
+	sim.Start()
+	defer sim.Stop()
+	sim.Run(5 * time.Minute)
+	if sim.Messages() == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	sim.KillRendezvous(2)
+	sim.Run(5 * time.Minute) // survivors keep running
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() time.Duration {
+		sim := newSim(t, 5, 0, 4)
+		sim.Start()
+		defer sim.Stop()
+		sim.Run(12 * time.Minute)
+		sim.Edge(0).PublishResource("x", nil)
+		sim.Run(time.Minute)
+		_, elapsed, err := sim.Edge(1).Discover("Resource", "Name", "x", time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different latencies")
+	}
+}
+
+func TestGrid5000Sites(t *testing.T) {
+	sites := Grid5000Sites()
+	if len(sites) != 9 || sites[6] != "rennes" {
+		t.Fatalf("sites = %v", sites)
+	}
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	sim := newSim(t, 2, 0)
+	sim.Start()
+	sim.Start()
+	sim.Run(time.Minute)
+	sim.Stop()
+	sim.Stop()
+}
+
+func TestDiscoverRange(t *testing.T) {
+	sim := newSim(t, 6, 0, 2, 5)
+	sim.Start()
+	defer sim.Stop()
+	sim.Run(12 * time.Minute)
+	sim.Edge(0).PublishResource("small", map[string]string{"RAM": "1024"})
+	sim.Edge(1).PublishResource("big", map[string]string{"RAM": "8192"})
+	sim.Run(time.Minute)
+
+	searcher := sim.Edge(2)
+	advs, elapsed, err := searcher.DiscoverRange("Resource", "RAM", 500, 2000, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advs) != 1 || advs[0].(*Resource).Name != "small" || elapsed <= 0 {
+		t.Fatalf("range [500,2000]: %d advs, elapsed %v", len(advs), elapsed)
+	}
+	searcher.FlushCache()
+	advs, _, err = searcher.DiscoverRange("Resource", "RAM", 0, 1<<40, time.Minute)
+	if err != nil || len(advs) != 2 {
+		t.Fatalf("full span: %v, %d advs", err, len(advs))
+	}
+	_, _, err = searcher.DiscoverRange("Resource", "RAM", 1<<30, 1<<31, 30*time.Second)
+	if err != ErrTimeout {
+		t.Fatalf("empty range err = %v, want ErrTimeout", err)
+	}
+}
