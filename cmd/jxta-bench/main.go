@@ -6,18 +6,26 @@
 //	jxta-bench -exp all                 # everything, full scale (minutes)
 //	jxta-bench -exp fig3left -quick     # scaled-down fast pass
 //	jxta-bench -exp fig4right -csv      # machine-readable series
+//	jxta-bench -exp perf -json BENCH_PR1.json   # engine perf point
+//	jxta-bench -exp fig3left -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: table1, fig3left, fig3right, fig4left, fig4right,
-// baselines, churn, ablations, all.
+// baselines, churn, ablations, perf, all. -json writes a machine-readable
+// summary of every selected experiment; each PR appends its `perf` point to
+// the benchmark trajectory (BENCH_<PR>.json, see PERFORMANCE.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"jxta/internal/deploy"
 	"jxta/internal/experiments"
 	"jxta/internal/metrics"
 	"jxta/internal/plot"
@@ -25,16 +33,53 @@ import (
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|ablations|all")
-	quickFlag = flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
-	csvFlag   = flag.Bool("csv", false, "emit CSV instead of ASCII plots")
-	seedFlag  = flag.Int64("seed", 42, "master determinism seed")
+	expFlag    = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|ablations|perf|all")
+	quickFlag  = flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
+	csvFlag    = flag.Bool("csv", false, "emit CSV instead of ASCII plots")
+	seedFlag   = flag.Int64("seed", 42, "master determinism seed")
+	jsonFlag   = flag.String("json", "", "write a JSON summary of the selected experiments to this file")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 )
 
 func main() {
+	// All failure paths return through run so deferred profile writers
+	// flush before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	flag.Parse()
 	start := time.Now()
-	runners := map[string]func() error{
+	if *memProfile != "" {
+		// Deferred so the heap profile is written on failure paths too.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	runners := map[string]func() (any, error){
 		"table1":    table1,
 		"fig3left":  fig3Left,
 		"fig3right": fig3Right,
@@ -43,8 +88,9 @@ func main() {
 		"baselines": baselines,
 		"churn":     churn,
 		"ablations": ablations,
+		"perf":      perf,
 	}
-	order := []string{"table1", "fig3left", "fig3right", "fig4left", "fig4right", "baselines", "churn", "ablations"}
+	order := []string{"table1", "fig3left", "fig3right", "fig4left", "fig4right", "baselines", "churn", "ablations", "perf"}
 	var selected []string
 	if *expFlag == "all" {
 		selected = order
@@ -52,33 +98,140 @@ func main() {
 		for _, name := range strings.Split(*expFlag, ",") {
 			if _, ok := runners[name]; !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, name)
 		}
 	}
+	summaries := make(map[string]any, len(selected))
 	for _, name := range selected {
 		fmt.Printf("==== %s ====\n", name)
-		if err := runners[name](); err != nil {
+		summary, err := runners[name]()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
+		summaries[name] = summary
 		fmt.Println()
 	}
+	if *jsonFlag != "" {
+		doc := map[string]any{
+			"seed":        *seedFlag,
+			"quick":       *quickFlag,
+			"wall_ms":     float64(time.Since(start)) / float64(time.Millisecond),
+			"experiments": summaries,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonFlag, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
+	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Second))
+	return 0
 }
 
-func table1() error {
+// perfPoint is one engine-throughput measurement for the benchmark
+// trajectory (PERFORMANCE.md).
+type perfPoint struct {
+	Workload     string  `json:"workload"`
+	WallMs       float64 `json:"wall_ms"`
+	VirtualMin   float64 `json:"virtual_min"`
+	Steps        uint64  `json:"steps"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Mallocs      uint64  `json:"mallocs"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	Messages     uint64  `json:"messages"`
+}
+
+// perf measures raw engine throughput on the two benchmark workloads the
+// PR trajectory tracks: a 50-rendezvous overlay boot and an 80-rendezvous
+// peerview convergence (-quick shrinks both; trajectory points should use
+// the full scale).
+func perf() (any, error) {
+	bootR, bootDur := 50, 10*time.Minute
+	pvR, pvDur := 80, 30*time.Minute
+	if *quickFlag {
+		bootR, bootDur = 20, 5*time.Minute
+		pvR, pvDur = 30, 10*time.Minute
+	}
+	var points []perfPoint
+
+	measure := func(workload string, virtual time.Duration, run func() (steps, msgs uint64, err error)) error {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		steps, msgs, err := run()
+		wall := time.Since(start)
+		if err != nil {
+			return err
+		}
+		runtime.ReadMemStats(&after)
+		points = append(points, perfPoint{
+			Workload:     workload,
+			WallMs:       float64(wall) / float64(time.Millisecond),
+			VirtualMin:   virtual.Minutes(),
+			Steps:        steps,
+			EventsPerSec: float64(steps) / wall.Seconds(),
+			Mallocs:      after.Mallocs - before.Mallocs,
+			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+			Messages:     msgs,
+		})
+		return nil
+	}
+
+	if err := measure(fmt.Sprintf("overlay-boot-r%d", bootR), bootDur, func() (uint64, uint64, error) {
+		o, err := deploy.Build(deploy.Spec{Seed: *seedFlag, NumRdv: bootR, Topology: topology.Chain})
+		if err != nil {
+			return 0, 0, err
+		}
+		o.StartAll()
+		o.Sched.Run(bootDur)
+		steps, msgs := o.Sched.Steps(), o.Net.Stats().Messages
+		o.StopAll()
+		return steps, msgs, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := measure(fmt.Sprintf("peerview-r%d-%dmin", pvR, int(pvDur.Minutes())), pvDur, func() (uint64, uint64, error) {
+		res, err := experiments.RunPeerview(experiments.PeerviewSpec{
+			R: pvR, Topology: topology.Chain,
+			Duration: pvDur, Seed: *seedFlag,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Steps, res.NetStats.Messages, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	for _, p := range points {
+		fmt.Printf("  %-22s wall=%8.1f ms  steps=%-9d events/sec=%-12.0f mallocs=%-9d msgs=%d\n",
+			p.Workload, p.WallMs, p.Steps, p.EventsPerSec, p.Mallocs, p.Messages)
+	}
+	return points, nil
+}
+
+func table1() (any, error) {
 	res, err := experiments.Table1(*seedFlag)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("Table 1 / Figure 2 worked example (§3.3):")
 	fmt.Printf("  ReplicaPos(116, MAX_HASH=200, l=6) = %d   (paper: 3 -> R4)\n", res.Pos)
 	fmt.Printf("  publish messages  = %d                  (paper: 2, O(1))\n", res.PublishMsgs)
 	fmt.Printf("  lookup messages   = %d                  (paper: 4 worst case)\n", res.LookupMsgs)
 	fmt.Printf("  lookup latency    = %.1f ms\n", res.LatencyMs)
-	return nil
+	return res, nil
 }
 
 func fig3Params() (quickDur time.Duration, chainRs, treeRs []int) {
@@ -90,18 +243,24 @@ func fig3Params() (quickDur time.Duration, chainRs, treeRs []int) {
 	return 0, experiments.Fig3LeftDefaultRs, experiments.Fig3LeftTreeRs
 }
 
-func fig3Left() error {
+func fig3Left() (any, error) {
 	quickDur, chainRs, treeRs := fig3Params()
 	chart := plot.Chart{
 		Title:  "Figure 3 (left): peerview size l over time",
 		XLabel: "minutes", YLabel: "known rendezvous",
 	}
+	var summary []map[string]any
 	emit := func(topo topology.Kind, rs []int) error {
 		results, err := experiments.Fig3Left(rs, topo, quickDur, *seedFlag)
 		if err != nil {
 			return err
 		}
 		for _, res := range results {
+			summary = append(summary, map[string]any{
+				"topology": topo.String(), "r": res.Spec.R,
+				"max": res.MaxSize, "plateau": res.PlateauMean,
+				"consistent": res.ConsistentAtEnd,
+			})
 			label := fmt.Sprintf("%s r=%d", topo, res.Spec.R)
 			if *csvFlag {
 				fmt.Printf("# %s (max=%d plateau=%.0f consistent=%v)\n%s",
@@ -122,29 +281,35 @@ func fig3Left() error {
 		return nil
 	}
 	if err := emit(topology.Chain, chainRs); err != nil {
-		return err
+		return nil, err
 	}
 	if err := emit(topology.Tree, treeRs); err != nil {
-		return err
+		return nil, err
 	}
 	if !*csvFlag {
 		fmt.Println(chart.Render())
 	}
-	return nil
+	return summary, nil
 }
 
-func fig3Right() error {
+func fig3Right() (any, error) {
 	r, dur := 580, 120*time.Minute
 	if *quickFlag {
 		r, dur = 120, 60*time.Minute
 	}
 	res, err := experiments.Fig3Right(r, dur, *seedFlag)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	adds, removes := res.Events.Counts()
 	firstRemove, _ := res.Events.FirstRemoveAt()
 	lastAdd, _ := res.Events.LastAddAt()
+	summary := map[string]any{
+		"r": r, "adds": adds, "removes": removes,
+		"distinct_peers":   res.Events.DistinctPeers(),
+		"first_remove_min": firstRemove.Minutes(),
+		"last_add_min":     lastAdd.Minutes(),
+	}
 	fmt.Printf("Figure 3 (right): peerview events at r=%d over %v\n", r, dur)
 	fmt.Printf("  add events=%d remove events=%d distinct peers seen=%d/%d\n",
 		adds, removes, res.Events.DistinctPeers(), r-1)
@@ -161,7 +326,7 @@ func fig3Right() error {
 			}
 			fmt.Printf("%.2f,%s,%d\n", e.At.Minutes(), kind, e.PeerNum)
 		}
-		return nil
+		return summary, nil
 	}
 	addS := plot.Series{Label: "add"}
 	remS := plot.Series{Label: "remove"}
@@ -179,17 +344,23 @@ func fig3Right() error {
 	chart.Add(addS)
 	chart.Add(remS)
 	fmt.Println(chart.Render())
-	return nil
+	return summary, nil
 }
 
-func fig4Left() error {
+func fig4Left() (any, error) {
 	r, dur := 50, 60*time.Minute
 	if *quickFlag {
 		r, dur = 30, 40*time.Minute
 	}
 	def, tuned, err := experiments.Fig4Left(r, dur, *seedFlag)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	summary := map[string]any{
+		"r":               r,
+		"default_plateau": def.PlateauMean,
+		"tuned_final":     tuned.FinalSize,
+		"tuned_t1_min":    tuned.ReachedMaxAt.Minutes(),
 	}
 	fmt.Printf("Figure 4 (left): r=%d, default vs tuned PVE_EXPIRATION\n", r)
 	fmt.Printf("  default: max=%d plateau=%.0f (fluctuates below r-1=%d)\n",
@@ -202,7 +373,7 @@ func fig4Left() error {
 		tuned.MaxSize, tuned.FinalSize, t1)
 	if *csvFlag {
 		fmt.Printf("# default\n%s# tuned\n%s", def.Size.CSV(), tuned.Size.CSV())
-		return nil
+		return summary, nil
 	}
 	chart := plot.Chart{Title: "Figure 4 (left)", XLabel: "minutes", YLabel: "known rendezvous"}
 	for _, pair := range []struct {
@@ -218,10 +389,10 @@ func fig4Left() error {
 		chart.Add(s)
 	}
 	fmt.Println(chart.Render())
-	return nil
+	return summary, nil
 }
 
-func fig4Right() error {
+func fig4Right() (any, error) {
 	rs := experiments.Fig4RightDefaultRs
 	queries := 100
 	if *quickFlag {
@@ -233,16 +404,22 @@ func fig4Right() error {
 	if *csvFlag {
 		fmt.Println("config,r,meanMs,p95Ms,timeouts,walkFraction")
 	}
+	var summary []map[string]any
 	for _, cfg := range []struct {
 		name  string
 		noise bool
 	}{{"A (no noise)", false}, {"B (50 noisers, 5000 fakes)", true}} {
 		results, err := experiments.Fig4RightParallel(rs, cfg.noise, queries, *seedFlag)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		s := plot.Series{Label: cfg.name}
 		for _, res := range results {
+			summary = append(summary, map[string]any{
+				"config": cfg.name, "r": res.Spec.R, "mean_ms": res.MeanMs,
+				"p95_ms":   res.Latency.Quantile(0.95),
+				"timeouts": res.Timeouts, "walk_fraction": res.WalkFraction,
+			})
 			if *csvFlag {
 				fmt.Printf("%s,%d,%.2f,%.2f,%d,%.2f\n", cfg.name, res.Spec.R,
 					res.MeanMs, res.Latency.Quantile(0.95), res.Timeouts, res.WalkFraction)
@@ -259,10 +436,10 @@ func fig4Right() error {
 	if !*csvFlag {
 		fmt.Println(chart.Render())
 	}
-	return nil
+	return summary, nil
 }
 
-func baselines() error {
+func baselines() (any, error) {
 	ns := []int{16, 64, 128}
 	ops := 50
 	if *quickFlag {
@@ -272,20 +449,25 @@ func baselines() error {
 	fmt.Println("Baselines (§3.3 complexity contrast): LC-DHT vs Chord vs flooding")
 	fmt.Printf("  %-5s %-22s %-28s %-22s\n", "n",
 		"LC-DHT ms / msgs-op", "Chord ms / hops / msgs-op", "Flood ms / msgs-op")
+	var summary []map[string]any
 	for _, n := range ns {
 		res, err := experiments.RunBaselines(n, ops, *seedFlag)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		summary = append(summary, map[string]any{
+			"n": n, "lcdht_msgs_op": res.LCDHTMsgsPerOp,
+			"chord_hops": res.ChordMeanHops, "flood_msgs_op": res.FloodMsgsPerOp,
+		})
 		fmt.Printf("  %-5d %6.1f / %-13.1f %6.1f / %4.1f / %-13.1f %6.1f / %-10.1f\n",
 			n, res.LCDHTMeanMs, res.LCDHTMsgsPerOp,
 			res.ChordMeanMs, res.ChordMeanHops, res.ChordMsgsPerOp,
 			res.FloodMeanMs, res.FloodMsgsPerOp)
 	}
-	return nil
+	return summary, nil
 }
 
-func churn() error {
+func churn() (any, error) {
 	r, kills, queries := 40, 10, 100
 	if *quickFlag {
 		r, kills, queries = 16, 4, 30
@@ -294,16 +476,19 @@ func churn() error {
 		R: r, Kills: kills, Queries: queries, KillEvery: 90 * time.Second, Seed: *seedFlag,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("Volatility extension (paper §5 future work): r=%d, %d crashes\n", r, kills)
 	fmt.Printf("  queries ok=%d/%d timeouts=%d\n", res.Succeeded, queries, res.Timeouts)
 	fmt.Printf("  latency %s\n", res.Latency.Summary())
 	fmt.Printf("  walk fallback used on %.0f%% of queries\n", 100*res.WalkFraction)
-	return nil
+	return map[string]any{
+		"r": r, "kills": kills, "ok": res.Succeeded, "timeouts": res.Timeouts,
+		"mean_ms": res.Latency.Mean(), "walk_fraction": res.WalkFraction,
+	}, nil
 }
 
-func ablations() error {
+func ablations() (any, error) {
 	r, dur := 60, 45*time.Minute
 	if *quickFlag {
 		r, dur = 30, 24*time.Minute
@@ -311,29 +496,40 @@ func ablations() error {
 	fmt.Printf("Ablations at r=%d (steady-state view size vs bandwidth):\n", r)
 	refs, err := experiments.AblateReferrals(r, nil, dur, *seedFlag)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ivals, err := experiments.AblateInterval(r, nil, dur, *seedFlag)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	exps, err := experiments.AblateExpiry(r, nil, dur, *seedFlag)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	summary := map[string]any{}
 	for _, res := range []experiments.AblationResult{refs, ivals, exps} {
 		fmt.Printf("  %s:\n", res.Parameter)
+		var rows []map[string]any
 		for _, pt := range res.Points {
+			rows = append(rows, map[string]any{
+				"label": pt.Label, "plateau_l": pt.PlateauL,
+				"msgs_per_peer_min": pt.MsgsPerPeerPerMin,
+			})
 			fmt.Printf("    %-8s plateau l=%-6.1f msgs/peer/min=%.1f\n",
 				pt.Label, pt.PlateauL, pt.MsgsPerPeerPerMin)
 		}
+		summary[res.Parameter] = rows
 	}
 	walk, err := experiments.AblateWalk(75, 40, *seedFlag)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("  walk fallback (r=%d, %d queries):\n", walk.R, walk.Queries)
 	fmt.Printf("    with walk:    %d ok, mean %.1f ms\n", walk.WithWalkOK, walk.WithWalkMeanMs)
 	fmt.Printf("    without walk: %d ok, %d lost\n", walk.WithoutWalkOK, walk.WithoutWalkLost)
-	return nil
+	summary["walk"] = map[string]any{
+		"with_ok": walk.WithWalkOK, "without_ok": walk.WithoutWalkOK,
+		"without_lost": walk.WithoutWalkLost,
+	}
+	return summary, nil
 }

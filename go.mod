@@ -1,0 +1,3 @@
+module jxta
+
+go 1.24

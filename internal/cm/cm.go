@@ -6,6 +6,7 @@
 package cm
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -30,14 +31,37 @@ type Cache struct {
 	// index maps "Type+Attr+Value" keys to the advertisement IDs carrying
 	// that field.
 	index map[string]map[ids.ID]struct{}
+	// numIndex maps "Type\x00Attr" keys to numeric postings for every
+	// indexed field whose value parses as an integer, making range
+	// queries sublinear. Attrs that never carried a numeric value have no
+	// key here and fall back to the linear scan.
+	numIndex map[string]*numPostings
 }
+
+// numEntry is one numeric index posting.
+type numEntry struct {
+	val int64
+	id  ids.ID
+}
+
+// numPostings is one (type,attr) posting list. Inserts append and mark the
+// list dirty so Put stays O(1); the list is sorted (and exact duplicates
+// collapsed) lazily on the first range query after a burst of writes.
+type numPostings struct {
+	entries []numEntry
+	dirty   bool
+}
+
+// numKey builds the numeric-index key for a (type, attr) pair.
+func numKey(advType, attr string) string { return advType + "\x00" + attr }
 
 // New builds an empty cache.
 func New(e env.Env) *Cache {
 	return &Cache{
-		env:   e,
-		byID:  make(map[ids.ID]*Record),
-		index: make(map[string]map[ids.ID]struct{}),
+		env:      e,
+		byID:     make(map[ids.ID]*Record),
+		index:    make(map[string]map[ids.ID]struct{}),
+		numIndex: make(map[string]*numPostings),
 	}
 }
 
@@ -75,6 +99,9 @@ func (c *Cache) Put(adv advertisement.Advertisement, lifetime time.Duration, loc
 			c.index[key] = set
 		}
 		set[id] = struct{}{}
+		if v, err := strconv.ParseInt(f.Value, 10, 64); err == nil {
+			c.numInsert(numKey(adv.Type(), f.Attr), numEntry{val: v, id: id})
+		}
 	}
 }
 
@@ -88,7 +115,74 @@ func (c *Cache) unindex(adv advertisement.Advertisement) {
 				delete(c.index, key)
 			}
 		}
+		if v, err := strconv.ParseInt(f.Value, 10, 64); err == nil {
+			c.numRemove(numKey(adv.Type(), f.Attr), numEntry{val: v, id: id})
+		}
 	}
+}
+
+// numLess orders postings by (value, id) — a total order, so binary search
+// finds exact posting positions.
+func numLess(a, b numEntry) bool {
+	if a.val != b.val {
+		return a.val < b.val
+	}
+	return a.id.Less(b.id)
+}
+
+// numInsert appends a posting in O(1); sorting is deferred to the next
+// range query.
+func (c *Cache) numInsert(key string, e numEntry) {
+	p, ok := c.numIndex[key]
+	if !ok {
+		p = &numPostings{}
+		c.numIndex[key] = p
+	}
+	p.entries = append(p.entries, e)
+	p.dirty = true
+}
+
+// numRemove deletes one occurrence of a posting if present.
+func (c *Cache) numRemove(key string, e numEntry) {
+	p, ok := c.numIndex[key]
+	if !ok {
+		return
+	}
+	if p.dirty {
+		for i, cur := range p.entries {
+			if cur == e {
+				p.entries = append(p.entries[:i], p.entries[i+1:]...)
+				break
+			}
+		}
+	} else {
+		i := sort.Search(len(p.entries), func(i int) bool { return !numLess(p.entries[i], e) })
+		if i >= len(p.entries) || p.entries[i] != e {
+			return
+		}
+		p.entries = append(p.entries[:i], p.entries[i+1:]...)
+	}
+	if len(p.entries) == 0 {
+		delete(c.numIndex, key)
+	}
+}
+
+// ensureSorted sorts a dirty posting list by (value, id) and collapses
+// exact duplicate postings (an adv listing one attr/value pair twice).
+func (p *numPostings) ensureSorted() {
+	if !p.dirty {
+		return
+	}
+	sort.Slice(p.entries, func(i, j int) bool { return numLess(p.entries[i], p.entries[j]) })
+	out := p.entries[:0]
+	for i, e := range p.entries {
+		if i > 0 && e == out[len(out)-1] {
+			continue
+		}
+		out = append(out, e)
+	}
+	p.entries = out
+	p.dirty = false
 }
 
 // Get returns the advertisement with the given ID if present and fresh.
@@ -146,9 +240,44 @@ func (c *Cache) collect(out []advertisement.Advertisement, advType string, set m
 }
 
 // SearchRange returns fresh advertisements of advType whose attr parses as
-// an integer within [lo, hi] — the complex-query extension (linear scan,
-// like JXTA-C's CM).
+// an integer within [lo, hi] — the complex-query extension. The per-
+// (type,attr) sorted numeric index makes this O(log n + matches); attrs
+// with no numeric postings fall back to the linear scan over the store
+// (JXTA-C CM behavior). Results are ordered by (value, id), deterministic
+// across runs.
 func (c *Cache) SearchRange(advType, attr string, lo, hi int64) []advertisement.Advertisement {
+	p, ok := c.numIndex[numKey(advType, attr)]
+	if !ok {
+		return c.searchRangeLinear(advType, attr, lo, hi)
+	}
+	p.ensureSorted()
+	entries := p.entries
+	var out []advertisement.Advertisement
+	var seen map[ids.ID]struct{}
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].val >= lo })
+	for ; i < len(entries) && entries[i].val <= hi; i++ {
+		id := entries[i].id
+		// An advertisement with several in-range values for the same attr
+		// has one posting per value; report it once.
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		rec, okRec := c.byID[id]
+		if !okRec || c.expired(rec) || rec.Adv.Type() != advType {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[ids.ID]struct{})
+		}
+		seen[id] = struct{}{}
+		out = append(out, rec.Adv)
+	}
+	return out
+}
+
+// searchRangeLinear is the historical full-store scan, kept as the
+// fallback path for unindexed attrs.
+func (c *Cache) searchRangeLinear(advType, attr string, lo, hi int64) []advertisement.Advertisement {
 	var out []advertisement.Advertisement
 	for _, rec := range c.byID {
 		if c.expired(rec) || rec.Adv.Type() != advType {

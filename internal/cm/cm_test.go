@@ -3,6 +3,7 @@ package cm
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"testing"
 	"testing/quick"
 	"time"
@@ -280,5 +281,100 @@ func TestSearchRange(t *testing.T) {
 	sched.Run(2 * time.Minute)
 	if got := c.SearchRange("Resource", "RAM", 2999, 3001); len(got) != 0 {
 		t.Fatal("expired advertisement matched range")
+	}
+}
+
+func TestSearchRangeIndexMaintenance(t *testing.T) {
+	c, _ := newCache()
+	adv := res("a", advertisement.IndexField{Attr: "RAM", Value: "1000"})
+	c.Put(adv, 0, true)
+	if got := c.SearchRange("Resource", "RAM", 0, 2000); len(got) != 1 {
+		t.Fatal("indexed adv not found")
+	}
+	// Replacing the adv with a new value must reindex, not duplicate.
+	c.Put(res("a", advertisement.IndexField{Attr: "RAM", Value: "3000"}), 0, true)
+	if got := c.SearchRange("Resource", "RAM", 0, 2000); len(got) != 0 {
+		t.Fatal("stale numeric posting survived replacement")
+	}
+	if got := c.SearchRange("Resource", "RAM", 2500, 3500); len(got) != 1 {
+		t.Fatal("replacement value not indexed")
+	}
+	// Removal cleans the posting list.
+	c.Remove(adv.ID())
+	if got := c.SearchRange("Resource", "RAM", 0, 1<<40); len(got) != 0 {
+		t.Fatal("removed adv still matched")
+	}
+	if len(c.numIndex) != 0 {
+		t.Fatalf("numIndex not cleaned: %v", c.numIndex)
+	}
+}
+
+func TestSearchRangeMultiValueAdvDeduped(t *testing.T) {
+	c, _ := newCache()
+	c.Put(res("multi",
+		advertisement.IndexField{Attr: "RAM", Value: "1000"},
+		advertisement.IndexField{Attr: "RAM", Value: "1500"}), 0, true)
+	if got := c.SearchRange("Resource", "RAM", 0, 2000); len(got) != 1 {
+		t.Fatalf("multi-value adv returned %d times, want 1", len(got))
+	}
+}
+
+// TestSearchRangeLinearFallback covers the unindexed-attr path: an attr
+// that never carried a numeric value has no posting list, and SearchRange
+// must agree with the full-store scan (both empty here).
+func TestSearchRangeLinearFallback(t *testing.T) {
+	c, _ := newCache()
+	c.Put(res("n", advertisement.IndexField{Attr: "Tag", Value: "fast"}), 0, true)
+	if _, ok := c.numIndex[numKey("Resource", "Tag")]; ok {
+		t.Fatal("non-numeric value got a numeric posting")
+	}
+	if got := c.SearchRange("Resource", "Tag", 0, 1<<40); got != nil {
+		t.Fatalf("fallback returned %v", got)
+	}
+	if got := c.searchRangeLinear("Resource", "Tag", 0, 1<<40); got != nil {
+		t.Fatalf("linear scan returned %v", got)
+	}
+}
+
+// Property: the indexed SearchRange agrees with the linear scan on random
+// stores and random ranges (up to ordering).
+func TestSearchRangeMatchesLinearProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _ := newCache()
+		attrs := []string{"RAM", "CPU", "Disk"}
+		for i := 0; i < 30; i++ {
+			var fields []advertisement.IndexField
+			for _, a := range attrs {
+				if rng.Intn(2) == 0 {
+					fields = append(fields, advertisement.IndexField{
+						Attr: a, Value: strconv.Itoa(rng.Intn(50))})
+				}
+			}
+			c.Put(res(fmt.Sprintf("n%d", i), fields...), 0, true)
+		}
+		for trial := 0; trial < 10; trial++ {
+			attr := attrs[rng.Intn(len(attrs))]
+			lo := int64(rng.Intn(50))
+			hi := lo + int64(rng.Intn(20))
+			got := c.SearchRange("Resource", attr, lo, hi)
+			want := c.searchRangeLinear("Resource", attr, lo, hi)
+			if len(got) != len(want) {
+				return false
+			}
+			seen := make(map[ids.ID]bool, len(want))
+			for _, adv := range want {
+				seen[adv.ID()] = true
+			}
+			for _, adv := range got {
+				if !seen[adv.ID()] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
 	}
 }

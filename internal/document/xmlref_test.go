@@ -1,0 +1,229 @@
+package document
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refMarshal is the historical encoding/xml-based encoder, kept as a test
+// reference: the hand-rolled encoder must stay byte-identical, because
+// encoded sizes feed the simulator's latency model and the determinism
+// golden tests pin the resulting byte counts.
+func refMarshal(e *Element) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	if err := refEncode(enc, e); err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func refEncode(enc *xml.Encoder, e *Element) error {
+	if e.Text != "" && len(e.Children) > 0 {
+		return ErrMixedContent
+	}
+	start := xml.StartElement{Name: xml.Name{Local: e.Name}}
+	for _, a := range e.Attrs {
+		start.Attr = append(start.Attr, xml.Attr{Name: xml.Name{Local: a.Name}, Value: a.Value})
+	}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	if e.Text != "" {
+		if err := enc.EncodeToken(xml.CharData(e.Text)); err != nil {
+			return err
+		}
+	}
+	for _, c := range e.Children {
+		if err := refEncode(enc, c); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(start.End())
+}
+
+func TestMarshalMatchesEncodingXML(t *testing.T) {
+	docs := []*Element{
+		sampleDoc(),
+		NewElement("A"),
+		NewElement("Doc").WithText("plain"),
+		NewElement("Doc").WithAttr("q", `a"b<c>&`).AppendText("T", "x < y & z > w"),
+		NewElement("Doc").WithText("tab\tnl\ncr\rquote'dq\""),
+		NewElement("Doc").WithAttr("a", "tab\tnl\ncr\r"),
+		NewElement("Doc").WithText("unicode λ→🎉 text"),
+		NewElement("jxta:Msg").WithAttr("xmlns:jxta", "http://jxta.org").
+			Append(NewElement("jxta:Inner").WithText("v")),
+	}
+	for i, d := range docs {
+		want, err := refMarshal(d)
+		if err != nil {
+			t.Fatalf("doc %d: reference: %v", i, err)
+		}
+		got, err := d.Marshal()
+		if err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("doc %d encoding diverged from encoding/xml\n got:  %q\n want: %q", i, got, want)
+		}
+	}
+}
+
+// nastyText draws strings that stress the escaper: specials, control
+// bytes, multibyte runes, invalid UTF-8.
+func nastyText(rng *rand.Rand) string {
+	pieces := []string{
+		"plain", "<", ">", "&", `"`, "'", "\t", "\n", "\r",
+		"λ", "🎉", " ", "�", string(byte(0x01)), string([]byte{0xff, 0xfe}),
+		"\x00", "mixed &amp; done",
+	}
+	n := rng.Intn(6)
+	var out []byte
+	for i := 0; i < n; i++ {
+		out = append(out, pieces[rng.Intn(len(pieces))]...)
+	}
+	return string(out)
+}
+
+func TestMarshalMatchesEncodingXMLProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewElement("Doc").
+			WithAttr("a", nastyText(rng)).
+			WithAttr("b", nastyText(rng))
+		if rng.Intn(2) == 0 {
+			d.WithText(nastyText(rng))
+		} else {
+			d.AppendText("C", nastyText(rng))
+		}
+		want, errW := refMarshal(d)
+		got, errG := d.Marshal()
+		if (errW == nil) != (errG == nil) {
+			return false
+		}
+		return errW != nil || bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnmarshalAcceptsEncodingXMLInput checks the hand-rolled parser reads
+// documents the reference encoder produced, including escapes.
+func TestUnmarshalAcceptsEncodingXMLInput(t *testing.T) {
+	d := NewElement("Doc").WithAttr("q", "a\tb\nc&<>'\"").
+		AppendText("T", "x < y & z > w \t done")
+	data, err := refMarshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(d) {
+		t.Fatalf("decode of reference encoding changed document:\n%s\nvs\n%s", d, back)
+	}
+}
+
+func TestUnmarshalNamedEntitiesAndCharRefs(t *testing.T) {
+	d, err := Unmarshal([]byte(`<Doc a="&quot;&apos;&#65;&#x41;">&amp;&lt;&gt;&#x1F389;</Doc>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Attr("a"); v != `"'AA` {
+		t.Fatalf("attr = %q", v)
+	}
+	if d.Text != "&<>🎉" {
+		t.Fatalf("text = %q", d.Text)
+	}
+}
+
+func TestUnmarshalCDATA(t *testing.T) {
+	d, err := Unmarshal([]byte("<Doc><![CDATA[a <raw> & b]]></Doc>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Text != "a <raw> & b" {
+		t.Fatalf("CDATA text = %q", d.Text)
+	}
+	// Line-ending normalization applies inside CDATA too.
+	d, err = Unmarshal([]byte("<Doc><![CDATA[x\r\ny\rz]]></Doc>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Text != "x\ny\nz" {
+		t.Fatalf("CDATA CRLF text = %q, want %q", d.Text, "x\ny\nz")
+	}
+}
+
+func TestUnmarshalSelfClosing(t *testing.T) {
+	d, err := Unmarshal([]byte(`<Doc><A/><B x="1"/></Doc>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Children) != 2 || d.Children[0].Name != "A" {
+		t.Fatalf("self-closing decode: %s", d)
+	}
+	if v, _ := d.Children[1].Attr("x"); v != "1" {
+		t.Fatal("self-closing attr lost")
+	}
+}
+
+func TestUnmarshalDoctypeInternalSubset(t *testing.T) {
+	d, err := Unmarshal([]byte("<!DOCTYPE jxta:PA [<!ELEMENT a (b)>]>\n<a>x</a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "a" || d.Text != "x" {
+		t.Fatalf("doctype-with-subset decode: %s", d)
+	}
+}
+
+func TestUnmarshalNormalizesLineEndings(t *testing.T) {
+	// XML line-ending normalization: CRLF and bare CR become LF, exactly
+	// like the old encoding/xml decoder; a literal CR survives only via
+	// a &#xD; character reference.
+	d, err := Unmarshal([]byte("<a b=\"p\r\nq\">x\r\ny\rz&#xD;w</a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Text != "x\ny\nz\rw" {
+		t.Fatalf("text = %q, want %q", d.Text, "x\ny\nz\rw")
+	}
+	if v, _ := d.Attr("b"); v != "p\nq" {
+		t.Fatalf("attr = %q, want %q", v, "p\nq")
+	}
+}
+
+func TestUnmarshalZeroPaddedCharRef(t *testing.T) {
+	d, err := Unmarshal([]byte("<a>&#0000000065;</a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Text != "A" {
+		t.Fatalf("zero-padded char ref = %q, want A", d.Text)
+	}
+}
+
+func TestUnmarshalRejectsUnknownEntity(t *testing.T) {
+	if _, err := Unmarshal([]byte("<Doc>&bogus;</Doc>")); err == nil {
+		t.Fatal("unknown entity accepted")
+	}
+}
+
+func TestUnmarshalCommentInsideElement(t *testing.T) {
+	d, err := Unmarshal([]byte("<Doc><!-- note --><A>x</A></Doc>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Children) != 1 || d.ChildText("A") != "x" {
+		t.Fatalf("comment handling: %s", d)
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strconv"
+	"testing"
+	"time"
+
+	"jxta/internal/topology"
+)
+
+// The golden determinism tests pin the engine's bit-for-bit replay contract
+// across refactors of the scheduler, transport and message hot paths: a
+// fixed-seed experiment must produce byte-identical metrics — every float
+// down to the last mantissa bit, every simulator step, every network
+// counter — on any implementation of the engine. The golden strings below
+// were captured from the original container/heap + per-send-closure engine;
+// any scheduler or transport change that reorders events, consumes RNG
+// draws differently, or perturbs a latency sample will break them.
+//
+// If a change is *supposed* to alter simulation results (a model change,
+// not an engine change), re-capture by setting the golden constants to
+// "UNSET", running `go test ./internal/experiments -run TestGolden`, and
+// pasting the printed fingerprints back in — and say so in the commit
+// message.
+
+// hexFloat renders a float64 exactly (hex mantissa), so golden comparisons
+// are bit-for-bit rather than rounded.
+func hexFloat(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }
+
+func peerviewFingerprint(res PeerviewResult) string {
+	h := fnv.New64a()
+	io.WriteString(h, res.Size.CSV())
+	io.WriteString(h, res.MeanSize.CSV())
+	for _, e := range res.Events.Events {
+		fmt.Fprintf(h, "%d|%d|%d|%s;", e.At, e.Kind, e.PeerNum, e.Peer)
+	}
+	return fmt.Sprintf("max=%d final=%d plateau=%s reached=%v@%d consistent=%v steps=%d msgs=%d bytes=%d dropped=%d series=%016x",
+		res.MaxSize, res.FinalSize, hexFloat(res.PlateauMean),
+		res.ReachedMax, res.ReachedMaxAt, res.ConsistentAtEnd,
+		res.Steps, res.NetStats.Messages, res.NetStats.Bytes,
+		res.NetStats.Dropped, h.Sum64())
+}
+
+func discoveryFingerprint(res DiscoveryResult) string {
+	return fmt.Sprintf("mean=%s n=%d min=%s p50=%s p95=%s max=%s timeouts=%d walk=%s steps=%d msgs=%d bytes=%d dropped=%d",
+		hexFloat(res.MeanMs), res.Latency.N(),
+		hexFloat(res.Latency.Min()), hexFloat(res.Latency.Quantile(0.5)),
+		hexFloat(res.Latency.Quantile(0.95)), hexFloat(res.Latency.Max()),
+		res.Timeouts, hexFloat(res.WalkFraction),
+		res.Steps, res.NetStats.Messages, res.NetStats.Bytes,
+		res.NetStats.Dropped)
+}
+
+const (
+	goldenPeerview  = "max=23 final=23 plateau=0x1.7p+04 reached=true@240000000000 consistent=true steps=14948 msgs=6500 bytes=3385821 dropped=0 series=919b4d4c24dbca9b"
+	goldenDiscovery = "mean=0x1.b20ba493c89f4p+03 n=12 min=0x1.5e0216c61522ap+03 p50=0x1.a74c32a8c9b84p+03 p95=0x1.064bbe6cb7b94p+04 max=0x1.0efdfa00e27e1p+04 timeouts=0 walk=0x0p+00 steps=2944 msgs=1230 bytes=633255 dropped=0"
+)
+
+func TestGoldenPeerviewReplay(t *testing.T) {
+	res, err := RunPeerview(PeerviewSpec{
+		R: 24, Topology: topology.Chain,
+		Duration: 20 * time.Minute, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := peerviewFingerprint(res)
+	if goldenPeerview == "UNSET" {
+		t.Fatalf("capture golden:\n%s", got)
+	}
+	if got != goldenPeerview {
+		t.Errorf("peerview replay diverged from golden engine behavior\n got:  %s\n want: %s", got, goldenPeerview)
+	}
+}
+
+func TestGoldenDiscoveryReplay(t *testing.T) {
+	res, err := RunDiscovery(DiscoverySpec{
+		R: 8, Queries: 12, Seed: 42, Converge: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := discoveryFingerprint(res)
+	if goldenDiscovery == "UNSET" {
+		t.Fatalf("capture golden:\n%s", got)
+	}
+	if got != goldenDiscovery {
+		t.Errorf("discovery replay diverged from golden engine behavior\n got:  %s\n want: %s", got, goldenDiscovery)
+	}
+}
+
+// TestGoldenReplayTwice asserts run-to-run determinism inside one process:
+// two identical specs yield identical fingerprints regardless of map
+// iteration order, pooling, or allocator state.
+func TestGoldenReplayTwice(t *testing.T) {
+	spec := PeerviewSpec{R: 16, Topology: topology.Tree, Fanout: 2,
+		Duration: 15 * time.Minute, Seed: 7}
+	a, err := RunPeerview(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPeerview(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := peerviewFingerprint(a), peerviewFingerprint(b)
+	if fa != fb {
+		t.Errorf("same-seed replay diverged\n first:  %s\n second: %s", fa, fb)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"jxta/internal/metrics"
 	"jxta/internal/peerview"
 	"jxta/internal/topology"
+	"jxta/internal/transport"
 )
 
 // PeerviewSpec parameterizes a peerview-protocol experiment (§4.1).
@@ -72,6 +73,13 @@ type PeerviewResult struct {
 	// ConsistentAtEnd reports property (2) at the end of the run: every
 	// rendezvous holds l = r-1.
 	ConsistentAtEnd bool
+	// Steps is the number of simulator events executed — part of the
+	// engine's bit-for-bit replay contract (see the golden determinism
+	// test).
+	Steps uint64
+	// NetStats snapshots the simulated network counters at the end of the
+	// run.
+	NetStats transport.Stats
 }
 
 // RunPeerview executes a §4.1 peerview experiment.
@@ -125,6 +133,8 @@ func RunPeerview(spec PeerviewSpec) (PeerviewResult, error) {
 			break
 		}
 	}
+	res.Steps = o.Sched.Steps()
+	res.NetStats = o.Net.Stats()
 	o.StopAll()
 	return res, nil
 }

@@ -140,7 +140,19 @@ func (id ID) String() string {
 	if id.IsNil() {
 		return "urn:jxta:nil"
 	}
-	return "urn:jxta:uuid-" + hex.EncodeToString(id.uuid[:]) + "-" + id.kind.String()
+	// Built in one allocation: IDs are stringified on every message
+	// construction, so this is a simulation hot path.
+	const prefix = "urn:jxta:uuid-"
+	suffix := id.kind.String()
+	var b strings.Builder
+	b.Grow(len(prefix) + 32 + 1 + len(suffix))
+	b.WriteString(prefix)
+	var h [32]byte
+	hex.Encode(h[:], id.uuid[:])
+	b.Write(h[:])
+	b.WriteByte('-')
+	b.WriteString(suffix)
+	return b.String()
 }
 
 // Short returns an abbreviated form (first 8 hex digits) for logs and plots.
@@ -182,16 +194,42 @@ func Parse(s string) (ID, error) {
 			return Nil, fmt.Errorf("%w: unknown kind suffix %q", ErrBadID, rest[i+1:])
 		}
 	}
-	raw, err := hex.DecodeString(hexPart)
-	if err != nil || len(raw) != 16 {
+	var u [16]byte
+	if !decodeHex32(&u, hexPart) {
 		return Nil, fmt.Errorf("%w: bad uuid payload in %q", ErrBadID, s)
 	}
-	var u [16]byte
-	copy(u[:], raw)
 	if kind == 0 {
 		kind = KindPeer // plain form defaults to the peer namespace
 	}
 	return ID{kind: kind, uuid: u}, nil
+}
+
+// decodeHex32 decodes exactly 32 hex digits into u without allocating.
+func decodeHex32(u *[16]byte, s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for i := 0; i < 16; i++ {
+		hi, ok1 := unhex(s[2*i])
+		lo, ok2 := unhex(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		u[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
 }
 
 // MarshalText implements encoding.TextMarshaler.

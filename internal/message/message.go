@@ -9,9 +9,27 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"jxta/internal/document"
 )
+
+// bufPool recycles encoding buffers for transports that serialize frames on
+// a hot path. Buffers are handed out by pointer so Put never re-boxes the
+// slice header.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// GetBuffer returns a reusable encoding buffer of zero length. Pass it to
+// AppendMarshal and return it with PutBuffer once the frame has been
+// written out.
+func GetBuffer() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuffer returns a buffer obtained from GetBuffer to the pool. The
+// caller must not retain the slice afterwards.
+func PutBuffer(b *[]byte) {
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
 
 // Element is one named payload inside a message.
 type Element struct {
@@ -24,9 +42,13 @@ type Element struct {
 func (e Element) Size() int { return len(e.Namespace) + len(e.Name) + len(e.Data) + 12 }
 
 // Message is an ordered collection of elements. The zero value is an empty
-// message ready to use.
+// message ready to use. Messages must be used by pointer: copying a Message
+// value would alias its inline element storage.
 type Message struct {
 	elements []Element
+	// inline backs small messages without a separate slice allocation; the
+	// protocol norm is 1-4 elements per message.
+	inline [4]Element
 }
 
 // New returns an empty message.
@@ -37,6 +59,9 @@ func (m *Message) Len() int { return len(m.elements) }
 
 // Add appends a raw element.
 func (m *Message) Add(namespace, name string, data []byte) *Message {
+	if m.elements == nil {
+		m.elements = m.inline[:0]
+	}
 	m.elements = append(m.elements, Element{Namespace: namespace, Name: name, Data: data})
 	return m
 }
@@ -88,12 +113,28 @@ func (m *Message) Elements() []Element { return m.elements }
 
 // Clone returns a deep copy, used by the simulated transport so that the
 // receiver can never observe sender-side mutation (the sim must behave like
-// a real network that serializes bytes).
+// a real network that serializes bytes). All element payloads share one
+// contiguous backing buffer (capacity-clipped so an append on one element
+// can never bleed into the next), so a clone costs three allocations
+// however many elements the message carries.
 func (m *Message) Clone() *Message {
-	cp := &Message{elements: make([]Element, len(m.elements))}
+	total := 0
+	for _, e := range m.elements {
+		total += len(e.Data)
+	}
+	cp := &Message{}
+	if n := len(m.elements); n <= len(cp.inline) {
+		cp.elements = cp.inline[:n]
+	} else {
+		cp.elements = make([]Element, n)
+	}
+	buf := make([]byte, total)
+	off := 0
 	for i, e := range m.elements {
-		data := make([]byte, len(e.Data))
+		end := off + len(e.Data)
+		data := buf[off:end:end]
 		copy(data, e.Data)
+		off = end
 		cp.elements[i] = Element{Namespace: e.Namespace, Name: e.Name, Data: data}
 	}
 	return cp
@@ -128,9 +169,38 @@ var (
 	ErrTooLarge  = errors.New("message: element exceeds limits")
 )
 
-// Marshal encodes the message into a self-delimiting binary frame.
+// MarshaledSize returns the exact encoded length of the frame Marshal
+// produces, so encoding buffers can be sized without a growth path.
+func (m *Message) MarshaledSize() int {
+	n := len(magic) + uvarintLen(uint64(len(m.elements)))
+	for _, e := range m.elements {
+		n += uvarintLen(uint64(len(e.Namespace))) + len(e.Namespace)
+		n += uvarintLen(uint64(len(e.Name))) + len(e.Name)
+		n += uvarintLen(uint64(len(e.Data))) + len(e.Data)
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Marshal encodes the message into a self-delimiting binary frame. The
+// returned buffer is exactly sized and owned by the caller; senders on a
+// hot path should prefer AppendMarshal with a pooled buffer.
 func (m *Message) Marshal() []byte {
-	buf := make([]byte, 0, m.Size())
+	return m.AppendMarshal(make([]byte, 0, m.MarshaledSize()))
+}
+
+// AppendMarshal appends the encoded frame to dst and returns the extended
+// slice, letting callers amortize buffer allocations across sends.
+func (m *Message) AppendMarshal(dst []byte) []byte {
+	buf := dst
 	buf = append(buf, magic...)
 	buf = binary.AppendUvarint(buf, uint64(len(m.elements)))
 	for _, e := range m.elements {
@@ -158,7 +228,12 @@ func Unmarshal(data []byte) (*Message, error) {
 		return nil, fmt.Errorf("%w: %d elements", ErrTooLarge, count)
 	}
 	rest = rest[n:]
-	m := &Message{elements: make([]Element, 0, count)}
+	m := &Message{}
+	if count <= uint64(len(m.inline)) {
+		m.elements = m.inline[:0]
+	} else {
+		m.elements = make([]Element, 0, count)
+	}
 	readChunk := func() ([]byte, error) {
 		l, n := binary.Uvarint(rest)
 		if n <= 0 {

@@ -1,0 +1,87 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"jxta/internal/env"
+)
+
+// BenchmarkScheduleFireCancelMix models the protocol workload shape: most
+// events fire, but a steady fraction (response timeouts answered early,
+// leases renewed) is canceled before firing.
+func BenchmarkScheduleFireCancelMix(b *testing.B) {
+	s := NewScheduler(1)
+	noop := func() {}
+	var pending []Event
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := s.After(time.Duration(i%977)*time.Microsecond, noop)
+		if i%4 == 0 {
+			pending = append(pending, ev)
+		}
+		if len(pending) >= 64 {
+			for _, p := range pending {
+				p.Cancel()
+			}
+			pending = pending[:0]
+		}
+		if s.Pending() > 8192 {
+			for s.Pending() > 0 {
+				s.Step()
+			}
+		}
+	}
+	b.StopTimer()
+	s.RunAll()
+}
+
+// BenchmarkSchedulerPayloadEvents measures the transport-style fast path:
+// payload-carrying events dispatched through a stored func value, the form
+// that must not allocate per event.
+func BenchmarkSchedulerPayloadEvents(b *testing.B) {
+	s := NewScheduler(1)
+	type payload struct{ n int }
+	sink := 0
+	deliver := func(a any) { sink += a.(*payload).n }
+	p := &payload{n: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AfterCall(time.Duration(i%977)*time.Microsecond, deliver, p)
+		if s.Pending() > 8192 {
+			for s.Pending() > 0 {
+				s.Step()
+			}
+		}
+	}
+	b.StopTimer()
+	s.RunAll()
+	if sink == 0 && b.N > 8192 {
+		b.Fatal("payload events did not run")
+	}
+}
+
+// BenchmarkTickerHeavy drives the peerview-like steady state: hundreds of
+// periodic tickers re-arming forever, the dominant non-message event source
+// in overlay simulations.
+func BenchmarkTickerHeavy(b *testing.B) {
+	s := NewScheduler(1)
+	const tickers = 500
+	fires := 0
+	for i := 0; i < tickers; i++ {
+		e := s.NewEnv("n")
+		env.NewTicker(e, time.Duration(250+i)*time.Millisecond, func() { fires++ })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(s.Now() + time.Second)
+	}
+	b.StopTimer()
+	if fires == 0 {
+		b.Fatal("tickers did not fire")
+	}
+	b.ReportMetric(float64(s.Steps())/float64(b.N), "events/op")
+}

@@ -107,7 +107,7 @@ func TestCancelAfterFire(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := NewScheduler(1)
 	var got []int
-	evs := make([]*Event, 20)
+	evs := make([]Event, 20)
 	for i := 0; i < 20; i++ {
 		i := i
 		evs[i] = s.After(time.Duration(i)*time.Millisecond, func() { got = append(got, i) })
@@ -248,6 +248,138 @@ func TestHeapOrderProperty(t *testing.T) {
 			}
 		}
 		return len(times) == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroEventHandleCancel(t *testing.T) {
+	var ev Event
+	if ev.Cancel() {
+		t.Fatal("zero Event handle Cancel reported true")
+	}
+}
+
+func TestCancelHandleSurvivesSlotReuse(t *testing.T) {
+	// A canceled event's slot is recycled by later events; the stale handle
+	// must not cancel the new occupant (generation check).
+	s := NewScheduler(1)
+	stale := s.After(time.Second, func() {})
+	if !stale.Cancel() {
+		t.Fatal("first Cancel failed")
+	}
+	fired := false
+	s.After(time.Second, func() { fired = true }) // reuses the freed slot
+	if stale.Cancel() {
+		t.Fatal("stale handle canceled a recycled slot")
+	}
+	s.RunAll()
+	if !fired {
+		t.Fatal("recycled-slot event did not fire")
+	}
+}
+
+func TestPendingDiscountsCancels(t *testing.T) {
+	s := NewScheduler(1)
+	evs := make([]Event, 10)
+	for i := range evs {
+		evs[i] = s.After(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", s.Pending())
+	}
+	for i := 0; i < 5; i++ {
+		evs[i].Cancel()
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending after cancels = %d, want 5", s.Pending())
+	}
+	if n := s.RunAll(); n != 5 {
+		t.Fatalf("RunAll executed %d, want 5", n)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after RunAll = %d, want 0", s.Pending())
+	}
+}
+
+func TestCancelStormCompactsHeap(t *testing.T) {
+	// A timeout-renewal workload: schedule far in the future, cancel on
+	// every renewal. Tombstones must not accumulate for the whole window.
+	s := NewScheduler(1)
+	for i := 0; i < 10000; i++ {
+		s.After(time.Hour, func() {}).Cancel()
+	}
+	if len(s.heap) > 2*compactThreshold {
+		t.Fatalf("heap holds %d entries after canceling everything", len(s.heap))
+	}
+	// Live events interleaved with heavy cancellation still fire in order.
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.After(time.Duration(i)*time.Millisecond, func() { got = append(got, i) })
+		for j := 0; j < 30; j++ {
+			s.After(time.Hour, func() {}).Cancel()
+		}
+	}
+	s.RunAll()
+	if len(got) != 100 {
+		t.Fatalf("fired %d events, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken after compactions: %v", got[:i+1])
+		}
+	}
+}
+
+func TestAtCallPayload(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	record := func(a any) { got = append(got, a.(int)) }
+	s.AtCall(2*time.Millisecond, record, 2)
+	s.AtCall(time.Millisecond, record, 1)
+	s.AfterCall(3*time.Millisecond, record, 3)
+	s.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("payload events = %v, want [1 2 3]", got)
+	}
+}
+
+// Property: interleaved schedule/cancel sequences never fire canceled
+// events and always fire live ones in order.
+func TestCancelStormProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler(seed)
+		type rec struct {
+			ev       Event
+			canceled bool
+		}
+		var recs []*rec
+		fired := make(map[int]bool)
+		for i := 0; i < int(n); i++ {
+			i := i
+			r := &rec{}
+			r.ev = s.After(time.Duration(rng.Intn(5000))*time.Microsecond, func() {
+				fired[i] = true
+			})
+			recs = append(recs, r)
+			// Cancel a random earlier event half the time.
+			if len(recs) > 0 && rng.Intn(2) == 0 {
+				v := recs[rng.Intn(len(recs))]
+				if v.ev.Cancel() {
+					v.canceled = true
+				}
+			}
+		}
+		s.RunAll()
+		for i, r := range recs {
+			if r.canceled == fired[i] {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)

@@ -32,6 +32,24 @@ type Network struct {
 	// OnSend, when non-nil, observes every accepted send. Used by
 	// experiments to count per-exchange messages.
 	OnSend func(from, to Addr, msg *message.Message)
+	// siteCache remembers parsed sites of not-yet-attached destination
+	// addresses, so boot races don't re-parse the sim:// string per send.
+	siteCache map[Addr]netmodel.Site
+	// freeDeliveries pools delivery records; together with the scheduler's
+	// payload event form it makes the per-message send path closure-free.
+	freeDeliveries []*delivery
+	// arriveFn/handoffFn are the two delivery phases as method values,
+	// created once so scheduling them allocates nothing per send.
+	arriveFn  func(any)
+	handoffFn func(any)
+}
+
+// delivery is one in-flight message's state, pooled across sends.
+type delivery struct {
+	from Addr
+	to   Addr
+	rcv  *Sim // resolved at arrival, checked again at handoff
+	msg  *message.Message
 }
 
 // reserved DeriveRand index for the network's own jitter/loss stream, far
@@ -40,12 +58,34 @@ const networkRandIndex = 1 << 40
 
 // NewNetwork builds a fabric over the given scheduler and latency model.
 func NewNetwork(sched *simnet.Scheduler, model *netmodel.Model) *Network {
-	return &Network{
-		sched: sched,
-		model: model,
-		rng:   sched.DeriveRand(networkRandIndex),
-		nodes: make(map[Addr]*Sim),
+	n := &Network{
+		sched:     sched,
+		model:     model,
+		rng:       sched.DeriveRand(networkRandIndex),
+		nodes:     make(map[Addr]*Sim),
+		siteCache: make(map[Addr]netmodel.Site),
 	}
+	n.arriveFn = n.arrive
+	n.handoffFn = n.handoff
+	return n
+}
+
+// getDelivery takes a record from the pool (or allocates the pool's next).
+func (n *Network) getDelivery() *delivery {
+	if k := len(n.freeDeliveries); k > 0 {
+		d := n.freeDeliveries[k-1]
+		n.freeDeliveries[k-1] = nil
+		n.freeDeliveries = n.freeDeliveries[:k-1]
+		return d
+	}
+	return &delivery{}
+}
+
+// putDelivery clears and returns a record to the pool. The message is NOT
+// retained: the receiver owns it after handoff.
+func (n *Network) putDelivery(d *delivery) {
+	*d = delivery{}
+	n.freeDeliveries = append(n.freeDeliveries, d)
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -85,8 +125,12 @@ type Sim struct {
 	closed    bool
 	// lastArrival enforces per-destination FIFO ordering: JXTA transports
 	// are connection-oriented (TCP), so two messages from one peer to
-	// another never reorder, whatever the jitter draws say.
+	// another never reorder, whatever the jitter draws say. Entries whose
+	// clamp can no longer bind (arrival in the past) are pruned lazily so
+	// the map stays bounded by the peer's active destination set.
 	lastArrival map[Addr]time.Duration
+	// nextArrivalPrune rate-limits the prune sweep (virtual time).
+	nextArrivalPrune time.Duration
 }
 
 var _ Transport = (*Sim)(nil)
@@ -156,7 +200,7 @@ func (s *Sim) Send(to Addr, msg *message.Message) error {
 	}
 	// The destination may be unknown at send time (boot races) or gone
 	// (churn); bytes leave anyway and the receiver is resolved at arrival.
-	dstSite := siteOf(n, to)
+	dstSite := n.siteOf(to)
 	latency := n.model.SampleLatency(s.site, dstSite, msg.Size(), n.rng)
 	// Clamp to per-pair FIFO order (connection-oriented transport).
 	arrival := n.sched.Now() + latency
@@ -164,41 +208,92 @@ func (s *Sim) Send(to Addr, msg *message.Message) error {
 		arrival = last + time.Microsecond
 	}
 	s.lastArrival[to] = arrival
-	latency = arrival - n.sched.Now()
-	frame := msg.Clone() // receiver must never share memory with sender
-	n.sched.After(latency, func() {
-		rcv, ok := n.nodes[to]
-		if !ok || rcv.handler == nil {
-			n.stats.Dropped++
-			return
-		}
-		arrival := n.sched.Now()
-		start := rcv.busyUntil
-		if start < arrival {
-			start = arrival
-		}
-		handAt := start + n.model.StackService
-		rcv.busyUntil = handAt
-		n.sched.At(handAt, func() {
-			// Re-check liveness: the peer may have crashed while the
-			// message sat in its queue.
-			if cur, ok := n.nodes[to]; ok && cur == rcv && rcv.handler != nil {
-				rcv.handler(s.addr, frame)
-			} else {
-				n.stats.Dropped++
-			}
-		})
-	})
+	s.maybePruneArrivals()
+	d := n.getDelivery()
+	d.from, d.to = s.addr, to
+	d.msg = msg.Clone() // receiver must never share memory with sender
+	n.sched.AtCall(arrival, n.arriveFn, d)
 	return nil
 }
 
+// arrive is delivery phase 1: the frame reaches the destination host and
+// queues FIFO behind the receiver's protocol-stack service time.
+func (n *Network) arrive(a any) {
+	d := a.(*delivery)
+	rcv, ok := n.nodes[d.to]
+	if !ok || rcv.handler == nil {
+		n.stats.Dropped++
+		n.putDelivery(d)
+		return
+	}
+	arrival := n.sched.Now()
+	start := rcv.busyUntil
+	if start < arrival {
+		start = arrival
+	}
+	handAt := start + n.model.StackService
+	rcv.busyUntil = handAt
+	d.rcv = rcv
+	n.sched.AtCall(handAt, n.handoffFn, d)
+}
+
+// handoff is delivery phase 2: the stack hands the message to the service
+// handler — unless the peer crashed while the message sat in its queue.
+func (n *Network) handoff(a any) {
+	d := a.(*delivery)
+	if cur, ok := n.nodes[d.to]; ok && cur == d.rcv && d.rcv.handler != nil {
+		d.rcv.handler(d.from, d.msg)
+	} else {
+		n.stats.Dropped++
+	}
+	n.putDelivery(d)
+}
+
+// arrivalPruneLen is the lastArrival size beyond which a send may trigger a
+// prune sweep.
+const arrivalPruneLen = 64
+
+// arrivalPruneEvery rate-limits sweeps in virtual time.
+const arrivalPruneEvery = time.Second
+
+// maybePruneArrivals drops FIFO-clamp entries that can no longer bind: an
+// entry strictly in the past cannot exceed any future arrival (latencies are
+// nonnegative), so removing it never changes delivery order. Determinism is
+// preserved because the removal set depends only on virtual time, not map
+// iteration order.
+func (s *Sim) maybePruneArrivals() {
+	if len(s.lastArrival) < arrivalPruneLen {
+		return
+	}
+	now := s.net.sched.Now()
+	if now < s.nextArrivalPrune {
+		return
+	}
+	s.nextArrivalPrune = now + arrivalPruneEvery
+	for a, last := range s.lastArrival {
+		if last < now {
+			delete(s.lastArrival, a)
+		}
+	}
+}
+
 // siteOf resolves the destination site from the address (known endpoints) or
-// by parsing the sim:// address for not-yet-attached ones.
-func siteOf(n *Network, a Addr) netmodel.Site {
+// by parsing the sim:// address for not-yet-attached ones, memoizing the
+// parse.
+func (n *Network) siteOf(a Addr) netmodel.Site {
 	if node, ok := n.nodes[a]; ok {
 		return node.site
 	}
-	// sim://<site>/<name>
+	if site, ok := n.siteCache[a]; ok {
+		return site
+	}
+	site := parseAddrSite(a)
+	n.siteCache[a] = site
+	return site
+}
+
+// parseAddrSite extracts the site from a sim://<site>/<name> address.
+func parseAddrSite(a Addr) netmodel.Site {
 	s := string(a)
 	const prefix = "sim://"
 	if len(s) > len(prefix) && s[:len(prefix)] == prefix {

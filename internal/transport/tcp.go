@@ -90,7 +90,12 @@ func (t *TCP) Send(to Addr, msg *message.Message) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(conn, msg.Marshal()); err != nil {
+	buf := message.GetBuffer()
+	frame := msg.AppendMarshal(*buf)
+	err = writeFrame(conn, frame)
+	*buf = frame // keep the grown backing array for the pool
+	message.PutBuffer(buf)
+	if err != nil {
 		// Connection went bad: drop it so the next send redials.
 		t.dropConn(to, conn)
 		return err

@@ -211,11 +211,18 @@ func TestSimSendAfterClose(t *testing.T) {
 func TestSiteOfUnattachedAddress(t *testing.T) {
 	sched := simnet.NewScheduler(1)
 	net := NewNetwork(sched, netmodel.Uniform(time.Millisecond))
-	if siteOf(net, "sim://toulouse/ghost") != netmodel.Toulouse {
+	if net.siteOf("sim://toulouse/ghost") != netmodel.Toulouse {
 		t.Fatal("siteOf failed to parse unattached sim address")
 	}
-	if siteOf(net, "bogus") != netmodel.Rennes {
+	if net.siteOf("bogus") != netmodel.Rennes {
 		t.Fatal("siteOf fallback changed")
+	}
+	// Second resolution comes from the memoized cache.
+	if net.siteOf("sim://toulouse/ghost") != netmodel.Toulouse {
+		t.Fatal("siteOf cache returned a different site")
+	}
+	if len(net.siteCache) != 2 {
+		t.Fatalf("siteCache has %d entries, want 2", len(net.siteCache))
 	}
 }
 

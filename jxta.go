@@ -160,6 +160,10 @@ func (s *Simulation) Run(d time.Duration) {
 // Now returns the current virtual time.
 func (s *Simulation) Now() time.Duration { return s.overlay.Sched.Now() }
 
+// Steps returns the number of simulator events executed so far — the
+// numerator of the engine's events/sec throughput metric.
+func (s *Simulation) Steps() uint64 { return s.overlay.Sched.Steps() }
+
 // Rendezvous returns the i-th rendezvous peer.
 func (s *Simulation) Rendezvous(i int) *Peer { return s.rdvs[i] }
 
