@@ -10,9 +10,17 @@
 //	jxta-bench -exp fig3left -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: table1, fig3left, fig3right, fig4left, fig4right,
-// baselines, churn, ablations, perf, all. -json writes a machine-readable
-// summary of every selected experiment; each PR appends its `perf` point to
-// the benchmark trajectory (BENCH_<PR>.json, see PERFORMANCE.md).
+// baselines, churn, ablations, bandwidth, perf, all. -json writes a
+// machine-readable summary of every selected experiment; each PR appends
+// its `perf` point to the benchmark trajectory (BENCH_<PR>.json, see
+// PERFORMANCE.md).
+//
+// bandwidth sweeps the streaming layer (reliable JXTA sockets): throughput
+// vs. message size (1 KiB–1 MiB) and RTT curves over the simulated
+// Grid'5000 model, lossless and with 1% injected loss. The simnet numbers
+// derive purely from virtual time, so the curve is bit-identical across
+// runs with the same seed. Pass -live to also measure over real loopback
+// TCP transports (wall-clock, machine-dependent, reported separately).
 package main
 
 import (
@@ -33,8 +41,9 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|ablations|perf|all")
+	expFlag    = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|ablations|bandwidth|perf|all")
 	quickFlag  = flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
+	liveFlag   = flag.Bool("live", false, "bandwidth: also measure over real loopback TCP (wall-clock, nondeterministic)")
 	csvFlag    = flag.Bool("csv", false, "emit CSV instead of ASCII plots")
 	seedFlag   = flag.Int64("seed", 42, "master determinism seed")
 	jsonFlag   = flag.String("json", "", "write a JSON summary of the selected experiments to this file")
@@ -88,9 +97,10 @@ func run() int {
 		"baselines": baselines,
 		"churn":     churn,
 		"ablations": ablations,
+		"bandwidth": bandwidth,
 		"perf":      perf,
 	}
-	order := []string{"table1", "fig3left", "fig3right", "fig4left", "fig4right", "baselines", "churn", "ablations", "perf"}
+	order := []string{"table1", "fig3left", "fig3right", "fig4left", "fig4right", "baselines", "churn", "ablations", "bandwidth", "perf"}
 	var selected []string
 	if *expFlag == "all" {
 		selected = order
@@ -219,6 +229,92 @@ func perf() (any, error) {
 			p.Workload, p.WallMs, p.Steps, p.EventsPerSec, p.Mallocs, p.Messages)
 	}
 	return points, nil
+}
+
+// bandwidth sweeps the streaming layer: throughput vs. message size and
+// RTT, lossless (A) and with 1% injected loss (B), over the simulated
+// Grid'5000 model; with -live, also over real loopback TCP.
+func bandwidth() (any, error) {
+	sizes := experiments.BandwidthDefaultSizes
+	volume := 4 << 20
+	if *quickFlag {
+		sizes = []int{1 << 10, 16 << 10, 256 << 10}
+		volume = 1 << 20
+	}
+	tputChart := plot.Chart{
+		Title:  "Socket throughput vs message size (simnet Grid'5000)",
+		XLabel: "message KiB", YLabel: "MB/s",
+	}
+	rttChart := plot.Chart{
+		Title:  "Socket round-trip time vs message size (simnet Grid'5000)",
+		XLabel: "message KiB", YLabel: "ms",
+	}
+	summary := map[string]any{}
+	if *csvFlag {
+		fmt.Println("config,sizeBytes,messages,elapsedMs,throughputMBps,rttMs,retx")
+	}
+	for _, cfg := range []struct {
+		name string
+		loss float64
+	}{{"A (lossless)", 0}, {"B (1% loss)", 0.01}} {
+		res, err := experiments.RunBandwidth(experiments.BandwidthSpec{
+			Sizes:          sizes,
+			VolumePerPoint: volume,
+			LossRate:       cfg.loss,
+			Seed:           *seedFlag,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tputS := plot.Series{Label: cfg.name}
+		rttS := plot.Series{Label: cfg.name}
+		var rows []map[string]any
+		for _, pt := range res.Points {
+			rows = append(rows, map[string]any{
+				"size_bytes": pt.SizeBytes, "messages": pt.Messages,
+				"elapsed_ms": pt.ElapsedMs, "throughput_mbps": pt.ThroughputMBps,
+				"rtt_ms": pt.RTTMs, "retx": pt.Retx,
+			})
+			if *csvFlag {
+				fmt.Printf("%s,%d,%d,%.3f,%.3f,%.3f,%d\n", cfg.name,
+					pt.SizeBytes, pt.Messages, pt.ElapsedMs, pt.ThroughputMBps, pt.RTTMs, pt.Retx)
+			} else {
+				fmt.Printf("  %-13s size=%-8d msgs=%-5d %8.2f MB/s  rtt=%6.2f ms  retx=%d\n",
+					cfg.name, pt.SizeBytes, pt.Messages, pt.ThroughputMBps, pt.RTTMs, pt.Retx)
+			}
+			kib := float64(pt.SizeBytes) / 1024
+			tputS.X = append(tputS.X, kib)
+			tputS.Y = append(tputS.Y, pt.ThroughputMBps)
+			rttS.X = append(rttS.X, kib)
+			rttS.Y = append(rttS.Y, pt.RTTMs)
+		}
+		tputChart.Add(tputS)
+		rttChart.Add(rttS)
+		summary[cfg.name] = rows
+	}
+	if !*csvFlag {
+		fmt.Println(tputChart.Render())
+		fmt.Println(rttChart.Render())
+	}
+	if *liveFlag {
+		fmt.Println("  — live pass over loopback TCP (wall-clock, machine-dependent) —")
+		live, err := experiments.RunBandwidthLive(sizes, 2*volume, 0)
+		if err != nil {
+			return nil, err
+		}
+		var rows []map[string]any
+		for _, pt := range live {
+			rows = append(rows, map[string]any{
+				"size_bytes": pt.SizeBytes, "messages": pt.Messages,
+				"elapsed_ms": pt.ElapsedMs, "throughput_mbps": pt.ThroughputMBps,
+				"rtt_ms": pt.RTTMs,
+			})
+			fmt.Printf("  %-13s size=%-8d msgs=%-5d %8.2f MB/s  rtt=%6.2f ms\n",
+				"live TCP", pt.SizeBytes, pt.Messages, pt.ThroughputMBps, pt.RTTMs)
+		}
+		summary["live_tcp"] = rows
+	}
+	return summary, nil
 }
 
 func table1() (any, error) {

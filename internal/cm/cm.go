@@ -206,9 +206,11 @@ func (c *Cache) expired(rec *Record) bool {
 	return rec.Expires > 0 && rec.Expires <= c.env.Now()
 }
 
-// Search returns fresh advertisements of advType whose attr matches value.
-// A trailing '*' in value performs a prefix match (the simple wildcard JXTA
-// discovery supports); exact matches use the index directly.
+// Search returns fresh advertisements of advType whose attr matches value,
+// ordered by advertisement ID. A trailing '*' in value performs a prefix
+// match (the simple wildcard JXTA discovery supports); exact matches use
+// the index directly. Matches come out of map-backed index sets, so the
+// sort is what makes multi-publisher discovery responses deterministic.
 func (c *Cache) Search(advType, attr, value string) []advertisement.Advertisement {
 	var out []advertisement.Advertisement
 	if strings.HasSuffix(value, "*") {
@@ -219,13 +221,19 @@ func (c *Cache) Search(advType, attr, value string) []advertisement.Advertisemen
 			}
 			out = c.collect(out, advType, set)
 		}
-		return out
+		return sortAdvs(out)
 	}
 	key := advertisement.IndexField{Attr: attr, Value: value}.Key(advType)
 	if set, ok := c.index[key]; ok {
 		out = c.collect(out, advType, set)
 	}
-	return out
+	return sortAdvs(out)
+}
+
+// sortAdvs orders advertisements by ID in place and returns the slice.
+func sortAdvs(advs []advertisement.Advertisement) []advertisement.Advertisement {
+	sort.Slice(advs, func(i, j int) bool { return advs[i].ID().Less(advs[j].ID()) })
+	return advs
 }
 
 func (c *Cache) collect(out []advertisement.Advertisement, advType string, set map[ids.ID]struct{}) []advertisement.Advertisement {
@@ -297,11 +305,12 @@ func (c *Cache) searchRangeLinear(advType, attr string, lo, hi int64) []advertis
 			}
 		}
 	}
-	return out
+	return sortAdvs(out)
 }
 
 // LocalAdvertisements returns the fresh locally published advertisements
-// (the set the SRDI pusher advertises to the rendezvous).
+// (the set the SRDI pusher advertises to the rendezvous), ordered by ID so
+// push batches are assembled identically across runs.
 func (c *Cache) LocalAdvertisements() []advertisement.Advertisement {
 	var out []advertisement.Advertisement
 	for _, rec := range c.byID {
@@ -309,7 +318,7 @@ func (c *Cache) LocalAdvertisements() []advertisement.Advertisement {
 			out = append(out, rec.Adv)
 		}
 	}
-	return out
+	return sortAdvs(out)
 }
 
 // Flush drops every non-local advertisement — the benchmark's cache flush

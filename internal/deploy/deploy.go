@@ -13,6 +13,7 @@ import (
 	"jxta/internal/peerview"
 	"jxta/internal/rendezvous"
 	"jxta/internal/simnet"
+	"jxta/internal/socket"
 	"jxta/internal/topology"
 	"jxta/internal/transport"
 )
@@ -36,10 +37,12 @@ type Spec struct {
 	Topology topology.Kind
 	// Fanout applies to tree topologies.
 	Fanout int
-	// Peerview, Lease, Discovery tune the protocols; zero = paper defaults.
+	// Peerview, Lease, Discovery, Socket tune the protocols; zero = paper
+	// defaults.
 	Peerview  peerview.Config
 	Lease     rendezvous.Config
 	Discovery discovery.Config
+	Socket    socket.Config
 	// Edges attaches edge peers to rendezvous.
 	Edges []EdgeGroup
 }
@@ -92,6 +95,7 @@ func Build(spec Spec) (*Overlay, error) {
 			Peerview:  spec.Peerview,
 			Lease:     spec.Lease,
 			Discovery: spec.Discovery,
+			Socket:    spec.Socket,
 		})
 		o.Rdvs = append(o.Rdvs, n)
 	}
@@ -129,6 +133,7 @@ func (o *Overlay) AddEdge(name string, attachTo int) (*node.Node, error) {
 		Seeds:     []peerview.Seed{rdv.Seed()},
 		Lease:     o.spec.Lease,
 		Discovery: o.spec.Discovery,
+		Socket:    o.spec.Socket,
 	})
 	o.Edges = append(o.Edges, n)
 	o.edgeCount++

@@ -163,7 +163,7 @@ func New(e env.Env, ep *endpoint.Endpoint, res *resolver.Service, rdvSvc *rendez
 	if rdvSvc.IsRendezvous() {
 		s.index = srdi.New(e)
 		ep.Register(SRDIService, s.receiveSRDI)
-		rdvSvc.SetWalkHandler(s.handleWalk)
+		rdvSvc.SetWalkHandler(HandlerName, s.handleWalk)
 	} else {
 		// Re-push the whole index table when the edge (re)connects — the
 		// paper notes edges publish their tuples whenever they connect to
@@ -383,10 +383,24 @@ func (s *Service) indexAndReplicate(tpl srdi.Tuple, replicated bool) {
 // miss. cb receives every response; onTimeout (optional) fires if nothing
 // came back within the resolver timeout.
 func (s *Service) Query(advType, attr, value string, cb func(Result), onTimeout func()) error {
-	if local := s.cache.Search(advType, attr, value); len(local) > 0 {
-		res := Result{Advs: local, From: s.ep.ID()}
-		s.env.After(0, func() { cb(res) })
-		return nil
+	return s.query(advType, attr, value, true, cb, onTimeout)
+}
+
+// QueryRemote is Query without the local-cache shortcut: the query always
+// travels the overlay, so Result.From identifies the live publisher. Pipe
+// binding depends on this — a cached pipe advertisement names the pipe but
+// not its binder, and binding must find who currently has it bound.
+func (s *Service) QueryRemote(advType, attr, value string, cb func(Result), onTimeout func()) error {
+	return s.query(advType, attr, value, false, cb, onTimeout)
+}
+
+func (s *Service) query(advType, attr, value string, useCache bool, cb func(Result), onTimeout func()) error {
+	if useCache {
+		if local := s.cache.Search(advType, attr, value); len(local) > 0 {
+			res := Result{Advs: local, From: s.ep.ID()}
+			s.env.After(0, func() { cb(res) })
+			return nil
+		}
 	}
 	target := s.ep.ID() // a rendezvous acts as its own rendezvous
 	if !s.rdv.IsRendezvous() {

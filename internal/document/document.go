@@ -271,6 +271,53 @@ func isInCharacterRange(r rune) bool {
 		r >= 0x10000 && r <= 0x10FFFF
 }
 
+// internTable holds the canonical copy of the protocol vocabulary: element
+// and attribute names plus the handful of small constant text values the
+// JXTA documents repeat in nearly every message (advertisement field names,
+// query stages, pipe kinds). The decoder allocates one string per name per
+// document; interning removes that for the overwhelmingly common names.
+// The table is built once at package init and read-only afterwards, so
+// concurrent decoders (parallel experiment sweeps) share it without locks.
+var internTable = make(map[string]string, 96)
+
+func init() {
+	for _, s := range []string{
+		// Advertisement document names.
+		"jxta:PA", "jxta:RA", "jxta:RdvAdvertisement",
+		"jxta:PipeAdvertisement", "jxta:MIA", "jxta:ResourceAdv",
+		// Advertisement fields (element and attribute names).
+		"PID", "Name", "name", "Desc", "Addr", "DstPID", "Hop",
+		"RdvPeerID", "RdvGroupId", "MSID", "Id", "Type", "Attr", "Value",
+		// Discovery query/response documents.
+		"disco:Q", "disco:R", "Stage", "Lo", "Hi",
+		"initial", "replica", "deliver", "range", "range-deliver",
+		// SRDI tuples.
+		"srdi:Tuple", "Key", "Pub", "Life", "NA", "NV",
+		// Pipe kinds and common query types.
+		"JxtaUnicast", "JxtaPropagate",
+		"Peer", "Rdv", "Route", "Pipe", "Module", "Resource",
+		// Ubiquitous small values.
+		"1", "Test",
+	} {
+		internTable[s] = s
+	}
+}
+
+// maxInternLen skips the table lookup for texts that cannot be vocabulary.
+const maxInternLen = 24
+
+// intern returns the canonical copy of b when it is protocol vocabulary,
+// avoiding a fresh allocation; unknown strings are copied as usual. The
+// map lookup with a []byte key compiles without allocating.
+func intern(b []byte) string {
+	if len(b) <= maxInternLen {
+		if s, ok := internTable[string(b)]; ok {
+			return s
+		}
+	}
+	return string(b)
+}
+
 // Unmarshal decodes a single element tree from data. Whitespace-only
 // character data between child elements is discarded, matching how JXTA
 // implementations treat pretty-printed advertisements. A leading XML
@@ -391,7 +438,7 @@ done:
 	if p.pos == start {
 		return "", errors.New("document: empty name")
 	}
-	return string(p.data[start:p.pos]), nil
+	return intern(p.data[start:p.pos]), nil
 }
 
 // parseElement decodes one element; p.pos must be at its '<'.
@@ -534,7 +581,7 @@ func unescape(raw []byte) (string, error) {
 		}
 	}
 	if special < 0 {
-		return string(raw), nil
+		return intern(raw), nil
 	}
 	out := make([]byte, 0, len(raw))
 	out = append(out, raw[:special]...)

@@ -81,9 +81,12 @@ var (
 
 // Endpoint is one peer's endpoint service.
 type Endpoint struct {
-	env          env.Env
-	id           ids.ID
-	tr           transport.Transport
+	env   env.Env
+	id    ids.ID
+	idStr string // URN form of id, rendered once: every send stamps it
+	tr    transport.Transport
+	// addrStr caches the transport address string stamped on every send.
+	addrStr      string
 	routes       map[ids.ID]transport.Addr
 	handlers     map[string]Handler
 	pending      map[ids.ID][]RouteCallback
@@ -100,7 +103,9 @@ func New(e env.Env, id ids.ID, tr transport.Transport) *Endpoint {
 	ep := &Endpoint{
 		env:      e,
 		id:       id,
+		idStr:    id.String(),
 		tr:       tr,
+		addrStr:  string(tr.Addr()),
 		routes:   make(map[ids.ID]transport.Addr),
 		handlers: make(map[string]Handler),
 		pending:  make(map[ids.ID][]RouteCallback),
@@ -181,6 +186,11 @@ func (ep *Endpoint) handleHello(src ids.ID, msg *message.Message) {
 // ID returns the local peer ID.
 func (ep *Endpoint) ID() ids.ID { return ep.id }
 
+// IDString returns the local peer ID in URN form, rendered once at
+// construction. Hot keying/logging paths should prefer it over
+// ID().String(), which re-renders the URN on every call.
+func (ep *Endpoint) IDString() string { return ep.idStr }
+
 // Addr returns the local transport address.
 func (ep *Endpoint) Addr() transport.Addr { return ep.tr.Addr() }
 
@@ -256,10 +266,10 @@ func (ep *Endpoint) SendVia(relay, dst ids.ID, service string, msg *message.Mess
 
 func (ep *Endpoint) sendTo(addr transport.Addr, dst ids.ID, service string, msg *message.Message, ttl int) error {
 	wire := msg.Clone()
-	wire.AddString(ns, elemSrc, ep.id.String())
+	wire.AddString(ns, elemSrc, ep.idStr)
 	wire.AddString(ns, elemDst, dst.String())
 	wire.AddString(ns, elemSvc, service)
-	wire.AddString(ns, elemSrcAddr, string(ep.tr.Addr()))
+	wire.AddString(ns, elemSrcAddr, ep.addrStr)
 	wire.AddString(ns, elemTTL, strconv.Itoa(ttl))
 	return ep.tr.Send(addr, wire)
 }

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestRunBandwidthSmall(t *testing.T) {
+	res, err := RunBandwidth(BandwidthSpec{
+		R:              3,
+		Sizes:          []int{1 << 10, 64 << 10},
+		VolumePerPoint: 256 << 10,
+		RTTSamples:     2,
+		Seed:           42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.ThroughputMBps <= 0 || pt.ElapsedMs <= 0 {
+			t.Fatalf("degenerate throughput point: %+v", pt)
+		}
+		if pt.RTTMs <= 0 {
+			t.Fatalf("degenerate RTT point: %+v", pt)
+		}
+		if pt.Retx != 0 {
+			t.Fatalf("lossless run retransmitted %d segments", pt.Retx)
+		}
+	}
+	// Larger messages amortize per-segment overhead: throughput must not
+	// collapse as size grows (monotonicity up to noise would be too strict,
+	// but the 64 KiB point should beat the 1 KiB point on this model).
+	if res.Points[1].ThroughputMBps < res.Points[0].ThroughputMBps {
+		t.Fatalf("throughput fell with message size: %.2f -> %.2f MB/s",
+			res.Points[0].ThroughputMBps, res.Points[1].ThroughputMBps)
+	}
+}
+
+func TestRunBandwidthWithLoss(t *testing.T) {
+	res, err := RunBandwidth(BandwidthSpec{
+		R:              3,
+		Sizes:          []int{256 << 10},
+		VolumePerPoint: 2 << 20, // ≥ 1 MiB with injected loss
+		RTTSamples:     1,
+		LossRate:       0.05,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].Bytes < 1<<20 {
+		t.Fatalf("moved only %d bytes", res.Points[0].Bytes)
+	}
+	if res.Points[0].Retx == 0 {
+		t.Fatal("2% loss produced no retransmissions")
+	}
+}
+
+func bandwidthOrderFingerprint(res BandwidthResult) string {
+	s := ""
+	for _, pt := range res.Points {
+		s += hexFloat(pt.ThroughputMBps) + "|" + hexFloat(pt.RTTMs) + "|" +
+			hexFloat(pt.ElapsedMs) + ";"
+	}
+	return s
+}
+
+func TestBandwidthReplayTwice(t *testing.T) {
+	spec := BandwidthSpec{
+		R:              3,
+		Sizes:          []int{4 << 10, 256 << 10},
+		VolumePerPoint: 512 << 10,
+		RTTSamples:     2,
+		LossRate:       0.01,
+		Seed:           99,
+	}
+	a, err := RunBandwidth(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBandwidth(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := bandwidthOrderFingerprint(a), bandwidthOrderFingerprint(b)
+	if fa != fb || a.Steps != b.Steps || a.NetStats != b.NetStats {
+		t.Fatalf("same-seed bandwidth sweep diverged:\n first:  %s steps=%d %+v\n second: %s steps=%d %+v",
+			fa, a.Steps, a.NetStats, fb, b.Steps, b.NetStats)
+	}
+}

@@ -54,9 +54,21 @@ func discoveryFingerprint(res DiscoveryResult) string {
 		res.NetStats.Dropped)
 }
 
+func bandwidthFingerprint(res BandwidthResult) string {
+	s := ""
+	for _, pt := range res.Points {
+		s += fmt.Sprintf("size=%d msgs=%d tput=%s rtt=%s elapsed=%s retx=%d;",
+			pt.SizeBytes, pt.Messages, hexFloat(pt.ThroughputMBps),
+			hexFloat(pt.RTTMs), hexFloat(pt.ElapsedMs), pt.Retx)
+	}
+	return fmt.Sprintf("%s steps=%d msgs=%d bytes=%d dropped=%d",
+		s, res.Steps, res.NetStats.Messages, res.NetStats.Bytes, res.NetStats.Dropped)
+}
+
 const (
 	goldenPeerview  = "max=23 final=23 plateau=0x1.7p+04 reached=true@240000000000 consistent=true steps=14948 msgs=6500 bytes=3385821 dropped=0 series=919b4d4c24dbca9b"
 	goldenDiscovery = "mean=0x1.b20ba493c89f4p+03 n=12 min=0x1.5e0216c61522ap+03 p50=0x1.a74c32a8c9b84p+03 p95=0x1.064bbe6cb7b94p+04 max=0x1.0efdfa00e27e1p+04 timeouts=0 walk=0x0p+00 steps=2944 msgs=1230 bytes=633255 dropped=0"
+	goldenBandwidth = "size=4096 msgs=128 tput=0x1.28fecad8b2731p+03 rtt=0x1.4ea199780baa6p+03 elapsed=0x1.c3eb313be22e6p+05 retx=0;size=65536 msgs=8 tput=0x1.416a048d01756p+04 rtt=0x1.c6a052502eec8p+03 elapsed=0x1.a195c422036p+04 retx=0; steps=2073 msgs=932 bytes=1738970 dropped=6"
 )
 
 func TestGoldenPeerviewReplay(t *testing.T) {
@@ -89,6 +101,30 @@ func TestGoldenDiscoveryReplay(t *testing.T) {
 	}
 	if got != goldenDiscovery {
 		t.Errorf("discovery replay diverged from golden engine behavior\n got:  %s\n want: %s", got, goldenDiscovery)
+	}
+}
+
+// TestGoldenBandwidthReplay pins the streaming subsystem (sockets, window
+// flow control, retransmission under injected loss) to the same bit-for-bit
+// replay contract as the control-plane experiments.
+func TestGoldenBandwidthReplay(t *testing.T) {
+	res, err := RunBandwidth(BandwidthSpec{
+		R:              3,
+		Sizes:          []int{4 << 10, 64 << 10},
+		VolumePerPoint: 512 << 10,
+		RTTSamples:     2,
+		LossRate:       0.01,
+		Seed:           42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := bandwidthFingerprint(res)
+	if goldenBandwidth == "UNSET" {
+		t.Fatalf("capture golden:\n%s", got)
+	}
+	if got != goldenBandwidth {
+		t.Errorf("bandwidth replay diverged from golden engine behavior\n got:  %s\n want: %s", got, goldenBandwidth)
 	}
 }
 

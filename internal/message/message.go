@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"unsafe"
 
 	"jxta/internal/document"
 )
@@ -66,9 +67,21 @@ func (m *Message) Add(namespace, name string, data []byte) *Message {
 	return m
 }
 
-// AddString appends a text element.
+// AddString appends a text element without copying: the string's backing
+// bytes are aliased directly. This is safe because strings are immutable
+// and element payloads are read-only by contract — every boundary that
+// hands a message onward (transport Clone, Marshal, Unmarshal) copies the
+// bytes, and no code path writes into Element.Data.
 func (m *Message) AddString(namespace, name, value string) *Message {
-	return m.Add(namespace, name, []byte(value))
+	return m.Add(namespace, name, stringBytes(value))
+}
+
+// stringBytes aliases a string's bytes as a read-only []byte.
+func stringBytes(s string) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice(unsafe.StringData(s), len(s))
 }
 
 // AddDocument appends a structured document as an XML element.
@@ -82,7 +95,8 @@ func (m *Message) AddDocument(namespace, name string, doc *document.Element) err
 }
 
 // Get returns the payload of the first element with the given namespace and
-// name, and whether it exists.
+// name, and whether it exists. The returned bytes are read-only: elements
+// added via AddString alias immutable string memory.
 func (m *Message) Get(namespace, name string) ([]byte, bool) {
 	for _, e := range m.elements {
 		if e.Namespace == namespace && e.Name == name {

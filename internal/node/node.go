@@ -13,8 +13,10 @@ import (
 	"jxta/internal/env"
 	"jxta/internal/ids"
 	"jxta/internal/peerview"
+	"jxta/internal/pipe"
 	"jxta/internal/rendezvous"
 	"jxta/internal/resolver"
+	"jxta/internal/socket"
 	"jxta/internal/transport"
 )
 
@@ -54,6 +56,8 @@ type Config struct {
 	Lease rendezvous.Config
 	// Discovery tunables.
 	Discovery discovery.Config
+	// Socket tunables (stream layer); zero fields take defaults.
+	Socket socket.Config
 }
 
 // Node is a fully assembled peer.
@@ -66,6 +70,8 @@ type Node struct {
 	PeerView   *peerview.PeerView // nil for edges
 	Rendezvous *rendezvous.Service
 	Discovery  *discovery.Service
+	Pipe       *pipe.Service
+	Socket     *socket.Service
 	Cache      *cm.Cache
 
 	rdvAdv  *advertisement.Rdv
@@ -112,6 +118,8 @@ func New(e env.Env, tr transport.Transport, cfg Config) *Node {
 		busy = sink
 	}
 	n.Discovery = discovery.New(e, ep, res, n.Rendezvous, cache, cfg.Discovery, busy)
+	n.Pipe = pipe.New(e, ep, n.Discovery, n.Rendezvous)
+	n.Socket = socket.New(e, ep, n.Pipe, cfg.Socket)
 	return n
 }
 
@@ -161,6 +169,10 @@ func (n *Node) RdvAdv() *advertisement.Rdv { return n.rdvAdv }
 
 // IsRendezvous reports the role.
 func (n *Node) IsRendezvous() bool { return n.PeerView != nil }
+
+// URN returns this peer's ID in URN form, rendered once at construction —
+// logging and keying paths should use it instead of ID.String().
+func (n *Node) URN() string { return n.Endpoint.IDString() }
 
 // PeerAdv builds this peer's peer advertisement (the Table 1 example
 // publishes one of these with Name "Test").

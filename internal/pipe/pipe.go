@@ -1,16 +1,25 @@
-// Package pipe implements JXTA unicast pipes: the virtual communication
-// channels applications use on top of the discovery machinery (the paper's
-// §3.1 lists peer-to-peer communication among the building blocks the
-// protocols provide). A receiving peer binds an input pipe and publishes
-// the pipe advertisement; a sending peer resolves the advertisement through
-// the LC-DHT discovery protocol — which is exactly the pipe binding
-// protocol's job in JXTA — and then sends messages point to point over the
-// endpoint service.
+// Package pipe implements JXTA pipes: the virtual communication channels
+// applications use on top of the discovery machinery (the paper's §3.1
+// lists peer-to-peer communication among the building blocks the protocols
+// provide). Two pipe types are supported:
+//
+//   - JxtaUnicast: a receiving peer binds an input pipe and publishes the
+//     pipe advertisement; a sending peer resolves the advertisement through
+//     the LC-DHT discovery protocol — which is exactly the pipe binding
+//     protocol's job in JXTA — and then sends messages point to point over
+//     the endpoint service.
+//   - JxtaPropagate: one-to-many pipes. Any number of peers bind the same
+//     propagate pipe; a send fans out through the rendezvous propagation
+//     machinery — the sender's rendezvous forwards to its leased clients
+//     and walks the message along the ID-ordered peerview, each visited
+//     rendezvous forwarding to its own clients — so every bound input pipe
+//     in the group receives the payload.
 package pipe
 
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"jxta/internal/advertisement"
@@ -19,20 +28,30 @@ import (
 	"jxta/internal/env"
 	"jxta/internal/ids"
 	"jxta/internal/message"
+	"jxta/internal/rendezvous"
 )
 
-// ServiceName is the endpoint service pipe messages travel on.
+// ServiceName is the endpoint service unicast pipe messages travel on.
 const ServiceName = "pipe.msg"
+
+// PropagateService is the endpoint service (and walk target) propagate pipe
+// messages travel on.
+const PropagateService = "pipe.prop"
 
 // Message elements, namespace "pipe".
 const (
 	ns         = "pipe"
 	elemPipeID = "Id"
 	elemData   = "Data"
+	elemOrigin = "Origin" // originating peer of a propagate send
+	elemPropID = "PID"    // propagation instance ID (dedup)
 )
 
 // UnicastType is the pipe type tag for point-to-point pipes.
 const UnicastType = "JxtaUnicast"
+
+// PropagateType is the pipe type tag for one-to-many pipes.
+const PropagateType = "JxtaPropagate"
 
 // Receiver consumes inbound pipe payloads.
 type Receiver func(src ids.ID, data []byte)
@@ -42,6 +61,7 @@ var (
 	ErrAlreadyBound = errors.New("pipe: pipe already bound on this peer")
 	ErrNotResolved  = errors.New("pipe: endpoint not resolved")
 	ErrResolve      = errors.New("pipe: could not resolve pipe binder")
+	ErrNoRendezvous = errors.New("pipe: no rendezvous lease for propagation")
 )
 
 // Service is one peer's pipe service.
@@ -49,18 +69,31 @@ type Service struct {
 	env   env.Env
 	ep    *endpoint.Endpoint
 	disco *discovery.Service
+	rdv   *rendezvous.Service
 	bound map[ids.ID]*InputPipe
+
+	// propSeen dedups propagation instances: a propagate message can reach
+	// a peer through the up walk, the down walk and the client fan-out.
+	propSeen   map[string]bool
+	nextPropID uint64
 }
 
-// New wires the pipe service into a peer's endpoint and discovery services.
-func New(e env.Env, ep *endpoint.Endpoint, disco *discovery.Service) *Service {
+// New wires the pipe service into a peer's endpoint, discovery and
+// rendezvous services.
+func New(e env.Env, ep *endpoint.Endpoint, disco *discovery.Service, rdv *rendezvous.Service) *Service {
 	s := &Service{
-		env:   e,
-		ep:    ep,
-		disco: disco,
-		bound: make(map[ids.ID]*InputPipe),
+		env:      e,
+		ep:       ep,
+		disco:    disco,
+		rdv:      rdv,
+		bound:    make(map[ids.ID]*InputPipe),
+		propSeen: make(map[string]bool),
 	}
 	ep.Register(ServiceName, s.receive)
+	ep.Register(PropagateService, s.receivePropagate)
+	if rdv != nil && rdv.IsRendezvous() {
+		rdv.SetWalkHandler(PropagateService, s.handlePropagateWalk)
+	}
 	return s
 }
 
@@ -98,17 +131,21 @@ func (in *InputPipe) Close() {
 type OutputPipe struct {
 	svc    *Service
 	PipeID ids.ID
-	// Binder is the peer holding the input pipe.
+	// Binder is the peer holding the input pipe (unicast pipes only).
 	Binder ids.ID
 	// Sent counts transmitted payloads.
 	Sent uint64
+
+	kind string // UnicastType or PropagateType
 }
 
 // Connect resolves the pipe's binder through the discovery protocol and
 // hands an OutputPipe to cb. cb fires with err != nil if resolution fails
-// within the discovery timeout.
+// within the discovery timeout. Resolution always travels the overlay
+// (bypassing the local advertisement cache): a cached advertisement names
+// the pipe but not its binder — only the responding publisher does.
 func (s *Service) Connect(pipeID ids.ID, cb func(*OutputPipe, error)) {
-	err := s.disco.Query("Pipe", "Id", pipeID.String(),
+	err := s.disco.QueryRemote("Pipe", "Id", pipeID.String(),
 		func(r discovery.Result) {
 			// The responder is the publisher of the pipe advertisement,
 			// i.e. the binder; the response installed a route to it.
@@ -126,8 +163,23 @@ func (s *Service) ConnectAdv(adv *advertisement.Pipe, binder ids.ID) *OutputPipe
 	return &OutputPipe{svc: s, PipeID: adv.PipeID, Binder: binder}
 }
 
-// Send transmits one payload to the binder.
+// ConnectPropagate opens the sending end of a propagate pipe. No resolution
+// is needed: fan-out goes through this peer's own rendezvous tier, so the
+// pipe ID alone addresses every bound listener in the group.
+func (s *Service) ConnectPropagate(adv *advertisement.Pipe) *OutputPipe {
+	return &OutputPipe{svc: s, PipeID: adv.PipeID, kind: PropagateType}
+}
+
+// Send transmits one payload: point to point to the binder for unicast
+// pipes, to every bound listener in the group for propagate pipes.
 func (o *OutputPipe) Send(data []byte) error {
+	if o.kind == PropagateType {
+		if err := o.svc.propagate(o.PipeID, data); err != nil {
+			return err
+		}
+		o.Sent++
+		return nil
+	}
 	if o.Binder.IsNil() {
 		return ErrNotResolved
 	}
@@ -161,6 +213,148 @@ func (s *Service) receive(src ids.ID, m *message.Message) {
 	}
 }
 
+// --- Propagation: one-to-many fan-out over the rendezvous machinery ---
+
+// propSeenLimit bounds the dedup set; propagation instances are short-lived
+// so a coarse reset is fine (mirrors the rendezvous walker's loop guard).
+const propSeenLimit = 8192
+
+// markProp records a propagation instance, reporting whether it was new.
+func (s *Service) markProp(pid string) bool {
+	if pid == "" || s.propSeen[pid] {
+		return false
+	}
+	s.propSeen[pid] = true
+	if len(s.propSeen) > propSeenLimit {
+		s.propSeen = make(map[string]bool)
+		s.propSeen[pid] = true
+	}
+	return true
+}
+
+// propagate originates a one-to-many send: deliver locally, then hand the
+// message to the rendezvous tier for group-wide fan-out.
+func (s *Service) propagate(pipeID ids.ID, data []byte) error {
+	s.nextPropID++
+	pid := s.ep.ID().Short() + "-" + strconv.FormatUint(s.nextPropID, 10)
+	s.markProp(pid) // echoes of our own send are dropped
+	m := message.New()
+	m.AddString(ns, elemPipeID, pipeID.String())
+	m.AddString(ns, elemOrigin, s.ep.IDString())
+	m.AddString(ns, elemPropID, pid)
+	m.Add(ns, elemData, data)
+	if s.rdv == nil {
+		return ErrNoRendezvous
+	}
+	if s.rdv.IsRendezvous() {
+		// Local loopback: propagate pipes deliver to the sender's own
+		// input pipe too, like JXTA's propagate pipes in one peer group.
+		s.deliverLocal(s.ep.ID(), pipeID, data)
+		s.fanOut(s.ep.ID(), m)
+		s.startPropagationWalks(m)
+		return nil
+	}
+	rdvID, ok := s.rdv.ConnectedRdv()
+	if !ok {
+		return ErrNoRendezvous
+	}
+	if err := s.ep.Send(rdvID, PropagateService, m); err != nil {
+		return err
+	}
+	// Loopback only after the group send was accepted, so a failed Send
+	// never half-delivers.
+	s.deliverLocal(s.ep.ID(), pipeID, data)
+	return nil
+}
+
+// receivePropagate handles propagate traffic arriving over the endpoint:
+// at an edge this is the final delivery; at a rendezvous it is the first
+// hop of the fan-out (deliver locally, forward to clients, start walks).
+func (s *Service) receivePropagate(src ids.ID, m *message.Message) {
+	pipeID, origin, data, ok := s.decodeProp(m)
+	if !ok {
+		return
+	}
+	s.deliverLocal(origin, pipeID, data)
+	if s.rdv != nil && s.rdv.IsRendezvous() {
+		// Rebuild a clean propagate message: m is the inbound wire message,
+		// still carrying its endpoint envelope; re-sending it as-is would
+		// confuse the receivers' envelope demux with stale Src/Dst elements.
+		fwd := message.New()
+		fwd.AddString(ns, elemPipeID, m.GetString(ns, elemPipeID))
+		fwd.AddString(ns, elemOrigin, m.GetString(ns, elemOrigin))
+		fwd.AddString(ns, elemPropID, m.GetString(ns, elemPropID))
+		fwd.Add(ns, elemData, data)
+		s.fanOut(origin, fwd)
+		s.startPropagationWalks(fwd)
+	}
+}
+
+// handlePropagateWalk consumes a walked propagate message at each visited
+// rendezvous: deliver locally, forward to this rendezvous' clients, and let
+// the walk continue (return false) so the whole peerview is covered.
+func (s *Service) handlePropagateWalk(_ ids.ID, _ rendezvous.Direction, body *message.Message) bool {
+	pipeID, origin, data, ok := s.decodeProp(body)
+	if !ok {
+		return false
+	}
+	s.deliverLocal(origin, pipeID, data)
+	s.fanOut(origin, body)
+	return false
+}
+
+// decodeProp validates a propagate message and applies the dedup guard.
+func (s *Service) decodeProp(m *message.Message) (pipeID, origin ids.ID, data []byte, ok bool) {
+	if !s.markProp(m.GetString(ns, elemPropID)) {
+		return ids.Nil, ids.Nil, nil, false
+	}
+	pipeID, err := ids.Parse(m.GetString(ns, elemPipeID))
+	if err != nil {
+		return ids.Nil, ids.Nil, nil, false
+	}
+	origin, err = ids.Parse(m.GetString(ns, elemOrigin))
+	if err != nil {
+		return ids.Nil, ids.Nil, nil, false
+	}
+	data, dok := m.Get(ns, elemData)
+	if !dok {
+		return ids.Nil, ids.Nil, nil, false
+	}
+	return pipeID, origin, data, true
+}
+
+// deliverLocal hands a propagate payload to this peer's bound input pipe,
+// if any (unbound pipes drop silently, like unicast receive).
+func (s *Service) deliverLocal(origin, pipeID ids.ID, data []byte) {
+	in, ok := s.bound[pipeID]
+	if !ok {
+		return
+	}
+	in.Received++
+	if in.recv != nil {
+		in.recv(origin, data)
+	}
+}
+
+// fanOut forwards a propagate message to every leased client of this
+// rendezvous except the origin (which already delivered locally).
+func (s *Service) fanOut(origin ids.ID, m *message.Message) {
+	for _, client := range s.rdv.Clients() {
+		if client.Equal(origin) {
+			continue
+		}
+		_ = s.ep.Send(client, PropagateService, m)
+	}
+}
+
+// startPropagationWalks launches the up and down peerview walks so every
+// rendezvous — and through fanOut every edge — sees the message once.
+func (s *Service) startPropagationWalks(m *message.Message) {
+	ttl := s.rdv.PeerView().Size() + 1
+	s.rdv.Walk(rendezvous.Up, ttl, PropagateService, m)
+	s.rdv.Walk(rendezvous.Down, ttl, PropagateService, m)
+}
+
 // NewPipeAdv mints a pipe advertisement with a deterministic ID derived
 // from the owner and name.
 func NewPipeAdv(owner ids.ID, name string) *advertisement.Pipe {
@@ -168,6 +362,17 @@ func NewPipeAdv(owner ids.ID, name string) *advertisement.Pipe {
 		PipeID: ids.FromName(ids.KindPipe, owner.String()+"/"+name),
 		Name:   name,
 		Kind:   UnicastType,
+	}
+}
+
+// NewPropagateAdv mints a propagate pipe advertisement. The ID derives from
+// the name alone — every peer binding the same name joins the same group
+// channel, without needing to know who else is bound.
+func NewPropagateAdv(name string) *advertisement.Pipe {
+	return &advertisement.Pipe{
+		PipeID: ids.FromName(ids.KindPipe, "propagate/"+name),
+		Name:   name,
+		Kind:   PropagateType,
 	}
 }
 

@@ -40,8 +40,8 @@ func newRig(t *testing.T, seed int64) *rig {
 		o:       o,
 		binder:  binder,
 		sender:  sender,
-		binderP: pipe.New(binder.Env, binder.Endpoint, binder.Discovery),
-		senderP: pipe.New(sender.Env, sender.Endpoint, sender.Discovery),
+		binderP: pipe.New(binder.Env, binder.Endpoint, binder.Discovery, binder.Rendezvous),
+		senderP: pipe.New(sender.Env, sender.Endpoint, sender.Discovery, sender.Rendezvous),
 	}
 	o.Sched.Run(12 * time.Minute) // converge + leases
 	return r
@@ -160,6 +160,84 @@ func TestSendUnresolved(t *testing.T) {
 	_ = r
 	if err := out.Send([]byte("x")); err == nil {
 		t.Fatal("send on unresolved pipe succeeded")
+	}
+}
+
+// TestPropagateFanOut binds one propagate pipe on edges attached to
+// different rendezvous (and on a rendezvous itself) and checks a single
+// send reaches every listener exactly once, including the sender's own
+// loopback delivery.
+func TestPropagateFanOut(t *testing.T) {
+	o, err := deploy.Build(deploy.Spec{
+		Seed:     21,
+		NumRdv:   5,
+		Topology: topology.Chain,
+		Edges: []deploy.EdgeGroup{
+			{AttachTo: 0, Count: 1, Prefix: "sender"},
+			{AttachTo: 2, Count: 1, Prefix: "subA"},
+			{AttachTo: 4, Count: 1, Prefix: "subB"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.StartAll()
+	adv := pipe.NewPropagateAdv("news")
+	counts := make([]int, 4)
+	var origins []ids.ID
+	svcs := make([]*pipe.Service, 0, 4)
+	peers := []*node.Node{o.Edges[0], o.Edges[1], o.Edges[2], o.Rdvs[1]}
+	for i, n := range peers {
+		i := i
+		svc := pipe.New(n.Env, n.Endpoint, n.Discovery, n.Rendezvous)
+		if _, err := svc.Bind(adv, func(src ids.ID, data []byte) {
+			if string(data) != "flash" {
+				t.Errorf("listener %d got %q", i, data)
+			}
+			counts[i]++
+			origins = append(origins, src)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		svcs = append(svcs, svc)
+	}
+	o.Sched.Run(12 * time.Minute) // converge peerviews + leases
+
+	out := svcs[0].ConnectPropagate(adv)
+	if err := out.Send([]byte("flash")); err != nil {
+		t.Fatal(err)
+	}
+	o.Sched.Run(o.Sched.Now() + time.Minute)
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("listener %d received %d payloads, want exactly 1 (counts=%v)", i, c, counts)
+		}
+	}
+	for _, src := range origins {
+		if !src.Equal(o.Edges[0].ID) {
+			t.Fatal("propagate origin identity lost")
+		}
+	}
+	if out.Sent != 1 {
+		t.Fatalf("Sent=%d", out.Sent)
+	}
+}
+
+func TestPropagateWithoutLeaseFails(t *testing.T) {
+	o, err := deploy.Build(deploy.Spec{
+		Seed:   22,
+		NumRdv: 1,
+		Edges:  []deploy.EdgeGroup{{AttachTo: 0, Count: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not started: the edge holds no lease, so propagation has no uplink.
+	edge := o.Edges[0]
+	svc := pipe.New(edge.Env, edge.Endpoint, edge.Discovery, edge.Rendezvous)
+	out := svc.ConnectPropagate(pipe.NewPropagateAdv("void"))
+	if err := out.Send([]byte("x")); err == nil {
+		t.Fatal("propagate without a rendezvous lease succeeded")
 	}
 }
 

@@ -111,12 +111,12 @@ type Service struct {
 	cfg Config
 
 	// Rendezvous role.
-	pv          *peerview.PeerView // nil on edges
-	clients     map[ids.ID]time.Duration
-	clientSweep *env.Ticker
-	walkHandler WalkHandler
-	walkSeen    map[string]bool
-	nextWalkID  uint64
+	pv           *peerview.PeerView // nil on edges
+	clients      map[ids.ID]time.Duration
+	clientSweep  *env.Ticker
+	walkHandlers map[string]WalkHandler
+	walkSeen     map[string]bool
+	nextWalkID   uint64
 
 	// Edge role.
 	seeds       []peerview.Seed
@@ -132,12 +132,13 @@ type Service struct {
 // peer's peerview.
 func NewRendezvous(e env.Env, ep *endpoint.Endpoint, pv *peerview.PeerView, cfg Config) *Service {
 	s := &Service{
-		env:      e,
-		ep:       ep,
-		cfg:      cfg.withDefaults(),
-		pv:       pv,
-		clients:  make(map[ids.ID]time.Duration),
-		walkSeen: make(map[string]bool),
+		env:          e,
+		ep:           ep,
+		cfg:          cfg.withDefaults(),
+		pv:           pv,
+		clients:      make(map[ids.ID]time.Duration),
+		walkHandlers: make(map[string]WalkHandler),
+		walkSeen:     make(map[string]bool),
 	}
 	ep.Register(LeaseService, s.receiveLease)
 	ep.Register(WalkService, s.receiveWalk)
@@ -170,9 +171,14 @@ func (s *Service) AddLeaseListener(l LeaseListener) {
 	s.listeners = append(s.listeners, l)
 }
 
-// SetWalkHandler installs the per-hop consumer for walked messages
-// (rendezvous role).
-func (s *Service) SetWalkHandler(h WalkHandler) { s.walkHandler = h }
+// SetWalkHandler installs the per-hop consumer for walked messages addressed
+// to the given target service (rendezvous role). Each service owning a walk
+// protocol — discovery's LC-DHT fallback, the pipe propagation machinery —
+// registers its own handler; the walk envelope's Svc element selects it at
+// every hop.
+func (s *Service) SetWalkHandler(svc string, h WalkHandler) {
+	s.walkHandlers[svc] = h
+}
 
 // Start begins the role's periodic work: client sweeping for rendezvous,
 // lease acquisition for edges.
@@ -284,12 +290,14 @@ func (s *Service) requestLease() {
 
 // --- Rendezvous side ---
 
-// Clients returns the edges currently holding leases.
+// Clients returns the edges currently holding leases, in ascending ID order
+// so fan-out paths (pipe propagation) stay deterministic under a fixed seed.
 func (s *Service) Clients() []ids.ID {
 	out := make([]ids.ID, 0, len(s.clients))
 	for id := range s.clients {
 		out = append(out, id)
 	}
+	ids.SortIDs(out)
 	return out
 }
 
@@ -420,7 +428,7 @@ func (s *Service) receiveWalk(src ids.ID, m *message.Message) {
 	if dirStr == Down.String() {
 		dir = Down
 	}
-	if s.walkHandler != nil && s.walkHandler(originID, dir, body) {
+	if h := s.walkHandlers[m.GetString(walkNS, elemSvc)]; h != nil && h(originID, dir, body) {
 		return // handler satisfied the walk
 	}
 	if ttl <= 1 {

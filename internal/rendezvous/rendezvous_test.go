@@ -233,7 +233,7 @@ func TestWalkVisitsPeersInOrder(t *testing.T) {
 	var visited []ids.ID
 	for _, p := range rdvs {
 		p := p
-		p.svc.SetWalkHandler(func(origin ids.ID, dir Direction, body *message.Message) bool {
+		p.svc.SetWalkHandler("svc", func(origin ids.ID, dir Direction, body *message.Message) bool {
 			visited = append(visited, p.id)
 			return false
 		})
@@ -266,7 +266,7 @@ func TestWalkTTLBounds(t *testing.T) {
 	ids.SortIDs(order)
 	count := 0
 	for _, p := range rdvs {
-		p.svc.SetWalkHandler(func(ids.ID, Direction, *message.Message) bool {
+		p.svc.SetWalkHandler("svc", func(ids.ID, Direction, *message.Message) bool {
 			count++
 			return false
 		})
@@ -292,7 +292,7 @@ func TestWalkStopsWhenHandlerSatisfied(t *testing.T) {
 	ids.SortIDs(order)
 	count := 0
 	for _, p := range rdvs {
-		p.svc.SetWalkHandler(func(ids.ID, Direction, *message.Message) bool {
+		p.svc.SetWalkHandler("svc", func(ids.ID, Direction, *message.Message) bool {
 			count++
 			return count >= 2 // satisfied at the second hop
 		})
@@ -319,7 +319,7 @@ func TestWalkDown(t *testing.T) {
 	var visited []ids.ID
 	for _, p := range rdvs {
 		p := p
-		p.svc.SetWalkHandler(func(ids.ID, Direction, *message.Message) bool {
+		p.svc.SetWalkHandler("svc", func(ids.ID, Direction, *message.Message) bool {
 			visited = append(visited, p.id)
 			return false
 		})
@@ -351,7 +351,7 @@ func TestWalkBodyIntact(t *testing.T) {
 	var bodies []string
 	var origins []ids.ID
 	for _, p := range rdvs {
-		p.svc.SetWalkHandler(func(origin ids.ID, _ Direction, body *message.Message) bool {
+		p.svc.SetWalkHandler("disco", func(origin ids.ID, _ Direction, body *message.Message) bool {
 			bodies = append(bodies, body.GetString("disco", "query"))
 			origins = append(origins, origin)
 			return false

@@ -119,7 +119,7 @@ func (s *Service) SendQuery(dst ids.ID, handler string, payload []byte, cb Respo
 	m := message.New()
 	m.AddString(ns, elemHandler, handler)
 	m.AddString(ns, elemQID, strconv.FormatUint(qid, 10))
-	m.AddString(ns, elemSrc, s.ep.ID().String())
+	m.AddString(ns, elemSrc, s.ep.IDString())
 	m.AddString(ns, elemSrcAddr, string(s.ep.Addr()))
 	m.AddString(ns, elemHops, "0")
 	m.Add(ns, elemQuery, payload)

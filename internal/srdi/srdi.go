@@ -7,6 +7,7 @@
 package srdi
 
 import (
+	"sort"
 	"time"
 
 	"jxta/internal/env"
@@ -91,7 +92,10 @@ func (x *Index) Add(t Tuple) {
 }
 
 // Publishers returns the fresh publishers registered under key, with their
-// addresses.
+// addresses, in ascending publisher-ID order. The set is assembled from a
+// map, so without the sort the order — and with it the sequence of query
+// forwards and ultimately the presentation order of merged discovery
+// responses — would vary run to run (the seed's last nondeterminism).
 func (x *Index) Publishers(key string) []Tuple {
 	set, ok := x.entries[key]
 	if !ok {
@@ -105,7 +109,13 @@ func (x *Index) Publishers(key string) []Tuple {
 		}
 		out = append(out, Tuple{Key: key, Publisher: pub, PublisherAddr: info.addr})
 	}
+	sortTuples(out)
 	return out
+}
+
+// sortTuples orders tuples by publisher ID (stable total order).
+func sortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Publisher.Less(ts[j].Publisher) })
 }
 
 // Has reports whether at least one fresh publisher exists for key.
@@ -196,5 +206,6 @@ func (x *Index) RangePublishers(typeAttr string, lo, hi int64) []Tuple {
 		}
 		out = append(out, Tuple{Key: typeAttr, Publisher: pub, PublisherAddr: e.addr})
 	}
+	sortTuples(out)
 	return out
 }

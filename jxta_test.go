@@ -1,6 +1,8 @@
 package jxta
 
 import (
+	"bytes"
+	"io"
 	"testing"
 	"time"
 )
@@ -145,6 +147,68 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 }
 
+// TestDiscoveryOrderingDeterministic replays examples/gridresource's
+// multi-publisher query — several sites publishing resources that match the
+// same attribute — and asserts the merged response ordering is identical
+// across two same-seed runs. The seed engine assembled responses in map
+// iteration order (internal/srdi publishers, cm.Search postings), which
+// flapped run to run; sorted assembly pins it.
+func TestDiscoveryOrderingDeterministic(t *testing.T) {
+	run := func() []string {
+		sim, err := NewSimulation(SimOptions{
+			Seed:       1234,
+			Rendezvous: 8,
+			Edges: []EdgeSpec{
+				{AttachTo: 0, Name: "site-a"},
+				{AttachTo: 2, Name: "site-b"},
+				{AttachTo: 5, Name: "site-c"},
+				{AttachTo: 7, Name: "scheduler"},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Start()
+		defer sim.Stop()
+		sim.Run(15 * time.Minute)
+		// Three publishers register resources under the same RAM value, so
+		// the searcher's merged response interleaves advertisements from
+		// several peers — the exact situation whose order used to flap.
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 2; j++ {
+				sim.Edge(i).PublishResource(
+					"node-"+string(rune('a'+i))+string(rune('0'+j)),
+					map[string]string{"RAM": "4096"})
+			}
+		}
+		sim.Run(time.Minute)
+		scheduler := sim.Edge(3)
+		scheduler.FlushCache()
+		advs, _, err := scheduler.Discover("Resource", "RAM", "4096", time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := make([]string, len(advs))
+		for i, adv := range advs {
+			order[i] = adv.ID().String()
+		}
+		return order
+	}
+	first, second := run(), run()
+	if len(first) == 0 {
+		t.Fatal("query returned nothing")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("replay returned %d vs %d advertisements", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("response ordering diverged at %d:\n first:  %v\n second: %v",
+				i, first, second)
+		}
+	}
+}
+
 func TestGrid5000Sites(t *testing.T) {
 	sites := Grid5000Sites()
 	if len(sites) != 9 || sites[6] != "rennes" {
@@ -159,6 +223,100 @@ func TestStartStopIdempotent(t *testing.T) {
 	sim.Run(time.Minute)
 	sim.Stop()
 	sim.Stop()
+}
+
+func TestListenDialStream(t *testing.T) {
+	sim := newSim(t, 5, 0, 4)
+	sim.Start()
+	defer sim.Stop()
+	sim.Run(12 * time.Minute)
+
+	server, client := sim.Edge(0), sim.Edge(1)
+	var got []byte
+	eof := false
+	if _, err := server.Listen("bulk", func(s *Stream) {
+		buf := make([]byte, 32<<10)
+		drain := func() {
+			for {
+				n, err := s.Read(buf)
+				got = append(got, buf[:n]...)
+				if err == io.EOF {
+					eof = true
+					return
+				}
+				if err != nil || n == 0 {
+					return
+				}
+			}
+		}
+		s.OnReadable(drain)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(time.Minute) // pipe advertisement index propagation
+
+	stream, err := client.Dial("bulk", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("jxta-socket!"), 4096) // ~48 KiB
+	rest := payload
+	stream.OnWritable(func() {})
+	for len(rest) > 0 {
+		n, werr := stream.Write(rest)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		rest = rest[n:]
+		if n == 0 {
+			sim.Run(time.Second) // let acks open the window
+		}
+	}
+	stream.Close()
+	sim.Run(time.Minute)
+	if !eof || !bytes.Equal(got, payload) {
+		t.Fatalf("stream transfer: eof=%v got=%d want=%d bytes", eof, len(got), len(payload))
+	}
+	if client.SocketStats().ConnsDialed != 1 || server.SocketStats().ConnsAccepted != 1 {
+		t.Fatal("socket stats not recorded")
+	}
+}
+
+func TestDialUnknownName(t *testing.T) {
+	sim := newSim(t, 3, 0)
+	sim.Start()
+	defer sim.Stop()
+	sim.Run(10 * time.Minute)
+	if _, err := sim.Edge(0).Dial("nobody-listens", 45*time.Second); err == nil {
+		t.Fatal("dial to unknown name succeeded")
+	}
+}
+
+func TestPropagateChannel(t *testing.T) {
+	sim := newSim(t, 4, 0, 1, 3)
+	sim.Start()
+	defer sim.Stop()
+
+	var heard [][]byte
+	for _, i := range []int{1, 2} {
+		if err := sim.Edge(i).JoinChannel("news", func(from string, data []byte) {
+			heard = append(heard, append([]byte(nil), data...))
+			if from != sim.Edge(0).ID() {
+				t.Errorf("origin %s, want publisher", from)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run(12 * time.Minute)
+	ch := sim.Edge(0).OpenChannel("news")
+	if err := ch.Send([]byte("flash")); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(time.Minute)
+	if len(heard) != 2 {
+		t.Fatalf("channel delivered %d payloads, want 2", len(heard))
+	}
 }
 
 func TestDiscoverRange(t *testing.T) {
