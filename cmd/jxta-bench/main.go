@@ -21,6 +21,12 @@
 // derive purely from virtual time, so the curve is bit-identical across
 // runs with the same seed. Pass -live to also measure over real loopback
 // TCP transports (wall-clock, machine-dependent, reported separately).
+//
+// churn runs the volatility pair: rolling rendezvous crashes while queries
+// flow (the paper's §5 future-work scenario), then the recovery mode — a
+// mass rendezvous failure healed by staged rejoins of the same peers
+// through the service lifecycle's Restart, measuring discovery success and
+// peerview re-convergence across the outage (golden-pinned for replay).
 package main
 
 import (
@@ -578,9 +584,46 @@ func churn() (any, error) {
 	fmt.Printf("  queries ok=%d/%d timeouts=%d\n", res.Succeeded, queries, res.Timeouts)
 	fmt.Printf("  latency %s\n", res.Latency.Summary())
 	fmt.Printf("  walk fallback used on %.0f%% of queries\n", 100*res.WalkFraction)
+
+	// Recovery mode: mass failure followed by staged rejoins of the same
+	// peers (service-lifecycle Restart — same IDs, cold state), measuring
+	// peerview re-convergence and discovery success across the heal.
+	recR, recKills, recQ := 30, 10, 25
+	if *quickFlag {
+		recR, recKills, recQ = 12, 4, 8
+	}
+	rec, err := experiments.RunChurnRecovery(experiments.RecoverySpec{
+		R: recR, Kills: recKills, Queries: recQ,
+		RejoinEvery: time.Minute, Seed: *seedFlag,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("Recovery mode: r=%d, mass failure of %d, rejoin every 1m\n", recR, recKills)
+	phase := func(name string, ps experiments.PhaseStats) {
+		fmt.Printf("  %-10s ok=%d/%d timeouts=%d mean=%.1f ms\n",
+			name, ps.Succeeded, recQ, ps.Timeouts, ps.Latency.Mean())
+	}
+	phase("baseline", rec.Baseline)
+	phase("outage", rec.Outage)
+	phase("recovered", rec.Recovered)
+	fmt.Printf("  live mean view: before=%.1f after-kill=%.1f after-rejoin=%.1f  reconverged=%v\n",
+		rec.ViewBeforeKill, rec.ViewAfterKill, rec.ViewAfterRejoin, rec.Reconverged)
+
 	return map[string]any{
 		"r": r, "kills": kills, "ok": res.Succeeded, "timeouts": res.Timeouts,
 		"mean_ms": res.Latency.Mean(), "walk_fraction": res.WalkFraction,
+		"recovery": map[string]any{
+			"r": recR, "kills": recKills,
+			"baseline_ok":       rec.Baseline.Succeeded,
+			"outage_ok":         rec.Outage.Succeeded,
+			"recovered_ok":      rec.Recovered.Succeeded,
+			"outage_timeouts":   rec.Outage.Timeouts,
+			"view_before":       rec.ViewBeforeKill,
+			"view_after_kill":   rec.ViewAfterKill,
+			"view_after_rejoin": rec.ViewAfterRejoin,
+			"reconverged":       rec.Reconverged,
+		},
 	}, nil
 }
 

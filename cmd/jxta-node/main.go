@@ -10,6 +10,12 @@
 //
 // The seed's peer ID is discovered automatically through the endpoint hello
 // bootstrap, so only its address needs configuring.
+//
+// Shutdown is graceful on SIGINT/SIGTERM: the node runs its full service
+// lifecycle teardown — open streams FIN or reset, the rendezvous lease is
+// cancelled so the super-peer drops this client immediately instead of
+// waiting for expiry, every protocol timer is cancelled, and the TCP
+// transport closes last.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"jxta/internal/advertisement"
@@ -130,9 +137,15 @@ func main() {
 		time.Sleep(*waitFlag)
 	} else {
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		fmt.Printf("%s: graceful shutdown (lease cancel + stream FIN)\n", s)
 	}
+	// Full lifecycle teardown: streams FIN/reset, lease cancelled, timers
+	// cancelled — under the env lock, like every protocol action. The
+	// transport must close OUTSIDE the lock (TCP.Close waits for reader
+	// goroutines, which deliver through the same lock); the deferred
+	// tr.Close handles it on the way out.
 	e.Locked(func() { n.Stop() })
 }
 

@@ -47,7 +47,9 @@ type Spec struct {
 	Edges []EdgeGroup
 }
 
-// Overlay is a deployed set of peers sharing one simulator.
+// Overlay is a deployed set of peers sharing one simulator. Membership is
+// dynamic: peers can be stopped, killed, restarted and added while virtual
+// time runs (self-healing and volatility scenarios).
 type Overlay struct {
 	Sched *simnet.Scheduler
 	Net   *transport.Network
@@ -56,6 +58,7 @@ type Overlay struct {
 
 	spec      Spec
 	edgeCount int
+	started   bool
 }
 
 // Build deploys the overlay. Rendezvous peers are spread round-robin over
@@ -119,6 +122,8 @@ func Build(spec Spec) (*Overlay, error) {
 // AddEdge attaches one more edge peer to the given rendezvous. The edge
 // lives on the same site as its rendezvous (the paper's noisers and
 // publisher/searcher run on testbed nodes beside their rendezvous cluster).
+// On a running overlay the new edge starts immediately — a live join at
+// virtual runtime.
 func (o *Overlay) AddEdge(name string, attachTo int) (*node.Node, error) {
 	rdv := o.Rdvs[attachTo]
 	e := o.Sched.NewEnv(name)
@@ -137,6 +142,9 @@ func (o *Overlay) AddEdge(name string, attachTo int) (*node.Node, error) {
 	})
 	o.Edges = append(o.Edges, n)
 	o.edgeCount++
+	if o.started {
+		n.Start()
+	}
 	return n, nil
 }
 
@@ -148,8 +156,10 @@ func siteOfRdv(o *Overlay, idx int) netmodel.Site {
 	return netmodel.Rennes
 }
 
-// StartAll starts every deployed peer.
+// StartAll starts every deployed peer. Edges added afterwards start
+// automatically (live joins).
 func (o *Overlay) StartAll() {
+	o.started = true
 	for _, n := range o.Rdvs {
 		n.Start()
 	}
@@ -158,8 +168,9 @@ func (o *Overlay) StartAll() {
 	}
 }
 
-// StopAll stops every peer.
+// StopAll stops every peer gracefully.
 func (o *Overlay) StopAll() {
+	o.started = false
 	for _, n := range o.Edges {
 		n.Stop()
 	}
@@ -168,19 +179,41 @@ func (o *Overlay) StopAll() {
 	}
 }
 
-// KillRdv crashes a rendezvous peer abruptly: timers stop and the transport
-// detaches, so in-flight messages to it are lost (churn experiments). Note
-// the abrupt variant does not cancel leases — clients discover the death by
-// renewal timeout, as on a real testbed.
-func (o *Overlay) KillRdv(i int) {
-	n := o.Rdvs[i]
-	n.Stop()
-	o.Net.Detach(n.Endpoint.Addr())
+// StopRdv gracefully stops a rendezvous peer (restartable in place: the
+// transport stays attached).
+func (o *Overlay) StopRdv(i int) { o.Rdvs[i].Stop() }
+
+// StopEdge gracefully stops an edge peer, cancelling its lease.
+func (o *Overlay) StopEdge(i int) { o.Edges[i].Stop() }
+
+// KillNode crashes a peer abruptly: nothing is sent — no lease cancel, no
+// stream FIN — and the transport detaches (node.Kill closes the endpoint,
+// which removes a Sim endpoint from the network), so messages delivered
+// while it is down are lost and remote peers discover the death by their
+// own timeouts, as on a real testbed.
+func (o *Overlay) KillNode(n *node.Node) {
+	n.Kill()
 }
+
+// KillRdv crashes a rendezvous peer abruptly (churn experiments).
+func (o *Overlay) KillRdv(i int) { o.KillNode(o.Rdvs[i]) }
 
 // KillEdge crashes an edge peer abruptly.
-func (o *Overlay) KillEdge(i int) {
-	n := o.Edges[i]
-	n.Stop()
-	o.Net.Detach(n.Endpoint.Addr())
+func (o *Overlay) KillEdge(i int) { o.KillNode(o.Edges[i]) }
+
+// RestartNode cold-restarts a peer in place, re-attaching its transport
+// endpoint first if the peer had been killed. The peer keeps its identity
+// (ID, RNG stream, address) but rejoins the overlay with fresh protocol
+// state, so a mass-failure scenario can heal through staged rejoins.
+func (o *Overlay) RestartNode(n *node.Node) {
+	if sim, ok := n.Endpoint.Transport().(*transport.Sim); ok {
+		o.Net.Reattach(sim)
+	}
+	n.Restart()
 }
+
+// RestartRdv restarts the i-th rendezvous peer (see RestartNode).
+func (o *Overlay) RestartRdv(i int) { o.RestartNode(o.Rdvs[i]) }
+
+// RestartEdge restarts the i-th edge peer (see RestartNode).
+func (o *Overlay) RestartEdge(i int) { o.RestartNode(o.Edges[i]) }

@@ -138,6 +138,12 @@ type Service struct {
 	pushed map[string]bool
 	ticker *env.Ticker
 
+	// costTimers tracks in-flight SRDI scan-cost delays (handleQuery,
+	// handleWalk) so Stop can cancel them — without this a stopped node
+	// would still own pending callbacks and forward queries when they fire.
+	costTimers map[uint64]env.Timer
+	nextCostID uint64
+
 	// seen dedups (src, qid) pairs at a rendezvous so the replica forward
 	// and the walk cannot double-process one query.
 	seen map[string]bool
@@ -149,15 +155,16 @@ type Service struct {
 // service and cache. busy may be nil.
 func New(e env.Env, ep *endpoint.Endpoint, res *resolver.Service, rdvSvc *rendezvous.Service, cache *cm.Cache, cfg Config, busy BusySink) *Service {
 	s := &Service{
-		env:    e,
-		ep:     ep,
-		res:    res,
-		rdv:    rdvSvc,
-		cache:  cache,
-		cfg:    cfg.withDefaults(),
-		busy:   busy,
-		pushed: make(map[string]bool),
-		seen:   make(map[string]bool),
+		env:        e,
+		ep:         ep,
+		res:        res,
+		rdv:        rdvSvc,
+		cache:      cache,
+		cfg:        cfg.withDefaults(),
+		busy:       busy,
+		pushed:     make(map[string]bool),
+		costTimers: make(map[uint64]env.Timer),
+		seen:       make(map[string]bool),
 	}
 	res.RegisterHandler(HandlerName, s.handleQuery)
 	if rdvSvc.IsRendezvous() {
@@ -196,12 +203,42 @@ func (s *Service) Start() {
 	s.ticker = env.NewTicker(s.env, s.cfg.PushInterval, s.pushAll)
 }
 
-// Stop halts periodic work.
+// afterCost schedules fn behind the modeled SRDI scan delay, tracked so
+// Stop cancels it (cancellation only mutates bookkeeping, so map order
+// does not matter for determinism).
+func (s *Service) afterCost(d time.Duration, fn func()) {
+	id := s.nextCostID
+	s.nextCostID++
+	s.costTimers[id] = s.env.After(d, func() {
+		delete(s.costTimers, id)
+		fn()
+	})
+}
+
+// Stop halts periodic work and cancels in-flight scan-cost delays. Index
+// and push state are retained; Reset discards them for a cold restart.
 func (s *Service) Stop() {
 	if s.ticker != nil {
 		s.ticker.Stop()
 		s.ticker = nil
 	}
+	for id, t := range s.costTimers {
+		t.Cancel()
+		delete(s.costTimers, id)
+	}
+}
+
+// Reset clears the soft protocol state for a cold restart: the SRDI index
+// (a restarted rendezvous process starts empty; edges re-push on their next
+// lease), the delta-push ledger (forcing a full re-push on reconnect) and
+// the query dedup set. The local advertisement cache is application data
+// and survives.
+func (s *Service) Reset() {
+	if s.index != nil {
+		s.index = srdi.New(s.env)
+	}
+	s.pushed = make(map[string]bool)
+	s.seen = make(map[string]bool)
 }
 
 // --- Publishing ---
@@ -335,9 +372,17 @@ func decodeTuple(data []byte) (srdi.Tuple, error) {
 	return tpl, nil
 }
 
+// started reports whether the service is running (ticker armed by Start);
+// the inbound handlers are gated on it so a stopped peer neither indexes,
+// routes, answers nor arms scan-cost timers — it is silent until restarted.
+func (s *Service) started() bool { return s.ticker != nil }
+
 // receiveSRDI handles index pushes at a rendezvous. Replicated pushes are
 // stored but not re-replicated (loop guard).
 func (s *Service) receiveSRDI(src ids.ID, m *message.Message) {
+	if !s.started() {
+		return
+	}
 	replicated := m.GetString("srdi", "Replicated") == "1"
 	for _, el := range m.Elements() {
 		if el.Namespace != "srdi" || el.Name != "Tuple" {
@@ -554,6 +599,9 @@ func decodeResponse(data []byte) []advertisement.Advertisement {
 
 // handleQuery is the resolver handler running on every peer.
 func (s *Service) handleQuery(q *resolver.Query) {
+	if !s.started() {
+		return // stopped peers do not serve or route queries
+	}
 	body, err := decodeQuery(q.Payload)
 	if err != nil {
 		return
@@ -571,7 +619,7 @@ func (s *Service) handleQuery(q *resolver.Query) {
 		s.busy.Busy(cost)
 	}
 	if cost > 0 {
-		s.env.After(cost, func() { s.routeQuery(q, body) })
+		s.afterCost(cost, func() { s.routeQuery(q, body) })
 		return
 	}
 	s.routeQuery(q, body)
@@ -716,6 +764,9 @@ func (s *Service) startWalk(q *resolver.Query, body queryBody) {
 // handleWalk inspects a walked query at each visited rendezvous: on an SRDI
 // hit the query is forwarded to the publisher and the walk stops.
 func (s *Service) handleWalk(origin ids.ID, dir rendezvous.Direction, bodyMsg *message.Message) bool {
+	if !s.started() {
+		return false
+	}
 	key := bodyMsg.GetString("disco", "Key")
 	isRange := bodyMsg.GetString("disco", "Range") == "1"
 	if key == "" && !isRange {
@@ -766,7 +817,7 @@ func (s *Service) handleWalk(origin ids.ID, dir rendezvous.Direction, bodyMsg *m
 		Payload: payload,
 	}
 	if cost > 0 {
-		s.env.After(cost, func() { s.forwardToPublishers(q, body, pubs) })
+		s.afterCost(cost, func() { s.forwardToPublishers(q, body, pubs) })
 	} else {
 		s.forwardToPublishers(q, body, pubs)
 	}

@@ -63,10 +63,12 @@ const helloTimeout = 10 * time.Second
 // Handler consumes a message addressed to a registered service.
 type Handler func(src ids.ID, msg *message.Message)
 
-// helloWaiter is a pending Hello resolution.
+// helloWaiter is a pending Hello resolution. cancel silences the waiter
+// (timer canceled, callback never fired) when the endpoint stops.
 type helloWaiter struct {
-	addr transport.Addr
-	cb   func(peer ids.ID)
+	addr   transport.Addr
+	cb     func(peer ids.ID)
+	cancel func()
 }
 
 // RouteCallback receives the outcome of an asynchronous route resolution.
@@ -127,32 +129,45 @@ func New(e env.Env, id ids.ID, tr transport.Transport) *Endpoint {
 }
 
 // Hello resolves the peer ID listening at a transport address. cb fires
-// once, with ok=false on timeout.
+// once, with ok=false on timeout; a stopped endpoint silences the waiter
+// without firing it.
 func (ep *Endpoint) Hello(addr transport.Addr, cb func(peer ids.ID, ok bool)) {
 	done := false
+	var failTimer env.Timer
 	timer := ep.env.After(helloTimeout, func() {
 		if !done {
 			done = true
 			cb(ids.Nil, false)
 		}
 	})
+	settle := func() {
+		done = true
+		timer.Cancel()
+		if failTimer != nil {
+			failTimer.Cancel()
+		}
+	}
 	ep.helloWaiters = append(ep.helloWaiters, helloWaiter{
 		addr: addr,
 		cb: func(peer ids.ID) {
 			if !done {
-				done = true
-				timer.Cancel()
+				settle()
 				cb(peer, true)
+			}
+		},
+		cancel: func() {
+			if !done {
+				settle()
 			}
 		},
 	})
 	m := message.New().AddString(ns, elemHelloReq, "1")
 	if err := ep.sendTo(addr, ids.Nil, helloService, m, defaultTTL); err != nil {
-		// Transport refused outright; fail via the timer path immediately.
-		ep.env.After(0, func() {
+		// Transport refused outright; fail on the next tick instead of the
+		// full timeout.
+		failTimer = ep.env.After(0, func() {
 			if !done {
-				done = true
-				timer.Cancel()
+				settle()
 				cb(ids.Nil, false)
 			}
 		})
@@ -198,6 +213,48 @@ func (ep *Endpoint) Addr() transport.Addr { return ep.tr.Addr() }
 // replaces the handler (services restart across leases).
 func (ep *Endpoint) Register(service string, h Handler) {
 	ep.handlers[service] = h
+}
+
+// Unregister removes a service handler; subsequent messages for the service
+// are counted as drops. Unregistering an unknown name is a no-op.
+func (ep *Endpoint) Unregister(service string) {
+	delete(ep.handlers, service)
+}
+
+// Transport exposes the underlying transport (deployment-level lifecycle
+// management re-attaches it on restart).
+func (ep *Endpoint) Transport() transport.Transport { return ep.tr }
+
+// Stop quiesces the endpoint's own pending work: outstanding Hello timers
+// are canceled and un-fired route resolutions are abandoned (their callbacks
+// never fire). Handlers, routes and the transport binding are retained, so
+// the endpoint keeps serving a restarted node.
+func (ep *Endpoint) Stop() {
+	for _, w := range ep.helloWaiters {
+		w.cancel()
+	}
+	ep.helloWaiters = nil
+	for peer := range ep.pending {
+		delete(ep.pending, peer)
+	}
+}
+
+// Close releases the endpoint: pending work is quiesced as in Stop and the
+// transport endpoint itself is closed, so the peer disappears from the
+// network. Routes and handlers are retained for a potential restart over a
+// re-attached transport.
+func (ep *Endpoint) Close() {
+	ep.Stop()
+	_ = ep.tr.Close()
+}
+
+// Reset clears the learned route table (restart with fresh state: routes are
+// re-learned from seeds, advertisements and inbound traffic).
+func (ep *Endpoint) Reset() {
+	ep.Stop()
+	for peer := range ep.routes {
+		delete(ep.routes, peer)
+	}
 }
 
 // AddRoute records a direct route to a peer.

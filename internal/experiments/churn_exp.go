@@ -114,50 +114,15 @@ func RunChurn(spec ChurnSpec) (ChurnResult, error) {
 	}
 	o.Sched.After(spec.KillEvery, killTick)
 
-	done := false
-	var runQuery func(i int)
-	runQuery = func(i int) {
-		if i >= spec.Queries {
-			done = true
-			o.Sched.Halt()
-			return
-		}
-		advanced := false
-		next := func() {
-			if advanced {
-				return
-			}
-			advanced = true
-			searcher.Discovery.FlushCache()
-			// Space the queries out so churn happens between them.
-			searcher.Env.After(5*time.Second, func() { runQuery(i + 1) })
-		}
-		err := searcher.Discovery.Query("Resource", "Name",
-			fmt.Sprintf("Churn%d", i%advCount),
-			func(r discovery.Result) {
-				if !advanced {
-					res.Latency.AddDuration(r.Elapsed)
-					res.Succeeded++
-				}
-				next()
-			},
-			func() {
-				if !advanced {
-					res.Timeouts++
-				}
-				next()
-			})
-		if err != nil {
-			res.Timeouts++
-			searcher.Env.After(5*time.Second, func() { runQuery(i + 1) })
-		}
+	// The kill ticker above and the query loop share the scheduler: crashes
+	// land between (and during) the measured lookups.
+	ps, err := runQueryPhase(o, searcher, spec.Queries, advCount, "Churn")
+	if err != nil {
+		return res, err
 	}
-	o.Sched.After(0, func() { runQuery(0) })
-	o.Sched.Run(o.Sched.Now() + 6*time.Hour)
-	if !done {
-		return res, fmt.Errorf("experiments: churn loop did not finish (%d ok, %d timeouts)",
-			res.Succeeded, res.Timeouts)
-	}
+	res.Latency = ps.Latency
+	res.Succeeded = ps.Succeeded
+	res.Timeouts = ps.Timeouts
 	if spec.Queries > 0 {
 		res.WalkFraction = float64(totalWalks(o)-walksBefore) / float64(spec.Queries)
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"jxta/internal/socket"
 	"jxta/internal/topology"
 )
 
@@ -54,6 +55,21 @@ func discoveryFingerprint(res DiscoveryResult) string {
 		res.NetStats.Dropped)
 }
 
+func phaseFingerprint(ps PhaseStats) string {
+	return fmt.Sprintf("ok=%d to=%d mean=%s", ps.Succeeded, ps.Timeouts,
+		hexFloat(ps.Latency.Mean()))
+}
+
+func recoveryFingerprint(res RecoveryResult) string {
+	return fmt.Sprintf("base[%s] outage[%s] rec[%s] views=%s/%s/%s reconv=%v steps=%d msgs=%d bytes=%d dropped=%d",
+		phaseFingerprint(res.Baseline), phaseFingerprint(res.Outage),
+		phaseFingerprint(res.Recovered),
+		hexFloat(res.ViewBeforeKill), hexFloat(res.ViewAfterKill),
+		hexFloat(res.ViewAfterRejoin), res.Reconverged,
+		res.Steps, res.NetStats.Messages, res.NetStats.Bytes,
+		res.NetStats.Dropped)
+}
+
 func bandwidthFingerprint(res BandwidthResult) string {
 	s := ""
 	for _, pt := range res.Points {
@@ -69,6 +85,7 @@ const (
 	goldenPeerview  = "max=23 final=23 plateau=0x1.7p+04 reached=true@240000000000 consistent=true steps=14948 msgs=6500 bytes=3385821 dropped=0 series=919b4d4c24dbca9b"
 	goldenDiscovery = "mean=0x1.b20ba493c89f4p+03 n=12 min=0x1.5e0216c61522ap+03 p50=0x1.a74c32a8c9b84p+03 p95=0x1.064bbe6cb7b94p+04 max=0x1.0efdfa00e27e1p+04 timeouts=0 walk=0x0p+00 steps=2944 msgs=1230 bytes=633255 dropped=0"
 	goldenBandwidth = "size=4096 msgs=128 tput=0x1.28fecad8b2731p+03 rtt=0x1.4ea199780baa6p+03 elapsed=0x1.c3eb313be22e6p+05 retx=0;size=65536 msgs=8 tput=0x1.416a048d01756p+04 rtt=0x1.c6a052502eec8p+03 elapsed=0x1.a195c422036p+04 retx=0; steps=2073 msgs=932 bytes=1738970 dropped=6"
+	goldenRecovery  = "base[ok=8 to=0 mean=0x1.aad5c7cd898b2p+03] outage[ok=6 to=2 mean=0x1.a0651468b4663p+03] rec[ok=8 to=0 mean=0x1.e177ea1c68ec5p+03] views=0x1.6p+03/0x1.6p+03/0x1.6p+03 reconv=true steps=15808 msgs=6493 bytes=3358451 dropped=72"
 )
 
 func TestGoldenPeerviewReplay(t *testing.T) {
@@ -108,6 +125,7 @@ func TestGoldenDiscoveryReplay(t *testing.T) {
 // flow control, retransmission under injected loss) to the same bit-for-bit
 // replay contract as the control-plane experiments.
 func TestGoldenBandwidthReplay(t *testing.T) {
+	t.Setenv(socket.WindowEnvVar, "") // goldens must not follow ambient config
 	res, err := RunBandwidth(BandwidthSpec{
 		R:              3,
 		Sizes:          []int{4 << 10, 64 << 10},
@@ -125,6 +143,28 @@ func TestGoldenBandwidthReplay(t *testing.T) {
 	}
 	if got != goldenBandwidth {
 		t.Errorf("bandwidth replay diverged from golden engine behavior\n got:  %s\n want: %s", got, goldenBandwidth)
+	}
+}
+
+// TestGoldenChurnRecoveryReplay pins the lifecycle machinery — crash
+// (Kill), cold restart with identity preservation, staged rejoin and
+// overlay self-healing — to the bit-for-bit replay contract: a fixed-seed
+// mass-failure + recovery scenario must reproduce every query outcome,
+// every view size and every network counter exactly.
+func TestGoldenChurnRecoveryReplay(t *testing.T) {
+	t.Setenv(socket.WindowEnvVar, "") // goldens must not follow ambient config
+	res, err := RunChurnRecovery(RecoverySpec{
+		R: 12, Kills: 4, Queries: 8, RejoinEvery: time.Minute, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := recoveryFingerprint(res)
+	if goldenRecovery == "UNSET" {
+		t.Fatalf("capture golden:\n%s", got)
+	}
+	if got != goldenRecovery {
+		t.Errorf("churn-recovery replay diverged from golden engine behavior\n got:  %s\n want: %s", got, goldenRecovery)
 	}
 }
 

@@ -1,0 +1,124 @@
+// Package lifecycle defines the Start/Stop contract every JXTA service in
+// this stack honors, and the ordered registry a node uses to drive them.
+//
+// The contract:
+//
+//   - Start begins the service's periodic work (tickers, leases). Calling
+//     Start on a started service is a no-op.
+//   - Stop halts the service: every timer it armed through its env is
+//     canceled, in-flight work is flushed or aborted, and the service stays
+//     restartable — a later Start resumes from the retained configuration.
+//     Calling Stop on a stopped service is a no-op.
+//
+// Services are registered in dependency order (transport-nearest first);
+// Registry.Start runs them in that order and Registry.Stop in reverse, so a
+// layer never outlives the layers it sends through. The registry is what
+// makes node teardown leak-free and provable: after Stop, the simulation
+// scheduler's per-node pending-callback count (simnet.Scheduler.PendingFor)
+// must be zero, which the facade regression tests assert.
+package lifecycle
+
+// Service is the uniform start/stop surface of one protocol layer.
+type Service interface {
+	// Start begins periodic work. Idempotent.
+	Start()
+	// Stop cancels all timers and halts the service, leaving it
+	// restartable. Idempotent.
+	Stop()
+}
+
+// Aborter is the optional crash-path extension of Service: Abort tears the
+// service down like Stop but without sending anything on the network (no
+// FIN, no lease cancel), modeling a process crash. Services without an
+// Abort are silent on Stop already; the registry falls back to Stop for
+// them.
+type Aborter interface {
+	Abort()
+}
+
+// Funcs adapts bare functions to the Service interface for layers that have
+// no periodic work of their own (endpoint, resolver, pipe, socket — their
+// Start is implicit in construction). Nil fields are no-ops; a nil AbortFn
+// falls back to StopFn.
+type Funcs struct {
+	StartFn func()
+	StopFn  func()
+	AbortFn func()
+}
+
+// Start implements Service.
+func (f Funcs) Start() {
+	if f.StartFn != nil {
+		f.StartFn()
+	}
+}
+
+// Stop implements Service.
+func (f Funcs) Stop() {
+	if f.StopFn != nil {
+		f.StopFn()
+	}
+}
+
+// Abort implements Aborter, falling back to Stop when no AbortFn is set.
+func (f Funcs) Abort() {
+	if f.AbortFn != nil {
+		f.AbortFn()
+		return
+	}
+	f.Stop()
+}
+
+// Registry drives an ordered set of services as one unit.
+type Registry struct {
+	services []Service
+	started  bool
+}
+
+// Add appends a service. Registration order is start order; stop runs in
+// reverse.
+func (r *Registry) Add(s Service) {
+	r.services = append(r.services, s)
+}
+
+// Started reports whether the registry is currently up.
+func (r *Registry) Started() bool { return r.started }
+
+// Start brings every service up in registration order. Idempotent.
+func (r *Registry) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	for _, s := range r.services {
+		s.Start()
+	}
+}
+
+// Stop tears every service down in reverse registration order. Idempotent.
+func (r *Registry) Stop() {
+	if !r.started {
+		return
+	}
+	r.started = false
+	for i := len(r.services) - 1; i >= 0; i-- {
+		r.services[i].Stop()
+	}
+}
+
+// Abort tears every service down in reverse registration order through the
+// crash path: services implementing Aborter abort (silent teardown), the
+// rest Stop. Idempotent, like Stop.
+func (r *Registry) Abort() {
+	if !r.started {
+		return
+	}
+	r.started = false
+	for i := len(r.services) - 1; i >= 0; i-- {
+		if a, ok := r.services[i].(Aborter); ok {
+			a.Abort()
+			continue
+		}
+		r.services[i].Stop()
+	}
+}

@@ -1,0 +1,99 @@
+package lifecycle
+
+import (
+	"reflect"
+	"testing"
+)
+
+// recorder logs start/stop calls into a shared trace.
+type recorder struct {
+	name  string
+	trace *[]string
+}
+
+func (r recorder) Start() { *r.trace = append(*r.trace, "start:"+r.name) }
+func (r recorder) Stop()  { *r.trace = append(*r.trace, "stop:"+r.name) }
+
+func TestRegistryOrder(t *testing.T) {
+	var trace []string
+	reg := &Registry{}
+	reg.Add(recorder{"a", &trace})
+	reg.Add(recorder{"b", &trace})
+	reg.Add(recorder{"c", &trace})
+
+	reg.Start()
+	reg.Stop()
+	want := []string{"start:a", "start:b", "start:c", "stop:c", "stop:b", "stop:a"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	var trace []string
+	reg := &Registry{}
+	reg.Add(recorder{"a", &trace})
+
+	reg.Stop() // stop before start: no-op
+	reg.Start()
+	reg.Start()
+	reg.Stop()
+	reg.Stop()
+	reg.Start() // restartable
+	want := []string{"start:a", "stop:a", "start:a"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	if !reg.Started() {
+		t.Fatal("Started() = false after Start")
+	}
+}
+
+// aborter is a recorder with a distinct crash path.
+type aborter struct{ recorder }
+
+func (a aborter) Abort() { *a.trace = append(*a.trace, "abort:"+a.name) }
+
+func TestRegistryAbort(t *testing.T) {
+	var trace []string
+	reg := &Registry{}
+	reg.Add(recorder{"a", &trace})          // no Abort: falls back to Stop
+	reg.Add(aborter{recorder{"b", &trace}}) // crash-path aware
+
+	reg.Abort() // before start: no-op
+	reg.Start()
+	reg.Abort()
+	reg.Abort() // idempotent
+	reg.Start() // restartable after a crash
+	want := []string{"start:a", "start:b", "abort:b", "stop:a", "start:a", "start:b"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestFuncsAbortFallback(t *testing.T) {
+	var trace []string
+	f := Funcs{StopFn: func() { trace = append(trace, "stop") }}
+	f.Abort() // no AbortFn: falls back to StopFn
+	g := Funcs{
+		StopFn:  func() { trace = append(trace, "stop2") },
+		AbortFn: func() { trace = append(trace, "abort2") },
+	}
+	g.Abort()
+	want := []string{"stop", "abort2"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestFuncsNilSafe(t *testing.T) {
+	var started bool
+	reg := &Registry{}
+	reg.Add(Funcs{StartFn: func() { started = true }}) // nil StopFn
+	reg.Add(Funcs{})                                   // fully nil
+	reg.Start()
+	reg.Stop()
+	if !started {
+		t.Fatal("StartFn not invoked")
+	}
+}

@@ -1,8 +1,31 @@
 // Package node assembles the full JXTA stack for one peer: transport,
 // endpoint service + ERP, resolver, rendezvous service (peerview + lease +
-// propagation, role-dependent), cache manager and discovery/LC-DHT. It is
-// the unit the deployment layer instantiates — one Node per simulated or
-// real peer.
+// propagation, role-dependent), cache manager, discovery/LC-DHT, pipes and
+// the socket stream layer. It is the unit the deployment layer instantiates
+// — one Node per simulated or real peer.
+//
+// # Lifecycle
+//
+// The services form an ordered lifecycle registry (internal/lifecycle):
+// Start brings them up transport-nearest first (endpoint, resolver,
+// peerview, rendezvous, discovery, pipe, socket) and Stop tears them down
+// in reverse, so a layer never sends through a layer that is already gone.
+// Four verbs cover every deployment need:
+//
+//   - Stop: graceful halt. Streams FIN or reset, the edge lease is
+//     canceled, every service timer is canceled (leak-free: the simulation
+//     scheduler's per-node pending ledger reads zero afterwards). The node
+//     is restartable in place — Start resumes over the same transport.
+//   - Kill: crash. Identical teardown but nothing is sent and the transport
+//     detaches; remote peers discover the death by timeout, as on a real
+//     testbed.
+//   - Restart: Stop (if needed) + Reset of all soft protocol state
+//     (peerview entries, leases, SRDI index, push ledgers, streams, learned
+//     routes) + Start. The peer keeps its identity — same ID, same RNG
+//     stream, same address — but rejoins the overlay cold, exactly like a
+//     restarted process on the same host. The deployment layer re-attaches
+//     the transport first when the node was killed.
+//   - Close: Stop + transport release, for process exit (cmd/jxta-node).
 package node
 
 import (
@@ -12,6 +35,7 @@ import (
 	"jxta/internal/endpoint"
 	"jxta/internal/env"
 	"jxta/internal/ids"
+	"jxta/internal/lifecycle"
 	"jxta/internal/peerview"
 	"jxta/internal/pipe"
 	"jxta/internal/rendezvous"
@@ -74,8 +98,8 @@ type Node struct {
 	Socket     *socket.Service
 	Cache      *cm.Cache
 
-	rdvAdv  *advertisement.Rdv
-	started bool
+	rdvAdv *advertisement.Rdv
+	reg    lifecycle.Registry
 }
 
 // New assembles a peer over the given environment and transport. The peer
@@ -120,33 +144,72 @@ func New(e env.Env, tr transport.Transport, cfg Config) *Node {
 	n.Discovery = discovery.New(e, ep, res, n.Rendezvous, cache, cfg.Discovery, busy)
 	n.Pipe = pipe.New(e, ep, n.Discovery, n.Rendezvous)
 	n.Socket = socket.New(e, ep, n.Pipe, cfg.Socket)
+
+	// Lifecycle registry, transport-nearest first; Stop runs in reverse so
+	// streams FIN and the lease cancel leave before the endpoint quiesces.
+	// Services with a crash path (silent teardown) register their Abort;
+	// the rest are silent on Stop already.
+	n.reg.Add(lifecycle.Funcs{StopFn: ep.Stop})
+	n.reg.Add(lifecycle.Funcs{StopFn: res.Stop})
+	if n.PeerView != nil {
+		n.reg.Add(n.PeerView)
+	}
+	n.reg.Add(n.Rendezvous) // implements Abort (no lease cancel)
+	n.reg.Add(n.Discovery)
+	n.reg.Add(n.Pipe)
+	n.reg.Add(lifecycle.Funcs{StopFn: n.Socket.Stop, AbortFn: n.Socket.Abort})
 	return n
 }
 
-// Start brings the peer's services up.
-func (n *Node) Start() {
-	if n.started {
-		return
-	}
-	n.started = true
-	if n.PeerView != nil {
-		n.PeerView.Start()
-	}
-	n.Rendezvous.Start()
-	n.Discovery.Start()
+// Start brings the peer's services up in registry order. Idempotent.
+func (n *Node) Start() { n.reg.Start() }
+
+// Started reports whether the node is currently up.
+func (n *Node) Started() bool { return n.reg.Started() }
+
+// Stop shuts the peer's services down gracefully in reverse registry order:
+// streams FIN or reset, the edge lease is cancelled, and every timer any
+// service armed is cancelled, so a stopped node owns no pending callbacks.
+// The transport stays attached — Start brings the node back in place.
+func (n *Node) Stop() { n.reg.Stop() }
+
+// Kill crashes the peer: the same teardown as Stop but nothing is sent —
+// no FIN, no lease cancel — and the transport endpoint closes, so remote
+// peers learn of the death only through their own timeouts (lease renewal,
+// retransmission limits, peerview entry expiry).
+func (n *Node) Kill() {
+	n.reg.Abort()
+	n.Endpoint.Close()
 }
 
-// Stop shuts the peer's services down (lease cancelled, timers stopped).
-func (n *Node) Stop() {
-	if !n.started {
-		return
-	}
-	n.started = false
-	n.Discovery.Stop()
-	n.Rendezvous.Stop()
+// Restart cold-restarts the peer in place: graceful Stop if still running,
+// then every service discards its soft protocol state — peerview entries,
+// leases and walk dedup, SRDI index and push ledgers, pipe bindings,
+// streams, learned routes — and Start rejoins the overlay from the
+// configured seeds. Identity is preserved: same peer ID, same RNG stream,
+// same transport address. If the node was killed, the caller must
+// re-attach the transport first (deploy.Overlay.RestartRdv/RestartEdge do).
+func (n *Node) Restart() {
+	n.Stop()
+	n.Endpoint.Reset()
 	if n.PeerView != nil {
-		n.PeerView.Stop()
+		n.PeerView.Reset()
 	}
+	n.Rendezvous.Reset()
+	n.Discovery.Reset()
+	n.Pipe.Reset()
+	n.Socket.Reset()
+	n.Start()
+}
+
+// Close shuts the peer down for good: graceful Stop plus transport release
+// (process exit). Real-clock callers beware: closing a TCP transport waits
+// for its reader goroutines, which deliver through env.Locked — call Close
+// outside any Locked section (or Stop under the lock and close the
+// transport separately, as cmd/jxta-node does).
+func (n *Node) Close() {
+	n.Stop()
+	n.Endpoint.Close()
 }
 
 // AddSeed wires an additional rendezvous seed at runtime and, for edges,

@@ -141,6 +141,8 @@ type PeerView struct {
 	entries  []*entry
 	byID     map[ids.ID]*entry
 	ticker   *env.Ticker
+	boot     env.Timer // the immediate first iteration armed by Start
+	stopped  bool      // explicitly stopped: ignore inbound traffic
 	listener Listener
 
 	// probed tracks outstanding probes triggered by referrals, so one
@@ -173,16 +175,34 @@ func (pv *PeerView) Start() {
 	if pv.ticker != nil {
 		return
 	}
-	pv.env.After(0, pv.iterate)
+	pv.stopped = false
+	pv.boot = pv.env.After(0, pv.iterate)
 	pv.ticker = env.NewTicker(pv.env, pv.cfg.Interval, pv.iterate)
 }
 
 // Stop halts the periodic algorithm ("until rendezvous service is stopped").
+// The accumulated view is retained — a later Start resumes gossiping from
+// it; Restart paths wanting a cold rejoin call Reset first.
 func (pv *PeerView) Stop() {
+	pv.stopped = true
 	if pv.ticker != nil {
 		pv.ticker.Stop()
 		pv.ticker = nil
 	}
+	if pv.boot != nil {
+		pv.boot.Cancel()
+		pv.boot = nil
+	}
+}
+
+// Reset discards the accumulated view and probe-dedup state, as a freshly
+// booted rendezvous process would start: the next Start rebuilds the view
+// from the seeds. No membership events are emitted for the dropped entries
+// (the process observing them is the one restarting).
+func (pv *PeerView) Reset() {
+	pv.entries = nil
+	pv.byID = make(map[ids.ID]*entry)
+	pv.probed = make(map[ids.ID]time.Duration)
 }
 
 // AddSeed appends a bootstrap seed at runtime (live joins).
@@ -346,8 +366,15 @@ func advertisementMessage(msgType string, adv *advertisement.Rdv) *message.Messa
 func (pv *PeerView) sendProbe(to ids.ID)  { pv.send(to, typeProbe, pv.self) }
 func (pv *PeerView) sendUpdate(to ids.ID) { pv.send(to, typeUpdate, pv.self) }
 
-// receive handles inbound peerview messages.
+// receive handles inbound peerview messages. An explicitly stopped
+// peerview ignores them: answering probes would let neighbours refresh the
+// stopped peer in their views forever, and probing referrals would send
+// from a peer that is supposed to be gone. (A not-yet-started peerview
+// still learns — unit harnesses drive the protocol without the loop.)
 func (pv *PeerView) receive(src ids.ID, m *message.Message) {
+	if pv.stopped {
+		return
+	}
 	msgType := m.GetString(ns, elemType)
 	data, ok := m.Get(ns, elemAdv)
 	if !ok {

@@ -76,6 +76,9 @@ type Service struct {
 	// a peer through the up walk, the down walk and the client fan-out.
 	propSeen   map[string]bool
 	nextPropID uint64
+	// stopped gates inbound traffic: a gracefully stopped peer neither
+	// delivers to application receivers nor relays propagate fan-out.
+	stopped bool
 }
 
 // New wires the pipe service into a peer's endpoint, discovery and
@@ -125,6 +128,25 @@ func (s *Service) Bind(adv *advertisement.Pipe, recv Receiver) (*InputPipe, erro
 // Close unbinds the pipe. Already-in-flight messages are dropped.
 func (in *InputPipe) Close() {
 	delete(in.svc.bound, in.Adv.PipeID)
+}
+
+// Start resumes inbound delivery after a Stop. The service owns no timers
+// — sends are fire-and-forget over the endpoint — so starting is purely a
+// gate flip.
+func (s *Service) Start() { s.stopped = false }
+
+// Stop halts the pipe service: inbound messages are dropped (no delivery
+// to application receivers, no propagate relaying) until the next Start.
+// Bindings survive, so a node restarted in place keeps receiving.
+func (s *Service) Stop() { s.stopped = true }
+
+// Reset drops every binding and the propagation dedup set for a cold
+// restart: applications re-Bind (and re-JoinChannel) after the node comes
+// back. Propagation instance IDs keep increasing so pre-restart sends are
+// still deduplicated by peers that saw them.
+func (s *Service) Reset() {
+	s.bound = make(map[ids.ID]*InputPipe)
+	s.propSeen = make(map[string]bool)
 }
 
 // OutputPipe is a resolved sending end.
@@ -195,6 +217,9 @@ func (o *OutputPipe) Send(data []byte) error {
 
 // receive dispatches inbound pipe traffic to the bound receiver.
 func (s *Service) receive(src ids.ID, m *message.Message) {
+	if s.stopped {
+		return
+	}
 	pipeID, err := ids.Parse(m.GetString(ns, elemPipeID))
 	if err != nil {
 		return
@@ -271,6 +296,9 @@ func (s *Service) propagate(pipeID ids.ID, data []byte) error {
 // at an edge this is the final delivery; at a rendezvous it is the first
 // hop of the fan-out (deliver locally, forward to clients, start walks).
 func (s *Service) receivePropagate(src ids.ID, m *message.Message) {
+	if s.stopped {
+		return
+	}
 	pipeID, origin, data, ok := s.decodeProp(m)
 	if !ok {
 		return
@@ -294,6 +322,9 @@ func (s *Service) receivePropagate(src ids.ID, m *message.Message) {
 // rendezvous: deliver locally, forward to this rendezvous' clients, and let
 // the walk continue (return false) so the whole peerview is covered.
 func (s *Service) handlePropagateWalk(_ ids.ID, _ rendezvous.Direction, body *message.Message) bool {
+	if s.stopped {
+		return false
+	}
 	pipeID, origin, data, ok := s.decodeProp(body)
 	if !ok {
 		return false

@@ -122,6 +122,7 @@ type Service struct {
 	seeds       []peerview.Seed
 	seedIdx     int
 	connectedTo ids.ID
+	bootTimer   env.Timer // the immediate first lease request armed by Start
 	renewTimer  env.Timer
 	grantTimer  env.Timer
 	listeners   []LeaseListener
@@ -191,11 +192,19 @@ func (s *Service) Start() {
 		s.clientSweep = env.NewTicker(s.env, s.cfg.LeaseDuration/4, s.sweepClients)
 		return
 	}
-	s.env.After(0, s.requestLease)
+	s.bootTimer = s.env.After(0, s.requestLease)
 }
 
-// Stop halts periodic work and (for edges) cancels the lease.
-func (s *Service) Stop() {
+// Stop halts periodic work gracefully: every timer is canceled and an edge
+// cancels its lease with the rendezvous before disconnecting.
+func (s *Service) Stop() { s.halt(true) }
+
+// Abort is the crash-path Stop: identical teardown, but nothing is sent —
+// the rendezvous discovers the departure by lease expiry, exactly as a real
+// testbed peer failure looks from outside.
+func (s *Service) Abort() { s.halt(false) }
+
+func (s *Service) halt(sendCancel bool) {
 	if !s.started {
 		return
 	}
@@ -206,13 +215,19 @@ func (s *Service) Stop() {
 	}
 	s.cancelTimers()
 	if !s.connectedTo.IsNil() {
-		m := message.New().AddString(leaseNS, elemCancelled, "1")
-		_ = s.ep.Send(s.connectedTo, LeaseService, m)
+		if sendCancel {
+			m := message.New().AddString(leaseNS, elemCancelled, "1")
+			_ = s.ep.Send(s.connectedTo, LeaseService, m)
+		}
 		s.setConnected(ids.Nil)
 	}
 }
 
 func (s *Service) cancelTimers() {
+	if s.bootTimer != nil {
+		s.bootTimer.Cancel()
+		s.bootTimer = nil
+	}
 	if s.renewTimer != nil {
 		s.renewTimer.Cancel()
 		s.renewTimer = nil
@@ -221,6 +236,20 @@ func (s *Service) cancelTimers() {
 		s.grantTimer.Cancel()
 		s.grantTimer = nil
 	}
+}
+
+// Reset clears the role's soft state for a cold restart: granted leases and
+// the walk-dedup set are dropped and the edge's seed rotation rewinds to the
+// first seed. Walk instance IDs keep increasing — other peers' dedup sets
+// may remember this peer's pre-restart walks.
+func (s *Service) Reset() {
+	if s.clients != nil {
+		s.clients = make(map[ids.ID]time.Duration)
+	}
+	if s.walkSeen != nil {
+		s.walkSeen = make(map[string]bool)
+	}
+	s.seedIdx = 0
 }
 
 // --- Edge side: lease acquisition and renewal ---
@@ -316,11 +345,14 @@ func (s *Service) sweepClients() {
 	}
 }
 
-// receiveLease handles both sides of the lease protocol.
+// receiveLease handles both sides of the lease protocol. Grant and renewal
+// processing is gated on the running state — a stopped peer must neither
+// serve leases nor arm a renewal timer off a late grant (the leak-free
+// teardown contract); only the state-shedding Cancel branch always runs.
 func (s *Service) receiveLease(src ids.ID, m *message.Message) {
 	if req := m.GetString(leaseNS, elemRequest); req != "" {
-		if !s.IsRendezvous() {
-			return // edges do not grant leases
+		if !s.started || !s.IsRendezvous() {
+			return // edges and stopped peers do not grant leases
 		}
 		dur := s.cfg.LeaseDuration
 		if v, err := strconv.ParseInt(req, 10, 64); err == nil && v > 0 && time.Duration(v) < dur {
@@ -337,6 +369,9 @@ func (s *Service) receiveLease(src ids.ID, m *message.Message) {
 		return
 	}
 	if granted := m.GetString(leaseNS, elemGranted); granted != "" {
+		if !s.started {
+			return // grant raced our Stop: stay disconnected, arm nothing
+		}
 		v, err := strconv.ParseInt(granted, 10, 64)
 		if err != nil || v <= 0 {
 			return
@@ -396,8 +431,8 @@ func (s *Service) forwardWalk(to ids.ID, dir Direction, ttl int, wid, svc string
 // re-reads its own view, exactly how the LC-DHT fallback walks a partially
 // consistent overlay).
 func (s *Service) receiveWalk(src ids.ID, m *message.Message) {
-	if !s.IsRendezvous() {
-		return
+	if !s.started || !s.IsRendezvous() {
+		return // stopped peers do not relay walks
 	}
 	dirStr := m.GetString(walkNS, elemDir)
 	ttl, err := strconv.Atoi(m.GetString(walkNS, elemTTL))

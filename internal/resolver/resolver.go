@@ -143,6 +143,20 @@ func (s *Service) Cancel(qid uint64) {
 	}
 }
 
+// Stop abandons every pending query: timeout timers are canceled and
+// neither the response nor the timeout callback will fire. Handlers stay
+// registered, so a restarted node resumes serving queries immediately.
+// Query IDs keep increasing across restarts (late responses to pre-stop
+// queries must not be confused with answers to new ones).
+func (s *Service) Stop() {
+	for qid, p := range s.pending {
+		if p.timer != nil {
+			p.timer.Cancel()
+		}
+		delete(s.pending, qid)
+	}
+}
+
 // Respond sends a response for the given query directly to its originator.
 // The responder learns the originator's route from the query itself.
 func (s *Service) Respond(q *Query, payload []byte) error {

@@ -14,6 +14,9 @@ type NodeEnv struct {
 	s    *Scheduler
 	name string
 	rng  *rand.Rand
+	// idx is the env's creation index; it keys the scheduler's per-node
+	// pending-callback ledger (PendingFor).
+	idx int32
 }
 
 var _ env.Env = (*NodeEnv)(nil)
@@ -22,9 +25,23 @@ var _ env.Env = (*NodeEnv)(nil)
 // Envs must be created in a fixed order for reproducibility; the stream is
 // derived from the creation index.
 func (s *Scheduler) NewEnv(name string) *NodeEnv {
-	e := &NodeEnv{s: s, name: name, rng: s.DeriveRand(int64(s.nodes))}
+	e := &NodeEnv{s: s, name: name, rng: s.DeriveRand(int64(s.nodes)), idx: int32(s.nodes)}
 	s.nodes++
+	s.ownedPending = append(s.ownedPending, 0)
 	return e
+}
+
+// PendingFor returns the number of live cancelable callbacks the given env
+// currently owns — every timer a node's services armed through env.After
+// that has neither fired nor been canceled. A leak-free node teardown
+// leaves this at zero, which the lifecycle regression tests assert.
+// (Fire-and-forget transport deliveries are network-owned, not node-owned,
+// and are not counted.)
+func (s *Scheduler) PendingFor(e *NodeEnv) int {
+	if e == nil || e.s != s {
+		return 0
+	}
+	return int(s.ownedPending[e.idx])
 }
 
 // Now implements env.Env.
@@ -36,10 +53,15 @@ func (n *NodeEnv) Name() string { return n.name }
 // Rand implements env.Env.
 func (n *NodeEnv) Rand() *rand.Rand { return n.rng }
 
-// After implements env.Env.
+// After implements env.Env. The callback is recorded against this env in
+// the scheduler's per-node ledger until it fires or is canceled.
 func (n *NodeEnv) After(d time.Duration, fn func()) env.Timer {
-	return n.s.After(d, fn)
+	return n.s.after(d, fn, n.idx)
 }
+
+// Pending returns the number of this env's own live callbacks; see
+// Scheduler.PendingFor.
+func (n *NodeEnv) Pending() int { return n.s.PendingFor(n) }
 
 // Scheduler exposes the underlying engine (used by transports to model
 // delivery latency on the shared clock).

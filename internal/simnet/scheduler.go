@@ -57,14 +57,24 @@ type Scheduler struct {
 	// free-list of recyclable slot indices. A slot is released (generation
 	// bumped) when its event fires or is canceled, so stale Event handles
 	// and heap tombstones both fail the generation check.
-	slots  []uint32
-	free   []int32
-	seq    uint64
-	seed   int64
-	nodes  int // count of envs created, used to derive per-node seeds
-	steps  uint64
-	halted bool
+	slots []uint32
+	free  []int32
+	// owners maps each live slot to the index of the NodeEnv that scheduled
+	// it (ownerNone for events scheduled directly on the scheduler), and
+	// ownedPending counts live owned events per env — the per-node
+	// pending-callback ledger behind PendingFor. The ledger is what lets
+	// lifecycle tests *prove* a stopped node canceled every timer it owned.
+	owners       []int32
+	ownedPending []int32
+	seq          uint64
+	seed         int64
+	nodes        int // count of envs created, used to derive per-node seeds
+	steps        uint64
+	halted       bool
 }
+
+// ownerNone marks events not owned by any NodeEnv.
+const ownerNone int32 = -1
 
 // NewScheduler creates an empty scheduler at virtual time zero. seed is the
 // experiment master seed from which every per-node RNG stream derives.
@@ -221,20 +231,34 @@ func (s *Scheduler) allocSlot() (int32, uint32) {
 		return slot, s.slots[slot]
 	}
 	s.slots = append(s.slots, 0)
+	s.owners = append(s.owners, ownerNone)
 	return int32(len(s.slots) - 1), 0
 }
 
-// releaseSlot invalidates outstanding handles/tombstones for the slot and
-// returns it to the free list.
+// releaseSlot invalidates outstanding handles/tombstones for the slot,
+// settles the owner ledger and returns the slot to the free list.
 func (s *Scheduler) releaseSlot(slot int32) {
 	s.slots[slot]++
+	if owner := s.owners[slot]; owner != ownerNone {
+		s.ownedPending[owner]--
+		s.owners[slot] = ownerNone
+	}
 	s.free = append(s.free, slot)
 }
 
 // At schedules fn at absolute virtual time t and returns a cancelable
 // handle.
 func (s *Scheduler) At(t time.Duration, fn func()) Event {
+	return s.at(t, fn, ownerNone)
+}
+
+// at is the owner-aware scheduling core behind At/After and NodeEnv.After.
+func (s *Scheduler) at(t time.Duration, fn func(), owner int32) Event {
 	slot, gen := s.allocSlot()
+	s.owners[slot] = owner
+	if owner != ownerNone {
+		s.ownedPending[owner]++
+	}
 	s.schedule(t, callFunc, fn, slot, gen)
 	return Event{s: s, slot: slot, gen: gen}
 }
@@ -244,7 +268,15 @@ func (s *Scheduler) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now+d, fn)
+	return s.at(s.now+d, fn, ownerNone)
+}
+
+// after is the owner-aware relative form.
+func (s *Scheduler) after(d time.Duration, fn func(), owner int32) Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.at(s.now+d, fn, owner)
 }
 
 // AtCall schedules fn(arg) at absolute virtual time t without a
@@ -323,9 +355,11 @@ func (s *Scheduler) Run(until time.Duration) uint64 {
 		}
 		s.Step()
 	}
-	if s.now < until {
+	if !s.halted && s.now < until {
 		// Even with no events, time logically advances to the horizon so
-		// subsequent scheduling is relative to it.
+		// subsequent scheduling is relative to it. A halted run must NOT
+		// jump ahead: live events (protocol tickers) between the halt point
+		// and the horizon would land in the past and wedge the next Run.
 		s.now = until
 	}
 	return s.steps - start

@@ -399,3 +399,82 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	}
 	s.RunAll()
 }
+
+// TestPendingForLedger exercises the per-env pending-callback accounting:
+// owned events are counted while live and settled on both fire and cancel,
+// and events of one env never bleed into another's ledger.
+func TestPendingForLedger(t *testing.T) {
+	s := NewScheduler(9)
+	a := s.NewEnv("a")
+	b := s.NewEnv("b")
+
+	if s.PendingFor(a) != 0 || a.Pending() != 0 {
+		t.Fatal("fresh env has pending callbacks")
+	}
+
+	ta := a.After(time.Millisecond, func() {})
+	a.After(2*time.Millisecond, func() {})
+	b.After(time.Millisecond, func() {})
+	s.After(time.Millisecond, func() {}) // unowned: no ledger entry
+
+	if got := s.PendingFor(a); got != 2 {
+		t.Fatalf("PendingFor(a) = %d, want 2", got)
+	}
+	if got := s.PendingFor(b); got != 1 {
+		t.Fatalf("PendingFor(b) = %d, want 1", got)
+	}
+
+	if !ta.Cancel() {
+		t.Fatal("cancel failed")
+	}
+	if got := s.PendingFor(a); got != 1 {
+		t.Fatalf("PendingFor(a) after cancel = %d, want 1", got)
+	}
+
+	s.RunAll()
+	if s.PendingFor(a) != 0 || s.PendingFor(b) != 0 {
+		t.Fatalf("ledger nonzero after drain: a=%d b=%d", s.PendingFor(a), s.PendingFor(b))
+	}
+}
+
+// TestPendingForRearm covers the ticker shape: a callback that re-arms
+// itself from inside the firing keeps the ledger at exactly one.
+func TestPendingForRearm(t *testing.T) {
+	s := NewScheduler(3)
+	e := s.NewEnv("n")
+	fires := 0
+	var arm func()
+	arm = func() {
+		e.After(time.Second, func() {
+			fires++
+			if fires < 5 {
+				arm()
+			}
+		})
+	}
+	arm()
+	for s.PendingFor(e) > 0 {
+		if got := s.PendingFor(e); got != 1 {
+			t.Fatalf("mid-run PendingFor = %d, want 1", got)
+		}
+		s.Step()
+	}
+	if fires != 5 {
+		t.Fatalf("fires = %d, want 5", fires)
+	}
+}
+
+// TestPendingForForeignEnv asserts the ledger is scoped to the scheduler
+// that created the env.
+func TestPendingForForeignEnv(t *testing.T) {
+	s1 := NewScheduler(1)
+	s2 := NewScheduler(2)
+	e1 := s1.NewEnv("n")
+	e1.After(time.Second, func() {})
+	if got := s2.PendingFor(e1); got != 0 {
+		t.Fatalf("foreign PendingFor = %d, want 0", got)
+	}
+	if got := s1.PendingFor(nil); got != 0 {
+		t.Fatalf("nil PendingFor = %d, want 0", got)
+	}
+}

@@ -24,6 +24,8 @@ package socket
 import (
 	"errors"
 	"io"
+	"os"
+	"sort"
 	"strconv"
 	"time"
 
@@ -79,11 +81,28 @@ type Config struct {
 	HandshakeTimeout time.Duration
 }
 
+// WindowEnvVar optionally overrides the default window size (bytes). The
+// 256 KiB default caps WAN throughput at roughly window/RTT (~21 MB/s on
+// the Grid'5000 model); deployments moving bulk data over long fat pipes
+// raise it here or via Config.WindowBytes without recompiling.
+const WindowEnvVar = "JXTA_SOCKET_WINDOW"
+
+// defaultWindowBytes resolves the window default: the WindowEnvVar override
+// when set to a positive byte count, 256 KiB otherwise.
+func defaultWindowBytes() int {
+	if v := os.Getenv(WindowEnvVar); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 256 << 10
+}
+
 // DefaultConfig returns the stream-layer defaults.
 func DefaultConfig() Config {
 	return Config{
 		MSS:              16 << 10,
-		WindowBytes:      256 << 10,
+		WindowBytes:      defaultWindowBytes(),
 		RTO:              300 * time.Millisecond,
 		MaxRetries:       10,
 		HandshakeTimeout: 30 * time.Second,
@@ -169,6 +188,101 @@ func New(e env.Env, ep *endpoint.Endpoint, pipes *pipe.Service, cfg Config) *Ser
 
 // Config returns the effective (defaulted) configuration.
 func (s *Service) Config() Config { return s.cfg }
+
+// Stop tears the stream layer down gracefully: listeners unbind (their pipe
+// advertisements stop answering binds), idle established connections send a
+// best-effort FIN, connections with data still in flight are reset, and
+// every per-connection timer — retransmission, dial deadline, TIME_WAIT
+// linger — is canceled. Applications observe ErrClosed. Connections are
+// visited in sorted key order so the segments a teardown emits are
+// deterministic under the simulation scheduler.
+func (s *Service) Stop() { s.shutdown(true) }
+
+// Abort is the crash-path Stop: identical teardown, but no FIN or RST
+// leaves the peer — remote ends discover the death by retransmission
+// timeout, as they would a real process crash.
+func (s *Service) Abort() { s.shutdown(false) }
+
+func (s *Service) shutdown(announce bool) {
+	for _, l := range s.sortedListeners() {
+		l.Close()
+	}
+	for _, key := range s.sortedConnKeys() {
+		c, ok := s.conns[key]
+		if !ok {
+			continue // removed by an earlier teardown callback
+		}
+		s.teardownConn(c, announce)
+	}
+}
+
+// Reset completes a cold restart. Stop already emptied the tables; the
+// connection ID counter keeps increasing so segments from pre-restart
+// connections can never alias new ones.
+func (s *Service) Reset() {
+	s.listeners = make(map[ids.ID]*Listener)
+	s.conns = make(map[connKey]*Conn)
+}
+
+// sortedListeners returns the listeners in ascending pipe-ID order.
+func (s *Service) sortedListeners() []*Listener {
+	out := make([]*Listener, 0, len(s.listeners))
+	for _, l := range s.listeners {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Adv.PipeID.Less(out[j].Adv.PipeID)
+	})
+	return out
+}
+
+// sortedConnKeys returns the connection keys in a total, deterministic
+// order: (peer ID, connection ID, role).
+func (s *Service) sortedConnKeys() []connKey {
+	keys := make([]connKey, 0, len(s.conns))
+	for k := range s.conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if !a.peer.Equal(b.peer) {
+			return a.peer.Less(b.peer)
+		}
+		if a.id != b.id {
+			return a.id < b.id
+		}
+		return !a.initiated && b.initiated
+	})
+	return keys
+}
+
+// teardownConn force-closes one connection during service shutdown.
+func (s *Service) teardownConn(c *Conn, announce bool) {
+	if c.state == stateClosed {
+		// Already failed or fully torn down (TIME_WAIT): just reclaim the
+		// linger timer and the table slot.
+		c.stopTimers()
+		if cur, ok := s.conns[c.key]; ok && cur == c {
+			delete(s.conns, c.key)
+		}
+		return
+	}
+	if announce {
+		switch {
+		case c.state == stateEstablished && !c.sentFin &&
+			len(c.sendBuf) == 0 && len(c.retxQ) == 0:
+			// Nothing outstanding: a bare best-effort FIN lets the peer see
+			// an orderly EOF instead of a reset. No retransmission — this
+			// side is going away.
+			c.sentFin = true
+			c.sendSegment(segment{seq: c.sndNxt, fin: true})
+			c.sndNxt++
+		default:
+			c.sendRst()
+		}
+	}
+	c.fail(ErrClosed)
+}
 
 // Listener accepts inbound connections on a pipe advertisement.
 type Listener struct {
@@ -299,6 +413,7 @@ type Conn struct {
 
 	onDialed     func(*Conn, error)
 	dialDeadline env.Timer
+	lingerTmr    env.Timer // TIME_WAIT reclamation (maybeTeardown)
 	listener     *Listener // pending accept (SYN-RECEIVED only)
 	onReadable   func()
 	onWritable   func()
@@ -444,6 +559,10 @@ func (c *Conn) stopTimers() {
 	if c.dialDeadline != nil {
 		c.dialDeadline.Cancel()
 		c.dialDeadline = nil
+	}
+	if c.lingerTmr != nil {
+		c.lingerTmr.Cancel()
+		c.lingerTmr = nil
 	}
 }
 
@@ -882,7 +1001,8 @@ func (c *Conn) maybeTeardown() {
 	c.state = stateClosed
 	c.stopTimers()
 	svc, key := c.svc, c.key
-	svc.env.After(time.Duration(lingerRTOs)*svc.cfg.RTO, func() {
+	c.lingerTmr = svc.env.After(time.Duration(lingerRTOs)*svc.cfg.RTO, func() {
+		c.lingerTmr = nil
 		if cur, ok := svc.conns[key]; ok && cur == c {
 			delete(svc.conns, key)
 		}

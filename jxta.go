@@ -40,6 +40,18 @@
 //	sub.JoinChannel("news", func(from string, data []byte) { ... })
 //	pub.OpenChannel("news").Send([]byte("flash"))
 //
+// Membership is dynamic: peers have a full lifecycle, so volatility and
+// self-healing scenarios are first-class. Stop halts a peer gracefully
+// (lease cancelled, streams FIN, every timer cancelled — PendingCallbacks
+// proves the teardown leak-free), Kill crashes it silently, Restart brings
+// it back with the same identity and fresh protocol state, and AddEdge
+// joins new peers while virtual time runs:
+//
+//	sim.Rendezvous(3).Kill()            // crash a super-peer
+//	sim.Run(10 * time.Minute)           // overlay routes around it
+//	sim.Rendezvous(3).Restart()         // same ID, cold state: rejoins
+//	late, _ := sim.AddEdge("late", 0)   // live join
+//
 // Everything is deterministic under SimOptions.Seed. For live deployments
 // over real TCP, see cmd/jxta-node; for the paper's experiment drivers, see
 // cmd/jxta-bench.
@@ -57,6 +69,7 @@ import (
 	"jxta/internal/netmodel"
 	"jxta/internal/node"
 	"jxta/internal/pipe"
+	"jxta/internal/simnet"
 	"jxta/internal/socket"
 	"jxta/internal/topology"
 )
@@ -104,6 +117,11 @@ type SimOptions struct {
 	Topology string
 	// Edges lists the edge peers to deploy.
 	Edges []EdgeSpec
+	// SocketWindowBytes overrides the stream layer's send/receive window
+	// (0 keeps the default: 256 KiB, or the JXTA_SOCKET_WINDOW environment
+	// variable). Larger windows lift the window/RTT throughput cap on
+	// long fat paths.
+	SocketWindowBytes int
 }
 
 // Simulation owns a deployed overlay and its virtual clock.
@@ -139,6 +157,7 @@ func NewSimulation(opts SimOptions) (*Simulation, error) {
 		NumRdv:    opts.Rendezvous,
 		Topology:  kind,
 		Discovery: discovery.DefaultConfig(),
+		Socket:    socket.Config{WindowBytes: opts.SocketWindowBytes},
 	}
 	for i, e := range opts.Edges {
 		if e.AttachTo < 0 || e.AttachTo >= opts.Rendezvous {
@@ -216,6 +235,38 @@ func (s *Simulation) Messages() uint64 { return s.overlay.Net.Stats().Messages }
 // KillRendezvous crashes the i-th rendezvous (volatility experiments).
 func (s *Simulation) KillRendezvous(i int) { s.overlay.KillRdv(i) }
 
+// AddEdge deploys one more edge peer at virtual runtime, attached to the
+// given rendezvous. On a started simulation the peer comes up immediately
+// and acquires its lease — a live join.
+func (s *Simulation) AddEdge(name string, attachTo int) (*Peer, error) {
+	if attachTo < 0 || attachTo >= len(s.rdvs) {
+		return nil, fmt.Errorf("jxta: edge attaches to rendezvous %d of %d",
+			attachTo, len(s.rdvs))
+	}
+	if name == "" {
+		name = fmt.Sprintf("edge%d", len(s.edges))
+	}
+	n, err := s.overlay.AddEdge(name, attachTo)
+	if err != nil {
+		return nil, err
+	}
+	p := &Peer{sim: s, n: n}
+	s.edges = append(s.edges, p)
+	return p, nil
+}
+
+// PendingCallbacks returns the number of live timers the peer's services
+// currently own in the simulation scheduler. After Peer.Stop it is zero —
+// the leak-freedom contract of the service lifecycle, pinned by regression
+// tests.
+func (s *Simulation) PendingCallbacks(p *Peer) int {
+	ne, ok := p.n.Env.(*simnet.NodeEnv)
+	if !ok {
+		return 0
+	}
+	return s.overlay.Sched.PendingFor(ne)
+}
+
 // ID returns the peer's JXTA ID in URN form.
 func (p *Peer) ID() string { return p.n.ID.String() }
 
@@ -237,11 +288,30 @@ func (p *Peer) PeerViewSize() int {
 // Connected reports whether an edge currently holds a rendezvous lease.
 func (p *Peer) Connected() bool {
 	if p.n.IsRendezvous() {
-		return true
+		return p.n.Started()
 	}
 	_, ok := p.n.Rendezvous.ConnectedRdv()
 	return ok
 }
+
+// Started reports whether the peer is currently running.
+func (p *Peer) Started() bool { return p.n.Started() }
+
+// Stop gracefully halts the peer: streams FIN or reset, the lease is
+// cancelled, every service timer is cancelled (PendingCallbacks drops to
+// zero). The peer can come back with Restart.
+func (p *Peer) Stop() { p.n.Stop() }
+
+// Kill crashes the peer: nothing is sent and its address stops answering;
+// the overlay discovers the death through its own timeouts. Restart heals
+// it.
+func (p *Peer) Kill() { p.sim.overlay.KillNode(p.n) }
+
+// Restart cold-restarts the peer in place (after Stop or Kill, or while
+// running): same ID and address, fresh protocol state — the peerview
+// rebuilds from seeds, an edge re-leases and re-publishes. Applications
+// must re-Listen/re-JoinChannel; streams from before the restart are gone.
+func (p *Peer) Restart() { p.sim.overlay.RestartNode(p.n) }
 
 // Publish stores an advertisement and pushes its index to the LC-DHT.
 // Lifetime zero uses the stack default (2 h).
