@@ -10,7 +10,7 @@
 //	jxta-bench -exp fig3left -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: table1, fig3left, fig3right, fig4left, fig4right,
-// baselines, churn, ablations, bandwidth, perf, all. -json writes a
+// baselines, churn, volatility, ablations, bandwidth, perf, all. -json writes a
 // machine-readable summary of every selected experiment; each PR appends
 // its `perf` point to the benchmark trajectory (BENCH_<PR>.json, see
 // PERFORMANCE.md).
@@ -27,6 +27,17 @@
 // mass rendezvous failure healed by staged rejoins of the same peers
 // through the service lifecycle's Restart, measuring discovery success and
 // peerview re-convergence across the outage (golden-pinned for replay).
+//
+// volatility sweeps the self-healing rendezvous tier across kill rates (the
+// paper-§5 axis): rendezvous crash on a timer with nobody spared, edges
+// fail over to the peerview alternates their lease grants carried and —
+// when a region loses every reachable rendezvous — deterministically elect
+// one of themselves to promote in place. Each kill interval is measured
+// twice: full attrition (victims never return; the tier survives only
+// through promotion) and kill/rejoin churn (victims restart and bridge the
+// healed tier back together). Reported per point: discovery success while
+// the killing runs, promotions performed, the final live tier and its
+// re-convergence.
 package main
 
 import (
@@ -47,7 +58,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|ablations|bandwidth|perf|all")
+	expFlag    = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|volatility|ablations|bandwidth|perf|all")
 	quickFlag  = flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
 	liveFlag   = flag.Bool("live", false, "bandwidth: also measure over real loopback TCP (wall-clock, nondeterministic)")
 	csvFlag    = flag.Bool("csv", false, "emit CSV instead of ASCII plots")
@@ -95,18 +106,19 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 	runners := map[string]func() (any, error){
-		"table1":    table1,
-		"fig3left":  fig3Left,
-		"fig3right": fig3Right,
-		"fig4left":  fig4Left,
-		"fig4right": fig4Right,
-		"baselines": baselines,
-		"churn":     churn,
-		"ablations": ablations,
-		"bandwidth": bandwidth,
-		"perf":      perf,
+		"table1":     table1,
+		"fig3left":   fig3Left,
+		"fig3right":  fig3Right,
+		"fig4left":   fig4Left,
+		"fig4right":  fig4Right,
+		"baselines":  baselines,
+		"churn":      churn,
+		"volatility": volatility,
+		"ablations":  ablations,
+		"bandwidth":  bandwidth,
+		"perf":       perf,
 	}
-	order := []string{"table1", "fig3left", "fig3right", "fig4left", "fig4right", "baselines", "churn", "ablations", "bandwidth", "perf"}
+	order := []string{"table1", "fig3left", "fig3right", "fig4left", "fig4right", "baselines", "churn", "volatility", "ablations", "bandwidth", "perf"}
 	var selected []string
 	if *expFlag == "all" {
 		selected = order
@@ -625,6 +637,74 @@ func churn() (any, error) {
 			"reconverged":       rec.Reconverged,
 		},
 	}, nil
+}
+
+// volatility sweeps the self-healing tier across kill rates: for every kill
+// interval it measures discovery success, promotions and final-tier
+// re-convergence twice — full attrition (no rejoin: promotion is the only
+// heal) and kill/rejoin churn.
+func volatility() (any, error) {
+	r, edgesPer, queries := 12, 2, 60
+	killEvery := []time.Duration{8 * time.Minute, 4 * time.Minute, 2 * time.Minute, time.Minute}
+	if *quickFlag {
+		r, edgesPer, queries = 6, 2, 30
+		killEvery = []time.Duration{2 * time.Minute, time.Minute}
+	}
+	chart := plot.Chart{
+		Title:  "Volatility sweep: discovery success vs kill interval (self-healing tier)",
+		XLabel: "kill interval (min)", YLabel: "success %",
+	}
+	if *csvFlag {
+		fmt.Println("mode,killEverySec,ok,timeouts,meanMs,promotions,liveTier,meanView,reconverged")
+	}
+	summary := map[string]any{}
+	for _, mode := range []struct {
+		name   string
+		rejoin time.Duration
+	}{{"attrition", 0}, {"kill-rejoin", 3 * time.Minute}} {
+		res, err := experiments.RunVolatility(experiments.VolatilitySpec{
+			R: r, EdgesPerRdv: edgesPer, KillEvery: killEvery,
+			RejoinAfter: mode.rejoin, Queries: queries, Seed: *seedFlag,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s := plot.Series{Label: mode.name}
+		var rows []map[string]any
+		for _, pt := range res.Points {
+			total := pt.Phase.Succeeded + pt.Phase.Timeouts
+			success := 0.0
+			if total > 0 {
+				success = 100 * float64(pt.Phase.Succeeded) / float64(total)
+			}
+			rows = append(rows, map[string]any{
+				"kill_every_sec": pt.KillEvery.Seconds(),
+				"ok":             pt.Phase.Succeeded, "timeouts": pt.Phase.Timeouts,
+				"mean_ms": pt.Phase.Latency.Mean(), "promotions": pt.Promotions,
+				"live_tier": pt.LiveTier, "mean_view": pt.MeanView,
+				"reconverged": pt.Reconverged,
+			})
+			if *csvFlag {
+				fmt.Printf("%s,%.0f,%d,%d,%.2f,%d,%d,%.2f,%v\n", mode.name,
+					pt.KillEvery.Seconds(), pt.Phase.Succeeded, pt.Phase.Timeouts,
+					pt.Phase.Latency.Mean(), pt.Promotions, pt.LiveTier,
+					pt.MeanView, pt.Reconverged)
+			} else {
+				fmt.Printf("  %-12s kill=%-5v ok=%d/%d mean=%6.1f ms  promotions=%-2d liveTier=%-3d view=%.1f reconv=%v\n",
+					mode.name, pt.KillEvery, pt.Phase.Succeeded, total,
+					pt.Phase.Latency.Mean(), pt.Promotions, pt.LiveTier,
+					pt.MeanView, pt.Reconverged)
+			}
+			s.X = append(s.X, pt.KillEvery.Minutes())
+			s.Y = append(s.Y, success)
+		}
+		chart.Add(s)
+		summary[mode.name] = rows
+	}
+	if !*csvFlag {
+		fmt.Println(chart.Render())
+	}
+	return summary, nil
 }
 
 func ablations() (any, error) {

@@ -56,6 +56,12 @@ type Overlay struct {
 	Rdvs  []*node.Node
 	Edges []*node.Node
 
+	// OnPromotion, when set, observes edge→rendezvous role switches (the
+	// self-healing machinery promotes nodes while virtual time runs).
+	// Deployment lists are kept by construction role; use Node.IsRendezvous
+	// for the current role.
+	OnPromotion func(*node.Node)
+
 	spec      Spec
 	edgeCount int
 	started   bool
@@ -136,10 +142,16 @@ func (o *Overlay) AddEdge(name string, attachTo int) (*node.Node, error) {
 		Name:      name,
 		Role:      node.Edge,
 		Seeds:     []peerview.Seed{rdv.Seed()},
+		Peerview:  o.spec.Peerview, // promotion builds its peerview from this
 		Lease:     o.spec.Lease,
 		Discovery: o.spec.Discovery,
 		Socket:    o.spec.Socket,
 	})
+	n.RoleChanged = func(nn *node.Node) {
+		if o.OnPromotion != nil {
+			o.OnPromotion(nn)
+		}
+	}
 	o.Edges = append(o.Edges, n)
 	o.edgeCount++
 	if o.started {

@@ -167,10 +167,17 @@ func New(e env.Env, ep *endpoint.Endpoint, res *resolver.Service, rdvSvc *rendez
 		seen:       make(map[string]bool),
 	}
 	res.RegisterHandler(HandlerName, s.handleQuery)
+	// The SRDI push service and the walk handler are registered in both
+	// roles — their handlers gate on the index existing — so a peer that is
+	// promoted to rendezvous at runtime serves immediately.
+	ep.Register(SRDIService, s.receiveSRDI)
+	rdvSvc.SetWalkHandler(HandlerName, s.handleWalk)
+	// A gracefully stopping rendezvous hands its SRDI off to the successor
+	// as one standard (non-replica) push: the successor indexes every tuple
+	// and re-replicates it over its own peerview.
+	rdvSvc.SetStateExporter(s.exportIndex)
 	if rdvSvc.IsRendezvous() {
 		s.index = srdi.New(e)
-		ep.Register(SRDIService, s.receiveSRDI)
-		rdvSvc.SetWalkHandler(HandlerName, s.handleWalk)
 	} else {
 		// Re-push the whole index table when the edge (re)connects — the
 		// paper notes edges publish their tuples whenever they connect to
@@ -183,6 +190,42 @@ func New(e env.Env, ep *endpoint.Endpoint, res *resolver.Service, rdvSvc *rendez
 		})
 	}
 	return s
+}
+
+// Promote completes a node-level edge→rendezvous role switch: the service
+// gains a fresh SRDI index, its periodic work flips from delta pushing to
+// index GC, and the peer's own advertisements are republished into the new
+// index (and replicated over the new peerview). Call after the rendezvous
+// service switched roles.
+func (s *Service) Promote() {
+	if s.index != nil || !s.rdv.IsRendezvous() {
+		return
+	}
+	s.index = srdi.New(s.env)
+	if s.ticker != nil {
+		// Swap the edge push ticker for the rendezvous GC ticker.
+		s.ticker.Stop()
+		s.ticker = nil
+		s.Start()
+	}
+	s.pushed = make(map[string]bool)
+	s.pushAll()
+}
+
+// exportIndex serializes the SRDI for a graceful lease-state handoff.
+func (s *Service) exportIndex() (string, []*message.Message) {
+	if s.index == nil {
+		return "", nil
+	}
+	tuples := s.index.Tuples()
+	if len(tuples) == 0 {
+		return "", nil
+	}
+	m := message.New()
+	for _, tpl := range tuples {
+		m.Add("srdi", "Tuple", encodeTuple(tpl))
+	}
+	return SRDIService, []*message.Message{m}
 }
 
 // Index exposes the SRDI (nil on edges); experiments read its size.
@@ -380,7 +423,7 @@ func (s *Service) started() bool { return s.ticker != nil }
 // receiveSRDI handles index pushes at a rendezvous. Replicated pushes are
 // stored but not re-replicated (loop guard).
 func (s *Service) receiveSRDI(src ids.ID, m *message.Message) {
-	if !s.started() {
+	if !s.started() || s.index == nil {
 		return
 	}
 	replicated := m.GetString("srdi", "Replicated") == "1"
@@ -764,7 +807,7 @@ func (s *Service) startWalk(q *resolver.Query, body queryBody) {
 // handleWalk inspects a walked query at each visited rendezvous: on an SRDI
 // hit the query is forwarded to the publisher and the walk stops.
 func (s *Service) handleWalk(origin ids.ID, dir rendezvous.Direction, bodyMsg *message.Message) bool {
-	if !s.started() {
+	if !s.started() || s.index == nil {
 		return false
 	}
 	key := bodyMsg.GetString("disco", "Key")

@@ -81,11 +81,30 @@ func bandwidthFingerprint(res BandwidthResult) string {
 		s, res.Steps, res.NetStats.Messages, res.NetStats.Bytes, res.NetStats.Dropped)
 }
 
+func volatilityFingerprint(res VolatilityResult) string {
+	s := ""
+	for _, pt := range res.Points {
+		s += fmt.Sprintf("kill=%v %s promos=%d live=%d view=%s reconv=%v;",
+			pt.KillEvery, phaseFingerprint(pt.Phase), pt.Promotions,
+			pt.LiveTier, hexFloat(pt.MeanView), pt.Reconverged)
+	}
+	return fmt.Sprintf("%s steps=%d msgs=%d bytes=%d dropped=%d",
+		s, res.Steps, res.NetStats.Messages, res.NetStats.Bytes, res.NetStats.Dropped)
+}
+
 const (
 	goldenPeerview  = "max=23 final=23 plateau=0x1.7p+04 reached=true@240000000000 consistent=true steps=14948 msgs=6500 bytes=3385821 dropped=0 series=919b4d4c24dbca9b"
 	goldenDiscovery = "mean=0x1.b20ba493c89f4p+03 n=12 min=0x1.5e0216c61522ap+03 p50=0x1.a74c32a8c9b84p+03 p95=0x1.064bbe6cb7b94p+04 max=0x1.0efdfa00e27e1p+04 timeouts=0 walk=0x0p+00 steps=2944 msgs=1230 bytes=633255 dropped=0"
 	goldenBandwidth = "size=4096 msgs=128 tput=0x1.28fecad8b2731p+03 rtt=0x1.4ea199780baa6p+03 elapsed=0x1.c3eb313be22e6p+05 retx=0;size=65536 msgs=8 tput=0x1.416a048d01756p+04 rtt=0x1.c6a052502eec8p+03 elapsed=0x1.a195c422036p+04 retx=0; steps=2073 msgs=932 bytes=1738970 dropped=6"
 	goldenRecovery  = "base[ok=8 to=0 mean=0x1.aad5c7cd898b2p+03] outage[ok=6 to=2 mean=0x1.a0651468b4663p+03] rec[ok=8 to=0 mean=0x1.e177ea1c68ec5p+03] views=0x1.6p+03/0x1.6p+03/0x1.6p+03 reconv=true steps=15808 msgs=6493 bytes=3358451 dropped=72"
+
+	// goldenVolatility pins the whole self-healing machinery — lease-grant
+	// state snapshots, missed-renewal detection, deterministic successor
+	// election, in-place edge→rendezvous promotion, roster adoption and
+	// re-leasing — to the bit-for-bit replay contract: a fixed-seed full
+	// attrition (kills with no rejoin) plus a kill/rejoin churn point must
+	// reproduce every query outcome, promotion and counter exactly.
+	goldenVolatility = "kill=1m30s ok=23 to=17 mean=0x1.07edd89eb77fep+03 promos=3 live=3 view=0x1.5555555555555p-01 reconv=false; steps=8462 msgs=3599 bytes=1843611 dropped=609 || kill=1m30s ok=32 to=8 mean=0x1.01adb8fde2ef5p+03 promos=0 live=4 view=0x1.8p+01 reconv=true; steps=10742 msgs=4391 bytes=2293155 dropped=67"
 )
 
 func TestGoldenPeerviewReplay(t *testing.T) {
@@ -165,6 +184,35 @@ func TestGoldenChurnRecoveryReplay(t *testing.T) {
 	}
 	if got != goldenRecovery {
 		t.Errorf("churn-recovery replay diverged from golden engine behavior\n got:  %s\n want: %s", got, goldenRecovery)
+	}
+}
+
+// TestGoldenVolatilityReplay pins the self-healing rendezvous tier (see
+// goldenVolatility) across engine and protocol refactors. Two sweep points
+// share the spec: full attrition healed by promotion, and kill/rejoin churn
+// healed by restarts bridging the promoted tier back together.
+func TestGoldenVolatilityReplay(t *testing.T) {
+	t.Setenv(socket.WindowEnvVar, "") // goldens must not follow ambient config
+	spec := VolatilitySpec{
+		R: 4, EdgesPerRdv: 2,
+		KillEvery: []time.Duration{90 * time.Second},
+		Kills:     4, Queries: 40, Seed: 42,
+	}
+	attrition, err := RunVolatility(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.RejoinAfter = 3 * time.Minute
+	churn, err := RunVolatility(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := volatilityFingerprint(attrition) + " || " + volatilityFingerprint(churn)
+	if goldenVolatility == "UNSET" {
+		t.Fatalf("capture golden:\n%s", got)
+	}
+	if got != goldenVolatility {
+		t.Errorf("volatility replay diverged from golden self-healing behavior\n got:  %s\n want: %s", got, goldenVolatility)
 	}
 }
 

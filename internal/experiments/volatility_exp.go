@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/deploy"
+	"jxta/internal/discovery"
+	"jxta/internal/ids"
+	"jxta/internal/node"
+	"jxta/internal/peerview"
+	"jxta/internal/rendezvous"
+	"jxta/internal/topology"
+	"jxta/internal/transport"
+)
+
+// VolatilitySpec parameterizes the volatility sweep — the paper-§5 axis the
+// conclusion calls for ("evaluate the behaviour of the fall-back mechanism
+// ... under high volatility"), driven against the *self-healing* rendezvous
+// tier: rendezvous crash on a timer with no peer spared, edges fail over to
+// the peerview alternates their lease grants carried, and when a region of
+// the overlay loses every reachable rendezvous, the deterministic successor
+// election promotes an edge in place. Each KillEvery value is one sweep
+// point; smaller intervals mean higher volatility.
+type VolatilitySpec struct {
+	// R is the rendezvous count.
+	R int
+	// EdgesPerRdv attaches this many edge peers to every rendezvous
+	// (default 1). The first edge is the publisher, the last the searcher.
+	EdgesPerRdv int
+	// KillEvery lists the sweep points: the interval between rendezvous
+	// crashes. No peer is spared — unlike the churn experiment, the
+	// publisher's and searcher's rendezvous can die too; healing is the
+	// subject.
+	KillEvery []time.Duration
+	// Kills bounds how many rendezvous die per point (default R, i.e. the
+	// whole original tier — full attrition).
+	Kills int
+	// RejoinAfter restarts each victim this long after its crash (kill/
+	// rejoin churn). Zero means victims never return: the tier survives
+	// only through edge→rendezvous promotion.
+	RejoinAfter time.Duration
+	// Queries is the number of lookups issued while the killing runs.
+	Queries int
+	// Seed is the master determinism seed.
+	Seed int64
+}
+
+func (s VolatilitySpec) withDefaults() VolatilitySpec {
+	if s.EdgesPerRdv <= 0 {
+		s.EdgesPerRdv = 1
+	}
+	if len(s.KillEvery) == 0 {
+		s.KillEvery = []time.Duration{4 * time.Minute, 2 * time.Minute, time.Minute}
+	}
+	if s.Kills <= 0 {
+		s.Kills = s.R
+	}
+	if s.Queries <= 0 {
+		s.Queries = 20
+	}
+	return s
+}
+
+// VolatilityPoint is one sweep point's outcome.
+type VolatilityPoint struct {
+	// KillEvery is the crash interval of this point.
+	KillEvery time.Duration
+	// Phase aggregates the discovery outcomes measured while peers died.
+	Phase PhaseStats
+	// Promotions counts edge→rendezvous role switches the healing performed.
+	Promotions int
+	// LiveTier is the final rendezvous-role population still attached to
+	// the network (surviving originals, rejoined victims, promoted edges).
+	LiveTier int
+	// MeanView is the mean peerview size across the live tier at the end.
+	MeanView float64
+	// Reconverged reports whether every live rendezvous sees the full live
+	// tier (l = LiveTier-1) after the settle window — property (2) of the
+	// paper restored on the healed overlay.
+	Reconverged bool
+}
+
+// VolatilityResult reports the full sweep.
+type VolatilityResult struct {
+	Spec   VolatilitySpec
+	Points []VolatilityPoint
+	// Steps and NetStats accumulate across points (replay contract).
+	Steps    uint64
+	NetStats transport.Stats
+}
+
+// attached reports whether the node's transport endpoint is still reachable
+// on the simulated network (killed nodes detach).
+func attached(o *deploy.Overlay, n *node.Node) bool {
+	_, ok := o.Net.Lookup(n.Endpoint.Addr())
+	return ok
+}
+
+// tierStats scans every deployed node for the current rendezvous tier:
+// count, mean peerview size, and whether each member sees all the others.
+func tierStats(o *deploy.Overlay) (live int, meanView float64, reconverged bool) {
+	var members []*node.Node
+	for _, list := range [][]*node.Node{o.Rdvs, o.Edges} {
+		for _, n := range list {
+			if n.IsRendezvous() && n.Started() && attached(o, n) {
+				members = append(members, n)
+			}
+		}
+	}
+	live = len(members)
+	if live == 0 {
+		return 0, 0, false
+	}
+	sum := 0
+	reconverged = true
+	for _, n := range members {
+		size := n.PeerView.Size()
+		sum += size
+		if size != live-1 {
+			reconverged = false
+		}
+	}
+	return live, float64(sum) / float64(live), reconverged
+}
+
+// RunVolatility executes the sweep: one overlay per KillEvery point, same
+// seed, crashing rendezvous round-robin while the searcher issues queries.
+func RunVolatility(spec VolatilitySpec) (VolatilityResult, error) {
+	spec = spec.withDefaults()
+	if spec.R < 2 {
+		return VolatilityResult{}, fmt.Errorf("experiments: volatility needs r >= 2, got %d", spec.R)
+	}
+	res := VolatilityResult{Spec: spec}
+	for _, killEvery := range spec.KillEvery {
+		pt, steps, ns, err := runVolatilityPoint(spec, killEvery)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, pt)
+		res.Steps += steps
+		res.NetStats.Messages += ns.Messages
+		res.NetStats.Bytes += ns.Bytes
+		res.NetStats.Dropped += ns.Dropped
+	}
+	return res, nil
+}
+
+func runVolatilityPoint(spec VolatilitySpec, killEvery time.Duration) (VolatilityPoint, uint64, transport.Stats, error) {
+	pt := VolatilityPoint{KillEvery: killEvery}
+	edges := make([]deploy.EdgeGroup, 0, spec.R)
+	for i := 0; i < spec.R; i++ {
+		edges = append(edges, deploy.EdgeGroup{AttachTo: i, Count: spec.EdgesPerRdv})
+	}
+	o, err := deploy.Build(deploy.Spec{
+		Seed:     spec.Seed,
+		NumRdv:   spec.R,
+		Topology: topology.Chain,
+		Peerview: peerview.Config{ProbeTimeoutRounds: 3},
+		Lease: rendezvous.Config{
+			LeaseDuration:    4 * time.Minute,
+			ResponseTimeout:  10 * time.Second,
+			FailoverAttempts: 4,
+			SelfHeal:         true,
+		},
+		Discovery: discovery.DefaultConfig(),
+		Edges:     edges,
+	})
+	if err != nil {
+		return pt, 0, transport.Stats{}, err
+	}
+	o.OnPromotion = func(*node.Node) { pt.Promotions++ }
+	o.StartAll()
+	publisher, searcher := o.Edges[0], o.Edges[len(o.Edges)-1]
+	o.Sched.Run(20 * time.Minute) // converge views and leases
+
+	const advCount = 10
+	for k := 0; k < advCount; k++ {
+		publisher.Discovery.Publish(&advertisement.Resource{
+			ResID: ids.FromName(ids.KindAdv, fmt.Sprintf("vol-target-%d", k)),
+			Name:  fmt.Sprintf("Vol%d", k),
+		}, 0)
+	}
+	o.Sched.Run(o.Sched.Now() + 2*time.Minute)
+
+	// Crash the original rendezvous tier round-robin, nobody spared. With
+	// RejoinAfter > 0 each victim restarts (kill/rejoin churn); without,
+	// the tier only survives through promotion.
+	killed := 0
+	victim := 0
+	var killTick func()
+	killTick = func() {
+		if killed >= spec.Kills {
+			return
+		}
+		for tries := 0; tries < spec.R; tries++ {
+			n := o.Rdvs[victim%spec.R]
+			victim++
+			if !attached(o, n) || !n.Started() {
+				continue
+			}
+			o.KillNode(n)
+			killed++
+			if spec.RejoinAfter > 0 {
+				o.Sched.After(spec.RejoinAfter, func() { o.RestartNode(n) })
+			}
+			break
+		}
+		o.Sched.After(killEvery, killTick)
+	}
+	o.Sched.After(killEvery, killTick)
+
+	ps, err := runQueryPhase(o, searcher, spec.Queries, advCount, "Vol")
+	if err != nil {
+		return pt, 0, transport.Stats{}, err
+	}
+	pt.Phase = ps
+
+	// Let detection, elections and peerview gossip settle, then read the
+	// healed tier.
+	o.Sched.Run(o.Sched.Now() + 20*time.Minute)
+	pt.LiveTier, pt.MeanView, pt.Reconverged = tierStats(o)
+	steps, ns := o.Sched.Steps(), o.Net.Stats()
+	o.StopAll()
+	return pt, steps, ns, nil
+}

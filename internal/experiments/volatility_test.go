@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestVolatilityPromotionHealsAttrition kills the entire original
+// rendezvous tier with no rejoin: the overlay must survive purely through
+// edge→rendezvous promotion, and the searcher's queries keep succeeding.
+func TestVolatilityPromotionHealsAttrition(t *testing.T) {
+	res, err := RunVolatility(VolatilitySpec{
+		R: 4, EdgesPerRdv: 2,
+		KillEvery: []time.Duration{90 * time.Second},
+		Kills:     4, Queries: 40, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.Points[0]
+	if pt.Promotions == 0 {
+		t.Fatal("full attrition healed without a single promotion?")
+	}
+	if pt.LiveTier == 0 {
+		t.Fatal("no rendezvous tier survived")
+	}
+	if pt.Phase.Succeeded < pt.Phase.Timeouts {
+		t.Fatalf("discovery mostly failed under attrition: ok=%d timeouts=%d",
+			pt.Phase.Succeeded, pt.Phase.Timeouts)
+	}
+}
+
+// TestVolatilityRejoinReconverges drives the kill/rejoin mode: every victim
+// returns, so the tier re-converges to the full original membership.
+func TestVolatilityRejoinReconverges(t *testing.T) {
+	res, err := RunVolatility(VolatilitySpec{
+		R: 4, EdgesPerRdv: 2,
+		KillEvery:   []time.Duration{90 * time.Second},
+		RejoinAfter: 3 * time.Minute,
+		Kills:       4, Queries: 40, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.Points[0]
+	if pt.LiveTier != 4 {
+		t.Fatalf("live tier = %d after full rejoin, want 4", pt.LiveTier)
+	}
+	if !pt.Reconverged {
+		t.Fatalf("tier did not re-converge (mean view %.1f)", pt.MeanView)
+	}
+}
+
+func TestVolatilityRejectsTinyOverlay(t *testing.T) {
+	if _, err := RunVolatility(VolatilitySpec{R: 1}); err == nil {
+		t.Fatal("R=1 accepted")
+	}
+}

@@ -81,6 +81,28 @@ func (r *Registry) Add(s Service) {
 	r.services = append(r.services, s)
 }
 
+// Insert places a service at position i of the start order (clamped to the
+// current bounds), shifting later services down. It is the role-switch
+// primitive: a node promoting itself to rendezvous splices the peerview
+// service into its existing stack at the exact position a
+// constructed-as-rendezvous node would have it, so teardown order stays
+// correct. If the registry is already started, the new service starts
+// immediately (the node is live; its new layer must be too).
+func (r *Registry) Insert(i int, s Service) {
+	if i < 0 {
+		i = 0
+	}
+	if i > len(r.services) {
+		i = len(r.services)
+	}
+	r.services = append(r.services, nil)
+	copy(r.services[i+1:], r.services[i:])
+	r.services[i] = s
+	if r.started {
+		s.Start()
+	}
+}
+
 // Started reports whether the registry is currently up.
 func (r *Registry) Started() bool { return r.started }
 

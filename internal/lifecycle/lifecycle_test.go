@@ -49,6 +49,39 @@ func TestRegistryIdempotent(t *testing.T) {
 	}
 }
 
+func TestRegistryInsert(t *testing.T) {
+	var trace []string
+	reg := &Registry{}
+	reg.Add(recorder{"a", &trace})
+	reg.Add(recorder{"c", &trace})
+
+	// Insert into a stopped registry: no Start, but the order is fixed.
+	reg.Insert(1, recorder{"b", &trace})
+	reg.Start()
+	reg.Stop()
+	want := []string{"start:a", "start:b", "start:c", "stop:c", "stop:b", "stop:a"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+
+	// Insert into a running registry: the service starts immediately and
+	// stops in its splice position.
+	trace = nil
+	reg.Start()
+	reg.Insert(1, recorder{"mid", &trace})
+	reg.Insert(-5, recorder{"front", &trace}) // clamped indices
+	reg.Insert(99, recorder{"back", &trace})
+	reg.Stop()
+	want = []string{
+		"start:a", "start:b", "start:c",
+		"start:mid", "start:front", "start:back",
+		"stop:back", "stop:c", "stop:b", "stop:mid", "stop:a", "stop:front",
+	}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
 // aborter is a recorder with a distinct crash path.
 type aborter struct{ recorder }
 

@@ -74,7 +74,8 @@ type Config struct {
 	// Seeds are the initial rendezvous contacts: peerview bootstrap for a
 	// rendezvous, lease targets for an edge.
 	Seeds []peerview.Seed
-	// Peerview tunables (rendezvous only); zero fields take paper defaults.
+	// Peerview tunables; zero fields take paper defaults. Used by
+	// rendezvous nodes at construction and by edges if they are promoted.
 	Peerview peerview.Config
 	// Lease tunables.
 	Lease rendezvous.Config
@@ -98,8 +99,16 @@ type Node struct {
 	Socket     *socket.Service
 	Cache      *cm.Cache
 
+	// RoleChanged, when set, observes edge→rendezvous promotions (the
+	// deployment layer wires it through to experiment counters and facade
+	// hooks). It fires after the swap completed.
+	RoleChanged func(*Node)
+
 	rdvAdv *advertisement.Rdv
 	reg    lifecycle.Registry
+	// pvRegIndex is where the peerview service lives (or would live) in the
+	// lifecycle registry: after endpoint and resolver, before rendezvous.
+	pvRegIndex int
 }
 
 // New assembles a peer over the given environment and transport. The peer
@@ -151,6 +160,7 @@ func New(e env.Env, tr transport.Transport, cfg Config) *Node {
 	// the rest are silent on Stop already.
 	n.reg.Add(lifecycle.Funcs{StopFn: ep.Stop})
 	n.reg.Add(lifecycle.Funcs{StopFn: res.Stop})
+	n.pvRegIndex = 2
 	if n.PeerView != nil {
 		n.reg.Add(n.PeerView)
 	}
@@ -158,7 +168,65 @@ func New(e env.Env, tr transport.Transport, cfg Config) *Node {
 	n.reg.Add(n.Discovery)
 	n.reg.Add(n.Pipe)
 	n.reg.Add(lifecycle.Funcs{StopFn: n.Socket.Stop, AbortFn: n.Socket.Abort})
+
+	// Role is dynamic: the rendezvous service's self-healing paths (crash
+	// election, graceful handoff) promote the whole node through this hook.
+	n.Rendezvous.SetPromoteHook(n.PromoteToRendezvous)
 	return n
+}
+
+// PromoteToRendezvous switches an edge node to the rendezvous role in
+// place, while it runs: a fresh peerview — seeded from the alternates the
+// dead rendezvous shared, plus the original seeds — is spliced into the
+// lifecycle registry at its canonical position, the rendezvous service
+// swaps roles (leases are granted from now on), and discovery gains an
+// SRDI index with the node's own advertisements republished into it. The
+// node keeps its identity: same ID, same RNG stream, same address. No-op
+// on a node already holding the rendezvous role.
+func (n *Node) PromoteToRendezvous() {
+	if n.PeerView != nil {
+		return
+	}
+	n.Config.Role = Rendezvous
+	n.rdvAdv = &advertisement.Rdv{
+		PeerID:  n.ID,
+		GroupID: n.Config.Group,
+		Name:    n.Config.Name,
+		Address: string(n.Endpoint.Addr()),
+	}
+	// Re-seed the peerview from everything this peer knew about the
+	// overlay: the alternates from the final lease grant, the co-client
+	// roster (roster snapshots can diverge, so two clients of one dead
+	// rendezvous may both promote — probing the roster merges their views),
+	// and the configured seeds. Dead seeds cost a probe per interval while
+	// the view is unhappy, and bridge the view back together the moment a
+	// victim rejoins at its old address. A sole-rendezvous takeover starts
+	// empty and simply is the rendezvous network.
+	seeds := n.Rendezvous.Alternates()
+	addSeed := func(sd peerview.Seed) {
+		if sd.ID.Equal(n.ID) {
+			return
+		}
+		for _, have := range seeds {
+			if have.ID.Equal(sd.ID) {
+				return
+			}
+		}
+		seeds = append(seeds, sd)
+	}
+	for _, sd := range n.Rendezvous.Roster() {
+		addSeed(sd)
+	}
+	for _, sd := range n.Config.Seeds {
+		addSeed(sd)
+	}
+	n.PeerView = peerview.New(n.Env, n.Endpoint, n.rdvAdv, n.Config.Peerview, seeds)
+	n.reg.Insert(n.pvRegIndex, n.PeerView) // starts it if the node is up
+	n.Rendezvous.Promote(n.PeerView)
+	n.Discovery.Promote()
+	if n.RoleChanged != nil {
+		n.RoleChanged(n)
+	}
 }
 
 // Start brings the peer's services up in registry order. Idempotent.

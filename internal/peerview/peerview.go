@@ -66,6 +66,14 @@ type Config struct {
 	// probe; the message may carry several advertisements. This is the
 	// gossip fan-out that sets the steady-state view size at large r.
 	ReferralsPerProbe int
+	// ProbeTimeoutRounds enables active failure detection: a view member
+	// that was probed this many consecutive iterations without any message
+	// coming back is evicted immediately, instead of lingering until
+	// EntryExpiry. Zero (the default) disables the mechanism, preserving
+	// the paper's loose-consistency behaviour; self-healing deployments
+	// enable it so a crashed rendezvous disappears from neighbouring views
+	// within a few PEERVIEW_INTERVALs and walks route around it.
+	ProbeTimeoutRounds int
 }
 
 // DefaultConfig returns the paper's default tunables.
@@ -149,6 +157,14 @@ type PeerView struct {
 	// referral storm cannot launch duplicate probes within an interval.
 	probed map[ids.ID]time.Duration
 
+	// missed counts consecutive unanswered neighbour probes per view member
+	// (ProbeTimeoutRounds failure detection; unused when disabled).
+	missed map[ids.ID]int
+	// sentinelIdx round-robins one extra probe per iteration over the
+	// non-neighbour view members, so failure detection covers the whole
+	// view (neighbour probes alone only watch the two adjacent IDs).
+	sentinelIdx int
+
 	// Rounds counts loop iterations (diagnostics).
 	Rounds int
 }
@@ -164,6 +180,7 @@ func New(e env.Env, ep *endpoint.Endpoint, self *advertisement.Rdv, cfg Config, 
 		seeds:  seeds,
 		byID:   make(map[ids.ID]*entry),
 		probed: make(map[ids.ID]time.Duration),
+		missed: make(map[ids.ID]int),
 	}
 	ep.Register(ServiceName, pv.receive)
 	return pv
@@ -203,6 +220,7 @@ func (pv *PeerView) Reset() {
 	pv.entries = nil
 	pv.byID = make(map[ids.ID]*entry)
 	pv.probed = make(map[ids.ID]time.Duration)
+	pv.missed = make(map[ids.ID]int)
 }
 
 // AddSeed appends a bootstrap seed at runtime (live joins).
@@ -239,6 +257,18 @@ func (pv *PeerView) View() []ids.ID {
 	return out
 }
 
+// Members returns the current view entries as seed records (ID + address),
+// in ascending ID order, excluding the local peer. This is the "alternate
+// rendezvous" list a self-healing rendezvous shares with its lease clients,
+// and the seed set a promoted edge re-seeds its own peerview from.
+func (pv *PeerView) Members() []Seed {
+	out := make([]Seed, 0, len(pv.entries))
+	for _, en := range pv.entries {
+		out = append(out, Seed{ID: en.adv.PeerID, Addr: transport.Addr(en.adv.Address)})
+	}
+	return out
+}
+
 // Neighbors returns the current lower_rdv and upper_rdv: the entries whose
 // IDs immediately precede and follow the local peer ID in the sorted view.
 // Either may be Nil when the view is empty on that side (peers at the ends
@@ -258,6 +288,7 @@ func (pv *PeerView) Neighbors() (lower, upper ids.ID) {
 func (pv *PeerView) iterate() {
 	pv.Rounds++
 	pv.expireSweep()
+	pv.probeTimeoutSweep()
 
 	l := pv.Size()
 	lower, upper := pv.Neighbors()
@@ -266,11 +297,21 @@ func (pv *PeerView) iterate() {
 			continue
 		}
 		if l < pv.cfg.HappySize {
-			pv.sendProbe(rdv)
+			pv.probeNeighbor(rdv)
 		} else if pv.env.Rand().Intn(3) == 0 {
 			pv.sendUpdate(rdv)
 		} else {
-			pv.sendProbe(rdv)
+			pv.probeNeighbor(rdv)
+		}
+	}
+	// With failure detection on, also probe one non-neighbour member per
+	// iteration (round-robin), so every entry is liveness-checked within l
+	// intervals — neighbour probes alone only watch the adjacent IDs.
+	if pv.cfg.ProbeTimeoutRounds > 0 && len(pv.entries) > 0 {
+		en := pv.entries[pv.sentinelIdx%len(pv.entries)]
+		pv.sentinelIdx++
+		if id := en.adv.PeerID; !id.Equal(lower) && !id.Equal(upper) {
+			pv.probeNeighbor(id)
 		}
 	}
 	if l < pv.cfg.HappySize {
@@ -287,6 +328,47 @@ func (pv *PeerView) iterate() {
 	for id, at := range pv.probed {
 		if at < cutoff {
 			delete(pv.probed, id)
+		}
+	}
+}
+
+// probeNeighbor probes a view neighbour, counting the outstanding probe for
+// failure detection when ProbeTimeoutRounds is enabled. The counter is reset
+// by any inbound message from that peer (receive/upsert).
+func (pv *PeerView) probeNeighbor(rdv ids.ID) {
+	if pv.cfg.ProbeTimeoutRounds > 0 {
+		if _, member := pv.byID[rdv]; member {
+			pv.missed[rdv]++
+		}
+	}
+	pv.sendProbe(rdv)
+}
+
+// probeTimeoutSweep evicts view members whose last ProbeTimeoutRounds
+// neighbour probes all went unanswered — the active failure-detection path a
+// self-healing overlay runs so dead rendezvous leave the view in a few
+// intervals rather than a PVE_EXPIRATION. Disabled (no-op) at the default
+// configuration.
+func (pv *PeerView) probeTimeoutSweep() {
+	if pv.cfg.ProbeTimeoutRounds <= 0 {
+		return
+	}
+	kept := pv.entries[:0]
+	for _, en := range pv.entries {
+		id := en.adv.PeerID
+		if pv.missed[id] >= pv.cfg.ProbeTimeoutRounds {
+			delete(pv.byID, id)
+			delete(pv.missed, id)
+			pv.notify(EventRemove, id)
+			continue
+		}
+		kept = append(kept, en)
+	}
+	pv.entries = kept
+	// Drop counters for peers no longer in the view (neighbour rotation).
+	for id := range pv.missed {
+		if _, member := pv.byID[id]; !member {
+			delete(pv.missed, id)
 		}
 	}
 }
@@ -375,6 +457,11 @@ func (pv *PeerView) receive(src ids.ID, m *message.Message) {
 	if pv.stopped {
 		return
 	}
+	// Any message from the peer itself proves liveness. Referrals renew a
+	// third party's *entry* below but must not reset its missed-probe
+	// counter — a stale advertisement relayed by a neighbour is not a sign
+	// of life.
+	delete(pv.missed, src)
 	msgType := m.GetString(ns, elemType)
 	data, ok := m.Get(ns, elemAdv)
 	if !ok {

@@ -464,3 +464,74 @@ func benchOverlay(sched *simnet.Scheduler, n int) []*testRdv {
 	}
 	return peers
 }
+
+func TestProbeTimeoutEvictsDeadNeighbor(t *testing.T) {
+	sched := simnet.NewScheduler(31)
+	cfg := Config{ProbeTimeoutRounds: 2}
+	peers := newOverlay(t, sched, 4, cfg)
+	startAll(peers)
+	sched.Run(10 * time.Minute)
+	for i, p := range peers {
+		if p.pv.Size() != 3 {
+			t.Fatalf("peer %d view %d before kill, want 3", i, p.pv.Size())
+		}
+	}
+	victim := peers[1]
+	victim.pv.Stop()
+	victim.tr.Close()
+	// 2 missed probe rounds + the eviction sweep: well under a minute of
+	// intervals each, nowhere near the 20 min PVE_EXPIRATION.
+	sched.Run(sched.Now() + 5*time.Minute)
+	for i, p := range peers {
+		if p == victim {
+			continue
+		}
+		if p.pv.Contains(victim.id) {
+			t.Fatalf("peer %d still lists the dead neighbour after probe timeouts", i)
+		}
+	}
+}
+
+func TestProbeTimeoutDisabledKeepsDeadEntry(t *testing.T) {
+	sched := simnet.NewScheduler(32)
+	peers := newOverlay(t, sched, 4, Config{}) // detection off (default)
+	startAll(peers)
+	sched.Run(10 * time.Minute)
+	victim := peers[1]
+	victim.pv.Stop()
+	victim.tr.Close()
+	sched.Run(sched.Now() + 5*time.Minute)
+	// Loose consistency: without probe detection the entry lingers until
+	// PVE_EXPIRATION.
+	alive := 0
+	for _, p := range peers {
+		if p != victim && p.pv.Contains(victim.id) {
+			alive++
+		}
+	}
+	if alive == 0 {
+		t.Fatal("dead entry vanished although probe detection is disabled")
+	}
+}
+
+func TestMembersSortedWithAddresses(t *testing.T) {
+	sched := simnet.NewScheduler(33)
+	peers := newOverlay(t, sched, 5, Config{})
+	startAll(peers)
+	sched.Run(10 * time.Minute)
+	members := peers[0].pv.Members()
+	if len(members) != 4 {
+		t.Fatalf("members = %d, want 4", len(members))
+	}
+	for i, m := range members {
+		if m.Addr == "" {
+			t.Fatalf("member %d has no address", i)
+		}
+		if i > 0 && !members[i-1].ID.Less(m.ID) {
+			t.Fatalf("members not in ascending ID order at %d", i)
+		}
+		if m.ID.Equal(peers[0].id) {
+			t.Fatal("members include the local peer")
+		}
+	}
+}

@@ -94,7 +94,9 @@ func New(e env.Env, ep *endpoint.Endpoint, disco *discovery.Service, rdv *rendez
 	}
 	ep.Register(ServiceName, s.receive)
 	ep.Register(PropagateService, s.receivePropagate)
-	if rdv != nil && rdv.IsRendezvous() {
+	if rdv != nil {
+		// Registered in both roles — walk handlers only run on rendezvous,
+		// so a peer promoted at runtime relays propagation immediately.
 		rdv.SetWalkHandler(PropagateService, s.handlePropagateWalk)
 	}
 	return s

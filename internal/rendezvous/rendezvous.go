@@ -6,11 +6,31 @@
 //
 // Roles: a peer runs either as a rendezvous (super-peer, owns a peerview,
 // serves leases) or as an edge (holds a lease on one rendezvous and renews
-// it; fails over to another seed when the rendezvous dies).
+// it; fails over to another seed when the rendezvous dies). The role is
+// dynamic: Promote swaps an edge to the rendezvous role in place, which is
+// how a self-healing overlay replaces a dead super-peer without redeploying
+// (Config.SelfHeal).
+//
+// # Self-healing
+//
+// With SelfHeal enabled, lease grants carry two extra state snapshots: the
+// rendezvous' current peerview members ("alternates") and its client roster.
+// Edges use the alternates to re-seed their failover rotation when the
+// rendezvous dies silently — the fall-back the peerview provides — and the
+// roster to run a deterministic successor election when *no* rendezvous is
+// reachable at all: the configured PromotionPolicy picks one client, that
+// client promotes itself to the rendezvous role (via the hook the node
+// installs), and the others re-lease with it. A gracefully stopping
+// rendezvous goes further and hands its state off explicitly: the client
+// lease table (and, through registered state exporters, the SRDI index)
+// transfers to a successor — a peerview neighbour when one exists, an
+// elected client otherwise — and every remaining client is redirected, so
+// discovery keeps answering through the transition.
 package rendezvous
 
 import (
 	"strconv"
+	"strings"
 	"time"
 
 	"jxta/internal/endpoint"
@@ -18,6 +38,7 @@ import (
 	"jxta/internal/ids"
 	"jxta/internal/message"
 	"jxta/internal/peerview"
+	"jxta/internal/transport"
 )
 
 // Endpoint service names.
@@ -29,9 +50,14 @@ const (
 // Lease protocol elements, namespace "lease".
 const (
 	leaseNS       = "lease"
-	elemRequest   = "Request" // requested duration (ns)
-	elemGranted   = "Granted" // granted duration (ns)
-	elemCancelled = "Cancel"  // edge departing
+	elemRequest   = "Request"  // requested duration (ns)
+	elemGranted   = "Granted"  // granted duration (ns)
+	elemCancelled = "Cancel"   // edge departing
+	elemAddr      = "Addr"     // requester's transport address (SelfHeal)
+	elemAlt       = "Alt"      // repeated: peerview member "id addr" (SelfHeal)
+	elemClient    = "Cli"      // repeated: client roster/handoff entry (SelfHeal)
+	elemHandoff   = "Handoff"  // lease-table handoff to the successor (SelfHeal)
+	elemRedirect  = "Redirect" // "id addr" of the successor to re-lease with
 )
 
 // Walk protocol elements, namespace "walk".
@@ -62,6 +88,21 @@ func (d Direction) String() string {
 	return "down"
 }
 
+// PromotionPolicy selects the successor among the last-known client roster
+// when edges detect that no rendezvous is reachable. Every client runs the
+// same policy over (a snapshot of) the same roster, so the election needs no
+// extra messages and is deterministic under a fixed seed.
+type PromotionPolicy int
+
+// Promotion policies.
+const (
+	// PromoteLowestID promotes the roster client with the smallest peer ID
+	// (the default; mirrors the peerview's ID-order bias).
+	PromoteLowestID PromotionPolicy = iota
+	// PromoteHighestID promotes the roster client with the largest peer ID.
+	PromoteHighestID
+)
+
 // Config tunes the lease protocol.
 type Config struct {
 	// LeaseDuration is how long a granted lease lasts (default 20 min,
@@ -72,14 +113,28 @@ type Config struct {
 	// ResponseTimeout bounds the wait for a lease grant before the edge
 	// fails over to the next seed (default 15 s).
 	ResponseTimeout time.Duration
+	// FailoverAttempts bounds *consecutive* unanswered lease requests: after
+	// this many the edge stops hammering dead candidates (default 8). What
+	// happens next depends on SelfHeal — a self-healing edge runs the
+	// successor election; otherwise it goes dormant until Connect/AddSeed.
+	FailoverAttempts int
+	// SelfHeal enables the self-healing machinery: grants carry alternates
+	// and the client roster, requests carry the edge's address, exhausted
+	// failover runs the promotion election, and a graceful Stop hands the
+	// lease table off to a successor. Off by default — the wire format and
+	// timer sequence of the paper-faithful protocol stay bit-identical.
+	SelfHeal bool
+	// Promotion picks the successor among the client roster (SelfHeal).
+	Promotion PromotionPolicy
 }
 
 // DefaultConfig returns JXTA-C-like lease tunables.
 func DefaultConfig() Config {
 	return Config{
-		LeaseDuration:   20 * time.Minute,
-		RenewFraction:   0.5,
-		ResponseTimeout: 15 * time.Second,
+		LeaseDuration:    20 * time.Minute,
+		RenewFraction:    0.5,
+		ResponseTimeout:  15 * time.Second,
+		FailoverAttempts: 8,
 	}
 }
 
@@ -94,8 +149,18 @@ func (c Config) withDefaults() Config {
 	if c.ResponseTimeout <= 0 {
 		c.ResponseTimeout = d.ResponseTimeout
 	}
+	if c.FailoverAttempts <= 0 {
+		c.FailoverAttempts = d.FailoverAttempts
+	}
 	return c
 }
+
+// Caps on the state snapshots a grant carries, bounding message growth on
+// large overlays.
+const (
+	maxAlternates = 8
+	maxRoster     = 16
+)
 
 // WalkHandler consumes a walked message at each visited rendezvous. Returning
 // true stops the walk at this peer (the walk found what it was looking for).
@@ -103,6 +168,18 @@ type WalkHandler func(origin ids.ID, dir Direction, body *message.Message) (stop
 
 // LeaseListener observes edge connectivity changes.
 type LeaseListener func(rdv ids.ID, connected bool)
+
+// StateExporter supplies extra handoff payloads for a graceful stop: the
+// messages are delivered to the successor at the named endpoint service.
+// Discovery registers one exporting the SRDI index as a standard push, so
+// the successor both indexes and re-replicates every tuple.
+type StateExporter func() (svc string, msgs []*message.Message)
+
+// clientLease is one granted lease at a rendezvous.
+type clientLease struct {
+	expires time.Duration
+	addr    string // transport address, when the edge shared it (SelfHeal)
+}
 
 // Service is the rendezvous service of one peer, in either role.
 type Service struct {
@@ -112,7 +189,7 @@ type Service struct {
 
 	// Rendezvous role.
 	pv           *peerview.PeerView // nil on edges
-	clients      map[ids.ID]time.Duration
+	clients      map[ids.ID]clientLease
 	clientSweep  *env.Ticker
 	walkHandlers map[string]WalkHandler
 	walkSeen     map[string]bool
@@ -127,17 +204,29 @@ type Service struct {
 	grantTimer  env.Timer
 	listeners   []LeaseListener
 	started     bool
+
+	// Self-healing state (SelfHeal).
+	alternates   []peerview.Seed // rendezvous' peerview, from the last grant
+	roster       []peerview.Seed // co-clients of the lease holder, sorted by ID
+	failCount    int             // unanswered lease requests in the current phase
+	episodeFails int             // unanswered requests since the last grant
+	awaitingSucc bool            // targeting the elected successor exclusively
+	succTarget   peerview.Seed
+	dormant      bool // failover budget exhausted; Connect revives
+	promoteFn    func()
+	exporter     StateExporter
+
+	// Promotions counts edge→rendezvous role switches this service went
+	// through (diagnostics; at most 1 unless the node is Reset between).
+	Promotions int
 }
 
-// NewRendezvous builds the service in the rendezvous role, bound to the
-// peer's peerview.
-func NewRendezvous(e env.Env, ep *endpoint.Endpoint, pv *peerview.PeerView, cfg Config) *Service {
+func newService(e env.Env, ep *endpoint.Endpoint, cfg Config) *Service {
 	s := &Service{
 		env:          e,
 		ep:           ep,
 		cfg:          cfg.withDefaults(),
-		pv:           pv,
-		clients:      make(map[ids.ID]time.Duration),
+		clients:      make(map[ids.ID]clientLease),
 		walkHandlers: make(map[string]WalkHandler),
 		walkSeen:     make(map[string]bool),
 	}
@@ -146,20 +235,24 @@ func NewRendezvous(e env.Env, ep *endpoint.Endpoint, pv *peerview.PeerView, cfg 
 	return s
 }
 
-// NewEdge builds the service in the edge role with the given rendezvous
-// seeds (tried in order, wrapping around, on connect/failover).
-func NewEdge(e env.Env, ep *endpoint.Endpoint, seeds []peerview.Seed, cfg Config) *Service {
-	s := &Service{
-		env:   e,
-		ep:    ep,
-		cfg:   cfg.withDefaults(),
-		seeds: seeds,
-	}
-	ep.Register(LeaseService, s.receiveLease)
+// NewRendezvous builds the service in the rendezvous role, bound to the
+// peer's peerview.
+func NewRendezvous(e env.Env, ep *endpoint.Endpoint, pv *peerview.PeerView, cfg Config) *Service {
+	s := newService(e, ep, cfg)
+	s.pv = pv
 	return s
 }
 
-// IsRendezvous reports the role.
+// NewEdge builds the service in the edge role with the given rendezvous
+// seeds (tried in order, wrapping around, on connect/failover). The edge can
+// later be promoted in place (Promote).
+func NewEdge(e env.Env, ep *endpoint.Endpoint, seeds []peerview.Seed, cfg Config) *Service {
+	s := newService(e, ep, cfg)
+	s.seeds = seeds
+	return s
+}
+
+// IsRendezvous reports the current role.
 func (s *Service) IsRendezvous() bool { return s.pv != nil }
 
 // PeerView exposes the peerview (nil for edges).
@@ -172,14 +265,91 @@ func (s *Service) AddLeaseListener(l LeaseListener) {
 	s.listeners = append(s.listeners, l)
 }
 
+// SetPromoteHook installs the role-switch callback the successor election
+// and the handoff path invoke: it must promote the owning node to the
+// rendezvous role synchronously (node.Node.PromoteToRendezvous wires in
+// here). Promotion is skipped when no hook is installed.
+func (s *Service) SetPromoteHook(fn func()) { s.promoteFn = fn }
+
+// SetStateExporter installs the graceful-handoff state supplier (one per
+// service; discovery owns it in the assembled node).
+func (s *Service) SetStateExporter(e StateExporter) { s.exporter = e }
+
 // SetWalkHandler installs the per-hop consumer for walked messages addressed
 // to the given target service (rendezvous role). Each service owning a walk
 // protocol — discovery's LC-DHT fallback, the pipe propagation machinery —
 // registers its own handler; the walk envelope's Svc element selects it at
-// every hop.
+// every hop. Handlers may be installed while the peer is still an edge;
+// they only run once it holds the rendezvous role.
 func (s *Service) SetWalkHandler(svc string, h WalkHandler) {
 	s.walkHandlers[svc] = h
 }
+
+// Promote switches an edge-role service to the rendezvous role in place,
+// adopting the given (freshly built) peerview: edge lease timers are
+// canceled, the lease connection is dropped and the client sweep starts if
+// the service is running. The endpoint services and walk handlers were
+// registered at construction, so after Promote the peer grants leases,
+// relays walks and joins the peerview gossip immediately.
+func (s *Service) Promote(pv *peerview.PeerView) {
+	if s.IsRendezvous() || pv == nil {
+		return
+	}
+	s.cancelTimers()
+	s.awaitingSucc = false
+	s.dormant = false
+	s.failCount = 0
+	s.episodeFails = 0
+	if !s.connectedTo.IsNil() {
+		s.setConnected(ids.Nil)
+	}
+	s.pv = pv
+	s.Promotions++
+	if s.started {
+		s.clientSweep = env.NewTicker(s.env, s.cfg.LeaseDuration/4, s.sweepClients)
+	}
+}
+
+// AdoptClients imports a client roster into the lease table (successor
+// takeover after a crash): each client is granted an implicit lease so
+// propagation fan-out reaches it before it re-leases explicitly.
+func (s *Service) AdoptClients(roster []peerview.Seed, dur time.Duration) {
+	if !s.IsRendezvous() {
+		return
+	}
+	if dur <= 0 {
+		dur = s.cfg.LeaseDuration
+	}
+	for _, c := range roster {
+		if c.ID.Equal(s.ep.ID()) {
+			continue
+		}
+		if c.Addr != "" {
+			s.ep.AddRoute(c.ID, c.Addr)
+		}
+		s.clients[c.ID] = clientLease{expires: s.env.Now() + dur, addr: string(c.Addr)}
+	}
+}
+
+// Alternates returns the rendezvous peerview members learned from the last
+// lease grant (SelfHeal) — the seed set a promoted edge re-joins the
+// rendezvous network with.
+func (s *Service) Alternates() []peerview.Seed {
+	out := make([]peerview.Seed, len(s.alternates))
+	copy(out, s.alternates)
+	return out
+}
+
+// Roster returns the last-known co-client roster (SelfHeal), sorted by ID.
+func (s *Service) Roster() []peerview.Seed {
+	out := make([]peerview.Seed, len(s.roster))
+	copy(out, s.roster)
+	return out
+}
+
+// Dormant reports whether the edge exhausted its failover budget and went
+// quiet (no candidate answered and no heal path applied). Connect revives.
+func (s *Service) Dormant() bool { return s.dormant }
 
 // Start begins the role's periodic work: client sweeping for rendezvous,
 // lease acquisition for edges.
@@ -195,8 +365,10 @@ func (s *Service) Start() {
 	s.bootTimer = s.env.After(0, s.requestLease)
 }
 
-// Stop halts periodic work gracefully: every timer is canceled and an edge
-// cancels its lease with the rendezvous before disconnecting.
+// Stop halts periodic work gracefully: every timer is canceled, an edge
+// cancels its lease with the rendezvous before disconnecting, and a
+// self-healing rendezvous hands its lease table (and exported service
+// state) off to a successor before going silent.
 func (s *Service) Stop() { s.halt(true) }
 
 // Abort is the crash-path Stop: identical teardown, but nothing is sent —
@@ -209,6 +381,9 @@ func (s *Service) halt(sendCancel bool) {
 		return
 	}
 	s.started = false
+	if sendCancel && s.cfg.SelfHeal && s.IsRendezvous() && len(s.clients) > 0 {
+		s.handoff()
+	}
 	if s.clientSweep != nil {
 		s.clientSweep.Stop()
 		s.clientSweep = nil
@@ -238,18 +413,23 @@ func (s *Service) cancelTimers() {
 	}
 }
 
-// Reset clears the role's soft state for a cold restart: granted leases and
-// the walk-dedup set are dropped and the edge's seed rotation rewinds to the
-// first seed. Walk instance IDs keep increasing — other peers' dedup sets
-// may remember this peer's pre-restart walks.
+// Reset clears the role's soft state for a cold restart: granted leases, the
+// walk-dedup set and the learned self-healing snapshots are dropped and the
+// edge's seed rotation rewinds to the first seed. The role itself is kept —
+// a promoted peer restarts as a rendezvous. Walk instance IDs keep
+// increasing — other peers' dedup sets may remember this peer's pre-restart
+// walks.
 func (s *Service) Reset() {
-	if s.clients != nil {
-		s.clients = make(map[ids.ID]time.Duration)
-	}
-	if s.walkSeen != nil {
-		s.walkSeen = make(map[string]bool)
-	}
+	s.clients = make(map[ids.ID]clientLease)
+	s.walkSeen = make(map[string]bool)
 	s.seedIdx = 0
+	s.failCount = 0
+	s.episodeFails = 0
+	s.awaitingSucc = false
+	s.succTarget = peerview.Seed{}
+	s.dormant = false
+	s.alternates = nil
+	s.roster = nil
 }
 
 // --- Edge side: lease acquisition and renewal ---
@@ -261,9 +441,14 @@ func (s *Service) AddSeed(seed peerview.Seed) {
 }
 
 // Connect (edge role) triggers an immediate lease request, e.g. after a
-// late AddSeed on an already-started service.
+// late AddSeed on an already-started service. It also revives a dormant
+// edge with a fresh failover budget.
 func (s *Service) Connect() {
 	if s.started && !s.IsRendezvous() {
+		s.dormant = false
+		s.awaitingSucc = false
+		s.failCount = 0
+		s.episodeFails = 0
 		s.requestLease()
 	}
 }
@@ -289,32 +474,181 @@ func (s *Service) setConnected(rdv ids.ID) {
 	}
 }
 
-// requestLease asks the current seed for a lease and arms the failover
+// candidates is the edge's failover rotation: the configured seeds followed
+// by the alternates learned from lease grants (the peerview fallback).
+func (s *Service) candidates() []peerview.Seed {
+	if len(s.alternates) == 0 {
+		return s.seeds
+	}
+	out := make([]peerview.Seed, 0, len(s.seeds)+len(s.alternates))
+	out = append(out, s.seeds...)
+	for _, alt := range s.alternates {
+		dup := false
+		for _, sd := range s.seeds {
+			if sd.ID.Equal(alt.ID) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, alt)
+		}
+	}
+	return out
+}
+
+// requestLease asks the current candidate for a lease and arms the failover
 // timer.
 func (s *Service) requestLease() {
-	if !s.started || len(s.seeds) == 0 {
+	if !s.started || s.IsRendezvous() || s.dormant {
 		return
 	}
-	seed := s.seeds[s.seedIdx%len(s.seeds)]
-	s.ep.AddRoute(seed.ID, seed.Addr)
+	var target peerview.Seed
+	switch {
+	case s.awaitingSucc:
+		target = s.succTarget
+	case !s.connectedTo.IsNil():
+		// Renewal: stick with the current lease holder regardless of how
+		// the candidate rotation shifted as alternates were learned.
+		target = peerview.Seed{ID: s.connectedTo}
+		for _, c := range s.candidates() {
+			if c.ID.Equal(s.connectedTo) {
+				target = c
+				break
+			}
+		}
+	default:
+		cands := s.candidates()
+		if len(cands) == 0 {
+			return
+		}
+		target = cands[s.seedIdx%len(cands)]
+	}
+	if target.Addr != "" {
+		s.ep.AddRoute(target.ID, target.Addr)
+	}
+	// A still-armed grant timer belongs to a superseded request (Connect
+	// during an in-flight attempt): cancel it, or its orphaned timeout
+	// would later tear down whatever lease this request establishes.
+	if s.grantTimer != nil {
+		s.grantTimer.Cancel()
+		s.grantTimer = nil
+	}
 	m := message.New().AddString(leaseNS, elemRequest,
 		strconv.FormatInt(int64(s.cfg.LeaseDuration), 10))
-	err := s.ep.Send(seed.ID, LeaseService, m)
-	target := seed.ID
-	s.grantTimer = s.env.After(s.cfg.ResponseTimeout, func() {
-		// No grant arrived: the rendezvous is presumed dead. Drop the
-		// stale connection (if this was a renewal) and fail over to the
-		// next seed.
-		if s.connectedTo.Equal(target) {
-			s.setConnected(ids.Nil)
+	if s.cfg.SelfHeal {
+		// Share our address so the rendezvous can roster us to co-clients.
+		m.AddString(leaseNS, elemAddr, string(s.ep.Addr()))
+	}
+	err := s.ep.Send(target.ID, LeaseService, m)
+	tid := target.ID
+	delay := s.cfg.ResponseTimeout
+	if s.awaitingSucc {
+		// The elected successor may detect the failure minutes after us
+		// (renewal schedules differ); back off instead of burning the
+		// budget before it even promotes.
+		shift := s.failCount
+		if shift > 3 {
+			shift = 3
 		}
-		s.seedIdx++
-		s.requestLease()
-	})
+		delay <<= uint(shift)
+	}
+	s.grantTimer = s.env.After(delay, func() { s.onLeaseTimeout(tid) })
 	if err != nil {
 		// Send failed outright; the timer will advance to the next seed.
 		return
 	}
+}
+
+// episodePhases bounds the total attempts of one disconnected episode, in
+// units of FailoverAttempts: the initial candidate rotation plus a handful
+// of elected-successor waits with rotation fallbacks in between. Past it
+// the edge goes dormant no matter what — retries are hard-bounded.
+const episodePhases = 8
+
+// onLeaseTimeout fires when no grant arrived: the candidate is presumed
+// dead. Drop the stale connection (if this was a renewal), rotate to the
+// next candidate while the phase budget lasts, then heal — an exhausted
+// successor wait prunes the dead successor from the roster and falls back
+// to the rotation, so the next election picks the next candidate — or go
+// dormant once the episode budget is gone.
+func (s *Service) onLeaseTimeout(target ids.ID) {
+	s.grantTimer = nil
+	if s.connectedTo.Equal(target) {
+		s.setConnected(ids.Nil)
+	}
+	s.seedIdx++
+	s.failCount++
+	s.episodeFails++
+	if s.episodeFails >= s.cfg.FailoverAttempts*episodePhases {
+		s.awaitingSucc = false
+		s.dormant = true // hard stop; Connect revives with a fresh budget
+		return
+	}
+	if s.failCount < s.cfg.FailoverAttempts {
+		s.requestLease()
+		return
+	}
+	if s.awaitingSucc {
+		// The elected successor never answered: it is dead too. Strike it
+		// from the roster and fall back to the normal rotation (the
+		// alternates may hold live rendezvous); when that exhausts, the
+		// next election picks the next-best candidate — possibly us.
+		s.awaitingSucc = false
+		s.dropFromRoster(s.succTarget.ID)
+		s.failCount = 0
+		s.requestLease()
+		return
+	}
+	s.electAndHeal()
+}
+
+// dropFromRoster removes a peer that failed to answer from the election
+// candidate set.
+func (s *Service) dropFromRoster(id ids.ID) {
+	kept := s.roster[:0]
+	for _, c := range s.roster {
+		if !c.ID.Equal(id) {
+			kept = append(kept, c)
+		}
+	}
+	s.roster = kept
+}
+
+// electAndHeal runs the deterministic successor election over the last
+// known client roster once every candidate stopped answering. The elected
+// client promotes itself; everyone else re-targets it exclusively (with a
+// second, backed-off attempt budget). Without SelfHeal — or without a
+// roster to elect from — the edge goes dormant: retries are bounded.
+func (s *Service) electAndHeal() {
+	if !s.cfg.SelfHeal || len(s.roster) == 0 {
+		s.dormant = true
+		return
+	}
+	succ := pickSuccessor(s.cfg.Promotion, s.roster)
+	if succ.ID.Equal(s.ep.ID()) {
+		if s.promoteFn == nil {
+			s.dormant = true
+			return
+		}
+		roster := s.Roster()
+		s.promoteFn() // synchronous node-level role swap
+		// Adopt the co-clients we knew: they are about to re-lease here.
+		s.AdoptClients(roster, 0)
+		return
+	}
+	s.succTarget = succ
+	s.awaitingSucc = true
+	s.failCount = 0
+	s.requestLease()
+}
+
+// pickSuccessor applies the promotion policy to an ID-sorted roster.
+func pickSuccessor(p PromotionPolicy, roster []peerview.Seed) peerview.Seed {
+	if p == PromoteHighestID {
+		return roster[len(roster)-1]
+	}
+	return roster[0]
 }
 
 // --- Rendezvous side ---
@@ -332,17 +666,166 @@ func (s *Service) Clients() []ids.ID {
 
 // HasClient reports whether the edge currently leases here.
 func (s *Service) HasClient(edge ids.ID) bool {
-	expiry, ok := s.clients[edge]
-	return ok && expiry > s.env.Now()
+	cl, ok := s.clients[edge]
+	return ok && cl.expires > s.env.Now()
 }
 
 func (s *Service) sweepClients() {
 	now := s.env.Now()
-	for id, expiry := range s.clients {
-		if expiry <= now {
+	for id, cl := range s.clients {
+		if cl.expires <= now {
 			delete(s.clients, id)
 		}
 	}
+}
+
+// encodeSeed renders "id addr" (transport addresses contain no spaces).
+func encodeSeed(sd peerview.Seed) string {
+	return sd.ID.String() + " " + string(sd.Addr)
+}
+
+// parseSeed is the inverse of encodeSeed.
+func parseSeed(v string) (peerview.Seed, bool) {
+	idStr, addr, found := strings.Cut(v, " ")
+	if !found {
+		return peerview.Seed{}, false
+	}
+	id, err := ids.Parse(idStr)
+	if err != nil {
+		return peerview.Seed{}, false
+	}
+	return peerview.Seed{ID: id, Addr: transport.Addr(addr)}, true
+}
+
+// appendGrantState attaches the self-healing snapshots to a lease grant:
+// up to maxAlternates peerview members and up to maxRoster client roster
+// entries (clients that shared an address), both in ascending ID order.
+func (s *Service) appendGrantState(m *message.Message) {
+	for i, member := range s.pv.Members() {
+		if i >= maxAlternates {
+			break
+		}
+		m.AddString(leaseNS, elemAlt, encodeSeed(member))
+	}
+	n := 0
+	now := s.env.Now()
+	for _, id := range s.Clients() {
+		cl := s.clients[id]
+		// Expired leases linger until the next sweep; rostering a dead
+		// client could make every elector unanimously pick a dead
+		// successor, so filter on freshness here.
+		if cl.addr == "" || cl.expires <= now {
+			continue
+		}
+		if n >= maxRoster {
+			break
+		}
+		m.AddString(leaseNS, elemClient, encodeSeed(peerview.Seed{ID: id, Addr: transport.Addr(cl.addr)}))
+		n++
+	}
+}
+
+// learnGrantState ingests the snapshots a self-healing grant carries,
+// replacing the previous ones wholesale (the grant is authoritative).
+func (s *Service) learnGrantState(m *message.Message) {
+	var alts, roster []peerview.Seed
+	for _, el := range m.Elements() {
+		if el.Namespace != leaseNS {
+			continue
+		}
+		switch el.Name {
+		case elemAlt:
+			if sd, ok := parseSeed(string(el.Data)); ok {
+				alts = append(alts, sd)
+			}
+		case elemClient:
+			if sd, ok := parseSeed(string(el.Data)); ok {
+				roster = append(roster, sd)
+			}
+		}
+	}
+	if alts != nil || roster != nil {
+		s.alternates = alts
+		s.roster = roster
+	}
+}
+
+// handoff transfers this gracefully stopping rendezvous' responsibilities:
+// the client lease table (and exported service state, e.g. the SRDI index)
+// go to a successor — the upper peerview neighbour when one exists, the
+// elected client otherwise — and every other client is redirected to it.
+func (s *Service) handoff() {
+	succ, ok := s.chooseHandoffSuccessor()
+	if !ok {
+		return
+	}
+	if succ.Addr != "" {
+		s.ep.AddRoute(succ.ID, succ.Addr)
+	}
+	// 1. The lease table. An edge successor promotes itself on receipt.
+	hm := message.New().AddString(leaseNS, elemHandoff, "1")
+	now := s.env.Now()
+	for _, id := range s.Clients() {
+		cl := s.clients[id]
+		if cl.addr == "" || id.Equal(succ.ID) {
+			continue
+		}
+		remaining := cl.expires - now
+		if remaining <= 0 {
+			continue
+		}
+		hm.AddString(leaseNS, elemClient,
+			encodeSeed(peerview.Seed{ID: id, Addr: transport.Addr(cl.addr)})+
+				" "+strconv.FormatInt(int64(remaining), 10))
+	}
+	_ = s.ep.Send(succ.ID, LeaseService, hm)
+	// 2. Exported service state (the SRDI index re-publish).
+	if s.exporter != nil {
+		if svc, msgs := s.exporter(); svc != "" {
+			for _, em := range msgs {
+				_ = s.ep.Send(succ.ID, svc, em)
+			}
+		}
+	}
+	// 3. Redirect the remaining fresh clients to the successor.
+	rv := encodeSeed(succ)
+	for _, id := range s.Clients() {
+		if id.Equal(succ.ID) || s.clients[id].expires <= now {
+			continue
+		}
+		rm := message.New().AddString(leaseNS, elemRedirect, rv)
+		_ = s.ep.Send(id, LeaseService, rm)
+	}
+}
+
+// chooseHandoffSuccessor prefers a live peerview member (the upper
+// neighbour, wrapping to the lower) — already a rendezvous, no promotion
+// needed — and falls back to electing one of the fresh clients (expired
+// leases may belong to dead peers).
+func (s *Service) chooseHandoffSuccessor() (succ peerview.Seed, ok bool) {
+	lower, upper := s.pv.Neighbors()
+	want := upper
+	if want.IsNil() {
+		want = lower
+	}
+	if !want.IsNil() {
+		for _, member := range s.pv.Members() {
+			if member.ID.Equal(want) {
+				return member, true
+			}
+		}
+	}
+	var roster []peerview.Seed
+	now := s.env.Now()
+	for _, id := range s.Clients() {
+		if cl := s.clients[id]; cl.addr != "" && cl.expires > now {
+			roster = append(roster, peerview.Seed{ID: id, Addr: transport.Addr(cl.addr)})
+		}
+	}
+	if len(roster) == 0 {
+		return peerview.Seed{}, false
+	}
+	return pickSuccessor(s.cfg.Promotion, roster), true
 }
 
 // receiveLease handles both sides of the lease protocol. Grant and renewal
@@ -358,9 +841,15 @@ func (s *Service) receiveLease(src ids.ID, m *message.Message) {
 		if v, err := strconv.ParseInt(req, 10, 64); err == nil && v > 0 && time.Duration(v) < dur {
 			dur = time.Duration(v)
 		}
-		s.clients[src] = s.env.Now() + dur
+		s.clients[src] = clientLease{
+			expires: s.env.Now() + dur,
+			addr:    m.GetString(leaseNS, elemAddr),
+		}
 		rsp := message.New().AddString(leaseNS, elemGranted,
 			strconv.FormatInt(int64(dur), 10))
+		if s.cfg.SelfHeal {
+			s.appendGrantState(rsp)
+		}
 		_ = s.ep.Send(src, LeaseService, rsp)
 		return
 	}
@@ -368,9 +857,17 @@ func (s *Service) receiveLease(src ids.ID, m *message.Message) {
 		delete(s.clients, src)
 		return
 	}
+	if m.GetString(leaseNS, elemHandoff) != "" {
+		s.receiveHandoff(m)
+		return
+	}
+	if red := m.GetString(leaseNS, elemRedirect); red != "" {
+		s.receiveRedirect(src, red)
+		return
+	}
 	if granted := m.GetString(leaseNS, elemGranted); granted != "" {
-		if !s.started {
-			return // grant raced our Stop: stay disconnected, arm nothing
+		if !s.started || s.IsRendezvous() {
+			return // grant raced our Stop or promotion: arm nothing
 		}
 		v, err := strconv.ParseInt(granted, 10, 64)
 		if err != nil || v <= 0 {
@@ -380,7 +877,12 @@ func (s *Service) receiveLease(src ids.ID, m *message.Message) {
 			s.grantTimer.Cancel()
 			s.grantTimer = nil
 		}
+		s.failCount = 0
+		s.episodeFails = 0
+		s.awaitingSucc = false
+		s.dormant = false
 		s.setConnected(src)
+		s.learnGrantState(m)
 		renewIn := time.Duration(float64(v) * s.cfg.RenewFraction)
 		if s.renewTimer != nil {
 			s.renewTimer.Cancel()
@@ -391,6 +893,67 @@ func (s *Service) receiveLease(src ids.ID, m *message.Message) {
 			}
 		})
 	}
+}
+
+// receiveHandoff imports a predecessor's lease table. An edge promotes
+// itself first (the gracefully stopping rendezvous elected us successor).
+func (s *Service) receiveHandoff(m *message.Message) {
+	if !s.started || !s.cfg.SelfHeal {
+		return
+	}
+	if !s.IsRendezvous() {
+		if s.promoteFn == nil {
+			return
+		}
+		s.promoteFn()
+		if !s.IsRendezvous() {
+			return
+		}
+	}
+	now := s.env.Now()
+	for _, el := range m.Elements() {
+		if el.Namespace != leaseNS || el.Name != elemClient {
+			continue
+		}
+		fields := strings.Fields(string(el.Data))
+		if len(fields) != 3 {
+			continue
+		}
+		sd, ok := parseSeed(fields[0] + " " + fields[1])
+		if !ok || sd.ID.Equal(s.ep.ID()) {
+			continue
+		}
+		remaining, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || remaining <= 0 {
+			continue
+		}
+		s.ep.AddRoute(sd.ID, sd.Addr)
+		s.clients[sd.ID] = clientLease{
+			expires: now + time.Duration(remaining),
+			addr:    string(sd.Addr),
+		}
+	}
+}
+
+// receiveRedirect re-targets this edge's lease at the successor a
+// gracefully stopping rendezvous named.
+func (s *Service) receiveRedirect(src ids.ID, val string) {
+	if !s.started || !s.cfg.SelfHeal || s.IsRendezvous() {
+		return
+	}
+	succ, ok := parseSeed(val)
+	if !ok || succ.ID.Equal(s.ep.ID()) {
+		return
+	}
+	s.cancelTimers()
+	if s.connectedTo.Equal(src) {
+		s.setConnected(ids.Nil)
+	}
+	s.succTarget = succ
+	s.awaitingSucc = true
+	s.failCount = 0
+	s.dormant = false
+	s.requestLease()
 }
 
 // --- Propagation protocol: the directional walker ---
@@ -432,7 +995,7 @@ func (s *Service) forwardWalk(to ids.ID, dir Direction, ttl int, wid, svc string
 // consistent overlay).
 func (s *Service) receiveWalk(src ids.ID, m *message.Message) {
 	if !s.started || !s.IsRendezvous() {
-		return // stopped peers do not relay walks
+		return // stopped peers and edges do not relay walks
 	}
 	dirStr := m.GetString(walkNS, elemDir)
 	ttl, err := strconv.Atoi(m.GetString(walkNS, elemTTL))

@@ -36,6 +36,13 @@ type edgePeer struct {
 // peerviews and rendezvous services.
 func newRdvOverlay(t *testing.T, sched *simnet.Scheduler, net *transport.Network, n int) []*rdvPeer {
 	t.Helper()
+	return newRdvOverlayCfg(t, sched, net, n, DefaultConfig())
+}
+
+// newRdvOverlayCfg is newRdvOverlay with an explicit lease config (the
+// self-healing tests need SelfHeal on the granting side).
+func newRdvOverlayCfg(t *testing.T, sched *simnet.Scheduler, net *transport.Network, n int, cfg Config) []*rdvPeer {
+	t.Helper()
 	peers := make([]*rdvPeer, n)
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("rdv%d", i)
@@ -53,7 +60,7 @@ func newRdvOverlay(t *testing.T, sched *simnet.Scheduler, net *transport.Network
 			seeds = []peerview.Seed{{ID: peers[i-1].id, Addr: peers[i-1].tr.Addr()}}
 		}
 		pv := peerview.New(e, ep, adv, peerview.DefaultConfig(), seeds)
-		svc := NewRendezvous(e, ep, pv, DefaultConfig())
+		svc := NewRendezvous(e, ep, pv, cfg)
 		peers[i] = &rdvPeer{id: id, ep: ep, pv: pv, svc: svc, tr: tr}
 		pv.Start()
 		svc.Start()
@@ -420,4 +427,264 @@ func TestConnectOnRendezvousIsNoop(t *testing.T) {
 	rdvs := newRdvOverlay(t, sched, net, 1)
 	rdvs[0].svc.Connect() // must not panic or send lease requests
 	sched.Run(time.Minute)
+}
+
+// selfHealCfg is the lease config the self-healing tests share.
+func selfHealCfg() Config {
+	return Config{
+		LeaseDuration:    2 * time.Minute,
+		ResponseTimeout:  10 * time.Second,
+		FailoverAttempts: 3,
+		SelfHeal:         true,
+	}
+}
+
+func TestFailoverBoundedWithoutSelfHeal(t *testing.T) {
+	sched := simnet.NewScheduler(40)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlay(t, sched, net, 1)
+	cfg := Config{LeaseDuration: 2 * time.Minute, ResponseTimeout: 10 * time.Second,
+		FailoverAttempts: 3}
+	edge := newEdge(t, sched, net, "edge0",
+		[]peerview.Seed{{ID: rdvs[0].id, Addr: rdvs[0].tr.Addr()}}, cfg)
+	edge.svc.Start()
+	sched.Run(time.Minute)
+	if _, ok := edge.svc.ConnectedRdv(); !ok {
+		t.Fatal("edge did not lease")
+	}
+	rdvs[0].pv.Stop()
+	rdvs[0].svc.Abort()
+	rdvs[0].tr.Close()
+	sched.Run(20 * time.Minute)
+	if !edge.svc.Dormant() {
+		t.Fatal("edge never went dormant after exhausting its failover budget")
+	}
+	msgs := net.Stats().Messages
+	sched.Run(sched.Now() + 30*time.Minute)
+	if got := net.Stats().Messages; got != msgs {
+		t.Fatalf("dormant edge still sent %d messages", got-msgs)
+	}
+	// Connect revives it with a fresh budget (nothing to lease from, but
+	// the attempt cycle restarts).
+	edge.svc.Connect()
+	if edge.svc.Dormant() {
+		t.Fatal("Connect did not revive the dormant edge")
+	}
+}
+
+func TestGrantCarriesAlternatesAndRoster(t *testing.T) {
+	sched := simnet.NewScheduler(41)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlayCfg(t, sched, net, 3, selfHealCfg())
+	sched.Run(10 * time.Minute) // peerviews converge
+	cfg := selfHealCfg()
+	seeds := []peerview.Seed{{ID: rdvs[0].id, Addr: rdvs[0].tr.Addr()}}
+	e1 := newEdge(t, sched, net, "e1", seeds, cfg)
+	e2 := newEdge(t, sched, net, "e2", seeds, cfg)
+	e1.svc.Start()
+	e2.svc.Start()
+	sched.Run(sched.Now() + 3*time.Minute) // lease + at least one renewal
+	if got := len(e1.svc.Alternates()); got != 2 {
+		t.Fatalf("e1 learned %d alternates, want 2", got)
+	}
+	roster := e1.svc.Roster()
+	if len(roster) != 2 {
+		t.Fatalf("e1 roster = %d entries, want both co-clients", len(roster))
+	}
+	for i := 1; i < len(roster); i++ {
+		if !roster[i-1].ID.Less(roster[i].ID) {
+			t.Fatal("roster not in ascending ID order")
+		}
+	}
+}
+
+func TestEdgeFailsOverToAlternateNotInSeeds(t *testing.T) {
+	sched := simnet.NewScheduler(42)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlayCfg(t, sched, net, 2, selfHealCfg())
+	sched.Run(10 * time.Minute)
+	// Seeded ONLY with rdv0; rdv1 is reachable solely via the alternates.
+	edge := newEdge(t, sched, net, "edge0",
+		[]peerview.Seed{{ID: rdvs[0].id, Addr: rdvs[0].tr.Addr()}}, selfHealCfg())
+	edge.svc.Start()
+	sched.Run(sched.Now() + time.Minute)
+	if got, _ := edge.svc.ConnectedRdv(); !got.Equal(rdvs[0].id) {
+		t.Fatal("edge did not lease with its seed")
+	}
+	rdvs[0].pv.Stop()
+	rdvs[0].svc.Abort()
+	rdvs[0].tr.Close()
+	sched.Run(sched.Now() + 20*time.Minute)
+	got, ok := edge.svc.ConnectedRdv()
+	if !ok || !got.Equal(rdvs[1].id) {
+		t.Fatalf("edge did not re-seed from alternates: connected=%v to %s", ok, got.Short())
+	}
+}
+
+func TestPromotionElectionPolicies(t *testing.T) {
+	a := peerview.Seed{ID: ids.FromName(ids.KindPeer, "a")}
+	b := peerview.Seed{ID: ids.FromName(ids.KindPeer, "b")}
+	roster := []peerview.Seed{a, b}
+	if !a.ID.Less(b.ID) {
+		roster = []peerview.Seed{b, a}
+		a, b = b, a
+	}
+	if got := pickSuccessor(PromoteLowestID, roster); !got.ID.Equal(a.ID) {
+		t.Fatal("PromoteLowestID picked the wrong successor")
+	}
+	if got := pickSuccessor(PromoteHighestID, roster); !got.ID.Equal(b.ID) {
+		t.Fatal("PromoteHighestID picked the wrong successor")
+	}
+}
+
+// TestPromoteSwapsRoleInPlace drives Service.Promote directly: the edge
+// becomes a rendezvous, grants leases and owns the peerview it was handed.
+func TestPromoteSwapsRoleInPlace(t *testing.T) {
+	sched := simnet.NewScheduler(43)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	promotee := newEdge(t, sched, net, "promotee", nil, selfHealCfg())
+	promotee.svc.Start()
+	if promotee.svc.IsRendezvous() {
+		t.Fatal("edge starts as rendezvous")
+	}
+	adv := &advertisement.Rdv{PeerID: promotee.id, GroupID: testGroup,
+		Name: "promotee", Address: string(promotee.tr.Addr())}
+	pv := peerview.New(sched.NewEnv("promotee-pv"), promotee.ep, adv,
+		peerview.DefaultConfig(), nil)
+	promotee.svc.Promote(pv)
+	if !promotee.svc.IsRendezvous() || promotee.svc.PeerView() != pv {
+		t.Fatal("Promote did not swap the role")
+	}
+	if promotee.svc.Promotions != 1 {
+		t.Fatalf("Promotions = %d", promotee.svc.Promotions)
+	}
+	// A fresh edge can now lease from the promoted peer.
+	client := newEdge(t, sched, net, "client",
+		[]peerview.Seed{{ID: promotee.id, Addr: promotee.tr.Addr()}}, selfHealCfg())
+	client.svc.Start()
+	sched.Run(sched.Now() + time.Minute)
+	if got, ok := client.svc.ConnectedRdv(); !ok || !got.Equal(promotee.id) {
+		t.Fatal("promoted peer does not grant leases")
+	}
+	if !promotee.svc.HasClient(client.id) {
+		t.Fatal("promoted peer does not track its client")
+	}
+}
+
+// TestGracefulHandoffTransfersLeaseTable stops a rendezvous holding leases
+// while a second rendezvous is in its peerview: the successor imports the
+// client table and the clients are redirected to it without waiting for
+// their renewal timers.
+func TestGracefulHandoffTransfersLeaseTable(t *testing.T) {
+	sched := simnet.NewScheduler(44)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	// Build the rendezvous with self-healing lease configs.
+	var rdvs []*rdvPeer
+	{
+		cfg := selfHealCfg()
+		for i := 0; i < 2; i++ {
+			name := fmt.Sprintf("rdv%d", i)
+			e := sched.NewEnv(name)
+			tr, err := net.Attach(name, netmodel.Site(i%netmodel.NumSites))
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := ids.NewRandom(ids.KindPeer, e.Rand())
+			adv := &advertisement.Rdv{PeerID: id, GroupID: testGroup, Name: name,
+				Address: string(tr.Addr())}
+			ep := endpoint.New(e, id, tr)
+			var seeds []peerview.Seed
+			if i > 0 {
+				seeds = []peerview.Seed{{ID: rdvs[0].id, Addr: rdvs[0].tr.Addr()}}
+			}
+			pv := peerview.New(e, ep, adv, peerview.DefaultConfig(), seeds)
+			svc := NewRendezvous(e, ep, pv, cfg)
+			rdvs = append(rdvs, &rdvPeer{id: id, ep: ep, pv: pv, svc: svc, tr: tr})
+			pv.Start()
+			svc.Start()
+		}
+	}
+	sched.Run(10 * time.Minute)
+	edge := newEdge(t, sched, net, "edge0",
+		[]peerview.Seed{{ID: rdvs[0].id, Addr: rdvs[0].tr.Addr()}}, selfHealCfg())
+	edge.svc.Start()
+	sched.Run(sched.Now() + time.Minute)
+	if !rdvs[0].svc.HasClient(edge.id) {
+		t.Fatal("edge did not lease with rdv0")
+	}
+
+	rdvs[0].pv.Stop()
+	rdvs[0].svc.Stop() // graceful: handoff + redirect
+	sched.Run(sched.Now() + time.Minute)
+
+	if !rdvs[1].svc.HasClient(edge.id) {
+		t.Fatal("successor did not import the handed-off lease")
+	}
+	if got, ok := edge.svc.ConnectedRdv(); !ok || !got.Equal(rdvs[1].id) {
+		t.Fatal("client was not redirected to the successor")
+	}
+}
+
+func TestSeedRoundTrip(t *testing.T) {
+	sd := peerview.Seed{ID: ids.FromName(ids.KindPeer, "x"), Addr: "sim://x"}
+	got, ok := parseSeed(encodeSeed(sd))
+	if !ok || !got.ID.Equal(sd.ID) || got.Addr != sd.Addr {
+		t.Fatalf("seed round-trip: %+v ok=%v", got, ok)
+	}
+	if _, ok := parseSeed("garbage"); ok {
+		t.Fatal("parseSeed accepted garbage")
+	}
+	if _, ok := parseSeed("not-an-id sim://x"); ok {
+		t.Fatal("parseSeed accepted a bad ID")
+	}
+}
+
+// TestElectionSkipsDeadSuccessor pins the stale-roster recovery chain: the
+// elected successor is itself dead, so the waiting edge strikes it from the
+// roster, falls back to the candidate rotation, and the next election picks
+// the next candidate — here, itself, so it promotes.
+func TestElectionSkipsDeadSuccessor(t *testing.T) {
+	sched := simnet.NewScheduler(45)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	rdvs := newRdvOverlayCfg(t, sched, net, 1, selfHealCfg())
+	seeds := []peerview.Seed{{ID: rdvs[0].id, Addr: rdvs[0].tr.Addr()}}
+	e1 := newEdge(t, sched, net, "e1", seeds, selfHealCfg())
+	e2 := newEdge(t, sched, net, "e2", seeds, selfHealCfg())
+	// Wire the promote hook the node layer normally installs.
+	for _, e := range []*edgePeer{e1, e2} {
+		e := e
+		e.svc.SetPromoteHook(func() {
+			adv := &advertisement.Rdv{PeerID: e.id, GroupID: testGroup,
+				Name: "promoted", Address: string(e.tr.Addr())}
+			e.svc.Promote(peerview.New(sched.NewEnv("pv-"+e.id.Short()),
+				e.ep, adv, peerview.DefaultConfig(), nil))
+		})
+	}
+	e1.svc.Start()
+	e2.svc.Start()
+	// Let both lease and renew at least once so both rosters carry both.
+	sched.Run(4 * time.Minute)
+	lower, higher := e1, e2
+	if e2.id.Less(e1.id) {
+		lower, higher = e2, e1
+	}
+	if len(higher.svc.Roster()) != 2 {
+		t.Fatalf("roster = %d entries before the crash", len(higher.svc.Roster()))
+	}
+	// The would-be successor (lowest ID) dies silently, then the rendezvous
+	// crashes before the survivor's roster refreshes.
+	lower.svc.cancelTimers()
+	lower.svc.started = false
+	lower.tr.Close()
+	rdvs[0].pv.Stop()
+	rdvs[0].svc.Abort()
+	rdvs[0].tr.Close()
+
+	sched.Run(sched.Now() + 30*time.Minute)
+	if !higher.svc.IsRendezvous() {
+		t.Fatal("survivor never promoted after the elected successor proved dead")
+	}
+	if higher.svc.Dormant() {
+		t.Fatal("survivor dormant despite being electable")
+	}
 }

@@ -72,8 +72,21 @@ type Config struct {
 	// (default 256 KiB).
 	WindowBytes int
 	// RTO is the initial retransmission timeout (default 300 ms; doubles
-	// per retry).
+	// per retry). With AdaptiveRTO it is only the pre-sample fallback.
 	RTO time.Duration
+	// AdaptiveRTO enables RTT-sampled retransmission timeouts (Jacobson/
+	// Karels): every cumulative ack of a never-retransmitted segment feeds
+	// SRTT and RTTVAR (Karn's algorithm excludes retransmitted samples),
+	// and the timer arms at SRTT + 4·RTTVAR, clamped to [MinRTO, MaxRTO],
+	// still doubling per retry. Off by default: the fixed-RTO timer
+	// sequence — and with it the bandwidth replay golden — is preserved
+	// bit-for-bit unless a deployment opts in.
+	AdaptiveRTO bool
+	// MinRTO floors the adaptive timeout (default 50 ms). Adaptive mode only.
+	MinRTO time.Duration
+	// MaxRTO caps the adaptive timeout including backoff (default 60 s).
+	// Adaptive mode only.
+	MaxRTO time.Duration
 	// MaxRetries bounds consecutive retransmissions of one segment before
 	// the connection is reset (default 10).
 	MaxRetries int
@@ -104,6 +117,8 @@ func DefaultConfig() Config {
 		MSS:              16 << 10,
 		WindowBytes:      defaultWindowBytes(),
 		RTO:              300 * time.Millisecond,
+		MinRTO:           50 * time.Millisecond,
+		MaxRTO:           60 * time.Second,
 		MaxRetries:       10,
 		HandshakeTimeout: 30 * time.Second,
 	}
@@ -119,6 +134,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RTO <= 0 {
 		c.RTO = d.RTO
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = d.MinRTO
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = d.MaxRTO
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = d.MaxRetries
@@ -375,6 +396,10 @@ type segment struct {
 	seq  uint64
 	data []byte
 	fin  bool
+	// sentAt/retx feed the adaptive RTO estimator: only segments acked on
+	// their first transmission yield RTT samples (Karn's algorithm).
+	sentAt time.Duration
+	retx   bool
 }
 
 // Conn is one end of an established (or establishing) stream.
@@ -417,6 +442,11 @@ type Conn struct {
 	listener     *Listener // pending accept (SYN-RECEIVED only)
 	onReadable   func()
 	onWritable   func()
+
+	// Adaptive RTO estimator state (Config.AdaptiveRTO): smoothed RTT and
+	// mean deviation per Jacobson/Karels; srtt == 0 means no sample yet.
+	srtt   time.Duration
+	rttvar time.Duration
 
 	// Stream statistics.
 	BytesSent uint64 // application bytes acked by the peer
@@ -656,7 +686,7 @@ func (c *Conn) pump() {
 		if len(c.sendBuf) == 0 {
 			c.sendBuf = nil
 		}
-		seg := segment{seq: c.sndNxt, data: data}
+		seg := segment{seq: c.sndNxt, data: data, sentAt: c.svc.env.Now()}
 		c.sndNxt += uint64(n)
 		c.retxQ = append(c.retxQ, seg)
 		c.svc.Stats.BytesSent += uint64(n)
@@ -664,7 +694,7 @@ func (c *Conn) pump() {
 	}
 	if c.closed && !c.sentFin && len(c.sendBuf) == 0 {
 		c.sentFin = true
-		seg := segment{seq: c.sndNxt, fin: true}
+		seg := segment{seq: c.sndNxt, fin: true, sentAt: c.svc.env.Now()}
 		c.sndNxt++ // FIN consumes one sequence unit
 		c.retxQ = append(c.retxQ, seg)
 		c.sendSegment(seg)
@@ -692,8 +722,57 @@ func (c *Conn) armRetx() {
 	if !waiting {
 		return
 	}
-	rto := c.svc.cfg.RTO << uint(c.retries)
-	c.retxTmr = c.svc.env.After(rto, c.onRetxTimeout)
+	c.retxTmr = c.svc.env.After(c.currentRTO(), c.onRetxTimeout)
+}
+
+// currentRTO computes the retransmission timeout for the next timer arming.
+// Fixed mode reproduces the original exponential schedule exactly; adaptive
+// mode uses the Jacobson/Karels estimate SRTT + 4·RTTVAR (falling back to
+// the configured RTO until the first sample), backed off per retry and
+// clamped to [MinRTO, MaxRTO].
+func (c *Conn) currentRTO() time.Duration {
+	cfg := c.svc.cfg
+	if !cfg.AdaptiveRTO {
+		return cfg.RTO << uint(c.retries)
+	}
+	rto := cfg.RTO
+	if c.srtt > 0 {
+		rto = c.srtt + 4*c.rttvar
+	}
+	if rto < cfg.MinRTO {
+		rto = cfg.MinRTO
+	}
+	rto <<= uint(c.retries)
+	if rto > cfg.MaxRTO {
+		rto = cfg.MaxRTO
+	}
+	return rto
+}
+
+// sampleRTT feeds one round-trip measurement into the estimator
+// (RFC 6298 constants: alpha 1/8, beta 1/4).
+func (c *Conn) sampleRTT(sample time.Duration) {
+	if sample <= 0 {
+		return
+	}
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+		return
+	}
+	diff := c.srtt - sample
+	if diff < 0 {
+		diff = -diff
+	}
+	c.rttvar = (3*c.rttvar + diff) / 4
+	c.srtt = (7*c.srtt + sample) / 8
+}
+
+// RTT reports the adaptive estimator state: smoothed RTT, mean deviation
+// and the timeout the next retransmission timer would use. srtt is zero
+// until the first sample (or always, in fixed-RTO mode).
+func (c *Conn) RTT() (srtt, rttvar, rto time.Duration) {
+	return c.srtt, c.rttvar, c.currentRTO()
 }
 
 // onRetxTimeout retransmits the oldest outstanding unit: SYN/SYN-ACK during
@@ -718,11 +797,12 @@ func (c *Conn) onRetxTimeout() {
 	case c.state == stateSynReceived && len(c.retxQ) == 0:
 		c.sendSynAck()
 	case len(c.retxQ) > 0:
+		c.retxQ[0].retx = true // Karn: no RTT sample from this segment
 		c.sendSegment(c.retxQ[0])
 	case len(c.sendBuf) > 0:
 		// Zero-window probe: force one byte past the closed window (as TCP
 		// does) so the peer's mandatory ack reports its reopened window.
-		probe := segment{seq: c.sndNxt, data: []byte{c.sendBuf[0]}}
+		probe := segment{seq: c.sndNxt, data: []byte{c.sendBuf[0]}, sentAt: c.svc.env.Now()}
 		c.sendBuf = c.sendBuf[1:]
 		if len(c.sendBuf) == 0 {
 			c.sendBuf = nil
@@ -884,7 +964,9 @@ func (c *Conn) handleAck(ack uint64) {
 	advanced := ack - c.sndUna
 	c.sndUna = ack
 	c.retries = 0
-	// Drop fully acked segments.
+	// Drop fully acked segments, sampling the RTT of the newest one that
+	// was never retransmitted (Karn's algorithm).
+	var rttSample time.Duration
 	i := 0
 	for i < len(c.retxQ) {
 		seg := c.retxQ[i]
@@ -898,7 +980,13 @@ func (c *Conn) handleAck(ack uint64) {
 		if seg.fin {
 			c.finAcked = true
 		}
+		if !seg.retx && seg.sentAt > 0 {
+			rttSample = c.svc.env.Now() - seg.sentAt
+		}
 		i++
+	}
+	if c.svc.cfg.AdaptiveRTO && rttSample > 0 {
+		c.sampleRTT(rttSample)
 	}
 	if i > 0 {
 		c.retxQ = append(c.retxQ[:0], c.retxQ[i:]...)

@@ -33,10 +33,14 @@ type Tuple struct {
 	NumValue int64
 }
 
-// entryInfo tracks one publisher's registration under a key.
+// entryInfo tracks one publisher's registration under a key. The numeric
+// tier registration that arrived on the same tuple (if any) is remembered
+// so Tuples can reconstruct complete tuples for a lease-state handoff.
 type entryInfo struct {
-	addr    transport.Addr
-	expires time.Duration // absolute env time; 0 = never
+	addr     transport.Addr
+	expires  time.Duration // absolute env time; 0 = never
+	numAttr  string
+	numValue int64
 }
 
 // numericEntry is one publisher's numeric registration under an attribute.
@@ -88,7 +92,46 @@ func (x *Index) Add(t Tuple) {
 	if t.Lifetime > 0 {
 		expires = x.env.Now() + t.Lifetime
 	}
-	set[t.Publisher] = entryInfo{addr: t.PublisherAddr, expires: expires}
+	set[t.Publisher] = entryInfo{
+		addr: t.PublisherAddr, expires: expires,
+		numAttr: t.NumAttr, numValue: t.NumValue,
+	}
+}
+
+// Tuples exports every fresh registration as a complete tuple with its
+// *remaining* lifetime, sorted by (key, publisher) — the payload a
+// gracefully stopping rendezvous hands to its successor so the index
+// survives the transition. Re-adding the returned tuples on another peer
+// reproduces both the exact-match and the numeric tier.
+func (x *Index) Tuples() []Tuple {
+	now := x.env.Now()
+	keys := make([]string, 0, len(x.entries))
+	for key := range x.entries {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var out []Tuple
+	for _, key := range keys {
+		set := x.entries[key]
+		tuples := make([]Tuple, 0, len(set))
+		for pub, info := range set {
+			if info.expires > 0 && info.expires <= now {
+				continue
+			}
+			var remaining time.Duration
+			if info.expires > 0 {
+				remaining = info.expires - now
+			}
+			tuples = append(tuples, Tuple{
+				Key: key, Publisher: pub, PublisherAddr: info.addr,
+				Lifetime: remaining,
+				NumAttr:  info.numAttr, NumValue: info.numValue,
+			})
+		}
+		sortTuples(tuples)
+		out = append(out, tuples...)
+	}
+	return out
 }
 
 // Publishers returns the fresh publishers registered under key, with their

@@ -212,3 +212,58 @@ func TestNumericReplaceAndRemovePublisher(t *testing.T) {
 		t.Fatal("RemovePublisher missed the numeric tier")
 	}
 }
+
+func TestTuplesExportRoundTrip(t *testing.T) {
+	x, sched := newIndex()
+	a := tup("PeerNameA", "pub-a", time.Hour)
+	b := tup("PeerNameB", "pub-b", 0) // never expires
+	c := tup("ResourceSize", "pub-c", time.Hour)
+	c.NumAttr = "ResourceSize"
+	c.NumValue = 42
+	gone := tup("PeerNameGone", "pub-d", time.Minute)
+	for _, tpl := range []Tuple{a, b, c, gone} {
+		x.Add(tpl)
+		if tpl.NumAttr != "" {
+			x.AddNumeric(tpl.NumAttr, tpl.NumValue, tpl.Publisher, tpl.PublisherAddr, tpl.Lifetime)
+		}
+	}
+	sched.Run(30 * time.Minute) // 'gone' expires, the rest keep half their life
+
+	exported := x.Tuples()
+	if len(exported) != 3 {
+		t.Fatalf("exported %d tuples, want 3 (expired one excluded)", len(exported))
+	}
+	// Sorted by key, then publisher.
+	for i := 1; i < len(exported); i++ {
+		if exported[i-1].Key > exported[i].Key {
+			t.Fatal("export not sorted by key")
+		}
+	}
+	// Re-adding on a successor index reproduces both tiers.
+	succSched := simnet.NewScheduler(2)
+	succ := New(succSched.NewEnv("succ"))
+	for _, tpl := range exported {
+		succ.Add(tpl)
+		if tpl.NumAttr != "" {
+			succ.AddNumeric(tpl.NumAttr, tpl.NumValue, tpl.Publisher, tpl.PublisherAddr, tpl.Lifetime)
+		}
+	}
+	if !succ.Has("PeerNameA") || !succ.Has("PeerNameB") {
+		t.Fatal("successor index misses handed-off keys")
+	}
+	if succ.Has("PeerNameGone") {
+		t.Fatal("successor index resurrected an expired tuple")
+	}
+	if got := succ.RangePublishers("ResourceSize", 40, 50); len(got) != 1 {
+		t.Fatalf("numeric tier not reconstructed: %d matches", len(got))
+	}
+	// Remaining lifetime carried over: tuple a had 1h, 30 min elapsed.
+	for _, tpl := range exported {
+		if tpl.Key == "PeerNameA" && tpl.Lifetime != 30*time.Minute {
+			t.Fatalf("remaining lifetime = %v, want 30m", tpl.Lifetime)
+		}
+		if tpl.Key == "PeerNameB" && tpl.Lifetime != 0 {
+			t.Fatalf("never-expiring tuple exported lifetime %v", tpl.Lifetime)
+		}
+	}
+}

@@ -69,6 +69,7 @@ import (
 	"jxta/internal/netmodel"
 	"jxta/internal/node"
 	"jxta/internal/pipe"
+	"jxta/internal/rendezvous"
 	"jxta/internal/simnet"
 	"jxta/internal/socket"
 	"jxta/internal/topology"
@@ -122,14 +123,28 @@ type SimOptions struct {
 	// variable). Larger windows lift the window/RTT throughput cap on
 	// long fat paths.
 	SocketWindowBytes int
+	// DisableSelfHealing turns the self-healing rendezvous tier off.
+	// By default a simulated overlay heals itself: edges detect a silent
+	// rendezvous through missed lease renewals, fail over to the peerview
+	// alternates their grants carried, and — when no rendezvous is left —
+	// deterministically elect one of themselves to promote in place
+	// (Peer.Role flips to "rendezvous"); a gracefully stopped rendezvous
+	// hands its lease table and SRDI index to a successor. Disabling
+	// reproduces the paper-faithful protocol with none of the extensions.
+	DisableSelfHealing bool
+	// PromoteHighestID flips the successor election to pick the client
+	// with the largest peer ID (default: smallest).
+	PromoteHighestID bool
 }
 
 // Simulation owns a deployed overlay and its virtual clock.
 type Simulation struct {
-	overlay *deploy.Overlay
-	edges   []*Peer
-	rdvs    []*Peer
-	started bool
+	overlay   *deploy.Overlay
+	edges     []*Peer
+	rdvs      []*Peer
+	byNode    map[*node.Node]*Peer
+	onPromote func(*Peer)
+	started   bool
 }
 
 // Peer wraps one deployed peer (edge or rendezvous).
@@ -159,6 +174,16 @@ func NewSimulation(opts SimOptions) (*Simulation, error) {
 		Discovery: discovery.DefaultConfig(),
 		Socket:    socket.Config{WindowBytes: opts.SocketWindowBytes},
 	}
+	if !opts.DisableSelfHealing {
+		spec.Lease.SelfHeal = true
+		if opts.PromoteHighestID {
+			spec.Lease.Promotion = rendezvous.PromoteHighestID
+		}
+		// Active failure detection: a dead rendezvous leaves neighbouring
+		// peerviews after ~3 unanswered probe rounds instead of lingering
+		// a full PVE_EXPIRATION.
+		spec.Peerview.ProbeTimeoutRounds = 3
+	}
 	for i, e := range opts.Edges {
 		if e.AttachTo < 0 || e.AttachTo >= opts.Rendezvous {
 			return nil, fmt.Errorf("jxta: edge %d attaches to rendezvous %d of %d",
@@ -169,9 +194,16 @@ func NewSimulation(opts SimOptions) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim := &Simulation{overlay: o}
+	sim := &Simulation{overlay: o, byNode: make(map[*node.Node]*Peer)}
+	o.OnPromotion = func(n *node.Node) {
+		if p, ok := sim.byNode[n]; ok && sim.onPromote != nil {
+			sim.onPromote(p)
+		}
+	}
 	for _, r := range o.Rdvs {
-		sim.rdvs = append(sim.rdvs, &Peer{sim: sim, n: r})
+		p := &Peer{sim: sim, n: r}
+		sim.rdvs = append(sim.rdvs, p)
+		sim.byNode[r] = p
 	}
 	for i, e := range opts.Edges {
 		name := e.Name
@@ -182,10 +214,18 @@ func NewSimulation(opts SimOptions) (*Simulation, error) {
 		if err != nil {
 			return nil, err
 		}
-		sim.edges = append(sim.edges, &Peer{sim: sim, n: n})
+		p := &Peer{sim: sim, n: n}
+		sim.edges = append(sim.edges, p)
+		sim.byNode[n] = p
 	}
 	return sim, nil
 }
+
+// OnPromotion installs an observer that fires whenever the self-healing
+// machinery promotes an edge peer to the rendezvous role while the
+// simulation runs (successor election after a crash, or a graceful handoff
+// electing a client). The peer passed is the promoted one.
+func (s *Simulation) OnPromotion(fn func(*Peer)) { s.onPromote = fn }
 
 // Start brings every peer up.
 func (s *Simulation) Start() {
@@ -252,6 +292,7 @@ func (s *Simulation) AddEdge(name string, attachTo int) (*Peer, error) {
 	}
 	p := &Peer{sim: s, n: n}
 	s.edges = append(s.edges, p)
+	s.byNode[n] = p
 	return p, nil
 }
 
@@ -273,8 +314,27 @@ func (p *Peer) ID() string { return p.n.ID.String() }
 // Name returns the peer's configured name.
 func (p *Peer) Name() string { return p.n.Config.Name }
 
-// IsRendezvous reports the peer's role.
+// IsRendezvous reports the peer's current role. Roles are dynamic: a peer
+// deployed as an edge may have been promoted since (self-healing, or an
+// explicit Promote).
 func (p *Peer) IsRendezvous() bool { return p.n.IsRendezvous() }
+
+// Role names the peer's current role: "rendezvous" or "edge".
+func (p *Peer) Role() string {
+	if p.n.IsRendezvous() {
+		return node.Rendezvous.String()
+	}
+	return node.Edge.String()
+}
+
+// Promote switches an edge peer to the rendezvous role in place, while it
+// runs: it gains a peerview (seeded from the rendezvous network it knew),
+// starts granting leases and serving the LC-DHT, and republishes its own
+// advertisements into its fresh SRDI index. The self-healing machinery
+// calls this automatically when a successor election picks this peer;
+// exposing it lets deployments rebalance the super-peer tier by hand.
+// No-op on a rendezvous.
+func (p *Peer) Promote() { p.n.PromoteToRendezvous() }
 
 // PeerViewSize returns l, the peer's local peerview size (rendezvous only;
 // -1 for edges).
