@@ -655,16 +655,18 @@ func volatility() (any, error) {
 		XLabel: "kill interval (min)", YLabel: "success %",
 	}
 	if *csvFlag {
-		fmt.Println("mode,killEverySec,ok,timeouts,meanMs,promotions,liveTier,meanView,reconverged")
+		fmt.Println("mode,killEverySec,ok,timeouts,meanMs,promotions,liveTier,meanView,reconverged,merges,timeToSingleTierSec,mergeConverged,postOk,postTimeouts")
 	}
 	summary := map[string]any{}
 	for _, mode := range []struct {
 		name   string
 		rejoin time.Duration
-	}{{"attrition", 0}, {"kill-rejoin", 3 * time.Minute}} {
+		merge  bool
+	}{{"attrition", 0, false}, {"kill-rejoin", 3 * time.Minute, false}, {"attrition+merge", 0, true}} {
 		res, err := experiments.RunVolatility(experiments.VolatilitySpec{
 			R: r, EdgesPerRdv: edgesPer, KillEvery: killEvery,
 			RejoinAfter: mode.rejoin, Queries: queries, Seed: *seedFlag,
+			IslandMerge: mode.merge,
 		})
 		if err != nil {
 			return nil, err
@@ -677,23 +679,44 @@ func volatility() (any, error) {
 			if total > 0 {
 				success = 100 * float64(pt.Phase.Succeeded) / float64(total)
 			}
-			rows = append(rows, map[string]any{
+			row := map[string]any{
 				"kill_every_sec": pt.KillEvery.Seconds(),
 				"ok":             pt.Phase.Succeeded, "timeouts": pt.Phase.Timeouts,
 				"mean_ms": pt.Phase.Latency.Mean(), "promotions": pt.Promotions,
 				"live_tier": pt.LiveTier, "mean_view": pt.MeanView,
 				"reconverged": pt.Reconverged,
-			})
+			}
+			if pt.Merge != nil {
+				row["merges"] = pt.Merge.Merges
+				row["time_to_single_tier_sec"] = pt.Merge.TimeToSingleTier.Seconds()
+				row["merge_converged"] = pt.Merge.Converged
+				row["post_merge_ok"] = pt.Merge.Phase.Succeeded
+				row["post_merge_timeouts"] = pt.Merge.Phase.Timeouts
+			}
+			rows = append(rows, row)
 			if *csvFlag {
-				fmt.Printf("%s,%.0f,%d,%d,%.2f,%d,%d,%.2f,%v\n", mode.name,
+				mCol := ",,,,"
+				if pt.Merge != nil {
+					mCol = fmt.Sprintf("%d,%.0f,%v,%d,%d", pt.Merge.Merges,
+						pt.Merge.TimeToSingleTier.Seconds(), pt.Merge.Converged,
+						pt.Merge.Phase.Succeeded, pt.Merge.Phase.Timeouts)
+				}
+				fmt.Printf("%s,%.0f,%d,%d,%.2f,%d,%d,%.2f,%v,%s\n", mode.name,
 					pt.KillEvery.Seconds(), pt.Phase.Succeeded, pt.Phase.Timeouts,
 					pt.Phase.Latency.Mean(), pt.Promotions, pt.LiveTier,
-					pt.MeanView, pt.Reconverged)
+					pt.MeanView, pt.Reconverged, mCol)
 			} else {
-				fmt.Printf("  %-12s kill=%-5v ok=%d/%d mean=%6.1f ms  promotions=%-2d liveTier=%-3d view=%.1f reconv=%v\n",
+				fmt.Printf("  %-15s kill=%-5v ok=%d/%d mean=%6.1f ms  promotions=%-2d liveTier=%-3d view=%.1f reconv=%v",
 					mode.name, pt.KillEvery, pt.Phase.Succeeded, total,
 					pt.Phase.Latency.Mean(), pt.Promotions, pt.LiveTier,
 					pt.MeanView, pt.Reconverged)
+				if pt.Merge != nil {
+					postTotal := pt.Merge.Phase.Succeeded + pt.Merge.Phase.Timeouts
+					fmt.Printf("  merges=%d ttst=%v post=%d/%d",
+						pt.Merge.Merges, pt.Merge.TimeToSingleTier,
+						pt.Merge.Phase.Succeeded, postTotal)
+				}
+				fmt.Println()
 			}
 			s.X = append(s.X, pt.KillEvery.Minutes())
 			s.Y = append(s.Y, success)

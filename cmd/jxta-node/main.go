@@ -11,6 +11,13 @@
 // The seed's peer ID is discovered automatically through the endpoint hello
 // bootstrap, so only its address needs configuring.
 //
+// The dynamic rendezvous tier is available on live TCP overlays too:
+// -selfheal lets edges elect and promote a replacement when the whole
+// rendezvous tier is gone (and makes a Ctrl-C'd rendezvous hand its leases
+// and SRDI index to a successor), and -islandmerge lets fragmented islands
+// find each other again through gossiped tier rumors. Pass the same flags
+// to every node of a deployment.
+//
 // Shutdown is graceful on SIGINT/SIGTERM: the node runs its full service
 // lifecycle teardown — open streams FIN or reset, the rendezvous lease is
 // cancelled so the super-peer drops this client immediately instead of
@@ -32,6 +39,7 @@ import (
 	"jxta/internal/ids"
 	"jxta/internal/node"
 	"jxta/internal/peerview"
+	"jxta/internal/rendezvous"
 	"jxta/internal/transport"
 )
 
@@ -44,6 +52,8 @@ var (
 	searchFlag  = flag.String("search", "", "search for a resource advertisement with this name")
 	waitFlag    = flag.Duration("wait", 0, "exit after this long (0 = run until interrupt)")
 	rngSeed     = flag.Int64("rngseed", 0, "peer ID RNG seed (0 = time-based)")
+	selfHeal    = flag.Bool("selfheal", false, "enable the self-healing rendezvous tier: lease grants carry failover alternates and the client roster, edges elect and promote a successor when every rendezvous is gone, a graceful shutdown hands the lease table and SRDI index off")
+	islandMerge = flag.Bool("islandmerge", false, "enable gossip-driven island merging: lease traffic piggybacks signed tier rumors, fragmented rendezvous islands probe each other and merge their peerviews (usually combined with -selfheal)")
 )
 
 func main() {
@@ -70,6 +80,10 @@ func main() {
 			Name:      *nameFlag,
 			Role:      role,
 			Discovery: discovery.DefaultConfig(),
+			Lease: rendezvous.Config{
+				SelfHeal:    *selfHeal,
+				IslandMerge: *islandMerge,
+			},
 		})
 		n.Start()
 	})

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"jxta/internal/discovery"
+	"jxta/internal/ids"
 	"jxta/internal/netmodel"
 	"jxta/internal/node"
 	"jxta/internal/peerview"
@@ -62,6 +63,11 @@ type Overlay struct {
 	// for the current role.
 	OnPromotion func(*node.Node)
 
+	// OnMerge, when set, observes completed island-merge handshake legs
+	// (Spec.Lease.IslandMerge): the node that merged and its counterpart's
+	// peer ID.
+	OnMerge func(n *node.Node, peer ids.ID)
+
 	spec      Spec
 	edgeCount int
 	started   bool
@@ -106,6 +112,11 @@ func Build(spec Spec) (*Overlay, error) {
 			Discovery: spec.Discovery,
 			Socket:    spec.Socket,
 		})
+		n.MergeObserved = func(nn *node.Node, peer ids.ID) {
+			if o.OnMerge != nil {
+				o.OnMerge(nn, peer)
+			}
+		}
 		o.Rdvs = append(o.Rdvs, n)
 	}
 	for _, g := range spec.Edges {
@@ -150,6 +161,11 @@ func (o *Overlay) AddEdge(name string, attachTo int) (*node.Node, error) {
 	n.RoleChanged = func(nn *node.Node) {
 		if o.OnPromotion != nil {
 			o.OnPromotion(nn)
+		}
+	}
+	n.MergeObserved = func(nn *node.Node, peer ids.ID) {
+		if o.OnMerge != nil {
+			o.OnMerge(nn, peer)
 		}
 	}
 	o.Edges = append(o.Edges, n)

@@ -212,6 +212,45 @@ func (s *Service) Promote() {
 	s.pushAll()
 }
 
+// Rereplicate re-runs replica placement for every fresh tuple in the local
+// SRDI over the *current* peerview. The node calls it after an island
+// merge changed the view: the replica function now maps keys onto merged
+// members, so advertisements indexed on one island become discoverable
+// through the O(1) replica path from the other. Pushes are batched one
+// message per replica peer, in ascending tuple order, so the traffic is
+// deterministic under a fixed seed. Tuples already marked replicated stay
+// replicated at the receiver (no cascade).
+func (s *Service) Rereplicate() {
+	if !s.started() || s.index == nil || !s.rdv.IsRendezvous() {
+		return
+	}
+	view := s.rdv.PeerView().View()
+	batches := make(map[ids.ID]*message.Message)
+	counts := make(map[ids.ID]uint64)
+	var order []ids.ID // first-seen over sorted tuples: deterministic
+	for _, tpl := range s.index.Tuples() {
+		replica := ReplicaPeer(view, tpl.Key)
+		if replica.IsNil() || replica.Equal(s.ep.ID()) {
+			continue
+		}
+		m, ok := batches[replica]
+		if !ok {
+			m = message.New()
+			m.AddString("srdi", "Replicated", "1")
+			batches[replica] = m
+			order = append(order, replica)
+		}
+		m.Add("srdi", "Tuple", encodeTuple(tpl))
+		counts[replica]++
+	}
+	for _, dst := range order {
+		// Count only what actually left, mirroring indexAndReplicate.
+		if s.ep.Send(dst, SRDIService, batches[dst]) == nil {
+			s.Stats.TuplesReplicated += counts[dst]
+		}
+	}
+}
+
 // exportIndex serializes the SRDI for a graceful lease-state handoff.
 func (s *Service) exportIndex() (string, []*message.Message) {
 	if s.index == nil {

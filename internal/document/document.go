@@ -358,12 +358,19 @@ func Unmarshal(data []byte) (*Element, error) {
 type parser struct {
 	data []byte
 	pos  int
+	// depth tracks element nesting; maxDepth bounds the recursion so a
+	// hostile document cannot overflow the stack. No JXTA document type
+	// nests more than a handful of levels.
+	depth int
 	// slab is a bump arena for decoded Elements: one allocation hands out
 	// storage for slabSize nodes, instead of one allocation per element.
 	// Decoded documents are transient protocol payloads, so a surviving
 	// element pinning its slab is acceptable.
 	slab []Element
 }
+
+// maxDepth bounds element nesting (defense against crafted inputs).
+const maxDepth = 256
 
 const slabSize = 16
 
@@ -443,6 +450,11 @@ done:
 
 // parseElement decodes one element; p.pos must be at its '<'.
 func (p *parser) parseElement() (*Element, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxDepth {
+		return nil, errors.New("document: element nesting too deep")
+	}
 	p.pos++ // consume '<'
 	name, err := p.parseName()
 	if err != nil {

@@ -1,0 +1,67 @@
+package document
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzUnmarshal drives the hand-rolled XML codec with arbitrary bytes. Two
+// properties must hold for every input:
+//
+//  1. The decoder never panics (and never recurses past maxDepth), whatever
+//     the bytes look like.
+//  2. The canonical form is a fixpoint: when Unmarshal accepts an input,
+//     Marshal of the result must re-decode successfully, and a second
+//     encode must be byte-identical to the first. (The raw input itself is
+//     not required to round-trip byte-for-byte — the decoder normalizes
+//     line endings, entity references and invalid runes — but one pass
+//     through the codec must reach a stable form.)
+//
+// The seed corpus under testdata/fuzz/FuzzUnmarshal holds protocol-shaped
+// documents (advertisements, SRDI tuples, discovery queries) plus the codec
+// corner cases: prologs, DOCTYPE subsets, CDATA, character references,
+// attribute quoting and malformed fragments.
+func FuzzUnmarshal(f *testing.F) {
+	for _, seed := range []string{
+		"<jxta:PA><PID>urn:jxta:peer-1</PID><Name>Test</Name></jxta:PA>",
+		"<srdi:Tuple><Key>PeerNameTest</Key><Pub>urn:jxta:p</Pub><Life>120</Life></srdi:Tuple>",
+		"<disco:Q><Type>Resource</Type><Attr>Name</Attr><Value>Vol3</Value><Stage>initial</Stage></disco:Q>",
+		`<?xml version="1.0" encoding="UTF-8"?><!DOCTYPE r [<!ENTITY x "y">]><r a="1" b='2'><c>t</c></r>`,
+		"<a><![CDATA[raw <bytes> & more]]></a>",
+		"<a>&amp;&lt;&gt;&quot;&apos;&#65;&#x42;</a>",
+		"<e attr=\"line&#xA;break\">text\r\nwith\rreturns</e>",
+		"<empty/>",
+		"<a><b><c><d>deep</d></c></b></a>",
+		"<a>mixed<b/>content</a>", // rejected: mixed content
+		"<unterminated",
+		"<a></b>",
+		"&#xFFFF;<a>bad ref outside</a>",
+		strings.Repeat("<n>", 300) + strings.Repeat("</n>", 300), // depth guard
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Unmarshal(data)
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		enc, err := doc.Marshal()
+		if err != nil {
+			// The parser cannot produce mixed content, the only Marshal
+			// error; anything else here is a codec asymmetry.
+			t.Fatalf("Marshal of decoded document failed: %v", err)
+		}
+		doc2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("canonical form does not re-decode: %v\nform: %q", err, enc)
+		}
+		enc2, err := doc2.Marshal()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical form is not a fixpoint\n first: %q\n second: %q", enc, enc2)
+		}
+	})
+}

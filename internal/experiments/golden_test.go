@@ -81,6 +81,19 @@ func bandwidthFingerprint(res BandwidthResult) string {
 		s, res.Steps, res.NetStats.Messages, res.NetStats.Bytes, res.NetStats.Dropped)
 }
 
+func islandMergeFingerprint(res VolatilityResult) string {
+	s := ""
+	for _, pt := range res.Points {
+		s += fmt.Sprintf("kill=%v %s promos=%d live=%d view=%s reconv=%v merges=%d ttst=%v conv=%v post[%s];",
+			pt.KillEvery, phaseFingerprint(pt.Phase), pt.Promotions,
+			pt.LiveTier, hexFloat(pt.MeanView), pt.Reconverged,
+			pt.Merge.Merges, pt.Merge.TimeToSingleTier, pt.Merge.Converged,
+			phaseFingerprint(pt.Merge.Phase))
+	}
+	return fmt.Sprintf("%s steps=%d msgs=%d bytes=%d dropped=%d",
+		s, res.Steps, res.NetStats.Messages, res.NetStats.Bytes, res.NetStats.Dropped)
+}
+
 func volatilityFingerprint(res VolatilityResult) string {
 	s := ""
 	for _, pt := range res.Points {
@@ -105,6 +118,16 @@ const (
 	// attrition (kills with no rejoin) plus a kill/rejoin churn point must
 	// reproduce every query outcome, promotion and counter exactly.
 	goldenVolatility = "kill=1m30s ok=23 to=17 mean=0x1.07edd89eb77fep+03 promos=3 live=3 view=0x1.5555555555555p-01 reconv=false; steps=8462 msgs=3599 bytes=1843611 dropped=609 || kill=1m30s ok=32 to=8 mean=0x1.01adb8fde2ef5p+03 promos=0 live=4 view=0x1.8p+01 reconv=true; steps=10742 msgs=4391 bytes=2293155 dropped=67"
+
+	// goldenIslandMerge pins the island-merge subsystem end to end — rumor
+	// piggyback on lease traffic, tier probes and their anchor redirects,
+	// the peerview merge handshake, SRDI re-replication over the merged
+	// view and duplicate-lease reconciliation — on the same full-attrition
+	// scenario goldenVolatility leaves fragmented (live=3, reconv=false):
+	// with IslandMerge on, the three promoted islands must gossip each
+	// other into a single tier and post-merge discovery success must return
+	// to 100%, bit for bit on every replay.
+	goldenIslandMerge = "kill=1m30s ok=30 to=10 mean=0x1.0c4fda7a7c0ebp+03 promos=3 live=3 view=0x1p+01 reconv=true merges=8 ttst=0s conv=true post[ok=40 to=0 mean=0x1.0a4d3811bf452p+03]; steps=7957 msgs=3363 bytes=1841663 dropped=228"
 )
 
 func TestGoldenPeerviewReplay(t *testing.T) {
@@ -213,6 +236,42 @@ func TestGoldenVolatilityReplay(t *testing.T) {
 	}
 	if got != goldenVolatility {
 		t.Errorf("volatility replay diverged from golden self-healing behavior\n got:  %s\n want: %s", got, goldenVolatility)
+	}
+}
+
+// TestGoldenIslandMergeReplay pins the gossip-driven island merge (see
+// goldenIslandMerge). Beyond the byte-identical fingerprint it asserts the
+// headline claims directly: all surviving islands converge to a single
+// peerview tier, and post-merge discovery success is 100%.
+func TestGoldenIslandMergeReplay(t *testing.T) {
+	t.Setenv(socket.WindowEnvVar, "") // goldens must not follow ambient config
+	res, err := RunVolatility(VolatilitySpec{
+		R: 4, EdgesPerRdv: 2,
+		KillEvery: []time.Duration{90 * time.Second},
+		Kills:     4, Queries: 40, Seed: 42,
+		IslandMerge: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := res.Points[0]
+	if pt.Merge == nil {
+		t.Fatal("IslandMerge spec produced no merge phase")
+	}
+	if !pt.Merge.Converged || !pt.Reconverged {
+		t.Errorf("islands did not converge to a single tier: live=%d view=%.2f conv=%v",
+			pt.LiveTier, pt.MeanView, pt.Merge.Converged)
+	}
+	if pt.Merge.Phase.Timeouts != 0 || pt.Merge.Phase.Succeeded == 0 {
+		t.Errorf("post-merge discovery not 100%%: ok=%d timeouts=%d",
+			pt.Merge.Phase.Succeeded, pt.Merge.Phase.Timeouts)
+	}
+	got := islandMergeFingerprint(res)
+	if goldenIslandMerge == "UNSET" {
+		t.Fatalf("capture golden:\n%s", got)
+	}
+	if got != goldenIslandMerge {
+		t.Errorf("island-merge replay diverged from golden behavior\n got:  %s\n want: %s", got, goldenIslandMerge)
 	}
 }
 

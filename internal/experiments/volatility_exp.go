@@ -43,6 +43,15 @@ type VolatilitySpec struct {
 	RejoinAfter time.Duration
 	// Queries is the number of lookups issued while the killing runs.
 	Queries int
+	// IslandMerge enables the gossip-driven island merge and appends a
+	// post-attrition merge phase to every sweep point: after the kill
+	// schedule finishes, the run polls the tier until the surviving islands
+	// have merged into a single peerview (or MergeSettle elapses), records
+	// the time-to-single-tier, and measures discovery success again on the
+	// merged overlay (VolatilityPoint.Merge).
+	IslandMerge bool
+	// MergeSettle caps the merge phase (default 30 min virtual time).
+	MergeSettle time.Duration
 	// Seed is the master determinism seed.
 	Seed int64
 }
@@ -60,7 +69,27 @@ func (s VolatilitySpec) withDefaults() VolatilitySpec {
 	if s.Queries <= 0 {
 		s.Queries = 20
 	}
+	if s.MergeSettle <= 0 {
+		s.MergeSettle = 30 * time.Minute
+	}
 	return s
+}
+
+// MergeStats reports the post-attrition island-merge phase of one sweep
+// point (VolatilitySpec.IslandMerge).
+type MergeStats struct {
+	// Merges counts completed merge handshake legs across the whole run
+	// (merges start as soon as islands form, not only in this phase).
+	Merges int
+	// TimeToSingleTier is the virtual time from the end of the kill/query
+	// phase until every live tier member saw the full tier — the headline
+	// reconvergence metric. When Converged is false it equals the settle
+	// window (the cap).
+	TimeToSingleTier time.Duration
+	// Converged reports whether the single tier was reached in the window.
+	Converged bool
+	// Phase aggregates post-merge discovery outcomes on the merged tier.
+	Phase PhaseStats
 }
 
 // VolatilityPoint is one sweep point's outcome.
@@ -80,6 +109,9 @@ type VolatilityPoint struct {
 	// tier (l = LiveTier-1) after the settle window — property (2) of the
 	// paper restored on the healed overlay.
 	Reconverged bool
+	// Merge reports the post-attrition merge phase; nil unless the spec
+	// enabled IslandMerge.
+	Merge *MergeStats
 }
 
 // VolatilityResult reports the full sweep.
@@ -125,6 +157,26 @@ func tierStats(o *deploy.Overlay) (live int, meanView float64, reconverged bool)
 	return live, float64(sum) / float64(live), reconverged
 }
 
+// edgesSettled reports the client side of reconvergence: every started,
+// attached, edge-role peer holds a rendezvous lease again. A tier can look
+// merged while edges are still cycling through failover (or sitting
+// dormant until a tier probe wakes them); declaring the single tier before
+// they re-lease — and re-push their SRDI tuples — would overstate how
+// healed the overlay is.
+func edgesSettled(o *deploy.Overlay) bool {
+	for _, list := range [][]*node.Node{o.Rdvs, o.Edges} {
+		for _, n := range list {
+			if n.IsRendezvous() || !n.Started() || !attached(o, n) {
+				continue
+			}
+			if _, ok := n.Rendezvous.ConnectedRdv(); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // RunVolatility executes the sweep: one overlay per KillEvery point, same
 // seed, crashing rendezvous round-robin while the searcher issues queries.
 func RunVolatility(spec VolatilitySpec) (VolatilityResult, error) {
@@ -163,6 +215,7 @@ func runVolatilityPoint(spec VolatilitySpec, killEvery time.Duration) (Volatilit
 			ResponseTimeout:  10 * time.Second,
 			FailoverAttempts: 4,
 			SelfHeal:         true,
+			IslandMerge:      spec.IslandMerge,
 		},
 		Discovery: discovery.DefaultConfig(),
 		Edges:     edges,
@@ -171,6 +224,10 @@ func runVolatilityPoint(spec VolatilitySpec, killEvery time.Duration) (Volatilit
 		return pt, 0, transport.Stats{}, err
 	}
 	o.OnPromotion = func(*node.Node) { pt.Promotions++ }
+	if spec.IslandMerge {
+		pt.Merge = &MergeStats{}
+		o.OnMerge = func(*node.Node, ids.ID) { pt.Merge.Merges++ }
+	}
 	o.StartAll()
 	publisher, searcher := o.Edges[0], o.Edges[len(o.Edges)-1]
 	o.Sched.Run(20 * time.Minute) // converge views and leases
@@ -217,10 +274,48 @@ func runVolatilityPoint(spec VolatilitySpec, killEvery time.Duration) (Volatilit
 	}
 	pt.Phase = ps
 
-	// Let detection, elections and peerview gossip settle, then read the
-	// healed tier.
-	o.Sched.Run(o.Sched.Now() + 20*time.Minute)
-	pt.LiveTier, pt.MeanView, pt.Reconverged = tierStats(o)
+	if pt.Merge == nil {
+		// Let detection, elections and peerview gossip settle, then read
+		// the healed tier.
+		o.Sched.Run(o.Sched.Now() + 20*time.Minute)
+		pt.LiveTier, pt.MeanView, pt.Reconverged = tierStats(o)
+	} else {
+		// The kill schedule can outlast the query phase; the merge phase
+		// is post-attrition by definition, so let the remaining crashes
+		// land before starting the clock. Without rejoins at most R kills
+		// can ever land — don't wait for a quota that cannot fill.
+		for killed < spec.Kills {
+			if spec.RejoinAfter <= 0 && killed >= spec.R {
+				break
+			}
+			o.Sched.Run(o.Sched.Now() + killEvery)
+		}
+		// Merge phase: poll the tier until the surviving islands gossiped
+		// each other into a single peerview, recording time-to-single-tier,
+		// then measure discovery on the merged overlay. tierStats only
+		// reads node state, so the polling cannot perturb the replay.
+		start := o.Sched.Now()
+		deadline := start + spec.MergeSettle
+		for o.Sched.Now() < deadline {
+			live, _, reconv := tierStats(o)
+			if reconv && live > 0 && edgesSettled(o) {
+				pt.Merge.Converged = true
+				break
+			}
+			step := o.Sched.Now() + 30*time.Second
+			if step > deadline {
+				step = deadline
+			}
+			o.Sched.Run(step)
+		}
+		pt.Merge.TimeToSingleTier = o.Sched.Now() - start
+		pt.LiveTier, pt.MeanView, pt.Reconverged = tierStats(o)
+		ps, err := runQueryPhase(o, searcher, spec.Queries, advCount, "Vol")
+		if err != nil {
+			return pt, 0, transport.Stats{}, err
+		}
+		pt.Merge.Phase = ps
+	}
 	steps, ns := o.Sched.Steps(), o.Net.Stats()
 	o.StopAll()
 	return pt, steps, ns, nil

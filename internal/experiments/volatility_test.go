@@ -51,6 +51,69 @@ func TestVolatilityRejoinReconverges(t *testing.T) {
 	}
 }
 
+// TestVolatilityIslandMergeConverges re-runs the attrition scenario with
+// the island merge on: the same spec that fragments into three islands
+// (TestVolatilityPromotionHealsAttrition leaves reconv=false) must now
+// gossip itself back into a single tier with full discovery success. It
+// also checks the sweep stays fragmented when the merge is off, so the
+// comparison is meaningful.
+func TestVolatilityIslandMergeConverges(t *testing.T) {
+	spec := VolatilitySpec{
+		R: 4, EdgesPerRdv: 2,
+		KillEvery: []time.Duration{90 * time.Second},
+		Kills:     4, Queries: 40, Seed: 42,
+	}
+	off, err := RunVolatility(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Points[0].Reconverged {
+		t.Skip("attrition no longer fragments without the merge; scenario lost its point")
+	}
+	spec.IslandMerge = true
+	on, err := RunVolatility(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := on.Points[0]
+	if pt.Merge == nil {
+		t.Fatal("no merge phase recorded")
+	}
+	if pt.Merge.Merges == 0 {
+		t.Fatal("no merge handshake completed")
+	}
+	if !pt.Merge.Converged || !pt.Reconverged || pt.LiveTier == 0 {
+		t.Fatalf("tier did not converge: live=%d view=%.2f conv=%v",
+			pt.LiveTier, pt.MeanView, pt.Merge.Converged)
+	}
+	if pt.Merge.Phase.Timeouts != 0 {
+		t.Fatalf("post-merge discovery below 100%%: ok=%d timeouts=%d",
+			pt.Merge.Phase.Succeeded, pt.Merge.Phase.Timeouts)
+	}
+}
+
+// TestMergePhaseKillsExceedR: an attrition spec asking for more kills than
+// rendezvous exist must not hang the merge phase waiting for a kill quota
+// that can never fill (regression; only R kills can land without rejoins).
+func TestMergePhaseKillsExceedR(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunVolatility(VolatilitySpec{
+			R: 3, EdgesPerRdv: 1, Kills: 9, Queries: 5,
+			KillEvery: []time.Duration{time.Minute}, Seed: 1, IslandMerge: true,
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("RunVolatility hung with Kills > R")
+	}
+}
+
 func TestVolatilityRejectsTinyOverlay(t *testing.T) {
 	if _, err := RunVolatility(VolatilitySpec{R: 1}); err == nil {
 		t.Fatal("R=1 accepted")

@@ -1,0 +1,288 @@
+package node
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/discovery"
+	"jxta/internal/ids"
+	"jxta/internal/netmodel"
+	"jxta/internal/peerview"
+	"jxta/internal/rendezvous"
+	"jxta/internal/simnet"
+	"jxta/internal/transport"
+)
+
+// mergeHarness deploys isolated rendezvous islands plus bridge edges on one
+// scheduler, with self-healing and the island merge enabled — the unit-level
+// counterpart of the volatility sweep's attrition endgame.
+type mergeHarness struct {
+	sched  *simnet.Scheduler
+	net    *transport.Network
+	nodes  []*Node
+	merges []string // "<node>:<peer>" in completion order (replay fingerprint)
+}
+
+func newMergeHarness(t *testing.T, seed int64) *mergeHarness {
+	t.Helper()
+	sched := simnet.NewScheduler(seed)
+	return &mergeHarness{
+		sched: sched,
+		net:   transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond)),
+	}
+}
+
+func mergeLeaseConfig() rendezvous.Config {
+	return rendezvous.Config{
+		LeaseDuration:    4 * time.Minute,
+		ResponseTimeout:  10 * time.Second,
+		FailoverAttempts: 2,
+		SelfHeal:         true,
+		IslandMerge:      true,
+	}
+}
+
+// addNode deploys one peer. Rendezvous peers get no seeds — each is its own
+// island until a merge finds it.
+func (h *mergeHarness) addNode(t *testing.T, name string, role Role, seeds []peerview.Seed) *Node {
+	t.Helper()
+	tr, err := h.net.Attach(name, netmodel.Site(len(h.nodes)%netmodel.NumSites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := New(h.sched.NewEnv(name), tr, Config{
+		Name:     name,
+		Role:     role,
+		Seeds:    seeds,
+		Peerview: peerview.Config{ProbeTimeoutRounds: 3},
+		Lease:    mergeLeaseConfig(),
+	})
+	n.MergeObserved = func(nn *Node, peer ids.ID) {
+		h.merges = append(h.merges, nn.Config.Name+":"+peer.Short())
+	}
+	h.nodes = append(h.nodes, n)
+	return n
+}
+
+func (h *mergeHarness) run(d time.Duration) { h.sched.Run(h.sched.Now() + d) }
+
+// viewFingerprint renders every rendezvous-role node's sorted view — the
+// tier topology, replayed runs must agree byte for byte.
+func (h *mergeHarness) viewFingerprint() string {
+	out := ""
+	for _, n := range h.nodes {
+		if !n.IsRendezvous() {
+			continue
+		}
+		out += n.Config.Name + "=["
+		for _, id := range n.PeerView.View() {
+			out += id.Short() + " "
+		}
+		out += "];"
+	}
+	return out
+}
+
+// checkViewInvariants asserts every view is strictly ID-sorted (no
+// duplicate members) — the structural invariant the merge must preserve.
+func (h *mergeHarness) checkViewInvariants(t *testing.T) {
+	t.Helper()
+	for _, n := range h.nodes {
+		if !n.IsRendezvous() {
+			continue
+		}
+		view := n.PeerView.View()
+		if !sort.SliceIsSorted(view, func(i, j int) bool { return view[i].Less(view[j]) }) {
+			t.Errorf("%s: view not sorted: %v", n.Config.Name, view)
+		}
+		for i := 1; i < len(view); i++ {
+			if view[i].Equal(view[i-1]) {
+				t.Errorf("%s: duplicate view member %s", n.Config.Name, view[i])
+			}
+		}
+	}
+}
+
+// runSymmetricMerge drives the crossing-handshake case: A initiates a merge
+// with B in the same scheduler instant B initiates one with A.
+func runSymmetricMerge(t *testing.T, seed int64) (fingerprint string) {
+	t.Helper()
+	h := newMergeHarness(t, seed)
+	a := h.addNode(t, "a", Rendezvous, nil)
+	b := h.addNode(t, "b", Rendezvous, nil)
+	a.Start()
+	b.Start()
+	h.run(time.Minute)
+	h.sched.After(0, func() { a.PeerView.Merge(b.Seed()) })
+	h.sched.After(0, func() { b.PeerView.Merge(a.Seed()) })
+	h.run(5 * time.Minute)
+	h.checkViewInvariants(t)
+	if !a.PeerView.Contains(b.ID) || !b.PeerView.Contains(a.ID) {
+		t.Fatalf("symmetric merge did not union: a=%d b=%d members",
+			a.PeerView.Size(), b.PeerView.Size())
+	}
+	if a.PeerView.Size() != 1 || b.PeerView.Size() != 1 {
+		t.Fatalf("crossing merges duplicated members: a=%d b=%d",
+			a.PeerView.Size(), b.PeerView.Size())
+	}
+	return h.viewFingerprint() + fmt.Sprint(h.merges)
+}
+
+// TestSymmetricSimultaneousMerge: A→B and B→A in the same instant must
+// converge to one clean mutual view, deterministically across replays.
+func TestSymmetricSimultaneousMerge(t *testing.T) {
+	first := runSymmetricMerge(t, 9)
+	second := runSymmetricMerge(t, 9)
+	if first != second {
+		t.Fatalf("symmetric merge not deterministic\n first:  %s\n second: %s", first, second)
+	}
+}
+
+// runMergeMidHandoff reproduces a merge racing a graceful stop: B's merge
+// handshake toward A is in flight when A stops and hands its clients off.
+func runMergeMidHandoff(t *testing.T, seed int64) string {
+	t.Helper()
+	h := newMergeHarness(t, seed)
+	a := h.addNode(t, "a", Rendezvous, nil)
+	b := h.addNode(t, "b", Rendezvous, nil)
+	e1 := h.addNode(t, "e1", Edge, []peerview.Seed{a.Seed()})
+	e2 := h.addNode(t, "e2", Edge, []peerview.Seed{a.Seed()})
+	for _, n := range h.nodes {
+		n.Start()
+	}
+	h.run(2 * time.Minute) // e1, e2 lease with a
+	// B's merge leaves in this instant; A stops before the one-way network
+	// latency elapses, so the handshake reaches a peer mid-handoff.
+	h.sched.After(0, func() { b.PeerView.Merge(a.Seed()) })
+	h.sched.After(500*time.Microsecond, func() { a.Stop() })
+	h.run(10 * time.Minute)
+	h.checkViewInvariants(t)
+	if a.Started() {
+		t.Fatal("a still running")
+	}
+	// The handoff must have elected one of the clients; the survivor tier
+	// keeps serving the other edge.
+	var successor *Node
+	for _, n := range []*Node{e1, e2} {
+		if n.IsRendezvous() {
+			successor = n
+		}
+	}
+	if successor == nil {
+		t.Fatal("graceful stop elected no successor")
+	}
+	if successor.PeerView.Contains(a.ID) {
+		t.Fatal("stopped rendezvous resurrected in the successor's view")
+	}
+	return h.viewFingerprint() + fmt.Sprint(h.merges)
+}
+
+// TestMergeArrivingMidGracefulHandoff: the stopping peer must ignore the
+// in-flight handshake (its peerview is stopped), the handoff must complete
+// normally, and the whole interleaving must replay identically.
+func TestMergeArrivingMidGracefulHandoff(t *testing.T) {
+	first := runMergeMidHandoff(t, 11)
+	second := runMergeMidHandoff(t, 11)
+	if first != second {
+		t.Fatalf("merge-mid-handoff not deterministic\n first:  %s\n second: %s", first, second)
+	}
+}
+
+// runThreeIslandChain drives the bridge scenario from the ROADMAP: three
+// isolated rendezvous islands converge into one tier through a single edge
+// that contacted all three over its lifetime.
+func runThreeIslandChain(t *testing.T, seed int64) string {
+	t.Helper()
+	h := newMergeHarness(t, seed)
+	a := h.addNode(t, "a", Rendezvous, nil)
+	b := h.addNode(t, "b", Rendezvous, nil)
+	c := h.addNode(t, "c", Rendezvous, nil)
+	// One client per island keeps every anchor's island alive and observable.
+	ca := h.addNode(t, "ca", Edge, []peerview.Seed{a.Seed()})
+	h.addNode(t, "cb", Edge, []peerview.Seed{b.Seed()})
+	cc := h.addNode(t, "cc", Edge, []peerview.Seed{c.Seed()})
+	// The bridge rotates c → b → a as its lease holders die under it.
+	bridge := h.addNode(t, "bridge", Edge, []peerview.Seed{c.Seed(), b.Seed(), a.Seed()})
+	for _, n := range h.nodes {
+		n.Start()
+	}
+	h.run(2 * time.Minute) // bridge leases at c
+	if rdv, ok := bridge.Rendezvous.ConnectedRdv(); !ok || !rdv.Equal(c.ID) {
+		t.Fatalf("bridge did not lease at c first")
+	}
+	// c's island content, to prove cross-island discovery post-merge.
+	cc.Discovery.Publish(&advertisement.Resource{
+		ResID: ids.FromName(ids.KindAdv, "island-c-res"),
+		Name:  "IslandC",
+	}, 0)
+	h.run(time.Minute)
+	c.Kill()
+	h.run(3 * time.Minute) // bridge fails over to b
+	b.Kill()
+	h.run(3 * time.Minute) // bridge fails over to a
+	if rdv, ok := bridge.Rendezvous.ConnectedRdv(); !ok || !rdv.Equal(a.ID) {
+		rdvStr := "none"
+		if ok {
+			rdvStr = rdv.Short()
+		}
+		t.Fatalf("bridge did not end at a (holds %s)", rdvStr)
+	}
+	// The islands return at their old addresses, still mutually unknown —
+	// only the bridge's rumor store ties the three together.
+	h.net.Reattach(b.Endpoint.Transport().(*transport.Sim))
+	b.Restart()
+	h.net.Reattach(c.Endpoint.Transport().(*transport.Sim))
+	c.Restart()
+	h.run(15 * time.Minute)
+	h.checkViewInvariants(t)
+	// Orphaned island clients may have promoted themselves while their
+	// anchor was down (self-healing); the claim is that whatever tier
+	// exists now is a SINGLE one: every rendezvous-role node sees all the
+	// others, a/b/c included.
+	var tier []*Node
+	for _, n := range h.nodes {
+		if n.IsRendezvous() && n.Started() {
+			tier = append(tier, n)
+		}
+	}
+	if len(tier) < 3 {
+		t.Fatalf("tier shrank to %d members", len(tier))
+	}
+	for _, n := range tier {
+		if n.PeerView.Size() != len(tier)-1 {
+			t.Fatalf("tier not single after bridge gossip: %s sees %d of %d",
+				n.Config.Name, n.PeerView.Size(), len(tier)-1)
+		}
+	}
+	// Cross-island discovery: a's client finds content republished by c's
+	// client after c's cold restart (the SRDI re-replicated on merge).
+	cc.Discovery.Publish(&advertisement.Resource{
+		ResID: ids.FromName(ids.KindAdv, "island-c-res"),
+		Name:  "IslandC",
+	}, 0)
+	h.run(2 * time.Minute)
+	found := false
+	if err := ca.Discovery.Query("Resource", "Name", "IslandC",
+		func(r discovery.Result) { found = found || len(r.Advs) > 0 },
+		nil); err != nil {
+		t.Fatalf("cross-island query failed: %v", err)
+	}
+	h.run(time.Minute)
+	if !found {
+		t.Fatal("cross-island discovery found nothing after the merge")
+	}
+	return h.viewFingerprint() + fmt.Sprint(h.merges)
+}
+
+// TestThreeIslandChainConvergesThroughBridge: the chain A–B–C converges
+// through one bridge edge, replayed twice for determinism.
+func TestThreeIslandChainConvergesThroughBridge(t *testing.T) {
+	first := runThreeIslandChain(t, 21)
+	second := runThreeIslandChain(t, 21)
+	if first != second {
+		t.Fatalf("three-island chain not deterministic\n first:  %s\n second: %s", first, second)
+	}
+}

@@ -104,6 +104,11 @@ type Node struct {
 	// hooks). It fires after the swap completed.
 	RoleChanged func(*Node)
 
+	// MergeObserved, when set, observes completed island-merge handshake
+	// legs (Config.Lease.IslandMerge): it fires with the merge counterpart
+	// after the peerview union and the SRDI re-replication.
+	MergeObserved func(n *Node, peer ids.ID)
+
 	rdvAdv *advertisement.Rdv
 	reg    lifecycle.Registry
 	// pvRegIndex is where the peerview service lives (or would live) in the
@@ -172,6 +177,14 @@ func New(e env.Env, tr transport.Transport, cfg Config) *Node {
 	// Role is dynamic: the rendezvous service's self-healing paths (crash
 	// election, graceful handoff) promote the whole node through this hook.
 	n.Rendezvous.SetPromoteHook(n.PromoteToRendezvous)
+	// A completed island merge changes the replica mapping: re-replicate
+	// the SRDI over the merged view, then surface the event.
+	n.Rendezvous.AddMergeListener(func(peer ids.ID) {
+		n.Discovery.Rereplicate()
+		if n.MergeObserved != nil {
+			n.MergeObserved(n, peer)
+		}
+	})
 	return n
 }
 

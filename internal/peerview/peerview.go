@@ -21,9 +21,25 @@
 // advertisement of a randomly chosen third rendezvous. A referral for an
 // unknown peer is not inserted directly — the peer probes the referred
 // rendezvous first and inserts it when it answers (§3.2).
+//
+// # Island merge
+//
+// Under total attrition the tier can fragment into islands: promoted
+// successors that anchor disjoint peerviews and never learn the other
+// anchors exist (the degenerate case of the paper's §5 volatility axis).
+// The merge protocol closes that gap deterministically: when the rendezvous
+// service learns of a foreign rendezvous through a gossiped tier rumor
+// (Rumor/RumorStore below), it calls Merge — the initiator sends its full
+// ID-sorted member list (self included), the receiver unions it into its
+// own view and answers with its post-union list, and the initiator unions
+// that. Both sides then notify the MergeListener so the layers above can
+// re-replicate SRDI tuples and reconcile duplicate client leases.
 package peerview
 
 import (
+	"hash/fnv"
+	"strconv"
+	"strings"
 	"time"
 
 	"jxta/internal/advertisement"
@@ -47,6 +63,10 @@ const (
 	typeResponse = "response"
 	typeReferral = "referral"
 	typeUpdate   = "update"
+	// Merge handshake: the message carries the sender's whole member list
+	// as repeated RdvAdv elements (self first, then ascending ID order).
+	typeMerge    = "merge"
+	typeMergeAck = "mergeack"
 )
 
 // Config carries the protocol tunables. The zero value is replaced by the
@@ -110,6 +130,144 @@ type Seed struct {
 	Addr transport.Addr
 }
 
+// Rumor is one gossiped "tier rumor": the identity and address of a peer
+// believed to hold (or to have been elected into) the rendezvous role.
+// Rumors piggyback on edge traffic — lease requests and grants — so any
+// edge that ever contacted two islands becomes a bridge between them. Sig
+// is an FNV-1a checksum over the record, standing in for a signature: a
+// relay cannot silently corrupt the identity or address in transit without
+// the record being dropped on receipt (Verify).
+type Rumor struct {
+	Seed
+	Sig uint64
+}
+
+// NewRumor builds a checksummed rumor for the given tier member.
+func NewRumor(sd Seed) Rumor { return Rumor{Seed: sd, Sig: rumorSig(sd)} }
+
+// rumorSig computes the record checksum over "id|addr".
+func rumorSig(sd Seed) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(sd.ID.String()))
+	h.Write([]byte{'|'})
+	h.Write([]byte(sd.Addr))
+	return h.Sum64()
+}
+
+// Verify reports whether the checksum matches the record.
+func (r Rumor) Verify() bool { return r.Sig == rumorSig(r.Seed) }
+
+// Encode renders "id addr sig" (transport addresses contain no spaces).
+func (r Rumor) Encode() string {
+	return r.ID.String() + " " + string(r.Addr) + " " + strconv.FormatUint(r.Sig, 16)
+}
+
+// ParseRumor is the inverse of Encode. It rejects malformed records and
+// records whose checksum does not verify.
+func ParseRumor(v string) (Rumor, bool) {
+	fields := strings.Fields(v)
+	if len(fields) != 3 {
+		return Rumor{}, false
+	}
+	id, err := ids.Parse(fields[0])
+	if err != nil {
+		return Rumor{}, false
+	}
+	sig, err := strconv.ParseUint(fields[2], 16, 64)
+	if err != nil {
+		return Rumor{}, false
+	}
+	r := Rumor{Seed: Seed{ID: id, Addr: transport.Addr(fields[1])}, Sig: sig}
+	if !r.Verify() {
+		return Rumor{}, false
+	}
+	return r, true
+}
+
+// RumorStore accumulates tier rumors in ascending ID order. Unlike the
+// failover alternates — which each lease grant replaces wholesale — the
+// store only grows (or refreshes addresses), because a rumor's value is
+// exactly that it may name a rendezvous the *current* island has never
+// heard of. Entries without an address are rejected: they cannot be probed.
+type RumorStore struct {
+	byID   map[ids.ID]int // index into ordered
+	order  []Rumor        // ascending ID
+	cursor int            // rotating window position (NextWindow)
+}
+
+// NewRumorStore builds an empty store.
+func NewRumorStore() *RumorStore {
+	return &RumorStore{byID: make(map[ids.ID]int)}
+}
+
+// Add inserts a verified rumor, keeping ID order. A record for a known ID
+// refreshes the stored address. It reports whether the store changed.
+func (rs *RumorStore) Add(r Rumor) bool {
+	if !r.Verify() || r.Addr == "" || r.ID.IsNil() {
+		return false
+	}
+	if i, ok := rs.byID[r.ID]; ok {
+		if rs.order[i].Addr == r.Addr {
+			return false
+		}
+		rs.order[i] = r
+		return true
+	}
+	lo, hi := 0, len(rs.order)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rs.order[mid].ID.Less(r.ID) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	rs.order = append(rs.order, Rumor{})
+	copy(rs.order[lo+1:], rs.order[lo:])
+	rs.order[lo] = r
+	for i := lo + 1; i < len(rs.order); i++ {
+		rs.byID[rs.order[i].ID] = i
+	}
+	rs.byID[r.ID] = lo
+	return true
+}
+
+// AddSeed is Add over a locally learned identity (checksummed here).
+func (rs *RumorStore) AddSeed(sd Seed) bool { return rs.Add(NewRumor(sd)) }
+
+// Len returns the number of stored rumors.
+func (rs *RumorStore) Len() int { return len(rs.order) }
+
+// All returns the rumors in ascending ID order (shared backing array; the
+// caller must not mutate entries).
+func (rs *RumorStore) All() []Rumor { return rs.order }
+
+// NextWindow returns up to n rumors starting at an internal rotating
+// cursor, advancing it. Piggyback channels are capped per message; always
+// sending the first n by ID would starve every identity past the cap —
+// possibly the one pointer that bridges two islands. Rotating the window
+// guarantees the whole store circulates over successive messages. Inserts
+// shift the order, so a rotation step may repeat or skip an entry once;
+// the cycle stays complete and deterministic.
+func (rs *RumorStore) NextWindow(n int) []Rumor {
+	total := len(rs.order)
+	if total == 0 || n <= 0 {
+		return nil
+	}
+	if n > total {
+		n = total
+	}
+	if rs.cursor >= total {
+		rs.cursor = 0
+	}
+	out := make([]Rumor, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rs.order[(rs.cursor+i)%total])
+	}
+	rs.cursor = (rs.cursor + n) % total
+	return out
+}
+
 // EventKind classifies peerview membership events (Figure 3 right).
 type EventKind int
 
@@ -129,6 +287,12 @@ func (k EventKind) String() string {
 
 // Listener observes membership events as they happen.
 type Listener func(kind EventKind, peer ids.ID, at time.Duration)
+
+// MergeListener observes completed merge handshakes: it fires once per
+// handshake leg, with the counterpart's ID, after the remote member list
+// was unioned into the local view. The rendezvous service hooks it to
+// re-replicate SRDI tuples and reconcile duplicate client leases.
+type MergeListener func(peer ids.ID)
 
 // entry is one peerview slot: the advertisement plus its last refresh time.
 type entry struct {
@@ -152,6 +316,7 @@ type PeerView struct {
 	boot     env.Timer // the immediate first iteration armed by Start
 	stopped  bool      // explicitly stopped: ignore inbound traffic
 	listener Listener
+	onMerge  MergeListener
 
 	// probed tracks outstanding probes triggered by referrals, so one
 	// referral storm cannot launch duplicate probes within an interval.
@@ -228,6 +393,9 @@ func (pv *PeerView) AddSeed(seed Seed) { pv.seeds = append(pv.seeds, seed) }
 
 // SetListener installs the membership event observer.
 func (pv *PeerView) SetListener(l Listener) { pv.listener = l }
+
+// SetMergeListener installs the merge handshake observer.
+func (pv *PeerView) SetMergeListener(l MergeListener) { pv.onMerge = l }
 
 // Size returns l, the local peerview size excluding the local peer.
 func (pv *PeerView) Size() int { return len(pv.entries) }
@@ -448,6 +616,62 @@ func advertisementMessage(msgType string, adv *advertisement.Rdv) *message.Messa
 func (pv *PeerView) sendProbe(to ids.ID)  { pv.send(to, typeProbe, pv.self) }
 func (pv *PeerView) sendUpdate(to ids.ID) { pv.send(to, typeUpdate, pv.self) }
 
+// Merge initiates the deterministic peerview merge handshake with a
+// (rumored) foreign rendezvous: the full local member list travels to the
+// target, which unions it and answers with its own. A dead or still-edge
+// target simply never answers — the initiation costs one message. No-op on
+// a stopped view or a self-target.
+func (pv *PeerView) Merge(sd Seed) {
+	if pv.stopped || pv.onMerge == nil || sd.ID.IsNil() || sd.ID.Equal(pv.self.PeerID) {
+		return
+	}
+	if sd.Addr != "" {
+		pv.ep.AddRoute(sd.ID, sd.Addr)
+	}
+	pv.sendView(sd.ID, typeMerge)
+}
+
+// sendView sends a typed message carrying the whole view: the local peer's
+// advertisement first, then every entry in ascending ID order.
+func (pv *PeerView) sendView(to ids.ID, msgType string) {
+	m := message.New()
+	m.AddString(ns, elemType, msgType)
+	addAdv := func(adv *advertisement.Rdv) {
+		if data, err := advertisement.EncodeXML(adv); err == nil {
+			m.Add(ns, elemAdv, data)
+		}
+	}
+	addAdv(pv.self)
+	for _, en := range pv.entries {
+		addAdv(en.adv)
+	}
+	_ = pv.ep.Send(to, ServiceName, m)
+}
+
+// receiveMerge handles both legs of the merge handshake: union every
+// carried advertisement into the view, answer a request with the (now
+// merged) local list, and notify the merge listener.
+func (pv *PeerView) receiveMerge(src ids.ID, msgType string, m *message.Message) {
+	for _, el := range m.Elements() {
+		if el.Namespace != ns || el.Name != elemAdv {
+			continue
+		}
+		advAny, err := advertisement.DecodeXML(el.Data)
+		if err != nil {
+			continue
+		}
+		if adv, ok := advAny.(*advertisement.Rdv); ok {
+			pv.upsert(adv)
+		}
+	}
+	if msgType == typeMerge {
+		pv.sendView(src, typeMergeAck)
+	}
+	if pv.onMerge != nil {
+		pv.onMerge(src)
+	}
+}
+
 // receive handles inbound peerview messages. An explicitly stopped
 // peerview ignores them: answering probes would let neighbours refresh the
 // stopped peer in their views forever, and probing referrals would send
@@ -463,6 +687,18 @@ func (pv *PeerView) receive(src ids.ID, m *message.Message) {
 	// of life.
 	delete(pv.missed, src)
 	msgType := m.GetString(ns, elemType)
+	if msgType == typeMerge || msgType == typeMergeAck {
+		// The merge protocol is opt-in: a view whose owner never installed
+		// a merge listener (the rendezvous service installs one only with
+		// IslandMerge enabled) must not bulk-union member lists a foreign
+		// peer sends it — a one-sided union would enlarge its replica
+		// mapping without the SRDI re-replication that keeps it honest.
+		if pv.onMerge == nil {
+			return
+		}
+		pv.receiveMerge(src, msgType, m)
+		return
+	}
 	data, ok := m.Get(ns, elemAdv)
 	if !ok {
 		return

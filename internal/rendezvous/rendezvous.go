@@ -58,6 +58,10 @@ const (
 	elemClient    = "Cli"      // repeated: client roster/handoff entry (SelfHeal)
 	elemHandoff   = "Handoff"  // lease-table handoff to the successor (SelfHeal)
 	elemRedirect  = "Redirect" // "id addr" of the successor to re-lease with
+	elemRumor     = "Rumor"    // repeated: gossiped tier rumor "id addr sig" (IslandMerge)
+	elemMergeRst  = "MergeR"   // merge reconciliation: sender's client roster (IslandMerge)
+	elemTierProbe = "TProbe"   // tier probe: "is the rumored peer (near) a rendezvous?"
+	elemTierAck   = "TAck"     // tier probe answer, carrying a rumor to merge with
 )
 
 // Walk protocol elements, namespace "walk".
@@ -126,6 +130,18 @@ type Config struct {
 	SelfHeal bool
 	// Promotion picks the successor among the client roster (SelfHeal).
 	Promotion PromotionPolicy
+	// IslandMerge enables gossip-driven merging of fragmented rendezvous
+	// islands: lease requests and grants piggyback checksummed "tier rumor"
+	// records naming every rendezvous the sender ever heard of, so an edge
+	// that contacted two islands bridges them — its rendezvous learns of
+	// the foreign anchor, runs the deterministic peerview merge handshake,
+	// re-replicates SRDI tuples over the merged view and reconciles
+	// duplicate client leases (lowest-ID rendezvous wins, losers redirect).
+	// Off by default: no rumor element leaves the peer and no merge is ever
+	// initiated, keeping the SelfHeal-only wire format byte-identical.
+	// Usually enabled together with SelfHeal (islands form through
+	// promotion), but functional without it.
+	IslandMerge bool
 }
 
 // DefaultConfig returns JXTA-C-like lease tunables.
@@ -160,6 +176,11 @@ func (c Config) withDefaults() Config {
 const (
 	maxAlternates = 8
 	maxRoster     = 16
+	// maxRumors caps the tier rumors piggybacked per lease message
+	// (IslandMerge). Generous relative to maxAlternates: a starved rumor
+	// list could permanently hide the one cross-island identity that would
+	// have bridged two islands.
+	maxRumors = 16
 )
 
 // WalkHandler consumes a walked message at each visited rendezvous. Returning
@@ -216,6 +237,18 @@ type Service struct {
 	promoteFn    func()
 	exporter     StateExporter
 
+	// Island-merge state (IslandMerge). The rumor store accumulates every
+	// rendezvous identity this peer ever learned — lease holders, grant
+	// alternates, elected successors, redirect targets, client rumors —
+	// and survives promotion, so a freshly promoted anchor immediately
+	// tries to merge with every island it heard of as an edge.
+	rumors     *peerview.RumorStore
+	mergeTried map[ids.ID]time.Duration // merge-initiation dedup/backoff
+	mergeFns   []func(peer ids.ID)      // merge-completion observers
+
+	// Merges counts completed merge handshake legs at this peer.
+	Merges int
+
 	// Promotions counts edge→rendezvous role switches this service went
 	// through (diagnostics; at most 1 unless the node is Reset between).
 	Promotions int
@@ -229,6 +262,8 @@ func newService(e env.Env, ep *endpoint.Endpoint, cfg Config) *Service {
 		clients:      make(map[ids.ID]clientLease),
 		walkHandlers: make(map[string]WalkHandler),
 		walkSeen:     make(map[string]bool),
+		rumors:       peerview.NewRumorStore(),
+		mergeTried:   make(map[ids.ID]time.Duration),
 	}
 	ep.Register(LeaseService, s.receiveLease)
 	ep.Register(WalkService, s.receiveWalk)
@@ -240,6 +275,9 @@ func newService(e env.Env, ep *endpoint.Endpoint, cfg Config) *Service {
 func NewRendezvous(e env.Env, ep *endpoint.Endpoint, pv *peerview.PeerView, cfg Config) *Service {
 	s := newService(e, ep, cfg)
 	s.pv = pv
+	if s.cfg.IslandMerge {
+		pv.SetMergeListener(s.onPeerviewMerge)
+	}
 	return s
 }
 
@@ -275,6 +313,232 @@ func (s *Service) SetPromoteHook(fn func()) { s.promoteFn = fn }
 // service; discovery owns it in the assembled node).
 func (s *Service) SetStateExporter(e StateExporter) { s.exporter = e }
 
+// AddMergeListener registers a merge-completion observer (IslandMerge):
+// it fires once per completed handshake leg with the counterpart's ID,
+// after the peerview union. The node hooks SRDI re-replication and the
+// deployment-layer OnMerge callback here.
+func (s *Service) AddMergeListener(fn func(peer ids.ID)) {
+	s.mergeFns = append(s.mergeFns, fn)
+}
+
+// Rumors returns the accumulated tier rumors in ascending ID order
+// (diagnostics and tests).
+func (s *Service) Rumors() []peerview.Rumor { return s.rumors.All() }
+
+// learnRumor ingests one verified tier rumor: store it for onward gossip
+// and, in the rendezvous role, consider probing the rumored peer.
+func (s *Service) learnRumor(r peerview.Rumor) {
+	if r.ID.Equal(s.ep.ID()) {
+		return
+	}
+	s.rumors.Add(r)
+	s.maybeMerge(r.Seed)
+}
+
+// selfRumor is this peer's own checksummed tier record.
+func (s *Service) selfRumor() peerview.Rumor {
+	return peerview.NewRumor(peerview.Seed{ID: s.ep.ID(), Addr: s.ep.Addr()})
+}
+
+// maybeMerge sends a tier probe to a rumored peer, unless it is already a
+// view member or was probed recently. The probe — not a direct merge — is
+// what makes *every* remembered identity a potential bridge: a rendezvous
+// answers with itself, a leased edge answers with its island's anchor, and
+// a dead peer answers nothing. The retry backoff is one renewal period: a
+// peer that is dead or still an edge now may anchor an island later, and
+// the periodic retry (retryMerges) keeps asking.
+func (s *Service) maybeMerge(sd peerview.Seed) {
+	if !s.cfg.IslandMerge || !s.IsRendezvous() || !s.started {
+		return
+	}
+	if sd.ID.Equal(s.ep.ID()) || s.pv.Contains(sd.ID) {
+		return
+	}
+	retry := time.Duration(float64(s.cfg.LeaseDuration) * s.cfg.RenewFraction)
+	now := s.env.Now()
+	if at, tried := s.mergeTried[sd.ID]; tried && now-at < retry {
+		return
+	}
+	s.mergeTried[sd.ID] = now
+	if sd.Addr != "" {
+		s.ep.AddRoute(sd.ID, sd.Addr)
+	}
+	m := message.New().AddString(leaseNS, elemTierProbe, "1")
+	m.AddString(leaseNS, elemRumor, s.selfRumor().Encode())
+	_ = s.ep.Send(sd.ID, LeaseService, m)
+}
+
+// retryMerges re-probes every rumored identity not yet in the view (rate
+// limited per target by maybeMerge). This is the convergence engine for an
+// island nobody leases with: its anchor keeps asking everyone it ever heard
+// of — co-clients from old rosters included — until one of them answers or
+// redirects it to a live anchor.
+func (s *Service) retryMerges() {
+	for _, r := range s.rumors.All() {
+		s.maybeMerge(r.Seed)
+	}
+}
+
+// receiveTierProbe answers a tier probe: a rendezvous names itself, an edge
+// holding a lease names its anchor — redirecting the prober to this
+// island's rendezvous. Either way the prober's own identity is remembered
+// (and, on an edge, gossiped onward at the next renewal), so probing a
+// foreign island makes this island learn the prober in return.
+func (s *Service) receiveTierProbe(src ids.ID, m *message.Message) {
+	if !s.started || !s.cfg.IslandMerge {
+		return
+	}
+	prober, proberOK := peerview.ParseRumor(m.GetString(leaseNS, elemRumor))
+	if proberOK = proberOK && prober.ID.Equal(src); proberOK {
+		s.learnRumor(prober)
+	}
+	var answer peerview.Rumor
+	switch {
+	case s.IsRendezvous():
+		answer = s.selfRumor()
+	case !s.connectedTo.IsNil():
+		sd := s.tierSeed(s.connectedTo)
+		if sd.Addr == "" {
+			return // anchor's address unknown: nothing useful to answer
+		}
+		answer = peerview.NewRumor(sd)
+	case s.dormant && proberOK:
+		// Only rendezvous send tier probes, so this probe proves a live
+		// anchor exists: treat it like a redirect and revive with a fresh
+		// budget. The woken edge then gossips its old island's identities
+		// to the prober on its first renewal — dormant peers are bridges
+		// too, they just need waking.
+		s.succTarget = prober.Seed
+		s.awaitingSucc = true
+		s.failCount = 0
+		s.episodeFails = 0
+		s.dormant = false
+		s.requestLease()
+		return
+	default:
+		return // mid-failover edge: already looking for a lease
+	}
+	rsp := message.New().AddString(leaseNS, elemTierAck, "1")
+	rsp.AddString(leaseNS, elemRumor, answer.Encode())
+	_ = s.ep.Send(src, LeaseService, rsp)
+}
+
+// receiveTierAck consumes a tier probe answer: an answer naming the sender
+// is a confirmed live rendezvous — merge with it now; an answer naming a
+// third peer is a redirect to that island's anchor — learn it and let the
+// probe cycle reach it.
+func (s *Service) receiveTierAck(src ids.ID, m *message.Message) {
+	if !s.started || !s.cfg.IslandMerge || !s.IsRendezvous() {
+		return
+	}
+	r, ok := peerview.ParseRumor(m.GetString(leaseNS, elemRumor))
+	if !ok || r.ID.Equal(s.ep.ID()) {
+		return
+	}
+	s.rumors.Add(r)
+	if !r.ID.Equal(src) {
+		s.maybeMerge(r.Seed) // redirect: probe the named anchor next
+		return
+	}
+	if !s.pv.Contains(r.ID) {
+		s.mergeTried[r.ID] = s.env.Now()
+		s.pv.Merge(r.Seed)
+	}
+}
+
+// onPeerviewMerge completes a merge handshake leg at the rendezvous level:
+// remember the counterpart for onward gossip, send it our client roster so
+// both sides can reconcile duplicate leases, and notify the observers
+// (SRDI re-replication, deployment hooks).
+func (s *Service) onPeerviewMerge(peer ids.ID) {
+	if !s.cfg.IslandMerge || !s.IsRendezvous() || !s.started {
+		return
+	}
+	s.Merges++
+	sd := s.tierSeed(peer)
+	if sd.Addr != "" {
+		s.rumors.AddSeed(sd)
+	}
+	s.sendMergeRoster(peer)
+	for _, fn := range s.mergeFns {
+		fn(peer)
+	}
+}
+
+// tierSeed resolves a tier member's address from the peerview (post-merge
+// the counterpart is a member) or the rumor store.
+func (s *Service) tierSeed(id ids.ID) peerview.Seed {
+	if s.pv != nil {
+		for _, mb := range s.pv.Members() {
+			if mb.ID.Equal(id) {
+				return mb
+			}
+		}
+	}
+	for _, r := range s.rumors.All() {
+		if r.ID.Equal(id) {
+			return r.Seed
+		}
+	}
+	return peerview.Seed{ID: id}
+}
+
+// sendMergeRoster ships this rendezvous' fresh client roster to the merge
+// counterpart for duplicate-lease reconciliation.
+func (s *Service) sendMergeRoster(peer ids.ID) {
+	m := message.New().AddString(leaseNS, elemMergeRst, "1")
+	n := 0
+	now := s.env.Now()
+	for _, id := range s.Clients() {
+		cl := s.clients[id]
+		if cl.addr == "" || cl.expires <= now || id.Equal(peer) {
+			continue
+		}
+		m.AddString(leaseNS, elemClient, encodeSeed(peerview.Seed{ID: id, Addr: transport.Addr(cl.addr)}))
+		n++
+	}
+	if n == 0 {
+		return // nothing to reconcile from this side
+	}
+	_ = s.ep.Send(peer, LeaseService, m)
+}
+
+// receiveMergeRoster reconciles duplicate client leases after a merge: for
+// every client leased at both rendezvous, the lowest-ID rendezvous wins —
+// the higher-ID one drops its (possibly stale, adopted) entry and redirects
+// the client to the winner, exactly the mechanism a graceful handoff uses.
+// Each side handles only its own losing case; the winner keeps serving.
+func (s *Service) receiveMergeRoster(src ids.ID, m *message.Message) {
+	if !s.started || !s.cfg.IslandMerge || !s.IsRendezvous() {
+		return
+	}
+	iLose := src.Less(s.ep.ID())
+	now := s.env.Now()
+	winner := encodeSeed(s.tierSeed(src))
+	for _, el := range m.Elements() {
+		if el.Namespace != leaseNS || el.Name != elemClient {
+			continue
+		}
+		sd, ok := parseSeed(string(el.Data))
+		if !ok || sd.ID.Equal(s.ep.ID()) {
+			continue
+		}
+		cl, dup := s.clients[sd.ID]
+		if !dup || cl.expires <= now {
+			continue
+		}
+		if !iLose {
+			continue // the counterpart drops and redirects when it sees our roster
+		}
+		delete(s.clients, sd.ID)
+		if cl.addr != "" {
+			s.ep.AddRoute(sd.ID, transport.Addr(cl.addr))
+		}
+		rm := message.New().AddString(leaseNS, elemRedirect, winner)
+		_ = s.ep.Send(sd.ID, LeaseService, rm)
+	}
+}
+
 // SetWalkHandler installs the per-hop consumer for walked messages addressed
 // to the given target service (rendezvous role). Each service owning a walk
 // protocol — discovery's LC-DHT fallback, the pipe propagation machinery —
@@ -308,6 +572,15 @@ func (s *Service) Promote(pv *peerview.PeerView) {
 	if s.started {
 		s.clientSweep = env.NewTicker(s.env, s.cfg.LeaseDuration/4, s.sweepClients)
 	}
+	if s.cfg.IslandMerge {
+		pv.SetMergeListener(s.onPeerviewMerge)
+		// Everything this peer heard of as an edge is a merge candidate
+		// now: a promoted anchor that once contacted another island (or an
+		// elected successor that promoted elsewhere) bridges immediately.
+		for _, r := range s.rumors.All() {
+			s.maybeMerge(r.Seed)
+		}
+	}
 }
 
 // AdoptClients imports a client roster into the lease table (successor
@@ -328,6 +601,9 @@ func (s *Service) AdoptClients(roster []peerview.Seed, dur time.Duration) {
 			s.ep.AddRoute(c.ID, c.Addr)
 		}
 		s.clients[c.ID] = clientLease{expires: s.env.Now() + dur, addr: string(c.Addr)}
+		if s.cfg.IslandMerge {
+			s.rumors.AddSeed(c)
+		}
 	}
 }
 
@@ -430,6 +706,8 @@ func (s *Service) Reset() {
 	s.dormant = false
 	s.alternates = nil
 	s.roster = nil
+	s.rumors = peerview.NewRumorStore()
+	s.mergeTried = make(map[ids.ID]time.Duration)
 }
 
 // --- Edge side: lease acquisition and renewal ---
@@ -540,6 +818,18 @@ func (s *Service) requestLease() {
 		// Share our address so the rendezvous can roster us to co-clients.
 		m.AddString(leaseNS, elemAddr, string(s.ep.Addr()))
 	}
+	if s.cfg.IslandMerge {
+		// Piggyback a rotating window of the tier identities we remember:
+		// the request is the edge→rendezvous gossip channel that bridges
+		// islands, and rotation guarantees every stored identity — however
+		// large the store grew — reaches the rendezvous eventually.
+		for _, r := range s.rumors.NextWindow(maxRumors) {
+			if r.ID.Equal(target.ID) {
+				continue // the target knows itself
+			}
+			m.AddString(leaseNS, elemRumor, r.Encode())
+		}
+	}
 	err := s.ep.Send(target.ID, LeaseService, m)
 	tid := target.ID
 	delay := s.cfg.ResponseTimeout
@@ -640,6 +930,11 @@ func (s *Service) electAndHeal() {
 	s.succTarget = succ
 	s.awaitingSucc = true
 	s.failCount = 0
+	if s.cfg.IslandMerge {
+		// The elected successor is a promoted-tier identity worth gossiping
+		// even if it never answers us: another island may reach it.
+		s.rumors.AddSeed(succ)
+	}
 	s.requestLease()
 }
 
@@ -676,6 +971,9 @@ func (s *Service) sweepClients() {
 		if cl.expires <= now {
 			delete(s.clients, id)
 		}
+	}
+	if s.cfg.IslandMerge {
+		s.retryMerges()
 	}
 }
 
@@ -725,6 +1023,38 @@ func (s *Service) appendGrantState(m *message.Message) {
 	}
 }
 
+// appendGrantRumors attaches tier rumors to a lease grant (IslandMerge):
+// this rendezvous itself, its current peerview members, and the rumor
+// store, deduplicated in that order and capped at maxRumors — the
+// rendezvous→edge half of the island gossip.
+func (s *Service) appendGrantRumors(m *message.Message, src ids.ID) {
+	n := 0
+	seen := make(map[ids.ID]bool, maxRumors)
+	emit := func(sd peerview.Seed) {
+		if n >= maxRumors || sd.Addr == "" || sd.ID.Equal(src) || seen[sd.ID] {
+			return
+		}
+		seen[sd.ID] = true
+		m.AddString(leaseNS, elemRumor, peerview.NewRumor(sd).Encode())
+		n++
+	}
+	emit(peerview.Seed{ID: s.ep.ID(), Addr: s.ep.Addr()})
+	if s.pv != nil {
+		for _, member := range s.pv.Members() {
+			emit(member)
+		}
+	}
+	// Draw only the budget that is left after self + members, so the
+	// window cursor advances by what was actually consumed and the store's
+	// tail still circulates on later grants (drawing a full window here
+	// would pin small stores to the same ID-order prefix forever).
+	if n < maxRumors {
+		for _, r := range s.rumors.NextWindow(maxRumors - n) {
+			emit(r.Seed)
+		}
+	}
+}
+
 // learnGrantState ingests the snapshots a self-healing grant carries,
 // replacing the previous ones wholesale (the grant is authoritative).
 func (s *Service) learnGrantState(m *message.Message) {
@@ -737,10 +1067,26 @@ func (s *Service) learnGrantState(m *message.Message) {
 		case elemAlt:
 			if sd, ok := parseSeed(string(el.Data)); ok {
 				alts = append(alts, sd)
+				if s.cfg.IslandMerge {
+					s.rumors.AddSeed(sd) // alternates are tier identities too
+				}
 			}
 		case elemClient:
 			if sd, ok := parseSeed(string(el.Data)); ok {
 				roster = append(roster, sd)
+				if s.cfg.IslandMerge && !sd.ID.Equal(s.ep.ID()) {
+					// Co-clients are bridge pointers: any of them may end
+					// up (or already be) inside another island, and a tier
+					// probe to it redirects us to that island's anchor.
+					s.rumors.AddSeed(sd)
+				}
+			}
+		case elemRumor:
+			if !s.cfg.IslandMerge {
+				continue
+			}
+			if r, ok := peerview.ParseRumor(string(el.Data)); ok && !r.ID.Equal(s.ep.ID()) {
+				s.rumors.Add(r)
 			}
 		}
 	}
@@ -845,10 +1191,23 @@ func (s *Service) receiveLease(src ids.ID, m *message.Message) {
 			expires: s.env.Now() + dur,
 			addr:    m.GetString(leaseNS, elemAddr),
 		}
+		if s.cfg.IslandMerge {
+			for _, el := range m.Elements() {
+				if el.Namespace != leaseNS || el.Name != elemRumor {
+					continue
+				}
+				if r, ok := peerview.ParseRumor(string(el.Data)); ok {
+					s.learnRumor(r)
+				}
+			}
+		}
 		rsp := message.New().AddString(leaseNS, elemGranted,
 			strconv.FormatInt(int64(dur), 10))
 		if s.cfg.SelfHeal {
 			s.appendGrantState(rsp)
+		}
+		if s.cfg.IslandMerge {
+			s.appendGrantRumors(rsp, src)
 		}
 		_ = s.ep.Send(src, LeaseService, rsp)
 		return
@@ -859,6 +1218,18 @@ func (s *Service) receiveLease(src ids.ID, m *message.Message) {
 	}
 	if m.GetString(leaseNS, elemHandoff) != "" {
 		s.receiveHandoff(m)
+		return
+	}
+	if m.GetString(leaseNS, elemMergeRst) != "" {
+		s.receiveMergeRoster(src, m)
+		return
+	}
+	if m.GetString(leaseNS, elemTierProbe) != "" {
+		s.receiveTierProbe(src, m)
+		return
+	}
+	if m.GetString(leaseNS, elemTierAck) != "" {
+		s.receiveTierAck(src, m)
 		return
 	}
 	if red := m.GetString(leaseNS, elemRedirect); red != "" {
@@ -936,9 +1307,11 @@ func (s *Service) receiveHandoff(m *message.Message) {
 }
 
 // receiveRedirect re-targets this edge's lease at the successor a
-// gracefully stopping rendezvous named.
+// gracefully stopping rendezvous (SelfHeal) or a merge reconciliation
+// loser (IslandMerge) named — accepted whenever either machinery that can
+// send redirects is enabled.
 func (s *Service) receiveRedirect(src ids.ID, val string) {
-	if !s.started || !s.cfg.SelfHeal || s.IsRendezvous() {
+	if !s.started || !(s.cfg.SelfHeal || s.cfg.IslandMerge) || s.IsRendezvous() {
 		return
 	}
 	succ, ok := parseSeed(val)
@@ -953,6 +1326,9 @@ func (s *Service) receiveRedirect(src ids.ID, val string) {
 	s.awaitingSucc = true
 	s.failCount = 0
 	s.dormant = false
+	if s.cfg.IslandMerge {
+		s.rumors.AddSeed(succ)
+	}
 	s.requestLease()
 }
 

@@ -118,6 +118,11 @@ type SimOptions struct {
 	Topology string
 	// Edges lists the edge peers to deploy.
 	Edges []EdgeSpec
+	// LeaseDuration overrides the rendezvous lease length (0 keeps the
+	// JXTA-C default of 20 minutes; renewals happen at half of it).
+	// Volatility scenarios shorten it so failure detection, failover and
+	// the self-healing machinery run on a faster clock.
+	LeaseDuration time.Duration
 	// SocketWindowBytes overrides the stream layer's send/receive window
 	// (0 keeps the default: 256 KiB, or the JXTA_SOCKET_WINDOW environment
 	// variable). Larger windows lift the window/RTT throughput cap on
@@ -135,6 +140,16 @@ type SimOptions struct {
 	// PromoteHighestID flips the successor election to pick the client
 	// with the largest peer ID (default: smallest).
 	PromoteHighestID bool
+	// DisableIslandMerge turns the gossip-driven island merge off while
+	// keeping the rest of the self-healing machinery. By default (with
+	// self-healing on) lease traffic piggybacks checksummed "tier rumor"
+	// records, so a rendezvous that learns of a foreign rendezvous — an
+	// island anchored by a promoted successor it never met — runs a
+	// deterministic peerview merge handshake: member lists union, SRDI
+	// tuples re-replicate over the merged view, and duplicate client
+	// leases reconcile (lowest-ID rendezvous wins, losers redirect).
+	// Implied by DisableSelfHealing.
+	DisableIslandMerge bool
 }
 
 // Simulation owns a deployed overlay and its virtual clock.
@@ -144,6 +159,7 @@ type Simulation struct {
 	rdvs      []*Peer
 	byNode    map[*node.Node]*Peer
 	onPromote func(*Peer)
+	onMerge   func(*Peer, string)
 	started   bool
 }
 
@@ -174,8 +190,10 @@ func NewSimulation(opts SimOptions) (*Simulation, error) {
 		Discovery: discovery.DefaultConfig(),
 		Socket:    socket.Config{WindowBytes: opts.SocketWindowBytes},
 	}
+	spec.Lease.LeaseDuration = opts.LeaseDuration
 	if !opts.DisableSelfHealing {
 		spec.Lease.SelfHeal = true
+		spec.Lease.IslandMerge = !opts.DisableIslandMerge
 		if opts.PromoteHighestID {
 			spec.Lease.Promotion = rendezvous.PromoteHighestID
 		}
@@ -198,6 +216,11 @@ func NewSimulation(opts SimOptions) (*Simulation, error) {
 	o.OnPromotion = func(n *node.Node) {
 		if p, ok := sim.byNode[n]; ok && sim.onPromote != nil {
 			sim.onPromote(p)
+		}
+	}
+	o.OnMerge = func(n *node.Node, peer ids.ID) {
+		if p, ok := sim.byNode[n]; ok && sim.onMerge != nil {
+			sim.onMerge(p, peer.String())
 		}
 	}
 	for _, r := range o.Rdvs {
@@ -226,6 +249,13 @@ func NewSimulation(opts SimOptions) (*Simulation, error) {
 // simulation runs (successor election after a crash, or a graceful handoff
 // electing a client). The peer passed is the promoted one.
 func (s *Simulation) OnPromotion(fn func(*Peer)) { s.onPromote = fn }
+
+// OnMerge installs an observer that fires whenever a peer completes an
+// island-merge handshake leg while the simulation runs: the local peer and
+// the merge counterpart's URN. With self-healing on (the default), islands
+// left behind by total attrition gossip each other's existence through
+// surviving edges and merge back into a single rendezvous tier.
+func (s *Simulation) OnMerge(fn func(p *Peer, peer string)) { s.onMerge = fn }
 
 // Start brings every peer up.
 func (s *Simulation) Start() {

@@ -1,0 +1,92 @@
+package jxta
+
+import (
+	"testing"
+	"time"
+)
+
+// islandMergeOpts is the facade acceptance scenario of the island merge:
+// a four-rendezvous overlay on a fast lease clock loses its whole original
+// tier to staggered crashes, fragmenting the edges into promoted islands.
+func islandMergeOpts(disable bool) SimOptions {
+	return SimOptions{
+		Seed: 42, Rendezvous: 4, LeaseDuration: 4 * time.Minute,
+		Edges: []EdgeSpec{
+			{AttachTo: 0}, {AttachTo: 0}, {AttachTo: 1}, {AttachTo: 1},
+			{AttachTo: 2}, {AttachTo: 2}, {AttachTo: 3}, {AttachTo: 3},
+		},
+		DisableIslandMerge: disable,
+	}
+}
+
+func runIslandMergeScenario(t *testing.T, sim *Simulation) {
+	t.Helper()
+	sim.Start()
+	sim.Run(20 * time.Minute)
+	sim.Edge(0).PublishResource("CrossIsland", nil)
+	sim.Run(2 * time.Minute)
+	for i := 0; i < sim.NumRendezvous(); i++ {
+		sim.Rendezvous(i).Kill()
+		sim.Run(90 * time.Second)
+	}
+	sim.Run(45 * time.Minute)
+}
+
+// TestIslandMergeReunifiesTier: with the merge on (the default), the
+// promoted islands gossip each other's anchors through the edges' shared
+// lease history, OnMerge observes the handshakes, every anchor ends up in
+// one tier, and a discovery query crosses the former island boundary.
+func TestIslandMergeReunifiesTier(t *testing.T) {
+	sim, err := NewSimulation(islandMergeOpts(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merges := 0
+	sim.OnMerge(func(p *Peer, peer string) {
+		if p == nil || peer == "" {
+			t.Error("merge event with missing participant")
+		}
+		merges++
+	})
+	var promoted []*Peer
+	sim.OnPromotion(func(p *Peer) { promoted = append(promoted, p) })
+	defer sim.Stop()
+	runIslandMergeScenario(t, sim)
+
+	if len(promoted) < 2 {
+		t.Fatalf("scenario produced %d promotions, want islands (>= 2)", len(promoted))
+	}
+	if merges == 0 {
+		t.Fatal("no merge handshake completed")
+	}
+	tier := 0
+	for i := 0; i < sim.NumEdges(); i++ {
+		if sim.Edge(i).IsRendezvous() {
+			tier++
+		}
+	}
+	for i := 0; i < sim.NumEdges(); i++ {
+		p := sim.Edge(i)
+		if p.IsRendezvous() && p.PeerViewSize() != tier-1 {
+			t.Fatalf("edge %d anchors a separate island: view %d of %d",
+				i, p.PeerViewSize(), tier-1)
+		}
+	}
+	advs, _, err := sim.Edge(sim.NumEdges()-1).Discover("Resource", "Name", "CrossIsland", 2*time.Minute)
+	if err != nil || len(advs) == 0 {
+		t.Fatalf("cross-island discovery failed after merge: advs=%d err=%v", len(advs), err)
+	}
+}
+
+// TestDisableIslandMerge pins the opt-out on the exact same scenario: with
+// DisableIslandMerge no merge event may ever fire (and the islands stay
+// fragmented — the control condition of the reunification test above).
+func TestDisableIslandMerge(t *testing.T) {
+	sim, err := NewSimulation(islandMergeOpts(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.OnMerge(func(*Peer, string) { t.Error("merge fired with IslandMerge disabled") })
+	defer sim.Stop()
+	runIslandMergeScenario(t, sim)
+}
