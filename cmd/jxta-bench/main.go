@@ -10,10 +10,18 @@
 //	jxta-bench -exp fig3left -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: table1, fig3left, fig3right, fig4left, fig4right,
-// baselines, churn, volatility, ablations, bandwidth, perf, all. -json writes a
-// machine-readable summary of every selected experiment; each PR appends
-// its `perf` point to the benchmark trajectory (BENCH_<PR>.json, see
-// PERFORMANCE.md).
+// baselines, churn, volatility, ablations, bandwidth, perf, scale, all.
+// -json writes a machine-readable summary of every selected experiment;
+// each PR appends its `perf` point to the benchmark trajectory
+// (BENCH_<PR>.json, see PERFORMANCE.md).
+//
+// scale measures the sharded conservative-PDES engine (SimOptions.Shards):
+// events/sec and wall time vs shard count on leased-edge workloads at
+// r=250 and r=1,000, a GOMAXPROCS speedup curve at fixed shard count, and
+// serial-vs-sharded on the perf trajectory's peerview-r80-30min workload.
+// Per point it reports the hardware-independent speedup bound (total
+// events over barrier critical-path events) alongside machine-dependent
+// wall numbers.
 //
 // bandwidth sweeps the streaming layer (reliable JXTA sockets): throughput
 // vs. message size (1 KiB–1 MiB) and RTT curves over the simulated
@@ -58,7 +66,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|volatility|ablations|bandwidth|perf|all")
+	expFlag    = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|volatility|ablations|bandwidth|perf|scale|all")
 	quickFlag  = flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
 	liveFlag   = flag.Bool("live", false, "bandwidth: also measure over real loopback TCP (wall-clock, nondeterministic)")
 	csvFlag    = flag.Bool("csv", false, "emit CSV instead of ASCII plots")
@@ -117,8 +125,9 @@ func run() int {
 		"ablations":  ablations,
 		"bandwidth":  bandwidth,
 		"perf":       perf,
+		"scale":      scale,
 	}
-	order := []string{"table1", "fig3left", "fig3right", "fig4left", "fig4right", "baselines", "churn", "volatility", "ablations", "bandwidth", "perf"}
+	order := []string{"table1", "fig3left", "fig3right", "fig4left", "fig4right", "baselines", "churn", "volatility", "ablations", "bandwidth", "perf", "scale"}
 	var selected []string
 	if *expFlag == "all" {
 		selected = order
@@ -247,6 +256,182 @@ func perf() (any, error) {
 			p.Workload, p.WallMs, p.Steps, p.EventsPerSec, p.Mallocs, p.Messages)
 	}
 	return points, nil
+}
+
+// scalePoint is one sharded-engine scaling measurement for the benchmark
+// trajectory (PERFORMANCE.md, BENCH_PR6.json). Wall-clock fields are
+// hardware-dependent; SpeedupBound is the workload's achievable speedup on
+// an ideal one-core-per-shard machine (total events over barrier-model
+// critical-path events), so the trajectory stays comparable across boxes.
+type scalePoint struct {
+	Workload     string  `json:"workload"`
+	R            int     `json:"r"`
+	Edges        int     `json:"edges"`
+	Shards       int     `json:"shards"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	WallMs       float64 `json:"wall_ms"`
+	Steps        uint64  `json:"steps"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Windows      uint64  `json:"windows"`
+	AvgBusy      float64 `json:"avg_busy"`
+	CrossShard   uint64  `json:"cross_shard"`
+	SpeedupBound float64 `json:"speedup_bound"`
+	SpeedupWall  float64 `json:"speedup_wall"`
+}
+
+// scale measures the sharded conservative-PDES engine: events/sec and wall
+// time vs shard count on a leased-edge workload (r=250 / 10k edges), the
+// first r=1,000 trajectory point, a GOMAXPROCS speedup curve at fixed shard
+// count, and the serial-vs-sharded comparison on the perf trajectory's own
+// peerview-r80-30min workload.
+func scale() (any, error) {
+	sweepR, sweepEdges, sweepDur := 250, 10_000, 10*time.Minute
+	sweepShards := []int{1, 2, 4, 8}
+	gmps := []int{1, 2, 4, 8}
+	pvR, pvDur := 80, 30*time.Minute
+	pvShards := []int{1, 8, 9}
+	bigR, bigEdges := 1000, 20_000
+	if *quickFlag {
+		sweepR, sweepEdges, sweepDur = 18, 54, 5*time.Minute
+		sweepShards = []int{1, 2}
+		gmps = []int{1, 2}
+		pvR, pvDur = 20, 6*time.Minute
+		pvShards = []int{1, 2}
+		bigR = 0 // r=1,000 is a full-scale-only point
+	}
+	summary := map[string]any{}
+	if *csvFlag {
+		fmt.Println("workload,r,edges,shards,gomaxprocs,wallMs,steps,eventsPerSec,windows,avgBusy,crossShard,speedupBound,speedupWall")
+	}
+	emit := func(p scalePoint) {
+		if *csvFlag {
+			fmt.Printf("%s,%d,%d,%d,%d,%.1f,%d,%.0f,%d,%.2f,%d,%.2f,%.2f\n",
+				p.Workload, p.R, p.Edges, p.Shards, p.GOMAXPROCS, p.WallMs, p.Steps,
+				p.EventsPerSec, p.Windows, p.AvgBusy, p.CrossShard, p.SpeedupBound, p.SpeedupWall)
+			return
+		}
+		fmt.Printf("  %-18s shards=%-2d gmp=%-2d wall=%9.1f ms  events/sec=%-9.0f bound=%-5.2f wallx=%-5.2f windows=%-7d avgBusy=%.2f\n",
+			p.Workload, p.Shards, p.GOMAXPROCS, p.WallMs, p.EventsPerSec,
+			p.SpeedupBound, p.SpeedupWall, p.Windows, p.AvgBusy)
+	}
+	runOne := func(name string, spec experiments.ScaleSpec, serialEps float64) (scalePoint, error) {
+		res, err := experiments.RunScale(spec)
+		if err != nil {
+			return scalePoint{}, err
+		}
+		p := scalePoint{
+			Workload: name, R: spec.R, Edges: spec.Edges, Shards: res.Spec.Shards,
+			GOMAXPROCS: runtime.GOMAXPROCS(0), WallMs: res.WallMs, Steps: res.Steps,
+			EventsPerSec: res.EventsPerSec, Windows: res.Windows, AvgBusy: res.AvgBusy,
+			CrossShard: res.CrossShard, SpeedupBound: res.SpeedupBound,
+		}
+		if p.SpeedupBound == 0 {
+			p.SpeedupBound = 1 // serial engine: no windows, bound is unity
+		}
+		p.SpeedupWall = 1 // the baseline row of its workload
+		if serialEps > 0 {
+			p.SpeedupWall = p.EventsPerSec / serialEps
+		}
+		emit(p)
+		return p, nil
+	}
+
+	// Shard sweep at a fixed leased-edge workload.
+	var points []scalePoint
+	serialEps := 0.0
+	for _, shards := range sweepShards {
+		p, err := runOne("edge-lease", experiments.ScaleSpec{
+			R: sweepR, Edges: sweepEdges, Shards: shards,
+			Duration: sweepDur, Seed: *seedFlag,
+		}, serialEps)
+		if err != nil {
+			return nil, err
+		}
+		if shards == 1 {
+			serialEps = p.EventsPerSec
+		}
+		points = append(points, p)
+	}
+	summary["shard_sweep"] = points
+
+	// GOMAXPROCS curve at the highest shard count: same virtual run, only
+	// the OS-thread budget varies (deterministic stats, varying wall time).
+	curveShards := sweepShards[len(sweepShards)-1]
+	var curve []scalePoint
+	for _, gmp := range gmps {
+		prev := runtime.GOMAXPROCS(gmp)
+		p, err := runOne("edge-lease", experiments.ScaleSpec{
+			R: sweepR, Edges: sweepEdges, Shards: curveShards,
+			Duration: sweepDur, Seed: *seedFlag,
+		}, serialEps)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			return nil, err
+		}
+		p.GOMAXPROCS = gmp
+		curve = append(curve, p)
+	}
+	summary["gomaxprocs_curve"] = curve
+
+	// The perf trajectory's own workload, serial vs sharded. 8 shards
+	// carries a double-loaded shard (nine Grid'5000 sites on eight shards);
+	// 9 shards places one site per shard.
+	var pv []scalePoint
+	pvSerial := 0.0
+	for _, shards := range pvShards {
+		start := time.Now()
+		res, err := experiments.RunPeerview(experiments.PeerviewSpec{
+			R: pvR, Topology: topology.Chain, Duration: pvDur,
+			Seed: *seedFlag, Shards: shards,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		p := scalePoint{
+			Workload: fmt.Sprintf("peerview-r%d-%dmin", pvR, int(pvDur.Minutes())),
+			R:        pvR, Shards: shards, GOMAXPROCS: runtime.GOMAXPROCS(0),
+			WallMs:       float64(wall.Nanoseconds()) / 1e6,
+			Steps:        res.Steps,
+			EventsPerSec: float64(res.Steps) / wall.Seconds(),
+			Windows:      res.Parallel.Windows,
+			CrossShard:   res.Parallel.CrossShard,
+			SpeedupBound: res.Parallel.SpeedupBound(),
+		}
+		if res.Parallel.Windows > 0 {
+			p.AvgBusy = float64(res.Parallel.BusyShardSum) / float64(res.Parallel.Windows)
+		}
+		if shards == 1 {
+			pvSerial = p.EventsPerSec
+			p.SpeedupWall = 1
+		} else if pvSerial > 0 {
+			p.SpeedupWall = p.EventsPerSec / pvSerial
+		}
+		emit(p)
+		pv = append(pv, p)
+	}
+	summary["peerview"] = pv
+
+	// The first r=1,000 trajectory point (≥10k leased edges).
+	if bigR > 0 {
+		var big []scalePoint
+		bigSerial := 0.0
+		for _, shards := range []int{1, 8} {
+			p, err := runOne("edge-lease-r1000", experiments.ScaleSpec{
+				R: bigR, Edges: bigEdges, Shards: shards,
+				Duration: sweepDur, Seed: *seedFlag,
+			}, bigSerial)
+			if err != nil {
+				return nil, err
+			}
+			if shards == 1 {
+				bigSerial = p.EventsPerSec
+			}
+			big = append(big, p)
+		}
+		summary["r1000"] = big
+	}
+	return summary, nil
 }
 
 // bandwidth sweeps the streaming layer: throughput vs. message size and

@@ -34,6 +34,13 @@ type Spec struct {
 	Model *netmodel.Model
 	// NumRdv is the number of rendezvous peers (r in the paper).
 	NumRdv int
+	// Shards selects the simulation engine: ≤1 (the default) runs the
+	// serial scheduler, byte-identical to every earlier release; >1 runs
+	// the conservative sharded engine with peers partitioned by site
+	// (clamped to the number of modeled sites). Protocol outcomes are
+	// deterministic for a given (Seed, Shards) pair but differ between
+	// shard counts: per-node RNG streams derive from per-shard seeds.
+	Shards int
 	// Topology is the seed-graph shape (chain in most experiments).
 	Topology topology.Kind
 	// Fanout applies to tree topologies.
@@ -52,7 +59,7 @@ type Spec struct {
 // dynamic: peers can be stopped, killed, restarted and added while virtual
 // time runs (self-healing and volatility scenarios).
 type Overlay struct {
-	Sched *simnet.Scheduler
+	Sched simnet.Engine
 	Net   *transport.Network
 	Rdvs  []*node.Node
 	Edges []*node.Node
@@ -71,6 +78,10 @@ type Overlay struct {
 	spec      Spec
 	edgeCount int
 	started   bool
+	// sharded/assign are set when the sharded engine runs: assign[site]
+	// names the shard owning each Grid'5000 site (topology.PlaceSites).
+	sharded *simnet.ShardedScheduler
+	assign  []int
 }
 
 // Build deploys the overlay. Rendezvous peers are spread round-robin over
@@ -83,9 +94,29 @@ func Build(spec Spec) (*Overlay, error) {
 	if model == nil {
 		model = netmodel.Grid5000()
 	}
-	sched := simnet.NewScheduler(spec.Seed)
-	net := transport.NewNetwork(sched, model)
-	o := &Overlay{Sched: sched, Net: net, spec: spec}
+	o := &Overlay{spec: spec}
+	if spec.Shards > 1 {
+		shards := spec.Shards
+		if shards > netmodel.NumSites {
+			// Placement is site-granular, so shards beyond the site
+			// count would stay empty forever.
+			shards = netmodel.NumSites
+		}
+		assign := topology.PlaceSites(netmodel.NumSites, shards)
+		lookahead := model.ShardLookahead(assign)
+		if lookahead <= 0 {
+			return nil, fmt.Errorf("deploy: model admits no conservative lookahead across %d shards (zero inter-site latency)", shards)
+		}
+		ss := simnet.NewSharded(spec.Seed, shards, lookahead)
+		net, err := transport.NewShardedNetwork(ss, model, assign)
+		if err != nil {
+			return nil, err
+		}
+		o.Sched, o.Net, o.sharded, o.assign = ss, net, ss, assign
+	} else {
+		sched := simnet.NewScheduler(spec.Seed)
+		o.Sched, o.Net = sched, transport.NewNetwork(sched, model)
+	}
 
 	seedIdx, err := topology.Seeds(spec.Topology, spec.NumRdv, spec.Fanout)
 	if err != nil {
@@ -94,8 +125,8 @@ func Build(spec Spec) (*Overlay, error) {
 	sites := netmodel.SpreadSites(spec.NumRdv)
 	for i := 0; i < spec.NumRdv; i++ {
 		name := fmt.Sprintf("rdv%d", i)
-		e := sched.NewEnv(name)
-		tr, err := net.Attach(name, sites[i])
+		e := o.newEnv(name, sites[i])
+		tr, err := o.Net.Attach(name, sites[i])
 		if err != nil {
 			return nil, err
 		}
@@ -143,8 +174,8 @@ func Build(spec Spec) (*Overlay, error) {
 // virtual runtime.
 func (o *Overlay) AddEdge(name string, attachTo int) (*node.Node, error) {
 	rdv := o.Rdvs[attachTo]
-	e := o.Sched.NewEnv(name)
 	site := siteOfRdv(o, attachTo)
+	e := o.newEnv(name, site)
 	tr, err := o.Net.Attach(name, site)
 	if err != nil {
 		return nil, err
@@ -175,6 +206,20 @@ func (o *Overlay) AddEdge(name string, attachTo int) (*node.Node, error) {
 	}
 	return n, nil
 }
+
+// newEnv creates a node environment on the shard owning the node's site
+// (shard affinity: a node's timers run in the same windows as its
+// deliveries). Serial overlays place everything on the one scheduler.
+func (o *Overlay) newEnv(name string, site netmodel.Site) *simnet.NodeEnv {
+	if o.sharded != nil {
+		return o.sharded.NewEnvOn(o.assign[site], name)
+	}
+	return o.Sched.NewEnv(name)
+}
+
+// Engine returns the sharded engine when one is running (nil for serial
+// overlays); experiments use it to read window/barrier instrumentation.
+func (o *Overlay) Engine() *simnet.ShardedScheduler { return o.sharded }
 
 func siteOfRdv(o *Overlay, idx int) netmodel.Site {
 	sites := netmodel.SpreadSites(len(o.Rdvs))

@@ -12,7 +12,9 @@ import (
 // standing in for the paper's fleet of physical testbed runs.
 //
 // run(i) produces the i-th point; results keep their index order. The first
-// error (if any) is returned after every worker drains.
+// error (if any) is returned after every worker drains, and stops the
+// dispatcher: points not yet handed to a worker never run (already-running
+// points finish — a simulation cannot be usefully interrupted midway).
 func Sweep(n int, run func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -22,6 +24,8 @@ func Sweep(n int, run func(i int) error) error {
 		workers = n
 	}
 	jobs := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -36,12 +40,18 @@ func Sweep(n int, run func(i int) error) error {
 						firstErr = err
 					}
 					mu.Unlock()
+					stopOnce.Do(func() { close(stop) })
 				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-stop:
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()

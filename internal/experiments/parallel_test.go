@@ -33,6 +33,31 @@ func TestSweepReportsFirstError(t *testing.T) {
 	}
 }
 
+// TestSweepStopsDispatchAfterError pins the early-stop contract: once a
+// point fails, undisbatched points must never start. Job 0 fails
+// immediately; with GOMAXPROCS workers at most workers+1 further points can
+// already be in flight or queued, so on a 512-point sweep the executed
+// count staying far below n proves the dispatcher stopped.
+func TestSweepStopsDispatchAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	var executed int64
+	n := 512
+	err := Sweep(n, func(i int) error {
+		atomic.AddInt64(&executed, 1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(time.Millisecond) // let the failure land before the queue drains
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := atomic.LoadInt64(&executed); got > int64(n/4) {
+		t.Fatalf("%d of %d points executed after first error: dispatcher did not stop", got, n)
+	}
+}
+
 func TestSweepEmpty(t *testing.T) {
 	if err := Sweep(0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
 		t.Fatal(err)

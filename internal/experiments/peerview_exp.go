@@ -12,6 +12,7 @@ import (
 	"jxta/internal/ids"
 	"jxta/internal/metrics"
 	"jxta/internal/peerview"
+	"jxta/internal/simnet"
 	"jxta/internal/topology"
 	"jxta/internal/transport"
 )
@@ -34,6 +35,10 @@ type PeerviewSpec struct {
 	SampleEvery time.Duration
 	// Seed is the master determinism seed.
 	Seed int64
+	// Shards partitions the simulated network across per-core shard
+	// schedulers (see deploy.Spec.Shards). 0 or 1 keeps the serial engine
+	// and its bit-exact golden trajectories.
+	Shards int
 }
 
 func (s PeerviewSpec) withDefaults() PeerviewSpec {
@@ -80,6 +85,9 @@ type PeerviewResult struct {
 	// NetStats snapshots the simulated network counters at the end of the
 	// run.
 	NetStats transport.Stats
+	// Parallel carries the sharded engine's window instrumentation when
+	// Spec.Shards > 1 (zero value for serial runs).
+	Parallel simnet.ParallelStats
 }
 
 // RunPeerview executes a §4.1 peerview experiment.
@@ -90,6 +98,7 @@ func RunPeerview(spec PeerviewSpec) (PeerviewResult, error) {
 		NumRdv:   spec.R,
 		Topology: spec.Topology,
 		Fanout:   spec.Fanout,
+		Shards:   spec.Shards,
 		Peerview: peerview.Config{EntryExpiry: spec.EntryExpiry},
 	})
 	if err != nil {
@@ -135,6 +144,9 @@ func RunPeerview(spec PeerviewSpec) (PeerviewResult, error) {
 	}
 	res.Steps = o.Sched.Steps()
 	res.NetStats = o.Net.Stats()
+	if ss := o.Engine(); ss != nil {
+		res.Parallel = ss.ParallelStats()
+	}
 	o.StopAll()
 	return res, nil
 }

@@ -206,6 +206,41 @@ func (m *Model) MeanInterSite() time.Duration {
 	return sum / time.Duration(n)
 }
 
+// ShardLookahead derives the conservative-PDES window width for a
+// site→shard assignment (assign[site] = shard): the minimum over all
+// cross-shard site pairs of the worst-case jittered one-way propagation
+// latency, minus one nanosecond guarding float rounding in SampleLatency.
+// Any message between shards takes at least this long, so events created
+// inside a window [T, T+W) for another shard always land at ≥ T+W —
+// transmission delay and the FIFO clamp only push arrivals later. It
+// returns 0 when some cross-shard pair has no positive latency (no safe
+// window exists; the caller must co-locate those sites or stay serial).
+func (m *Model) ShardLookahead(assign []int) time.Duration {
+	la, found := time.Duration(0), false
+	for i := 0; i < NumSites && i < len(assign); i++ {
+		for j := 0; j < NumSites && j < len(assign); j++ {
+			if i == j || assign[i] == assign[j] {
+				continue
+			}
+			base := m.BaseLatency(Site(i), Site(j))
+			if base <= 0 {
+				return 0
+			}
+			floor := time.Duration(float64(base) * (1 - m.Jitter))
+			if !found || floor < la {
+				la, found = floor, true
+			}
+		}
+	}
+	if !found {
+		return 0
+	}
+	if la -= 1; la <= 0 {
+		return 0
+	}
+	return la
+}
+
 // SpreadSites assigns n nodes round-robin across all nine sites, the way the
 // paper's deployments spread rendezvous peers over Grid'5000.
 func SpreadSites(n int) []Site {

@@ -193,11 +193,12 @@ type RumorStore struct {
 	byID   map[ids.ID]int // index into ordered
 	order  []Rumor        // ascending ID
 	cursor int            // rotating window position (NextWindow)
+	misses map[ids.ID]int // consecutive Sweep calls an identity was dead
 }
 
 // NewRumorStore builds an empty store.
 func NewRumorStore() *RumorStore {
-	return &RumorStore{byID: make(map[ids.ID]int)}
+	return &RumorStore{byID: make(map[ids.ID]int), misses: make(map[ids.ID]int)}
 }
 
 // Add inserts a verified rumor, keeping ID order. A record for a known ID
@@ -206,6 +207,7 @@ func (rs *RumorStore) Add(r Rumor) bool {
 	if !r.Verify() || r.Addr == "" || r.ID.IsNil() {
 		return false
 	}
+	delete(rs.misses, r.ID) // a fresh sighting resets the aging clock
 	if i, ok := rs.byID[r.ID]; ok {
 		if rs.order[i].Addr == r.Addr {
 			return false
@@ -266,6 +268,52 @@ func (rs *RumorStore) NextWindow(n int) []Rumor {
 	}
 	rs.cursor = (rs.cursor + n) % total
 	return out
+}
+
+// Sweep ages the store against a liveness oracle and reports how many
+// rumors it evicted. Each call charges one "miss" to every identity for
+// which live returns false (and clears the count for live ones); an
+// identity dead for deadAfter consecutive sweeps is evicted. Add and
+// AddSeed also clear the count — a re-gossiped rumor restarts its clock.
+// Without sweeping, a long-lived deployment's store grows monotonically
+// with every identity that ever joined the tier; aging bounds it to the
+// identities seen alive (or re-rumored) recently, while the multi-sweep
+// grace period keeps one missed probe from erasing a merge lead.
+// deadAfter <= 0 disables aging entirely (no misses are charged).
+func (rs *RumorStore) Sweep(deadAfter int, live func(ids.ID) bool) int {
+	if deadAfter <= 0 {
+		return 0
+	}
+	kept := rs.order[:0]
+	evicted, shift := 0, 0
+	for i, r := range rs.order {
+		if live(r.ID) {
+			delete(rs.misses, r.ID)
+			kept = append(kept, r)
+			continue
+		}
+		m := rs.misses[r.ID] + 1
+		if m < deadAfter {
+			rs.misses[r.ID] = m
+			kept = append(kept, r)
+			continue
+		}
+		delete(rs.misses, r.ID)
+		delete(rs.byID, r.ID)
+		evicted++
+		if i < rs.cursor {
+			shift++ // keep the rotation window anchored on surviving entries
+		}
+	}
+	if evicted == 0 {
+		return 0
+	}
+	rs.order = kept
+	for i, r := range rs.order {
+		rs.byID[r.ID] = i
+	}
+	rs.cursor -= shift
+	return evicted
 }
 
 // EventKind classifies peerview membership events (Figure 3 right).

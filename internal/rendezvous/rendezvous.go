@@ -142,6 +142,14 @@ type Config struct {
 	// Usually enabled together with SelfHeal (islands form through
 	// promotion), but functional without it.
 	IslandMerge bool
+	// RumorDeadSweeps bounds the IslandMerge rumor store on long-lived
+	// deployments: an identity that is neither a peerview member nor a
+	// leased client for this many consecutive client sweeps (every
+	// LeaseDuration/4) is evicted. Re-gossip of the identity restarts its
+	// clock, so only rumors the whole overlay stopped mentioning age out.
+	// 0 (default) disables aging — the store grows monotonically, and the
+	// PR 5 wire format and gossip rotation stay byte-identical.
+	RumorDeadSweeps int
 }
 
 // DefaultConfig returns JXTA-C-like lease tunables.
@@ -973,6 +981,11 @@ func (s *Service) sweepClients() {
 		}
 	}
 	if s.cfg.IslandMerge {
+		if s.cfg.RumorDeadSweeps > 0 {
+			s.rumors.Sweep(s.cfg.RumorDeadSweeps, func(id ids.ID) bool {
+				return id.Equal(s.ep.ID()) || s.pv.Contains(id) || s.HasClient(id)
+			})
+		}
 		s.retryMerges()
 	}
 }

@@ -688,3 +688,46 @@ func TestElectionSkipsDeadSuccessor(t *testing.T) {
 		t.Fatal("survivor dormant despite being electable")
 	}
 }
+
+func TestRumorAgingEvictsDeadIdentities(t *testing.T) {
+	// A rumor for an identity that is never a peerview member or leased
+	// client must age out of the store once RumorDeadSweeps is set, while
+	// live tier members survive indefinitely. With the knob at its zero
+	// default the store keeps everything (the PR 5 contract).
+	for _, deadSweeps := range []int{0, 2} {
+		sched := simnet.NewScheduler(1)
+		net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+		cfg := DefaultConfig()
+		cfg.LeaseDuration = 2 * time.Minute // client sweep every 30s
+		cfg.IslandMerge = true
+		cfg.RumorDeadSweeps = deadSweeps
+		rdvs := newRdvOverlayCfg(t, sched, net, 2, cfg)
+		ghost := peerview.NewRumor(peerview.Seed{
+			ID:   ids.FromName(ids.KindPeer, "long-gone"),
+			Addr: "sim://0/long-gone",
+		})
+		member := peerview.NewRumor(peerview.Seed{
+			ID: rdvs[1].id, Addr: rdvs[1].tr.Addr(),
+		})
+		sched.After(time.Minute, func() {
+			rdvs[0].svc.rumors.Add(ghost)
+			rdvs[0].svc.rumors.Add(member)
+		})
+		sched.Run(20 * time.Minute)
+		hasGhost := false
+		hasPeer := false
+		for _, r := range rdvs[0].svc.Rumors() {
+			hasGhost = hasGhost || r.ID.Equal(ghost.ID)
+			hasPeer = hasPeer || r.ID.Equal(rdvs[1].id)
+		}
+		if deadSweeps == 0 && !hasGhost {
+			t.Fatal("aging disabled but the dead rumor was evicted")
+		}
+		if deadSweeps > 0 && hasGhost {
+			t.Fatal("dead rumor survived 19 minutes of sweeps")
+		}
+		if !hasPeer {
+			t.Fatalf("live tier member evicted (deadSweeps=%d)", deadSweeps)
+		}
+	}
+}

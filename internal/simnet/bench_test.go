@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -85,3 +86,55 @@ func BenchmarkTickerHeavy(b *testing.B) {
 	}
 	b.ReportMetric(float64(s.Steps())/float64(b.N), "events/op")
 }
+
+// BenchmarkShardBarrier measures the per-window coordination overhead of
+// the sharded engine: every shard has exactly one event per window, so the
+// cost per op is dominated by dispatch, quiesce, and merge — the price a
+// workload pays even when windows carry little work.
+func BenchmarkShardBarrier(b *testing.B) {
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			ss := NewSharded(1, shards, time.Millisecond)
+			fired := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at := ss.Now() + 100*time.Microsecond
+				for s := 0; s < shards; s++ {
+					ss.Shard(s).At(at, func() { fired++ })
+				}
+				ss.Run(at)
+			}
+			b.StopTimer()
+			if fired != b.N*shards {
+				b.Fatalf("fired %d, want %d", fired, b.N*shards)
+			}
+		})
+	}
+}
+
+// BenchmarkCrossShardDelivery measures the exchange-queue path: enqueue on
+// the source shard, (timestamp, source, sequence) merge at the barrier,
+// injection into the destination heap, and execution — the full life of one
+// cross-shard message, without transport on top.
+func BenchmarkCrossShardDelivery(b *testing.B) {
+	const batch = 256
+	ss := NewSharded(1, 2, time.Millisecond)
+	fired := 0
+	deliver := func(any) { fired++ }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		at := ss.Now() + 2*time.Millisecond
+		for j := 0; j < batch && i+j < b.N; j++ {
+			ss.XSchedule(j%2, 1-j%2, at+time.Duration(j)*time.Nanosecond, deliver, nil)
+		}
+		ss.Run(at + time.Microsecond)
+	}
+	b.StopTimer()
+	if fired != b.N {
+		b.Fatalf("fired %d, want %d", fired, b.N)
+	}
+}
+
+func benchName(k string, v int) string { return fmt.Sprintf("%s=%d", k, v) }

@@ -365,6 +365,38 @@ func (s *Scheduler) Run(until time.Duration) uint64 {
 	return s.steps - start
 }
 
+// nextEventAt returns the time of the earliest live event, discarding any
+// tombstones sitting at the heap top. The sharded engine uses it to pick the
+// next conservative window start.
+func (s *Scheduler) nextEventAt() (time.Duration, bool) {
+	s.dropTombstones()
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
+}
+
+// runWindow executes every live event with at < end — an exclusive bound,
+// unlike Run's inclusive one — then advances now to end. It is the per-shard
+// body of one conservative lookahead window: events the shard creates for
+// itself inside the window run in the same pass; events for other shards are
+// queued through the sharded engine and merged at the barrier. It returns
+// the number of events executed.
+func (s *Scheduler) runWindow(end time.Duration) uint64 {
+	start := s.steps
+	for {
+		s.dropTombstones()
+		if len(s.heap) == 0 || s.heap[0].at >= end {
+			break
+		}
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+	return s.steps - start
+}
+
 // RunAll executes events until the queue is empty. Protocol tickers re-arm
 // themselves forever, so experiments should prefer Run(until).
 func (s *Scheduler) RunAll() uint64 {

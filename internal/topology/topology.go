@@ -81,6 +81,25 @@ func Seeds(kind Kind, n, fanout int) ([][]int, error) {
 	return out, nil
 }
 
+// PlaceSites maps numSites simulation sites onto shards (round-robin),
+// returning assign[site] = shard. Placement is site-granular on purpose:
+// every peer of a site — each rendezvous and the edges leasing from it,
+// which deployments attach at their rendezvous's site — lands on one shard,
+// so the short intra-site latency never constrains the conservative
+// lookahead window; only inter-site links cross shards. With fewer sites
+// than shards the extra shards simply stay empty, so callers clamp shards
+// to numSites.
+func PlaceSites(numSites, shards int) []int {
+	if shards < 1 {
+		shards = 1
+	}
+	assign := make([]int, numSites)
+	for i := range assign {
+		assign[i] = i % shards
+	}
+	return assign
+}
+
 // Depth returns the longest seed-path length from any node to the root —
 // the bootstrap propagation depth of the shape.
 func Depth(seeds [][]int) int {

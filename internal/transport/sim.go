@@ -19,29 +19,57 @@ type Stats struct {
 	Dropped  uint64 // loss injection + sends to detached peers
 }
 
+// add accumulates counters (per-shard snapshots into the network total).
+func (s *Stats) add(o Stats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.Dropped += o.Dropped
+}
+
 // Network is the simulated Grid'5000 fabric: it owns the latency model, the
-// attached endpoints and the delivery bookkeeping. All methods must be
-// called from the simulation goroutine (the event loop), which is the only
-// execution context in a simnet experiment.
+// attached endpoints and the delivery bookkeeping. Its state is partitioned
+// by shard: in serial mode there is exactly one shard and all methods run on
+// the simulation goroutine; under the sharded engine each shard's slice of
+// the state (endpoints, RNG stream, counters, delivery pool) is touched only
+// by that shard's execution context, so concurrent windows share nothing.
 type Network struct {
-	sched *simnet.Scheduler
 	model *netmodel.Model
+	// engine is the sharded engine when the fabric spans shards; nil in
+	// serial mode.
+	engine *simnet.ShardedScheduler
+	shards []netShard
+	// shardOfSite routes an address to the shard owning its site. Addresses
+	// embed their site (sim://<site>/<name>), so routing is static: a
+	// destination resolves to the same shard whether or not it is attached
+	// yet, which keeps boot races and restarts deterministic.
+	shardOfSite [netmodel.NumSites]int32
+	// OnSend, when non-nil, observes every accepted send. Used by
+	// experiments to count per-exchange messages. Under the sharded engine
+	// it is invoked from shard goroutines; observer experiments run serial.
+	OnSend func(from, to Addr, msg *message.Message)
+}
+
+// netShard is one shard's slice of the fabric state.
+type netShard struct {
+	sched *simnet.Scheduler
 	rng   *rand.Rand
 	nodes map[Addr]*Sim
 	stats Stats
-	// OnSend, when non-nil, observes every accepted send. Used by
-	// experiments to count per-exchange messages.
-	OnSend func(from, to Addr, msg *message.Message)
-	// siteCache remembers parsed sites of not-yet-attached destination
-	// addresses, so boot races don't re-parse the sim:// string per send.
+	// siteCache memoizes parsed sites of destination addresses not attached
+	// to this shard (remote shards' peers, not-yet-attached boot races).
+	// Shard-local so lookups never touch another shard's maps.
 	siteCache map[Addr]netmodel.Site
 	// freeDeliveries pools delivery records; together with the scheduler's
 	// payload event form it makes the per-message send path closure-free.
+	// Records may migrate pools (taken on the sending shard, returned on
+	// the receiving one); each pool is only touched by its own shard.
 	freeDeliveries []*delivery
-	// arriveFn/handoffFn are the two delivery phases as method values,
+	// arriveFn/handoffFn are the two delivery phases as stored func values,
 	// created once so scheduling them allocates nothing per send.
 	arriveFn  func(any)
 	handoffFn func(any)
+	// pad keeps neighbouring shards' hot counters off one cache line.
+	_ [64]byte
 }
 
 // delivery is one in-flight message's state, pooled across sends.
@@ -56,56 +84,100 @@ type delivery struct {
 // above any node index.
 const networkRandIndex = 1 << 40
 
-// NewNetwork builds a fabric over the given scheduler and latency model.
+// NewNetwork builds a serial fabric over the given scheduler and latency
+// model: one shard owning every site.
 func NewNetwork(sched *simnet.Scheduler, model *netmodel.Model) *Network {
-	n := &Network{
-		sched:     sched,
-		model:     model,
-		rng:       sched.DeriveRand(networkRandIndex),
-		nodes:     make(map[Addr]*Sim),
-		siteCache: make(map[Addr]netmodel.Site),
-	}
-	n.arriveFn = n.arrive
-	n.handoffFn = n.handoff
+	n := &Network{model: model, shards: make([]netShard, 1)}
+	n.initShard(0, sched)
 	return n
 }
 
-// getDelivery takes a record from the pool (or allocates the pool's next).
-func (n *Network) getDelivery() *delivery {
-	if k := len(n.freeDeliveries); k > 0 {
-		d := n.freeDeliveries[k-1]
-		n.freeDeliveries[k-1] = nil
-		n.freeDeliveries = n.freeDeliveries[:k-1]
+// NewShardedNetwork builds a fabric partitioned across the engine's shards
+// per the site assignment (assign[site] = shard, from topology.PlaceSites).
+// Same-shard deliveries go straight onto the shard's heap exactly as in
+// serial mode; cross-shard deliveries are enqueued on the engine's exchange
+// queues and merged at window barriers.
+func NewShardedNetwork(engine *simnet.ShardedScheduler, model *netmodel.Model, assign []int) (*Network, error) {
+	if len(assign) < netmodel.NumSites {
+		return nil, fmt.Errorf("transport: site assignment covers %d of %d sites", len(assign), netmodel.NumSites)
+	}
+	n := &Network{model: model, engine: engine, shards: make([]netShard, engine.Shards())}
+	for site := 0; site < netmodel.NumSites; site++ {
+		if assign[site] < 0 || assign[site] >= engine.Shards() {
+			return nil, fmt.Errorf("transport: site %v assigned to shard %d of %d", netmodel.Site(site), assign[site], engine.Shards())
+		}
+		n.shardOfSite[site] = int32(assign[site])
+	}
+	for i := range n.shards {
+		n.initShard(i, engine.Shard(i))
+	}
+	return n, nil
+}
+
+// initShard wires one shard's scheduler, RNG stream and delivery closures.
+func (n *Network) initShard(i int, sched *simnet.Scheduler) {
+	sh := &n.shards[i]
+	sh.sched = sched
+	sh.rng = sched.DeriveRand(networkRandIndex)
+	sh.nodes = make(map[Addr]*Sim)
+	sh.siteCache = make(map[Addr]netmodel.Site)
+	sh.arriveFn = func(a any) { n.arrive(sh, a) }
+	sh.handoffFn = func(a any) { n.handoff(sh, a) }
+}
+
+// getDelivery takes a record from the shard's pool (or allocates).
+func (sh *netShard) getDelivery() *delivery {
+	if k := len(sh.freeDeliveries); k > 0 {
+		d := sh.freeDeliveries[k-1]
+		sh.freeDeliveries[k-1] = nil
+		sh.freeDeliveries = sh.freeDeliveries[:k-1]
 		return d
 	}
 	return &delivery{}
 }
 
-// putDelivery clears and returns a record to the pool. The message is NOT
-// retained: the receiver owns it after handoff.
-func (n *Network) putDelivery(d *delivery) {
+// putDelivery clears and returns a record to the shard's pool. The message
+// is NOT retained: the receiver owns it after handoff.
+func (sh *netShard) putDelivery(d *delivery) {
 	*d = delivery{}
-	n.freeDeliveries = append(n.freeDeliveries, d)
+	sh.freeDeliveries = append(sh.freeDeliveries, d)
 }
 
-// Stats returns a snapshot of the traffic counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a snapshot of the traffic counters summed over shards. Under
+// the sharded engine call it only while the engine is quiesced (between
+// Run calls), like every other driver-side method.
+func (n *Network) Stats() Stats {
+	var t Stats
+	for i := range n.shards {
+		t.add(n.shards[i].stats)
+	}
+	return t
+}
+
+// shardFor routes an address to the shard owning its site.
+func (n *Network) shardFor(addr Addr) *netShard {
+	if len(n.shards) == 1 {
+		return &n.shards[0]
+	}
+	return &n.shards[n.shardOfSite[parseAddrSite(addr)]]
+}
 
 // Detach forcibly removes an endpoint by address, modeling a peer crash
 // from outside the peer (deployment-level churn injection). Messages in
 // flight to it are dropped. It reports whether the endpoint existed.
 func (n *Network) Detach(addr Addr) bool {
-	s, ok := n.nodes[addr]
+	sh := n.shardFor(addr)
+	s, ok := sh.nodes[addr]
 	if ok {
 		s.closed = true
-		delete(n.nodes, addr)
+		delete(sh.nodes, addr)
 	}
 	return ok
 }
 
 // Lookup returns the endpoint bound to addr, if attached.
 func (n *Network) Lookup(addr Addr) (*Sim, bool) {
-	s, ok := n.nodes[addr]
+	s, ok := n.shardFor(addr).nodes[addr]
 	return s, ok
 }
 
@@ -117,23 +189,31 @@ func (n *Network) Lookup(addr Addr) (*Sim, bool) {
 // reaching a restarted process, as on a real network. It reports false
 // when the address is already held by a different endpoint.
 func (n *Network) Reattach(s *Sim) bool {
-	if cur, ok := n.nodes[s.addr]; ok && cur != s {
+	if cur, ok := s.sh.nodes[s.addr]; ok && cur != s {
 		return false
 	}
 	s.closed = false
-	n.nodes[s.addr] = s
+	s.sh.nodes[s.addr] = s
 	return true
 }
 
 // ResetStats zeroes the counters (used between experiment phases).
-func (n *Network) ResetStats() { n.stats = Stats{} }
+func (n *Network) ResetStats() {
+	for i := range n.shards {
+		n.shards[i].stats = Stats{}
+	}
+}
 
 // Model returns the latency model (read-only use).
 func (n *Network) Model() *netmodel.Model { return n.model }
 
 // Sim is a simulated endpoint attached to a Network.
 type Sim struct {
-	net       *Network
+	net *Network
+	// sh is the shard owning this endpoint's site; all of the endpoint's
+	// events (deliveries, handler calls) run on its scheduler.
+	sh        *netShard
+	shard     int32
 	addr      Addr
 	site      netmodel.Site
 	handler   Handler
@@ -152,15 +232,21 @@ type Sim struct {
 var _ Transport = (*Sim)(nil)
 
 // Attach creates an endpoint for a node at the given site. The name must be
-// unique within the network.
+// unique within the network. The endpoint lives on the shard owning the
+// site. Driver-side: call while the engine is quiesced.
 func (n *Network) Attach(name string, site netmodel.Site) (*Sim, error) {
 	addr := Addr(fmt.Sprintf("sim://%s/%s", site, name))
-	if _, dup := n.nodes[addr]; dup {
+	shard := int32(0)
+	if len(n.shards) > 1 {
+		shard = n.shardOfSite[site]
+	}
+	sh := &n.shards[shard]
+	if _, dup := sh.nodes[addr]; dup {
 		return nil, fmt.Errorf("transport: duplicate sim endpoint %s", addr)
 	}
-	s := &Sim{net: n, addr: addr, site: site,
+	s := &Sim{net: n, sh: sh, shard: shard, addr: addr, site: site,
 		lastArrival: make(map[Addr]time.Duration)}
-	n.nodes[addr] = s
+	sh.nodes[addr] = s
 	return s, nil
 }
 
@@ -180,7 +266,7 @@ func (s *Sim) Close() error {
 		return nil
 	}
 	s.closed = true
-	delete(s.net.nodes, s.addr)
+	delete(s.sh.nodes, s.addr)
 	return nil
 }
 
@@ -189,7 +275,7 @@ func (s *Sim) Close() error {
 // Subsequent inbound messages are handed to the handler only after the busy
 // period elapses.
 func (s *Sim) Busy(d time.Duration) {
-	now := s.net.sched.Now()
+	now := s.sh.sched.Now()
 	if s.busyUntil < now {
 		s.busyUntil = now
 	}
@@ -199,50 +285,68 @@ func (s *Sim) Busy(d time.Duration) {
 // Send implements Transport. Latency is propagation (site matrix + jitter)
 // plus transmission; on arrival the message queues FIFO behind the
 // receiver's stack service time, so a loaded receiver serves slowly — the
-// effect the paper's configuration B stresses.
+// effect the paper's configuration B stresses. A delivery whose destination
+// site lives on another shard is enqueued on the engine's exchange queues
+// instead of the local heap; the conservative lookahead window guarantees
+// its arrival lands beyond the current window barrier.
 func (s *Sim) Send(to Addr, msg *message.Message) error {
 	if s.closed {
 		return ErrClosed
 	}
 	n := s.net
-	n.stats.Messages++
-	n.stats.Bytes += uint64(msg.Size())
+	sh := s.sh
+	sh.stats.Messages++
+	sh.stats.Bytes += uint64(msg.Size())
 	if n.OnSend != nil {
 		n.OnSend(s.addr, to, msg)
 	}
-	if n.model.Drop(n.rng) {
-		n.stats.Dropped++
+	if n.model.Drop(sh.rng) {
+		sh.stats.Dropped++
 		return nil // loss is silent, like UDP on a real WAN
 	}
 	// The destination may be unknown at send time (boot races) or gone
 	// (churn); bytes leave anyway and the receiver is resolved at arrival.
-	dstSite := n.siteOf(to)
-	latency := n.model.SampleLatency(s.site, dstSite, msg.Size(), n.rng)
+	dstSite := sh.siteOf(to)
+	latency := n.model.SampleLatency(s.site, dstSite, msg.Size(), sh.rng)
 	// Clamp to per-pair FIFO order (connection-oriented transport).
-	arrival := n.sched.Now() + latency
+	arrival := sh.sched.Now() + latency
 	if last := s.lastArrival[to]; arrival <= last {
 		arrival = last + time.Microsecond
 	}
 	s.lastArrival[to] = arrival
 	s.maybePruneArrivals()
-	d := n.getDelivery()
+	dstShard := s.shard
+	if len(n.shards) > 1 {
+		dstShard = n.shardOfSite[dstSite]
+	}
+	// The record comes from the sending shard's pool (the only pool this
+	// execution context may touch) and is returned to the receiving
+	// shard's, migrating pools on cross-shard sends.
+	d := sh.getDelivery()
 	d.from, d.to = s.addr, to
 	d.msg = msg.Clone() // receiver must never share memory with sender
-	n.sched.AtCall(arrival, n.arriveFn, d)
+	if dstShard == s.shard {
+		sh.sched.AtCall(arrival, sh.arriveFn, d)
+	} else {
+		// arriveFn fields are written once at init and read-only after,
+		// so reading the destination shard's closure here is safe.
+		n.engine.XSchedule(int(s.shard), int(dstShard), arrival, n.shards[dstShard].arriveFn, d)
+	}
 	return nil
 }
 
-// arrive is delivery phase 1: the frame reaches the destination host and
-// queues FIFO behind the receiver's protocol-stack service time.
-func (n *Network) arrive(a any) {
+// arrive is delivery phase 1 on the receiving shard: the frame reaches the
+// destination host and queues FIFO behind the receiver's protocol-stack
+// service time.
+func (n *Network) arrive(sh *netShard, a any) {
 	d := a.(*delivery)
-	rcv, ok := n.nodes[d.to]
+	rcv, ok := sh.nodes[d.to]
 	if !ok || rcv.handler == nil {
-		n.stats.Dropped++
-		n.putDelivery(d)
+		sh.stats.Dropped++
+		sh.putDelivery(d)
 		return
 	}
-	arrival := n.sched.Now()
+	arrival := sh.sched.Now()
 	start := rcv.busyUntil
 	if start < arrival {
 		start = arrival
@@ -250,19 +354,19 @@ func (n *Network) arrive(a any) {
 	handAt := start + n.model.StackService
 	rcv.busyUntil = handAt
 	d.rcv = rcv
-	n.sched.AtCall(handAt, n.handoffFn, d)
+	sh.sched.AtCall(handAt, sh.handoffFn, d)
 }
 
 // handoff is delivery phase 2: the stack hands the message to the service
 // handler — unless the peer crashed while the message sat in its queue.
-func (n *Network) handoff(a any) {
+func (n *Network) handoff(sh *netShard, a any) {
 	d := a.(*delivery)
-	if cur, ok := n.nodes[d.to]; ok && cur == d.rcv && d.rcv.handler != nil {
+	if cur, ok := sh.nodes[d.to]; ok && cur == d.rcv && d.rcv.handler != nil {
 		d.rcv.handler(d.from, d.msg)
 	} else {
-		n.stats.Dropped++
+		sh.stats.Dropped++
 	}
-	n.putDelivery(d)
+	sh.putDelivery(d)
 }
 
 // arrivalPruneLen is the lastArrival size beyond which a send may trigger a
@@ -281,7 +385,7 @@ func (s *Sim) maybePruneArrivals() {
 	if len(s.lastArrival) < arrivalPruneLen {
 		return
 	}
-	now := s.net.sched.Now()
+	now := s.sh.sched.Now()
 	if now < s.nextArrivalPrune {
 		return
 	}
@@ -293,20 +397,25 @@ func (s *Sim) maybePruneArrivals() {
 	}
 }
 
-// siteOf resolves the destination site from the address (known endpoints) or
-// by parsing the sim:// address for not-yet-attached ones, memoizing the
-// parse.
-func (n *Network) siteOf(a Addr) netmodel.Site {
-	if node, ok := n.nodes[a]; ok {
+// siteOf resolves the destination site from this shard's attached endpoints
+// or by parsing the sim:// address, memoizing the parse. Endpoints on other
+// shards resolve through the parse path — addresses embed their site, so
+// the answer is identical and no cross-shard map is read.
+func (sh *netShard) siteOf(a Addr) netmodel.Site {
+	if node, ok := sh.nodes[a]; ok {
 		return node.site
 	}
-	if site, ok := n.siteCache[a]; ok {
+	if site, ok := sh.siteCache[a]; ok {
 		return site
 	}
 	site := parseAddrSite(a)
-	n.siteCache[a] = site
+	sh.siteCache[a] = site
 	return site
 }
+
+// siteOf resolves a destination site on the first shard (serial-mode helper
+// kept for tests).
+func (n *Network) siteOf(a Addr) netmodel.Site { return n.shards[0].siteOf(a) }
 
 // parseAddrSite extracts the site from a sim://<site>/<name> address.
 func parseAddrSite(a Addr) netmodel.Site {

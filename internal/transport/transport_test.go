@@ -223,8 +223,8 @@ func TestSiteOfUnattachedAddress(t *testing.T) {
 	if net.siteOf("sim://toulouse/ghost") != netmodel.Toulouse {
 		t.Fatal("siteOf cache returned a different site")
 	}
-	if len(net.siteCache) != 2 {
-		t.Fatalf("siteCache has %d entries, want 2", len(net.siteCache))
+	if len(net.shards[0].siteCache) != 2 {
+		t.Fatalf("siteCache has %d entries, want 2", len(net.shards[0].siteCache))
 	}
 }
 

@@ -118,6 +118,14 @@ type SimOptions struct {
 	Topology string
 	// Edges lists the edge peers to deploy.
 	Edges []EdgeSpec
+	// Shards selects the simulation engine: ≤1 (the default) is the
+	// serial scheduler, byte-identical to earlier releases under a fixed
+	// Seed; >1 partitions the overlay by Grid'5000 site across that many
+	// conservative-PDES shards (clamped to the nine modeled sites) for
+	// multicore scaling. Runs stay deterministic for a fixed (Seed,
+	// Shards) pair at any GOMAXPROCS, but trajectories differ between
+	// shard counts.
+	Shards int
 	// LeaseDuration overrides the rendezvous lease length (0 keeps the
 	// JXTA-C default of 20 minutes; renewals happen at half of it).
 	// Volatility scenarios shorten it so failure detection, failover and
@@ -186,6 +194,7 @@ func NewSimulation(opts SimOptions) (*Simulation, error) {
 	spec := deploy.Spec{
 		Seed:      opts.Seed,
 		NumRdv:    opts.Rendezvous,
+		Shards:    opts.Shards,
 		Topology:  kind,
 		Discovery: discovery.DefaultConfig(),
 		Socket:    socket.Config{WindowBytes: opts.SocketWindowBytes},
@@ -335,7 +344,9 @@ func (s *Simulation) PendingCallbacks(p *Peer) int {
 	if !ok {
 		return 0
 	}
-	return s.overlay.Sched.PendingFor(ne)
+	// The ledger lives on the env's own scheduler — under the sharded
+	// engine, that is the shard owning the peer's site.
+	return ne.Pending()
 }
 
 // ID returns the peer's JXTA ID in URN form.
