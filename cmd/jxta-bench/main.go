@@ -185,6 +185,9 @@ type perfPoint struct {
 	Mallocs      uint64  `json:"mallocs"`
 	AllocBytes   uint64  `json:"alloc_bytes"`
 	Messages     uint64  `json:"messages"`
+	// NodeMetrics is the per-node runtime-metrics section: population
+	// totals plus sampled full snapshots (see experiments.CollectNodeMetrics).
+	NodeMetrics *experiments.NodeMetricsSummary `json:"node_metrics,omitempty"`
 }
 
 // perf measures raw engine throughput on the two benchmark workloads the
@@ -200,12 +203,12 @@ func perf() (any, error) {
 	}
 	var points []perfPoint
 
-	measure := func(workload string, virtual time.Duration, run func() (steps, msgs uint64, err error)) error {
+	measure := func(workload string, virtual time.Duration, run func() (steps, msgs uint64, nm *experiments.NodeMetricsSummary, err error)) error {
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		steps, msgs, err := run()
+		steps, msgs, nm, err := run()
 		wall := time.Since(start)
 		if err != nil {
 			return err
@@ -220,33 +223,35 @@ func perf() (any, error) {
 			Mallocs:      after.Mallocs - before.Mallocs,
 			AllocBytes:   after.TotalAlloc - before.TotalAlloc,
 			Messages:     msgs,
+			NodeMetrics:  nm,
 		})
 		return nil
 	}
 
-	if err := measure(fmt.Sprintf("overlay-boot-r%d", bootR), bootDur, func() (uint64, uint64, error) {
+	if err := measure(fmt.Sprintf("overlay-boot-r%d", bootR), bootDur, func() (uint64, uint64, *experiments.NodeMetricsSummary, error) {
 		o, err := deploy.Build(deploy.Spec{Seed: *seedFlag, NumRdv: bootR, Topology: topology.Chain})
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, nil, err
 		}
 		o.StartAll()
 		o.Sched.Run(bootDur)
 		steps, msgs := o.Sched.Steps(), o.Net.Stats().Messages
+		nm := experiments.CollectNodeMetrics(o, 1)
 		o.StopAll()
-		return steps, msgs, nil
+		return steps, msgs, nm, nil
 	}); err != nil {
 		return nil, err
 	}
 
-	if err := measure(fmt.Sprintf("peerview-r%d-%dmin", pvR, int(pvDur.Minutes())), pvDur, func() (uint64, uint64, error) {
+	if err := measure(fmt.Sprintf("peerview-r%d-%dmin", pvR, int(pvDur.Minutes())), pvDur, func() (uint64, uint64, *experiments.NodeMetricsSummary, error) {
 		res, err := experiments.RunPeerview(experiments.PeerviewSpec{
 			R: pvR, Topology: topology.Chain,
 			Duration: pvDur, Seed: *seedFlag,
 		})
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, nil, err
 		}
-		return res.Steps, res.NetStats.Messages, nil
+		return res.Steps, res.NetStats.Messages, res.NodeMetrics, nil
 	}); err != nil {
 		return nil, err
 	}
@@ -277,6 +282,9 @@ type scalePoint struct {
 	CrossShard   uint64  `json:"cross_shard"`
 	SpeedupBound float64 `json:"speedup_bound"`
 	SpeedupWall  float64 `json:"speedup_wall"`
+	// NodeMetrics is the per-node runtime-metrics section: population
+	// totals plus sampled full snapshots (see experiments.CollectNodeMetrics).
+	NodeMetrics *experiments.NodeMetricsSummary `json:"node_metrics,omitempty"`
 }
 
 // scale measures the sharded conservative-PDES engine: events/sec and wall
@@ -324,6 +332,7 @@ func scale() (any, error) {
 			GOMAXPROCS: runtime.GOMAXPROCS(0), WallMs: res.WallMs, Steps: res.Steps,
 			EventsPerSec: res.EventsPerSec, Windows: res.Windows, AvgBusy: res.AvgBusy,
 			CrossShard: res.CrossShard, SpeedupBound: res.SpeedupBound,
+			NodeMetrics: res.NodeMetrics,
 		}
 		if p.SpeedupBound == 0 {
 			p.SpeedupBound = 1 // serial engine: no windows, bound is unity

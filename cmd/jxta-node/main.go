@@ -18,6 +18,15 @@
 // find each other again through gossiped tier rumors. Pass the same flags
 // to every node of a deployment.
 //
+// Observability is opt-in: -admin host:port serves /metrics (Prometheus
+// text exposition of every protocol component's counters, gauges and
+// histograms), /healthz (lifecycle + lease state; 200 only when started
+// and connected), /statusz (JSON: health, flattened metrics, the protocol
+// event-trace ring of promotions, failovers and lease transitions) and the
+// standard /debug/pprof profiler endpoints. Serving metrics is a pure
+// observation: scrapes serialize with the protocol loop and change no
+// protocol behaviour.
+//
 // Shutdown is graceful on SIGINT/SIGTERM: the node runs its full service
 // lifecycle teardown — open streams FIN or reset, the rendezvous lease is
 // cancelled so the super-peer drops this client immediately instead of
@@ -33,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"jxta/internal/admin"
 	"jxta/internal/advertisement"
 	"jxta/internal/discovery"
 	"jxta/internal/env"
@@ -52,6 +62,7 @@ var (
 	searchFlag  = flag.String("search", "", "search for a resource advertisement with this name")
 	waitFlag    = flag.Duration("wait", 0, "exit after this long (0 = run until interrupt)")
 	rngSeed     = flag.Int64("rngseed", 0, "peer ID RNG seed (0 = time-based)")
+	adminFlag   = flag.String("admin", "", "serve /metrics, /healthz, /statusz and /debug/pprof on this host:port (empty = off)")
 	selfHeal    = flag.Bool("selfheal", false, "enable the self-healing rendezvous tier: lease grants carry failover alternates and the client roster, edges elect and promote a successor when every rendezvous is gone, a graceful shutdown hands the lease table and SRDI index off")
 	islandMerge = flag.Bool("islandmerge", false, "enable gossip-driven island merging: lease traffic piggybacks signed tier rumors, fragmented rendezvous islands probe each other and merge their peerviews (usually combined with -selfheal)")
 )
@@ -89,9 +100,51 @@ func main() {
 	})
 	fmt.Printf("peer %s (%s) listening on %s\n", n.ID, role, tr.Addr())
 
+	if *adminFlag != "" {
+		srv, err := admin.Serve(*adminFlag, admin.Options{
+			Registry: n.Metrics,
+			Trace:    n.Trace,
+			Locked:   e.Locked,
+			Health: func() admin.Health {
+				h := admin.Health{Started: n.Started()}
+				if n.IsRendezvous() {
+					h.Role, h.Connected = "rendezvous", n.Started()
+				} else {
+					rdv, ok := n.Rendezvous.ConnectedRdv()
+					h.Role, h.Connected = "edge", ok
+					if ok {
+						h.Detail = "lease from " + rdv.Short()
+					}
+				}
+				return h
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("admin endpoints on http://%s/ (/metrics /healthz /statusz /debug/pprof)\n", srv.Addr())
+	}
+
 	if *seedAddr != "" {
+		// The lease listener goes in BEFORE the hello kicks the join off, so
+		// the grant cannot slip between a poll and a sleep — the protocol
+		// callback delivers the transition the moment it commits (the same
+		// transition the event trace records). The channel is buffered and
+		// the send non-blocking: later failover transitions must never stall
+		// the protocol loop on a channel nobody reads anymore.
+		leased := make(chan ids.ID, 1)
 		joined := make(chan bool, 1)
 		e.Locked(func() {
+			n.Rendezvous.AddLeaseListener(func(rdv ids.ID, connected bool) {
+				if connected {
+					select {
+					case leased <- rdv:
+					default:
+					}
+				}
+			})
 			n.Endpoint.Hello(transport.Addr(*seedAddr), func(peer ids.ID, ok bool) {
 				if !ok {
 					joined <- false
@@ -106,19 +159,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "seed did not answer hello")
 			os.Exit(1)
 		}
-		// Give the lease a moment to settle.
-		deadline := time.Now().Add(15 * time.Second)
-		for time.Now().Before(deadline) {
-			connected := *rdvFlag
-			e.Locked(func() {
-				if !*rdvFlag {
-					_, connected = n.Rendezvous.ConnectedRdv()
-				}
-			})
-			if connected {
-				break
+		if !*rdvFlag {
+			// Wait for the lease grant event (edges only; a rendezvous is
+			// connected by construction).
+			select {
+			case rdv := <-leased:
+				fmt.Printf("lease granted by %s\n", rdv.Short())
+			case <-time.After(15 * time.Second):
+				fmt.Fprintln(os.Stderr, "no lease within 15s; continuing unconnected")
 			}
-			time.Sleep(100 * time.Millisecond)
 		}
 	}
 

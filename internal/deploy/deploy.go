@@ -6,9 +6,11 @@ package deploy
 
 import (
 	"fmt"
+	"strconv"
 
 	"jxta/internal/discovery"
 	"jxta/internal/ids"
+	"jxta/internal/metrics"
 	"jxta/internal/netmodel"
 	"jxta/internal/node"
 	"jxta/internal/peerview"
@@ -64,6 +66,14 @@ type Overlay struct {
 	Rdvs  []*node.Node
 	Edges []*node.Node
 
+	// Metrics is the overlay-level registry: fabric traffic counters
+	// (jxta_net_*) plus, on sharded runs, the engine's window/barrier
+	// instrumentation (jxta_sim_*). Per-node protocol instruments live on
+	// each node's own registry (node.Node.Metrics). Engine instruments are
+	// sampled at encode time; read them from the driver side, between Run
+	// calls. The fabric counters are atomic and safe mid-run.
+	Metrics *metrics.Registry
+
 	// OnPromotion, when set, observes edge→rendezvous role switches (the
 	// self-healing machinery promotes nodes while virtual time runs).
 	// Deployment lists are kept by construction role; use Node.IsRendezvous
@@ -117,6 +127,8 @@ func Build(spec Spec) (*Overlay, error) {
 		sched := simnet.NewScheduler(spec.Seed)
 		o.Sched, o.Net = sched, transport.NewNetwork(sched, model)
 	}
+
+	o.instrument()
 
 	seedIdx, err := topology.Seeds(spec.Topology, spec.NumRdv, spec.Fanout)
 	if err != nil {
@@ -220,6 +232,58 @@ func (o *Overlay) newEnv(name string, site netmodel.Site) *simnet.NodeEnv {
 // Engine returns the sharded engine when one is running (nil for serial
 // overlays); experiments use it to read window/barrier instrumentation.
 func (o *Overlay) Engine() *simnet.ShardedScheduler { return o.sharded }
+
+// instrument builds the overlay registry over the fabric and (when sharded)
+// the engine. Pure observer: collector-backed instruments read the
+// already-maintained counters at encode time.
+func (o *Overlay) instrument() {
+	o.Metrics = metrics.NewRegistry()
+	o.Metrics.CounterFunc("jxta_net_messages_total", "Messages accepted by the simulated fabric.",
+		func() uint64 { return o.Net.Stats().Messages })
+	o.Metrics.CounterFunc("jxta_net_bytes_total", "Payload bytes accepted by the simulated fabric.",
+		func() uint64 { return o.Net.Stats().Bytes })
+	o.Metrics.CounterFunc("jxta_net_dropped_total", "Deliveries dropped: loss injection plus sends to detached peers.",
+		func() uint64 { return o.Net.Stats().Dropped })
+	o.Metrics.GaugeFunc("jxta_sim_shards", "Engine shards (1 = serial scheduler).",
+		func() float64 {
+			if o.sharded == nil {
+				return 1
+			}
+			return float64(o.sharded.Shards())
+		})
+	if o.sharded == nil {
+		return
+	}
+	ss := o.sharded
+	o.Metrics.CounterFunc("jxta_sim_windows_total", "Shard execution windows run.",
+		func() uint64 { return ss.ParallelStats().Windows })
+	o.Metrics.CounterFunc("jxta_sim_events_total", "Events executed inside shard windows.",
+		func() uint64 { return ss.ParallelStats().TotalEvents })
+	o.Metrics.CounterFunc("jxta_sim_critical_events_total", "Per-window maxima summed: the parallel critical path in events.",
+		func() uint64 { return ss.ParallelStats().CriticalEvents })
+	o.Metrics.CounterFunc("jxta_sim_cross_shard_events_total", "Events exchanged through the window-barrier queues.",
+		func() uint64 { return ss.ParallelStats().CrossShard })
+	o.Metrics.CounterFunc("jxta_sim_busy_shard_sum_total", "Per-window busy-shard counts summed (mean busy = this over windows).",
+		func() uint64 { return ss.ParallelStats().BusyShardSum })
+	for i := 0; i < ss.Shards(); i++ {
+		sh := ss.Shard(i)
+		o.Metrics.CounterFuncWith("jxta_sim_shard_steps_total", "Events executed, per shard.",
+			"shard", strconv.Itoa(i), sh.Steps)
+	}
+	o.Metrics.GaugeFunc("jxta_sim_max_busy_shards", "Largest number of concurrently busy shards seen.",
+		func() float64 { return float64(ss.ParallelStats().MaxBusy) })
+	o.Metrics.GaugeFunc("jxta_sim_speedup_bound", "TotalEvents/CriticalEvents: the workload's achievable speedup.",
+		func() float64 { return ss.ParallelStats().SpeedupBound() })
+}
+
+// Nodes returns every deployed peer, rendezvous first — the scrape set for
+// per-node metrics collection.
+func (o *Overlay) Nodes() []*node.Node {
+	out := make([]*node.Node, 0, len(o.Rdvs)+len(o.Edges))
+	out = append(out, o.Rdvs...)
+	out = append(out, o.Edges...)
+	return out
+}
 
 func siteOfRdv(o *Overlay, idx int) netmodel.Site {
 	sites := netmodel.SpreadSites(len(o.Rdvs))

@@ -28,6 +28,7 @@ import (
 	"jxta/internal/env"
 	"jxta/internal/ids"
 	"jxta/internal/message"
+	"jxta/internal/metrics"
 	"jxta/internal/rendezvous"
 	"jxta/internal/resolver"
 	"jxta/internal/srdi"
@@ -149,6 +150,10 @@ type Service struct {
 	seen map[string]bool
 
 	Stats Stats
+
+	// m holds the stored runtime instruments; always non-nil (New
+	// pre-instruments, node.New re-instruments with the node's registry).
+	m *discoMetrics
 }
 
 // New assembles the discovery service over the peer's resolver, rendezvous
@@ -166,6 +171,7 @@ func New(e env.Env, ep *endpoint.Endpoint, res *resolver.Service, rdvSvc *rendez
 		costTimers: make(map[uint64]env.Timer),
 		seen:       make(map[string]bool),
 	}
+	s.Instrument(metrics.NewRegistry())
 	res.RegisterHandler(HandlerName, s.handleQuery)
 	// The SRDI push service and the walk handler are registered in both
 	// roles — their handlers gate on the index existing — so a peer that is
@@ -546,7 +552,9 @@ func (s *Service) query(advType, attr, value string, useCache bool, cb func(Resu
 			for _, adv := range advs {
 				s.cache.Put(adv, advertisement.DefaultExpiration, false)
 			}
-			cb(Result{Advs: advs, From: from, Elapsed: s.env.Now() - start})
+			elapsed := s.env.Now() - start
+			s.m.queryLatency.Observe(elapsed.Seconds())
+			cb(Result{Advs: advs, From: from, Elapsed: elapsed})
 		},
 		func(uint64) {
 			if onTimeout != nil {
@@ -585,7 +593,9 @@ func (s *Service) QueryRange(advType, attr string, lo, hi int64, cb func(Result)
 			for _, adv := range advs {
 				s.cache.Put(adv, advertisement.DefaultExpiration, false)
 			}
-			cb(Result{Advs: advs, From: from, Elapsed: s.env.Now() - start})
+			elapsed := s.env.Now() - start
+			s.m.queryLatency.Observe(elapsed.Seconds())
+			cb(Result{Advs: advs, From: from, Elapsed: elapsed})
 		},
 		func(uint64) {
 			if onTimeout != nil {

@@ -23,6 +23,7 @@ import (
 	"jxta/internal/env"
 	"jxta/internal/ids"
 	"jxta/internal/message"
+	"jxta/internal/metrics"
 	"jxta/internal/transport"
 )
 
@@ -97,6 +98,10 @@ type Endpoint struct {
 	// Drops counts messages that could not be delivered locally or
 	// forwarded (no handler, TTL exhausted, no route).
 	Drops uint64
+
+	// m holds the runtime instruments; always non-nil (New pre-instruments
+	// against a private registry, node.New re-instruments with the node's).
+	m *epMetrics
 }
 
 // New binds an endpoint service for peer id over the given transport and
@@ -125,6 +130,7 @@ func New(e env.Env, id ids.ID, tr transport.Transport) *Endpoint {
 	}
 	ep.handlers[erpService] = ep.handleERP
 	ep.handlers[helloService] = ep.handleHello
+	ep.Instrument(metrics.NewRegistry())
 	return ep
 }
 
@@ -161,6 +167,7 @@ func (ep *Endpoint) Hello(addr transport.Addr, cb func(peer ids.ID, ok bool)) {
 			}
 		},
 	})
+	ep.m.helloSent.Inc()
 	m := message.New().AddString(ns, elemHelloReq, "1")
 	if err := ep.sendTo(addr, ids.Nil, helloService, m, defaultTTL); err != nil {
 		// Transport refused outright; fail on the next tick instead of the
@@ -176,6 +183,7 @@ func (ep *Endpoint) Hello(addr transport.Addr, cb func(peer ids.ID, ok bool)) {
 
 func (ep *Endpoint) handleHello(src ids.ID, msg *message.Message) {
 	if msg.GetString(ns, elemHelloReq) != "" {
+		ep.m.helloServed.Inc()
 		ack := message.New().AddString(ns, elemHelloAck, "1")
 		_ = ep.Send(src, helloService, ack)
 		return
@@ -328,6 +336,9 @@ func (ep *Endpoint) sendTo(addr transport.Addr, dst ids.ID, service string, msg 
 	wire.AddString(ns, elemSvc, service)
 	wire.AddString(ns, elemSrcAddr, ep.addrStr)
 	wire.AddString(ns, elemTTL, strconv.Itoa(ttl))
+	sc := ep.svcMetrics(service)
+	sc.txMsgs.Inc()
+	sc.txBytes.Add(uint64(wire.Size()))
 	return ep.tr.Send(addr, wire)
 }
 
@@ -350,6 +361,9 @@ func (ep *Endpoint) receive(from transport.Addr, wire *message.Message) {
 		return
 	}
 	service := wire.GetString(ns, elemSvc)
+	sc := ep.svcMetrics(service)
+	sc.rxMsgs.Inc()
+	sc.rxBytes.Add(uint64(wire.Size()))
 	if srcAddr := wire.GetString(ns, elemSrcAddr); srcAddr != "" {
 		ep.AddRoute(srcID, transport.Addr(srcAddr))
 	}
@@ -390,7 +404,9 @@ func (ep *Endpoint) relay(dst ids.ID, wire *message.Message) {
 	}
 	if err := ep.tr.Send(addr, fwd); err != nil {
 		ep.Drops++
+		return
 	}
+	ep.m.relays.Inc()
 }
 
 // ResolveRoute asynchronously resolves a route to target by querying a peer

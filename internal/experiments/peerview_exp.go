@@ -88,6 +88,10 @@ type PeerviewResult struct {
 	// Parallel carries the sharded engine's window instrumentation when
 	// Spec.Shards > 1 (zero value for serial runs).
 	Parallel simnet.ParallelStats
+	// NodeMetrics aggregates every peer's runtime registry at the end of
+	// the run (totals over the population + sampled full snapshots). Not
+	// part of the golden fingerprint, but deterministic all the same.
+	NodeMetrics *NodeMetricsSummary
 }
 
 // RunPeerview executes a §4.1 peerview experiment.
@@ -147,6 +151,7 @@ func RunPeerview(spec PeerviewSpec) (PeerviewResult, error) {
 	if ss := o.Engine(); ss != nil {
 		res.Parallel = ss.ParallelStats()
 	}
+	res.NodeMetrics = CollectNodeMetrics(o, 1)
 	o.StopAll()
 	return res, nil
 }

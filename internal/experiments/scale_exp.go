@@ -71,6 +71,9 @@ type ScaleResult struct {
 	AvgBusy      float64
 	CrossShard   uint64
 	SpeedupBound float64
+	// NodeMetrics aggregates every peer's runtime registry at the end of
+	// the run (totals over the population + sampled full snapshots).
+	NodeMetrics *NodeMetricsSummary
 }
 
 // RunScale deploys the overlay, runs it for the virtual duration and
@@ -135,6 +138,7 @@ func RunScale(spec ScaleSpec) (ScaleResult, error) {
 		res.CrossShard = ps.CrossShard
 		res.SpeedupBound = ps.SpeedupBound()
 	}
+	res.NodeMetrics = CollectNodeMetrics(o, 2)
 	o.StopAll()
 	return res, nil
 }

@@ -1,7 +1,24 @@
-// Package metrics provides the measurement plumbing for the paper's
-// experiments: time series (peerview size over time, Figure 3 left / 4
-// left), membership event logs with first-seen numbering (Figure 3 right),
-// and latency sample sets with summary statistics (Figure 4 right).
+// Package metrics is the stack's measurement layer, covering both the
+// paper's offline experiment analysis and live production observability.
+//
+// The offline half — Series, EventLog, Samples — is the plumbing the
+// experiment drivers use to reproduce the paper's figures: time series
+// (peerview size over time, Figure 3 left / 4 left), membership event
+// logs with first-seen numbering (Figure 3 right), and latency sample
+// sets with summary statistics (Figure 4 right).
+//
+// The runtime half is a Registry of named Counter/Gauge/Histogram
+// instruments with single-label Vec variants and collector-backed Func
+// instruments. Increments and observations are lock-free atomics with
+// zero allocations after registration (see BenchmarkCounterInc), so
+// every protocol service carries its instruments unconditionally —
+// instrumentation is a pure observer and the determinism goldens hold
+// byte-identical with it enabled. The Registry encodes to Prometheus
+// text exposition format v0.0.4 (WritePrometheus) for the jxta-node
+// admin endpoint and to a flat map (Snapshot) for /statusz and the
+// jxta-bench per-node JSON dumps. Trace is the companion protocol
+// event ring: rare state transitions (promotions, failovers, merges,
+// lease changes) timestamped with the node's — virtual or wall — clock.
 package metrics
 
 import (

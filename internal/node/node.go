@@ -36,6 +36,7 @@ import (
 	"jxta/internal/env"
 	"jxta/internal/ids"
 	"jxta/internal/lifecycle"
+	"jxta/internal/metrics"
 	"jxta/internal/peerview"
 	"jxta/internal/pipe"
 	"jxta/internal/rendezvous"
@@ -99,6 +100,16 @@ type Node struct {
 	Socket     *socket.Service
 	Cache      *cm.Cache
 
+	// Metrics is the node's instrument registry: every service registers
+	// its counters/gauges/histograms here at assembly, so a node exposes
+	// its full runtime state through one Prometheus encode or Snapshot.
+	// Always non-nil; reading Func instruments (gauges sampled from
+	// protocol state) must happen under the node's env serialization.
+	Metrics *metrics.Registry
+	// Trace is the node's protocol event ring: promotions, failovers,
+	// island merges and lease transitions with virtual timestamps.
+	Trace *metrics.Trace
+
 	// RoleChanged, when set, observes edge→rendezvous promotions (the
 	// deployment layer wires it through to experiment counters and facade
 	// hooks). It fires after the swap completed.
@@ -138,6 +149,8 @@ func New(e env.Env, tr transport.Transport, cfg Config) *Node {
 		Endpoint: ep,
 		Resolver: res,
 		Cache:    cache,
+		Metrics:  metrics.NewRegistry(),
+		Trace:    metrics.NewTrace(0),
 	}
 	if cfg.Role == Rendezvous {
 		n.rdvAdv = &advertisement.Rdv{
@@ -158,6 +171,39 @@ func New(e env.Env, tr transport.Transport, cfg Config) *Node {
 	n.Discovery = discovery.New(e, ep, res, n.Rendezvous, cache, cfg.Discovery, busy)
 	n.Pipe = pipe.New(e, ep, n.Discovery, n.Rendezvous)
 	n.Socket = socket.New(e, ep, n.Pipe, cfg.Socket)
+
+	// Re-instrument every service against the node's shared registry (each
+	// constructor pre-instrumented against a private one) and add the
+	// node-level gauges. Instrumentation is a pure observer: counters are
+	// plain data, gauges are sampled at encode time, so enabling it never
+	// perturbs protocol scheduling or wire traffic.
+	ep.Instrument(n.Metrics)
+	res.Instrument(n.Metrics)
+	if n.PeerView != nil {
+		n.PeerView.Instrument(n.Metrics)
+	}
+	n.Rendezvous.Instrument(n.Metrics, n.Trace)
+	n.Discovery.Instrument(n.Metrics)
+	n.Pipe.Instrument(n.Metrics)
+	n.Socket.Instrument(n.Metrics)
+	n.Metrics.GaugeFunc("jxta_node_role", "Peer role: 1 rendezvous, 0 edge.",
+		func() float64 {
+			if n.IsRendezvous() {
+				return 1
+			}
+			return 0
+		})
+	n.Metrics.GaugeFunc("jxta_node_started", "Lifecycle state: 1 started, 0 stopped.",
+		func() float64 {
+			if n.Started() {
+				return 1
+			}
+			return 0
+		})
+	n.Metrics.GaugeFunc("jxta_cache_records", "Advertisements in the local cache.",
+		func() float64 { return float64(cache.Len()) })
+	n.Metrics.GaugeFunc("jxta_cache_index_entries", "Attribute index entries in the local cache.",
+		func() float64 { return float64(cache.IndexSize()) })
 
 	// Lifecycle registry, transport-nearest first; Stop runs in reverse so
 	// streams FIN and the lease cancel leave before the endpoint quiesces.
@@ -234,6 +280,10 @@ func (n *Node) PromoteToRendezvous() {
 		addSeed(sd)
 	}
 	n.PeerView = peerview.New(n.Env, n.Endpoint, n.rdvAdv, n.Config.Peerview, seeds)
+	// Rebind the peerview instruments to the node registry: counters are
+	// shared with the pre-promotion family (registration is idempotent) and
+	// the size gauge re-targets the fresh view.
+	n.PeerView.Instrument(n.Metrics)
 	n.reg.Insert(n.pvRegIndex, n.PeerView) // starts it if the node is up
 	n.Rendezvous.Promote(n.PeerView)
 	n.Discovery.Promote()

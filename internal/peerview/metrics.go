@@ -1,0 +1,39 @@
+package peerview
+
+import (
+	"jxta/internal/metrics"
+)
+
+// pvMetrics holds the peerview's instruments.
+type pvMetrics struct {
+	probes        *metrics.Counter
+	updates       *metrics.Counter
+	adds          *metrics.Counter
+	expiries      *metrics.Counter
+	probeEvicts   *metrics.Counter
+	mergesStarted *metrics.Counter
+}
+
+// Instrument (re-)registers the peerview's instruments on reg:
+//
+//	jxta_peerview_probes_sent_total, jxta_peerview_updates_sent_total,
+//	jxta_peerview_adds_total, jxta_peerview_expiries_total,
+//	jxta_peerview_probe_evictions_total, jxta_peerview_merges_started_total,
+//	jxta_peerview_rounds_total
+//
+// plus the jxta_peerview_size gauge (view size excluding self, the
+// paper's l).
+func (pv *PeerView) Instrument(reg *metrics.Registry) {
+	pv.m = &pvMetrics{
+		probes:        reg.Counter("jxta_peerview_probes_sent_total", "Peerview probes sent (Algorithm 1)."),
+		updates:       reg.Counter("jxta_peerview_updates_sent_total", "Peerview updates sent."),
+		adds:          reg.Counter("jxta_peerview_adds_total", "Members added to the local view."),
+		expiries:      reg.Counter("jxta_peerview_expiries_total", "Members dropped by entry expiry."),
+		probeEvicts:   reg.Counter("jxta_peerview_probe_evictions_total", "Members evicted by probe-timeout failure detection."),
+		mergesStarted: reg.Counter("jxta_peerview_merges_started_total", "Merge handshakes initiated."),
+	}
+	reg.CounterFunc("jxta_peerview_rounds_total", "Algorithm 1 loop iterations.",
+		func() uint64 { return uint64(pv.Rounds) })
+	reg.GaugeFunc("jxta_peerview_size", "Local peerview size excluding self (the paper's l).",
+		func() float64 { return float64(len(pv.entries)) })
+}

@@ -47,6 +47,7 @@ import (
 	"jxta/internal/env"
 	"jxta/internal/ids"
 	"jxta/internal/message"
+	"jxta/internal/metrics"
 	"jxta/internal/transport"
 )
 
@@ -380,6 +381,10 @@ type PeerView struct {
 
 	// Rounds counts loop iterations (diagnostics).
 	Rounds int
+
+	// m holds the runtime instruments; always non-nil (New pre-instruments,
+	// node.New re-instruments with the node's shared registry).
+	m *pvMetrics
 }
 
 // New builds a peerview for the rendezvous peer described by self. Start
@@ -396,6 +401,7 @@ func New(e env.Env, ep *endpoint.Endpoint, self *advertisement.Rdv, cfg Config, 
 		missed: make(map[ids.ID]int),
 	}
 	ep.Register(ServiceName, pv.receive)
+	pv.Instrument(metrics.NewRegistry())
 	return pv
 }
 
@@ -575,6 +581,7 @@ func (pv *PeerView) probeTimeoutSweep() {
 		if pv.missed[id] >= pv.cfg.ProbeTimeoutRounds {
 			delete(pv.byID, id)
 			delete(pv.missed, id)
+			pv.m.probeEvicts.Inc()
 			pv.notify(EventRemove, id)
 			continue
 		}
@@ -596,6 +603,7 @@ func (pv *PeerView) expireSweep() {
 	for _, en := range pv.entries {
 		if now-en.renewed > pv.cfg.EntryExpiry {
 			delete(pv.byID, en.adv.PeerID)
+			pv.m.expiries.Inc()
 			pv.notify(EventRemove, en.adv.PeerID)
 			continue
 		}
@@ -637,6 +645,7 @@ func (pv *PeerView) upsert(adv *advertisement.Rdv) bool {
 	pv.entries = append(pv.entries, nil)
 	copy(pv.entries[lo+1:], pv.entries[lo:])
 	pv.entries[lo] = en
+	pv.m.adds.Inc()
 	pv.notify(EventAdd, adv.PeerID)
 	return true
 }
@@ -661,8 +670,15 @@ func advertisementMessage(msgType string, adv *advertisement.Rdv) *message.Messa
 	return m
 }
 
-func (pv *PeerView) sendProbe(to ids.ID)  { pv.send(to, typeProbe, pv.self) }
-func (pv *PeerView) sendUpdate(to ids.ID) { pv.send(to, typeUpdate, pv.self) }
+func (pv *PeerView) sendProbe(to ids.ID) {
+	pv.m.probes.Inc()
+	pv.send(to, typeProbe, pv.self)
+}
+
+func (pv *PeerView) sendUpdate(to ids.ID) {
+	pv.m.updates.Inc()
+	pv.send(to, typeUpdate, pv.self)
+}
 
 // Merge initiates the deterministic peerview merge handshake with a
 // (rumored) foreign rendezvous: the full local member list travels to the
@@ -676,6 +692,7 @@ func (pv *PeerView) Merge(sd Seed) {
 	if sd.Addr != "" {
 		pv.ep.AddRoute(sd.ID, sd.Addr)
 	}
+	pv.m.mergesStarted.Inc()
 	pv.sendView(sd.ID, typeMerge)
 }
 

@@ -1,0 +1,33 @@
+package pipe
+
+import (
+	"jxta/internal/metrics"
+)
+
+// pipeMetrics holds the pipe service's instruments.
+type pipeMetrics struct {
+	unicastSent *metrics.Counter
+	propSent    *metrics.Counter
+	delivered   *metrics.Counter
+	fanout      *metrics.Counter
+	propDropped *metrics.Counter
+}
+
+// Instrument (re-)registers the pipe service's instruments on reg:
+//
+//	jxta_pipe_unicast_sent_total, jxta_pipe_propagate_sent_total,
+//	jxta_pipe_delivered_total, jxta_pipe_fanout_total,
+//	jxta_pipe_propagate_dupes_total
+//
+// plus the jxta_pipe_bound gauge (bound input pipes).
+func (s *Service) Instrument(reg *metrics.Registry) {
+	s.m = &pipeMetrics{
+		unicastSent: reg.Counter("jxta_pipe_unicast_sent_total", "Unicast pipe payloads sent."),
+		propSent:    reg.Counter("jxta_pipe_propagate_sent_total", "Propagate pipe payloads originated."),
+		delivered:   reg.Counter("jxta_pipe_delivered_total", "Payloads delivered to bound input pipes."),
+		fanout:      reg.Counter("jxta_pipe_fanout_total", "Propagate forwards to leased clients."),
+		propDropped: reg.Counter("jxta_pipe_propagate_dupes_total", "Propagate copies dropped by instance dedup."),
+	}
+	reg.GaugeFunc("jxta_pipe_bound", "Bound input pipes.",
+		func() float64 { return float64(len(s.bound)) })
+}

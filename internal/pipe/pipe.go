@@ -28,6 +28,7 @@ import (
 	"jxta/internal/env"
 	"jxta/internal/ids"
 	"jxta/internal/message"
+	"jxta/internal/metrics"
 	"jxta/internal/rendezvous"
 )
 
@@ -79,6 +80,10 @@ type Service struct {
 	// stopped gates inbound traffic: a gracefully stopped peer neither
 	// delivers to application receivers nor relays propagate fan-out.
 	stopped bool
+
+	// m holds the runtime instruments; always non-nil (New pre-instruments,
+	// node.New re-instruments with the node's shared registry).
+	m *pipeMetrics
 }
 
 // New wires the pipe service into a peer's endpoint, discovery and
@@ -92,6 +97,7 @@ func New(e env.Env, ep *endpoint.Endpoint, disco *discovery.Service, rdv *rendez
 		bound:    make(map[ids.ID]*InputPipe),
 		propSeen: make(map[string]bool),
 	}
+	s.Instrument(metrics.NewRegistry())
 	ep.Register(ServiceName, s.receive)
 	ep.Register(PropagateService, s.receivePropagate)
 	if rdv != nil {
@@ -202,6 +208,7 @@ func (o *OutputPipe) Send(data []byte) error {
 			return err
 		}
 		o.Sent++
+		o.svc.m.propSent.Inc()
 		return nil
 	}
 	if o.Binder.IsNil() {
@@ -214,6 +221,7 @@ func (o *OutputPipe) Send(data []byte) error {
 		return err
 	}
 	o.Sent++
+	o.svc.m.unicastSent.Inc()
 	return nil
 }
 
@@ -235,6 +243,7 @@ func (s *Service) receive(src ids.ID, m *message.Message) {
 		return
 	}
 	in.Received++
+	s.m.delivered.Inc()
 	if in.recv != nil {
 		in.recv(src, data)
 	}
@@ -248,7 +257,11 @@ const propSeenLimit = 8192
 
 // markProp records a propagation instance, reporting whether it was new.
 func (s *Service) markProp(pid string) bool {
-	if pid == "" || s.propSeen[pid] {
+	if pid == "" {
+		return false
+	}
+	if s.propSeen[pid] {
+		s.m.propDropped.Inc()
 		return false
 	}
 	s.propSeen[pid] = true
@@ -364,6 +377,7 @@ func (s *Service) deliverLocal(origin, pipeID ids.ID, data []byte) {
 		return
 	}
 	in.Received++
+	s.m.delivered.Inc()
 	if in.recv != nil {
 		in.recv(origin, data)
 	}
@@ -376,7 +390,9 @@ func (s *Service) fanOut(origin ids.ID, m *message.Message) {
 		if client.Equal(origin) {
 			continue
 		}
-		_ = s.ep.Send(client, PropagateService, m)
+		if s.ep.Send(client, PropagateService, m) == nil {
+			s.m.fanout.Inc()
+		}
 	}
 }
 

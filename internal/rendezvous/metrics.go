@@ -1,0 +1,78 @@
+package rendezvous
+
+import (
+	"jxta/internal/ids"
+	"jxta/internal/metrics"
+)
+
+// rdvMetrics holds the rendezvous service's instruments.
+type rdvMetrics struct {
+	granted     *metrics.Counter
+	renewed     *metrics.Counter
+	expired     *metrics.Counter
+	cancelled   *metrics.Counter
+	requests    *metrics.Counter
+	timeouts    *metrics.Counter
+	elections   *metrics.Counter
+	handoffs    *metrics.Counter
+	redirects   *metrics.Counter
+	walks       *metrics.Counter
+	rumorEvicts *metrics.Counter
+}
+
+// Instrument (re-)registers the service's instruments on reg and attaches
+// the protocol event trace. Counters:
+//
+//	jxta_rendezvous_leases_granted_total / _renewed_total / _expired_total /
+//	_cancelled_total, jxta_rendezvous_lease_requests_total,
+//	jxta_rendezvous_lease_timeouts_total, jxta_rendezvous_elections_total,
+//	jxta_rendezvous_handoffs_total, jxta_rendezvous_redirects_followed_total,
+//	jxta_rendezvous_walks_started_total, jxta_rendezvous_rumor_evictions_total,
+//	jxta_rendezvous_promotions_total, jxta_rendezvous_merges_total
+//
+// plus gauges sampled at encode time: jxta_rendezvous_clients (roster
+// size), jxta_rendezvous_connected (edge lease held), and
+// jxta_rendezvous_rumor_store_size. The trace receives the rare protocol
+// transitions: lease-acquired/lease-lost, lease-timeout, election,
+// promotion, handoff, redirect and island-merge events.
+func (s *Service) Instrument(reg *metrics.Registry, trace *metrics.Trace) {
+	s.m = &rdvMetrics{
+		granted:     reg.Counter("jxta_rendezvous_leases_granted_total", "New client leases granted."),
+		renewed:     reg.Counter("jxta_rendezvous_leases_renewed_total", "Client lease renewals granted."),
+		expired:     reg.Counter("jxta_rendezvous_leases_expired_total", "Client leases expired by the sweep."),
+		cancelled:   reg.Counter("jxta_rendezvous_leases_cancelled_total", "Client leases cancelled by the edge."),
+		requests:    reg.Counter("jxta_rendezvous_lease_requests_total", "Lease requests sent (edge role)."),
+		timeouts:    reg.Counter("jxta_rendezvous_lease_timeouts_total", "Lease requests that timed out (failover trigger)."),
+		elections:   reg.Counter("jxta_rendezvous_elections_total", "Successor elections run after candidate exhaustion."),
+		handoffs:    reg.Counter("jxta_rendezvous_handoffs_total", "Graceful lease-state handoffs sent."),
+		redirects:   reg.Counter("jxta_rendezvous_redirects_followed_total", "Redirects accepted and followed (edge role)."),
+		walks:       reg.Counter("jxta_rendezvous_walks_started_total", "Directional peerview walks originated."),
+		rumorEvicts: reg.Counter("jxta_rendezvous_rumor_evictions_total", "Tier rumors evicted by aging sweeps."),
+	}
+	reg.CounterFunc("jxta_rendezvous_promotions_total", "Edge-to-rendezvous role switches.",
+		func() uint64 { return uint64(s.Promotions) })
+	reg.CounterFunc("jxta_rendezvous_merges_total", "Completed island-merge handshake legs.",
+		func() uint64 { return uint64(s.Merges) })
+	reg.GaugeFunc("jxta_rendezvous_clients", "Edges currently holding a lease here (roster size).",
+		func() float64 { return float64(len(s.clients)) })
+	reg.GaugeFunc("jxta_rendezvous_connected", "1 when this edge holds a lease, 0 otherwise.",
+		func() float64 {
+			if s.connectedTo.IsNil() {
+				return 0
+			}
+			return 1
+		})
+	reg.GaugeFunc("jxta_rendezvous_rumor_store_size", "Tier identities in the rumor store.",
+		func() float64 { return float64(s.rumors.Len()) })
+	s.trace = trace
+}
+
+// traceEvent records a protocol transition with the env's current
+// (virtual) timestamp. Safe with a nil trace.
+func (s *Service) traceEvent(typ string, peer ids.ID) {
+	detail := ""
+	if !peer.IsNil() {
+		detail = peer.Short()
+	}
+	s.trace.Record(s.env.Now(), typ, detail)
+}

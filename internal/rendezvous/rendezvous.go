@@ -37,6 +37,7 @@ import (
 	"jxta/internal/env"
 	"jxta/internal/ids"
 	"jxta/internal/message"
+	"jxta/internal/metrics"
 	"jxta/internal/peerview"
 	"jxta/internal/transport"
 )
@@ -260,6 +261,12 @@ type Service struct {
 	// Promotions counts edge→rendezvous role switches this service went
 	// through (diagnostics; at most 1 unless the node is Reset between).
 	Promotions int
+
+	// m holds the runtime instruments (always non-nil: newService
+	// pre-instruments, node.New re-instruments with the node's registry);
+	// trace receives rare protocol transitions and may be nil.
+	m     *rdvMetrics
+	trace *metrics.Trace
 }
 
 func newService(e env.Env, ep *endpoint.Endpoint, cfg Config) *Service {
@@ -275,6 +282,7 @@ func newService(e env.Env, ep *endpoint.Endpoint, cfg Config) *Service {
 	}
 	ep.Register(LeaseService, s.receiveLease)
 	ep.Register(WalkService, s.receiveWalk)
+	s.Instrument(metrics.NewRegistry(), nil)
 	return s
 }
 
@@ -463,6 +471,7 @@ func (s *Service) onPeerviewMerge(peer ids.ID) {
 		return
 	}
 	s.Merges++
+	s.traceEvent("island-merge", peer)
 	sd := s.tierSeed(peer)
 	if sd.Addr != "" {
 		s.rumors.AddSeed(sd)
@@ -577,6 +586,7 @@ func (s *Service) Promote(pv *peerview.PeerView) {
 	}
 	s.pv = pv
 	s.Promotions++
+	s.traceEvent("promotion", ids.Nil)
 	if s.started {
 		s.clientSweep = env.NewTicker(s.env, s.cfg.LeaseDuration/4, s.sweepClients)
 	}
@@ -750,6 +760,12 @@ func (s *Service) setConnected(rdv ids.ID) {
 	}
 	old := s.connectedTo
 	s.connectedTo = rdv
+	if !old.IsNil() {
+		s.traceEvent("lease-lost", old)
+	}
+	if !rdv.IsNil() {
+		s.traceEvent("lease-acquired", rdv)
+	}
 	for _, l := range s.listeners {
 		if !old.IsNil() {
 			l(old, false)
@@ -839,6 +855,7 @@ func (s *Service) requestLease() {
 		}
 	}
 	err := s.ep.Send(target.ID, LeaseService, m)
+	s.m.requests.Inc()
 	tid := target.ID
 	delay := s.cfg.ResponseTimeout
 	if s.awaitingSucc {
@@ -872,6 +889,8 @@ const episodePhases = 8
 // dormant once the episode budget is gone.
 func (s *Service) onLeaseTimeout(target ids.ID) {
 	s.grantTimer = nil
+	s.m.timeouts.Inc()
+	s.traceEvent("lease-timeout", target)
 	if s.connectedTo.Equal(target) {
 		s.setConnected(ids.Nil)
 	}
@@ -881,6 +900,7 @@ func (s *Service) onLeaseTimeout(target ids.ID) {
 	if s.episodeFails >= s.cfg.FailoverAttempts*episodePhases {
 		s.awaitingSucc = false
 		s.dormant = true // hard stop; Connect revives with a fresh budget
+		s.traceEvent("dormant", ids.Nil)
 		return
 	}
 	if s.failCount < s.cfg.FailoverAttempts {
@@ -921,9 +941,12 @@ func (s *Service) dropFromRoster(id ids.ID) {
 func (s *Service) electAndHeal() {
 	if !s.cfg.SelfHeal || len(s.roster) == 0 {
 		s.dormant = true
+		s.traceEvent("dormant", ids.Nil)
 		return
 	}
 	succ := pickSuccessor(s.cfg.Promotion, s.roster)
+	s.m.elections.Inc()
+	s.traceEvent("election", succ.ID)
 	if succ.ID.Equal(s.ep.ID()) {
 		if s.promoteFn == nil {
 			s.dormant = true
@@ -978,13 +1001,15 @@ func (s *Service) sweepClients() {
 	for id, cl := range s.clients {
 		if cl.expires <= now {
 			delete(s.clients, id)
+			s.m.expired.Inc()
 		}
 	}
 	if s.cfg.IslandMerge {
 		if s.cfg.RumorDeadSweeps > 0 {
-			s.rumors.Sweep(s.cfg.RumorDeadSweeps, func(id ids.ID) bool {
+			evicted := s.rumors.Sweep(s.cfg.RumorDeadSweeps, func(id ids.ID) bool {
 				return id.Equal(s.ep.ID()) || s.pv.Contains(id) || s.HasClient(id)
 			})
+			s.m.rumorEvicts.Add(uint64(evicted))
 		}
 		s.retryMerges()
 	}
@@ -1138,6 +1163,8 @@ func (s *Service) handoff() {
 				" "+strconv.FormatInt(int64(remaining), 10))
 	}
 	_ = s.ep.Send(succ.ID, LeaseService, hm)
+	s.m.handoffs.Inc()
+	s.traceEvent("handoff", succ.ID)
 	// 2. Exported service state (the SRDI index re-publish).
 	if s.exporter != nil {
 		if svc, msgs := s.exporter(); svc != "" {
@@ -1200,6 +1227,11 @@ func (s *Service) receiveLease(src ids.ID, m *message.Message) {
 		if v, err := strconv.ParseInt(req, 10, 64); err == nil && v > 0 && time.Duration(v) < dur {
 			dur = time.Duration(v)
 		}
+		if _, renewal := s.clients[src]; renewal {
+			s.m.renewed.Inc()
+		} else {
+			s.m.granted.Inc()
+		}
 		s.clients[src] = clientLease{
 			expires: s.env.Now() + dur,
 			addr:    m.GetString(leaseNS, elemAddr),
@@ -1226,6 +1258,9 @@ func (s *Service) receiveLease(src ids.ID, m *message.Message) {
 		return
 	}
 	if m.GetString(leaseNS, elemCancelled) != "" {
+		if _, held := s.clients[src]; held {
+			s.m.cancelled.Inc()
+		}
 		delete(s.clients, src)
 		return
 	}
@@ -1332,6 +1367,8 @@ func (s *Service) receiveRedirect(src ids.ID, val string) {
 		return
 	}
 	s.cancelTimers()
+	s.m.redirects.Inc()
+	s.traceEvent("redirect", succ.ID)
 	if s.connectedTo.Equal(src) {
 		s.setConnected(ids.Nil)
 	}
@@ -1354,6 +1391,7 @@ func (s *Service) Walk(dir Direction, ttl int, svc string, body *message.Message
 	if !s.IsRendezvous() || ttl <= 0 {
 		return
 	}
+	s.m.walks.Inc()
 	lower, upper := s.pv.Neighbors()
 	next := upper
 	if dir == Down {

@@ -15,6 +15,7 @@ import (
 	"jxta/internal/env"
 	"jxta/internal/ids"
 	"jxta/internal/message"
+	"jxta/internal/metrics"
 	"jxta/internal/transport"
 )
 
@@ -70,6 +71,10 @@ type Service struct {
 	// Timeout is how long a locally issued query waits for its first
 	// response before the timeout callback fires. Zero disables timeouts.
 	Timeout time.Duration
+
+	// m holds the runtime instruments; always non-nil (New pre-instruments,
+	// node.New re-instruments with the node's shared registry).
+	m *resMetrics
 }
 
 type pendingQuery struct {
@@ -88,6 +93,7 @@ func New(e env.Env, ep *endpoint.Endpoint) *Service {
 		Timeout:  30 * time.Second,
 	}
 	ep.Register(ServiceName, s.receive)
+	s.Instrument(metrics.NewRegistry())
 	return s
 }
 
@@ -108,6 +114,7 @@ func (s *Service) SendQuery(dst ids.ID, handler string, payload []byte, cb Respo
 		p.timer = s.env.After(s.Timeout, func() {
 			if cur, ok := s.pending[qid]; ok && cur == p {
 				delete(s.pending, qid)
+				s.m.timeouts.Inc()
 				if p.onTimeout != nil {
 					p.onTimeout(qid)
 				}
@@ -130,6 +137,7 @@ func (s *Service) SendQuery(dst ids.ID, handler string, payload []byte, cb Respo
 		}
 		return 0, err
 	}
+	s.m.queriesSent.Inc()
 	return qid, nil
 }
 
@@ -167,7 +175,11 @@ func (s *Service) Respond(q *Query, payload []byte) error {
 	m.AddString(ns, elemHandler, q.Handler)
 	m.AddString(ns, elemQID, strconv.FormatUint(q.QID, 10))
 	m.Add(ns, elemResponse, payload)
-	return s.ep.Send(q.Src, ServiceName, m)
+	if err := s.ep.Send(q.Src, ServiceName, m); err != nil {
+		return err
+	}
+	s.m.responses.Inc()
+	return nil
 }
 
 // Forward relays the query to another peer, preserving the originator and
@@ -184,7 +196,11 @@ func (s *Service) Forward(q *Query, to ids.ID) error {
 	m.AddString(ns, elemSrcAddr, string(q.SrcAddr))
 	m.AddString(ns, elemHops, strconv.Itoa(q.Hops+1))
 	m.Add(ns, elemQuery, q.Payload)
-	return s.ep.Send(to, ServiceName, m)
+	if err := s.ep.Send(to, ServiceName, m); err != nil {
+		return err
+	}
+	s.m.forwards.Inc()
+	return nil
 }
 
 // HandlerOf reports which resolver handler a wire message addresses (empty
@@ -206,6 +222,7 @@ func (s *Service) receive(src ids.ID, m *message.Message) {
 				p.timer.Cancel()
 				p.timer = nil
 			}
+			s.m.responsesIn.Inc()
 			p.cb(payload, src)
 		}
 		return
@@ -227,6 +244,7 @@ func (s *Service) receive(src ids.ID, m *message.Message) {
 	if !ok {
 		return
 	}
+	s.handlerCounter(name).Inc()
 	h(&Query{
 		Handler: name,
 		QID:     qid,

@@ -34,6 +34,7 @@ import (
 	"jxta/internal/env"
 	"jxta/internal/ids"
 	"jxta/internal/message"
+	"jxta/internal/metrics"
 	"jxta/internal/pipe"
 )
 
@@ -168,6 +169,7 @@ type Stats struct {
 	BytesSent      uint64 // application payload bytes handed to the network
 	BytesDelivered uint64 // in-order bytes made readable
 	SegmentsDup    uint64 // received segments at or below the ack point
+	WindowStalls   uint64 // times a sender stalled on a closed flow window
 }
 
 // connKey identifies a connection at one endpoint. The dialer assigns the
@@ -191,6 +193,10 @@ type Service struct {
 	nextConn  uint64
 
 	Stats Stats
+
+	// m holds the stored runtime instruments; always non-nil (New
+	// pre-instruments, node.New re-instruments with the node's registry).
+	m *sockMetrics
 }
 
 // New wires the stream layer into a peer's endpoint and pipe services.
@@ -204,6 +210,7 @@ func New(e env.Env, ep *endpoint.Endpoint, pipes *pipe.Service, cfg Config) *Ser
 		conns:     make(map[connKey]*Conn),
 	}
 	ep.Register(ServiceName, s.receive)
+	s.Instrument(metrics.NewRegistry())
 	return s
 }
 
@@ -671,6 +678,7 @@ func (c *Conn) pump() {
 		}
 		budget := wnd - inFlight
 		if budget <= 0 {
+			c.svc.Stats.WindowStalls++
 			break
 		}
 		n := len(c.sendBuf)
@@ -755,6 +763,7 @@ func (c *Conn) sampleRTT(sample time.Duration) {
 	if sample <= 0 {
 		return
 	}
+	c.svc.m.rttHist.Observe(sample.Seconds())
 	if c.srtt == 0 {
 		c.srtt = sample
 		c.rttvar = sample / 2

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"jxta/internal/message"
@@ -19,11 +20,15 @@ type Stats struct {
 	Dropped  uint64 // loss injection + sends to detached peers
 }
 
-// add accumulates counters (per-shard snapshots into the network total).
-func (s *Stats) add(o Stats) {
-	s.Messages += o.Messages
-	s.Bytes += o.Bytes
-	s.Dropped += o.Dropped
+// shardStats is one shard's slice of the traffic counters. The cells are
+// atomic so a driver-side Stats() snapshot taken while shard windows run
+// (live metrics scrapes, mid-run observability) is race-free; each cell is
+// still written by exactly one shard goroutine, so the atomic adds stay
+// uncontended and cache-local.
+type shardStats struct {
+	messages atomic.Uint64
+	bytes    atomic.Uint64
+	dropped  atomic.Uint64
 }
 
 // Network is the simulated Grid'5000 fabric: it owns the latency model, the
@@ -54,7 +59,7 @@ type netShard struct {
 	sched *simnet.Scheduler
 	rng   *rand.Rand
 	nodes map[Addr]*Sim
-	stats Stats
+	stats shardStats
 	// siteCache memoizes parsed sites of destination addresses not attached
 	// to this shard (remote shards' peers, not-yet-attached boot races).
 	// Shard-local so lookups never touch another shard's maps.
@@ -143,13 +148,18 @@ func (sh *netShard) putDelivery(d *delivery) {
 	sh.freeDeliveries = append(sh.freeDeliveries, d)
 }
 
-// Stats returns a snapshot of the traffic counters summed over shards. Under
-// the sharded engine call it only while the engine is quiesced (between
-// Run calls), like every other driver-side method.
+// Stats returns a snapshot of the traffic counters summed over shards. The
+// counters are atomic, so unlike the other driver-side methods it is safe to
+// call concurrently with a sharded Run — a snapshot taken mid-window is a
+// consistent sum of per-shard values, each no staler than its shard's
+// in-flight window.
 func (n *Network) Stats() Stats {
 	var t Stats
 	for i := range n.shards {
-		t.add(n.shards[i].stats)
+		sh := &n.shards[i]
+		t.Messages += sh.stats.messages.Load()
+		t.Bytes += sh.stats.bytes.Load()
+		t.Dropped += sh.stats.dropped.Load()
 	}
 	return t
 }
@@ -197,10 +207,14 @@ func (n *Network) Reattach(s *Sim) bool {
 	return true
 }
 
-// ResetStats zeroes the counters (used between experiment phases).
+// ResetStats zeroes the counters (used between experiment phases; driver
+// side only — do not reset while shard windows run).
 func (n *Network) ResetStats() {
 	for i := range n.shards {
-		n.shards[i].stats = Stats{}
+		sh := &n.shards[i]
+		sh.stats.messages.Store(0)
+		sh.stats.bytes.Store(0)
+		sh.stats.dropped.Store(0)
 	}
 }
 
@@ -295,13 +309,13 @@ func (s *Sim) Send(to Addr, msg *message.Message) error {
 	}
 	n := s.net
 	sh := s.sh
-	sh.stats.Messages++
-	sh.stats.Bytes += uint64(msg.Size())
+	sh.stats.messages.Add(1)
+	sh.stats.bytes.Add(uint64(msg.Size()))
 	if n.OnSend != nil {
 		n.OnSend(s.addr, to, msg)
 	}
 	if n.model.Drop(sh.rng) {
-		sh.stats.Dropped++
+		sh.stats.dropped.Add(1)
 		return nil // loss is silent, like UDP on a real WAN
 	}
 	// The destination may be unknown at send time (boot races) or gone
@@ -342,7 +356,7 @@ func (n *Network) arrive(sh *netShard, a any) {
 	d := a.(*delivery)
 	rcv, ok := sh.nodes[d.to]
 	if !ok || rcv.handler == nil {
-		sh.stats.Dropped++
+		sh.stats.dropped.Add(1)
 		sh.putDelivery(d)
 		return
 	}
@@ -364,7 +378,7 @@ func (n *Network) handoff(sh *netShard, a any) {
 	if cur, ok := sh.nodes[d.to]; ok && cur == d.rcv && d.rcv.handler != nil {
 		d.rcv.handler(d.from, d.msg)
 	} else {
-		sh.stats.Dropped++
+		sh.stats.dropped.Add(1)
 	}
 	sh.putDelivery(d)
 }

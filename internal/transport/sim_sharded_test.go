@@ -153,3 +153,54 @@ func TestShardedSameShardDelivery(t *testing.T) {
 		t.Fatal("same-shard delivery lost")
 	}
 }
+
+// TestStatsConcurrentWithShardedRun is the -race regression for the
+// mid-run Stats() snapshot: two shards ping-pong for a long virtual run
+// while the driver-side goroutine scrapes Stats() the whole time (the
+// live-metrics pattern). Before the per-shard counters became atomic this
+// raced; now every snapshot must also be monotonic and the final sum exact.
+func TestStatsConcurrentWithShardedRun(t *testing.T) {
+	const latency = time.Millisecond
+	ss, net, a, b := shardedPair(t, latency)
+	sent := 1
+	b.SetHandler(func(from Addr, m *message.Message) {
+		if sent < 400 {
+			sent++
+			if err := b.Send(a.Addr(), msgOf("pong")); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	a.SetHandler(func(from Addr, m *message.Message) {
+		if sent < 400 {
+			sent++
+			if err := a.Send(b.Addr(), msgOf("ping")); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := a.Send(b.Addr(), msgOf("ping")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ss.Run(10 * time.Second)
+	}()
+	var last uint64
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		st := net.Stats()
+		if st.Messages < last {
+			t.Fatalf("Stats went backwards: %d after %d", st.Messages, last)
+		}
+		last = st.Messages
+	}
+	if st := net.Stats(); st.Messages != 400 || st.Dropped != 0 {
+		t.Fatalf("final stats = %+v, want 400 messages, 0 dropped", st)
+	}
+}

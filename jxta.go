@@ -60,12 +60,14 @@ package jxta
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"jxta/internal/advertisement"
 	"jxta/internal/deploy"
 	"jxta/internal/discovery"
 	"jxta/internal/ids"
+	"jxta/internal/metrics"
 	"jxta/internal/netmodel"
 	"jxta/internal/node"
 	"jxta/internal/pipe"
@@ -613,6 +615,32 @@ func (p *Peer) OpenChannel(name string) *Channel {
 
 // SocketStats returns this peer's stream-layer counters.
 func (p *Peer) SocketStats() socket.Stats { return p.n.Socket.Stats }
+
+// TraceEvent is one protocol transition recorded by a peer: promotions,
+// failovers, island merges and lease-state changes, with the virtual
+// timestamp it happened at.
+type TraceEvent = metrics.TraceEvent
+
+// MetricsSnapshot flattens the peer's full instrument registry — every
+// service's counters, gauges and histogram buckets — into a name→value map
+// keyed by Prometheus series name. Call it while virtual time is paused
+// (between Run calls); collecting is a pure observation and never perturbs
+// the simulation.
+func (p *Peer) MetricsSnapshot() map[string]float64 { return p.n.Metrics.Snapshot() }
+
+// WriteMetrics encodes the peer's registry in Prometheus text exposition
+// format (the same bytes a live node serves on /metrics).
+func (p *Peer) WriteMetrics(w io.Writer) error { return p.n.Metrics.WritePrometheus(w) }
+
+// TraceEvents returns the peer's protocol event ring, oldest first: the
+// most recent lease transitions, elections, promotions, handoffs and
+// island merges with virtual timestamps.
+func (p *Peer) TraceEvents() []TraceEvent { return p.n.Trace.Events() }
+
+// OverlayMetrics flattens the overlay-level registry — fabric traffic and,
+// on sharded runs, engine window/barrier instrumentation — into a
+// name→value map. Call between Run calls.
+func (s *Simulation) OverlayMetrics() map[string]float64 { return s.overlay.Metrics.Snapshot() }
 
 // Grid5000Sites returns the nine modeled site names, for documentation and
 // tooling.
