@@ -66,14 +66,15 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|volatility|ablations|bandwidth|perf|scale|all")
-	quickFlag  = flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
-	liveFlag   = flag.Bool("live", false, "bandwidth: also measure over real loopback TCP (wall-clock, nondeterministic)")
-	csvFlag    = flag.Bool("csv", false, "emit CSV instead of ASCII plots")
-	seedFlag   = flag.Int64("seed", 42, "master determinism seed")
-	jsonFlag   = flag.String("json", "", "write a JSON summary of the selected experiments to this file")
-	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
-	memProfile = flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
+	expFlag        = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|volatility|ablations|bandwidth|perf|scale|all")
+	quickFlag      = flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
+	maxHeapPerEdge = flag.Float64("maxheapedge", 0, "scale: fail if the lean memory point's heap_bytes_per_edge exceeds this many bytes (0 disables; the CI memory smoke pins it)")
+	liveFlag       = flag.Bool("live", false, "bandwidth: also measure over real loopback TCP (wall-clock, nondeterministic)")
+	csvFlag        = flag.Bool("csv", false, "emit CSV instead of ASCII plots")
+	seedFlag       = flag.Int64("seed", 42, "master determinism seed")
+	jsonFlag       = flag.String("json", "", "write a JSON summary of the selected experiments to this file")
+	cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+	memProfile     = flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
 )
 
 func main() {
@@ -273,6 +274,8 @@ type scalePoint struct {
 	R            int     `json:"r"`
 	Edges        int     `json:"edges"`
 	Shards       int     `json:"shards"`
+	Pipeline     bool    `json:"pipeline,omitempty"`
+	Lean         bool    `json:"lean,omitempty"`
 	GOMAXPROCS   int     `json:"gomaxprocs"`
 	WallMs       float64 `json:"wall_ms"`
 	Steps        uint64  `json:"steps"`
@@ -282,6 +285,9 @@ type scalePoint struct {
 	CrossShard   uint64  `json:"cross_shard"`
 	SpeedupBound float64 `json:"speedup_bound"`
 	SpeedupWall  float64 `json:"speedup_wall"`
+	// HeapBytesPerEdge is the live-heap cost of one simulated edge
+	// (experiments.ScaleResult.HeapBytesPerEdge); zero when not measured.
+	HeapBytesPerEdge float64 `json:"heap_bytes_per_edge,omitempty"`
 	// NodeMetrics is the per-node runtime-metrics section: population
 	// totals plus sampled full snapshots (see experiments.CollectNodeMetrics).
 	NodeMetrics *experiments.NodeMetricsSummary `json:"node_metrics,omitempty"`
@@ -309,18 +315,22 @@ func scale() (any, error) {
 	}
 	summary := map[string]any{}
 	if *csvFlag {
-		fmt.Println("workload,r,edges,shards,gomaxprocs,wallMs,steps,eventsPerSec,windows,avgBusy,crossShard,speedupBound,speedupWall")
+		fmt.Println("workload,r,edges,shards,pipeline,lean,gomaxprocs,wallMs,steps,eventsPerSec,windows,avgBusy,crossShard,speedupBound,speedupWall,heapBytesPerEdge")
 	}
 	emit := func(p scalePoint) {
 		if *csvFlag {
-			fmt.Printf("%s,%d,%d,%d,%d,%.1f,%d,%.0f,%d,%.2f,%d,%.2f,%.2f\n",
-				p.Workload, p.R, p.Edges, p.Shards, p.GOMAXPROCS, p.WallMs, p.Steps,
-				p.EventsPerSec, p.Windows, p.AvgBusy, p.CrossShard, p.SpeedupBound, p.SpeedupWall)
+			fmt.Printf("%s,%d,%d,%d,%v,%v,%d,%.1f,%d,%.0f,%d,%.2f,%d,%.2f,%.2f,%.0f\n",
+				p.Workload, p.R, p.Edges, p.Shards, p.Pipeline, p.Lean, p.GOMAXPROCS, p.WallMs, p.Steps,
+				p.EventsPerSec, p.Windows, p.AvgBusy, p.CrossShard, p.SpeedupBound, p.SpeedupWall, p.HeapBytesPerEdge)
 			return
 		}
-		fmt.Printf("  %-18s shards=%-2d gmp=%-2d wall=%9.1f ms  events/sec=%-9.0f bound=%-5.2f wallx=%-5.2f windows=%-7d avgBusy=%.2f\n",
+		heap := ""
+		if p.HeapBytesPerEdge > 0 {
+			heap = fmt.Sprintf("  heap/edge=%.0f B", p.HeapBytesPerEdge)
+		}
+		fmt.Printf("  %-18s shards=%-2d gmp=%-2d wall=%9.1f ms  events/sec=%-9.0f bound=%-5.2f wallx=%-5.2f windows=%-7d avgBusy=%.2f%s\n",
 			p.Workload, p.Shards, p.GOMAXPROCS, p.WallMs, p.EventsPerSec,
-			p.SpeedupBound, p.SpeedupWall, p.Windows, p.AvgBusy)
+			p.SpeedupBound, p.SpeedupWall, p.Windows, p.AvgBusy, heap)
 	}
 	runOne := func(name string, spec experiments.ScaleSpec, serialEps float64) (scalePoint, error) {
 		res, err := experiments.RunScale(spec)
@@ -329,10 +339,12 @@ func scale() (any, error) {
 		}
 		p := scalePoint{
 			Workload: name, R: spec.R, Edges: spec.Edges, Shards: res.Spec.Shards,
+			Pipeline: spec.Pipeline, Lean: spec.Lean,
 			GOMAXPROCS: runtime.GOMAXPROCS(0), WallMs: res.WallMs, Steps: res.Steps,
 			EventsPerSec: res.EventsPerSec, Windows: res.Windows, AvgBusy: res.AvgBusy,
 			CrossShard: res.CrossShard, SpeedupBound: res.SpeedupBound,
-			NodeMetrics: res.NodeMetrics,
+			HeapBytesPerEdge: res.HeapBytesPerEdge,
+			NodeMetrics:      res.NodeMetrics,
 		}
 		if p.SpeedupBound == 0 {
 			p.SpeedupBound = 1 // serial engine: no windows, bound is unity
@@ -363,6 +375,26 @@ func scale() (any, error) {
 	}
 	summary["shard_sweep"] = points
 
+	// The same sweep window-pipelined: per-(src,dst) sealed exchange queues
+	// instead of the global barrier (SimOptions.PipelineWindows). The bound
+	// column is what moves — pipelining loosens the critical path that the
+	// barrier pins to the slowest shard of every window.
+	var pipePoints []scalePoint
+	for _, shards := range sweepShards {
+		if shards == 1 {
+			continue // single shard runs barrier-free either way
+		}
+		p, err := runOne("edge-lease-pipe", experiments.ScaleSpec{
+			R: sweepR, Edges: sweepEdges, Shards: shards, Pipeline: true,
+			Duration: sweepDur, Seed: *seedFlag,
+		}, serialEps)
+		if err != nil {
+			return nil, err
+		}
+		pipePoints = append(pipePoints, p)
+	}
+	summary["pipeline_sweep"] = pipePoints
+
 	// GOMAXPROCS curve at the highest shard count: same virtual run, only
 	// the OS-thread budget varies (deterministic stats, varying wall time).
 	curveShards := sweepShards[len(sweepShards)-1]
@@ -387,19 +419,23 @@ func scale() (any, error) {
 	// 9 shards places one site per shard.
 	var pv []scalePoint
 	pvSerial := 0.0
-	for _, shards := range pvShards {
+	runPV := func(shards int, pipeline bool) error {
 		start := time.Now()
 		res, err := experiments.RunPeerview(experiments.PeerviewSpec{
 			R: pvR, Topology: topology.Chain, Duration: pvDur,
-			Seed: *seedFlag, Shards: shards,
+			Seed: *seedFlag, Shards: shards, Pipeline: pipeline,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		wall := time.Since(start)
+		name := fmt.Sprintf("peerview-r%d-%dmin", pvR, int(pvDur.Minutes()))
+		if pipeline {
+			name += "-pipe"
+		}
 		p := scalePoint{
-			Workload: fmt.Sprintf("peerview-r%d-%dmin", pvR, int(pvDur.Minutes())),
-			R:        pvR, Shards: shards, GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Workload: name, Pipeline: pipeline,
+			R: pvR, Shards: shards, GOMAXPROCS: runtime.GOMAXPROCS(0),
 			WallMs:       float64(wall.Nanoseconds()) / 1e6,
 			Steps:        res.Steps,
 			EventsPerSec: float64(res.Steps) / wall.Seconds(),
@@ -410,7 +446,7 @@ func scale() (any, error) {
 		if res.Parallel.Windows > 0 {
 			p.AvgBusy = float64(res.Parallel.BusyShardSum) / float64(res.Parallel.Windows)
 		}
-		if shards == 1 {
+		if shards == 1 && !pipeline {
 			pvSerial = p.EventsPerSec
 			p.SpeedupWall = 1
 		} else if pvSerial > 0 {
@@ -418,6 +454,23 @@ func scale() (any, error) {
 		}
 		emit(p)
 		pv = append(pv, p)
+		return nil
+	}
+	for _, shards := range pvShards {
+		if err := runPV(shards, false); err != nil {
+			return nil, err
+		}
+	}
+	// The pipelined engine's showcase: the sparse peerview workload is where
+	// the global barrier caps the bound (burst-aligned gossip rounds), so
+	// re-run the sharded points with PipelineWindows on.
+	for _, shards := range pvShards {
+		if shards == 1 {
+			continue
+		}
+		if err := runPV(shards, true); err != nil {
+			return nil, err
+		}
 	}
 	summary["peerview"] = pv
 
@@ -439,6 +492,126 @@ func scale() (any, error) {
 			big = append(big, p)
 		}
 		summary["r1000"] = big
+	}
+
+	// Memory series: heap_bytes_per_edge at a fixed workload, default vs
+	// lean-metrics configuration, then the 100k-edge proof point (full scale
+	// only). The lean point doubles as the CI memory smoke: -maxheapedge
+	// pins a ceiling it must stay under.
+	memR, memEdges, memDur := 250, 10_000, 10*time.Minute
+	memShards := 8
+	if *quickFlag {
+		memR, memEdges, memDur = 18, 540, 5*time.Minute
+		memShards = 2
+	}
+	var mem []scalePoint
+	leanHeap := 0.0
+	for _, lean := range []bool{false, true} {
+		p, err := runOne("memory", experiments.ScaleSpec{
+			R: memR, Edges: memEdges, Shards: memShards, Lean: lean,
+			Duration: memDur, Seed: *seedFlag,
+		}, 0)
+		if err != nil {
+			return nil, err
+		}
+		if lean {
+			leanHeap = p.HeapBytesPerEdge
+		}
+		mem = append(mem, p)
+	}
+	if !*quickFlag {
+		// The tentpole proof: 100k leased edges on one box. Lean metrics,
+		// pipelined windows, 5 virtual minutes (the heap plateaus once every
+		// edge holds a lease and its renewal state).
+		p, err := runOne("memory-100k", experiments.ScaleSpec{
+			R: 1000, Edges: 100_000, Shards: memShards, Lean: true, Pipeline: true,
+			Duration: 5 * time.Minute, Seed: *seedFlag,
+		}, 0)
+		if err != nil {
+			return nil, err
+		}
+		leanHeap = p.HeapBytesPerEdge
+		mem = append(mem, p)
+	}
+	summary["memory"] = mem
+	if *maxHeapPerEdge > 0 && leanHeap > *maxHeapPerEdge {
+		return nil, fmt.Errorf("memory smoke: heap_bytes_per_edge %.0f exceeds pinned ceiling %.0f",
+			leanHeap, *maxHeapPerEdge)
+	}
+
+	// The paper's §5 axes — peerview convergence, discovery success,
+	// volatility — re-run sharded at r=1,000 (full scale only): the
+	// population the serial engine and the per-peer memory footprint used
+	// to rule out.
+	if bigR > 0 {
+		axes := map[string]any{}
+
+		pvStart := time.Now()
+		pvRes, err := experiments.RunPeerview(experiments.PeerviewSpec{
+			R: bigR, Topology: topology.Chain, Duration: 120 * time.Minute,
+			Seed: *seedFlag, Shards: memShards, Pipeline: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		axes["peerview"] = map[string]any{
+			"r": bigR, "shards": memShards, "pipeline": true,
+			"wall_ms":       float64(time.Since(pvStart)) / 1e6,
+			"steps":         pvRes.Steps,
+			"max_size":      pvRes.MaxSize,
+			"plateau_mean":  pvRes.PlateauMean,
+			"consistent":    pvRes.ConsistentAtEnd,
+			"speedup_bound": pvRes.Parallel.SpeedupBound(),
+		}
+		fmt.Printf("  axes-r1000 peerview: plateau=%.0f consistent=%v bound=%.2f\n",
+			pvRes.PlateauMean, pvRes.ConsistentAtEnd, pvRes.Parallel.SpeedupBound())
+
+		dStart := time.Now()
+		dRes, err := experiments.RunDiscovery(experiments.DiscoverySpec{
+			R: bigR, Queries: 50, Shards: memShards, Seed: *seedFlag,
+		})
+		if err != nil {
+			return nil, err
+		}
+		axes["discovery"] = map[string]any{
+			"r": bigR, "shards": memShards, "queries": 50,
+			"wall_ms":       float64(time.Since(dStart)) / 1e6,
+			"steps":         dRes.Steps,
+			"mean_ms":       dRes.MeanMs,
+			"p95_ms":        dRes.Latency.Quantile(0.95),
+			"timeouts":      dRes.Timeouts,
+			"walk_fraction": dRes.WalkFraction,
+		}
+		fmt.Printf("  axes-r1000 discovery: mean=%.1f ms p95=%.1f ms timeouts=%d walk=%.0f%%\n",
+			dRes.MeanMs, dRes.Latency.Quantile(0.95), dRes.Timeouts, 100*dRes.WalkFraction)
+
+		vStart := time.Now()
+		vRes, err := experiments.RunVolatility(experiments.VolatilitySpec{
+			R: bigR, EdgesPerRdv: 1, Kills: 100, Queries: 40,
+			KillEvery: []time.Duration{2 * time.Minute},
+			Shards:    memShards, Seed: *seedFlag,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vp := vRes.Points[0]
+		axes["volatility"] = map[string]any{
+			"r": bigR, "shards": memShards, "kills": 100,
+			"wall_ms":     float64(time.Since(vStart)) / 1e6,
+			"steps":       vRes.Steps,
+			"ok":          vp.Phase.Succeeded,
+			"timeouts":    vp.Phase.Timeouts,
+			"mean_ms":     vp.Phase.Latency.Mean(),
+			"promotions":  vp.Promotions,
+			"live_tier":   vp.LiveTier,
+			"mean_view":   vp.MeanView,
+			"reconverged": vp.Reconverged,
+		}
+		fmt.Printf("  axes-r1000 volatility: ok=%d/%d promotions=%d liveTier=%d reconv=%v\n",
+			vp.Phase.Succeeded, vp.Phase.Succeeded+vp.Phase.Timeouts,
+			vp.Promotions, vp.LiveTier, vp.Reconverged)
+
+		summary["axes_r1000"] = axes
 	}
 	return summary, nil
 }

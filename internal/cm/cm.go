@@ -12,30 +12,51 @@ import (
 	"time"
 
 	"jxta/internal/advertisement"
+	"jxta/internal/advstore"
 	"jxta/internal/env"
 	"jxta/internal/ids"
 )
 
-// Record is a stored advertisement plus bookkeeping.
+// Record is a stored advertisement plus bookkeeping. Adv is the canonical
+// interned instance (advstore) shared with every other peer caching an
+// equal advertisement — read-only by contract.
 type Record struct {
 	Adv     advertisement.Advertisement
 	Expires time.Duration // absolute env time; 0 = never
 	Local   bool          // published locally (survives Flush)
+	// sh is the interning handle backing Adv; released on eviction. Nil
+	// only on the zero Record.
+	sh *advstore.Shared
 }
+
+// recordChunk sizes the arena slabs Records are allocated from.
+const recordChunk = 64
 
 // Cache is one peer's advertisement store. Not safe for concurrent use; the
 // env callback serialization covers it.
 type Cache struct {
 	env  env.Env
 	byID map[ids.ID]*Record
-	// index maps "Type+Attr+Value" keys to the advertisement IDs carrying
-	// that field.
-	index map[string]map[ids.ID]struct{}
+	// index maps "Type+Attr+Value" keys to the sorted advertisement IDs
+	// carrying that field. A sorted slice instead of a set: most keys index
+	// exactly one advertisement, and a one-element slice is an order of
+	// magnitude smaller than a one-element map.
+	index map[string][]ids.ID
 	// numIndex maps "Type\x00Attr" keys to numeric postings for every
 	// indexed field whose value parses as an integer, making range
 	// queries sublinear. Attrs that never carried a numeric value have no
 	// key here and fall back to the linear scan.
 	numIndex map[string]*numPostings
+	// slab/free are the Record arena: long-lived records are carved out of
+	// chunked slabs (one allocation per recordChunk records instead of one
+	// each) and recycled through the free list on eviction. A chunk is
+	// garbage only once every record in it is free — acceptable for ~64-byte
+	// records that mostly live as long as the cache.
+	slab []Record
+	free []*Record
+	// store interns stored advertisements (shared with every other cache
+	// of the same deployment).
+	store *advstore.Store
 }
 
 // numEntry is one numeric index posting.
@@ -55,14 +76,44 @@ type numPostings struct {
 // numKey builds the numeric-index key for a (type, attr) pair.
 func numKey(advType, attr string) string { return advType + "\x00" + attr }
 
-// New builds an empty cache.
-func New(e env.Env) *Cache {
+// New builds an empty cache interning against the process-wide default
+// store.
+func New(e env.Env) *Cache { return NewWithStore(e, advstore.Default()) }
+
+// NewWithStore builds an empty cache interning against the given store.
+// Deployments pass one store per overlay so equal advertisements dedupe
+// across the population without outliving it.
+func NewWithStore(e env.Env, store *advstore.Store) *Cache {
 	return &Cache{
 		env:      e,
 		byID:     make(map[ids.ID]*Record),
-		index:    make(map[string]map[ids.ID]struct{}),
+		index:    make(map[string][]ids.ID),
 		numIndex: make(map[string]*numPostings),
+		store:    store,
 	}
+}
+
+// newRecord carves a record out of the arena, preferring recycled ones.
+func (c *Cache) newRecord() *Record {
+	if n := len(c.free); n > 0 {
+		r := c.free[n-1]
+		c.free = c.free[:n-1]
+		return r
+	}
+	if len(c.slab) == cap(c.slab) {
+		c.slab = make([]Record, 0, recordChunk)
+	}
+	c.slab = append(c.slab, Record{})
+	return &c.slab[len(c.slab)-1]
+}
+
+// freeRecord releases a record's interning handle and recycles it.
+func (c *Cache) freeRecord(rec *Record) {
+	if rec.sh != nil {
+		rec.sh.Release()
+	}
+	*rec = Record{}
+	c.free = append(c.free, rec)
 }
 
 // Len returns the number of stored advertisements.
@@ -72,33 +123,44 @@ func (c *Cache) Len() int { return len(c.byID) }
 // the simulated per-query scan cost on loaded rendezvous peers.
 func (c *Cache) IndexSize() int {
 	n := 0
-	for _, set := range c.index {
-		n += len(set)
+	for _, lst := range c.index {
+		n += len(lst)
 	}
 	return n
 }
 
 // Put stores or replaces an advertisement. lifetime bounds its validity
 // (zero means no expiry); local marks advertisements published by this peer.
+// The advertisement is interned: the stored instance may be the canonical
+// one another peer published first, so callers must not mutate adv after
+// publishing it.
 func (c *Cache) Put(adv advertisement.Advertisement, lifetime time.Duration, local bool) {
+	sh := c.store.Intern(adv)
+	adv = sh.Adv()
 	id := adv.ID()
-	if old, ok := c.byID[id]; ok {
-		c.unindex(old.Adv)
-	}
 	var expires time.Duration
 	if lifetime > 0 {
 		expires = c.env.Now() + lifetime
 	}
-	rec := &Record{Adv: adv, Expires: expires, Local: local}
-	c.byID[id] = rec
+	rec, existed := c.byID[id]
+	if existed {
+		c.unindex(rec.Adv)
+		rec.sh.Release()
+	} else {
+		rec = c.newRecord()
+		c.byID[id] = rec
+	}
+	rec.Adv, rec.Expires, rec.Local, rec.sh = adv, expires, local, sh
 	for _, f := range adv.IndexFields() {
 		key := f.Key(adv.Type())
-		set, ok := c.index[key]
-		if !ok {
-			set = make(map[ids.ID]struct{})
-			c.index[key] = set
+		lst := c.index[key]
+		i := sort.Search(len(lst), func(i int) bool { return !lst[i].Less(id) })
+		if i == len(lst) || lst[i] != id {
+			lst = append(lst, ids.ID{})
+			copy(lst[i+1:], lst[i:])
+			lst[i] = id
+			c.index[key] = lst
 		}
-		set[id] = struct{}{}
 		if v, err := strconv.ParseInt(f.Value, 10, 64); err == nil {
 			c.numInsert(numKey(adv.Type(), f.Attr), numEntry{val: v, id: id})
 		}
@@ -109,10 +171,15 @@ func (c *Cache) unindex(adv advertisement.Advertisement) {
 	id := adv.ID()
 	for _, f := range adv.IndexFields() {
 		key := f.Key(adv.Type())
-		if set, ok := c.index[key]; ok {
-			delete(set, id)
-			if len(set) == 0 {
-				delete(c.index, key)
+		if lst, ok := c.index[key]; ok {
+			i := sort.Search(len(lst), func(i int) bool { return !lst[i].Less(id) })
+			if i < len(lst) && lst[i] == id {
+				lst = append(lst[:i], lst[i+1:]...)
+				if len(lst) == 0 {
+					delete(c.index, key)
+				} else {
+					c.index[key] = lst
+				}
 			}
 		}
 		if v, err := strconv.ParseInt(f.Value, 10, 64); err == nil {
@@ -199,6 +266,7 @@ func (c *Cache) Remove(id ids.ID) {
 	if rec, ok := c.byID[id]; ok {
 		c.unindex(rec.Adv)
 		delete(c.byID, id)
+		c.freeRecord(rec)
 	}
 }
 
@@ -215,17 +283,17 @@ func (c *Cache) Search(advType, attr, value string) []advertisement.Advertisemen
 	var out []advertisement.Advertisement
 	if strings.HasSuffix(value, "*") {
 		prefix := advType + attr + strings.TrimSuffix(value, "*")
-		for key, set := range c.index {
+		for key, lst := range c.index {
 			if !strings.HasPrefix(key, prefix) {
 				continue
 			}
-			out = c.collect(out, advType, set)
+			out = c.collect(out, advType, lst)
 		}
 		return sortAdvs(out)
 	}
 	key := advertisement.IndexField{Attr: attr, Value: value}.Key(advType)
-	if set, ok := c.index[key]; ok {
-		out = c.collect(out, advType, set)
+	if lst, ok := c.index[key]; ok {
+		out = c.collect(out, advType, lst)
 	}
 	return sortAdvs(out)
 }
@@ -236,8 +304,8 @@ func sortAdvs(advs []advertisement.Advertisement) []advertisement.Advertisement 
 	return advs
 }
 
-func (c *Cache) collect(out []advertisement.Advertisement, advType string, set map[ids.ID]struct{}) []advertisement.Advertisement {
-	for id := range set {
+func (c *Cache) collect(out []advertisement.Advertisement, advType string, lst []ids.ID) []advertisement.Advertisement {
+	for _, id := range lst {
 		rec, ok := c.byID[id]
 		if !ok || c.expired(rec) || rec.Adv.Type() != advType {
 			continue
@@ -328,6 +396,7 @@ func (c *Cache) Flush() {
 		if !rec.Local {
 			c.unindex(rec.Adv)
 			delete(c.byID, id)
+			c.freeRecord(rec)
 		}
 	}
 }
@@ -339,6 +408,7 @@ func (c *Cache) GC() int {
 		if c.expired(rec) {
 			c.unindex(rec.Adv)
 			delete(c.byID, id)
+			c.freeRecord(rec)
 			evicted++
 		}
 	}

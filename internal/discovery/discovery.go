@@ -171,7 +171,7 @@ func New(e env.Env, ep *endpoint.Endpoint, res *resolver.Service, rdvSvc *rendez
 		costTimers: make(map[uint64]env.Timer),
 		seen:       make(map[string]bool),
 	}
-	s.Instrument(metrics.NewRegistry())
+	s.Instrument(metrics.Discard())
 	res.RegisterHandler(HandlerName, s.handleQuery)
 	// The SRDI push service and the walk handler are registered in both
 	// roles — their handlers gate on the index existing — so a peer that is

@@ -43,6 +43,10 @@ type DiscoverySpec struct {
 	// ("jobs delay their execution after local peerviews entered phase 3",
 	// i.e. ~2x PVE_EXPIRATION). Zero derives it from r.
 	Converge time.Duration
+	// Shards partitions the simulated network across per-core shard
+	// schedulers (see deploy.Spec.Shards). 0 or 1 keeps the serial engine;
+	// results are deterministic per (Seed, Shards).
+	Shards int
 	// Seed is the master determinism seed.
 	Seed int64
 }
@@ -138,6 +142,7 @@ func RunDiscovery(spec DiscoverySpec) (DiscoveryResult, error) {
 	o, err := deploy.Build(deploy.Spec{
 		Seed:      spec.Seed,
 		NumRdv:    spec.R,
+		Shards:    spec.Shards,
 		Topology:  topology.Chain,
 		Discovery: discoCfg,
 		Edges:     edges,

@@ -52,6 +52,18 @@ func CollectNodeMetrics(o *deploy.Overlay, sample int) *NodeMetricsSummary {
 		Totals:  make(map[string]float64),
 		Sample:  make(map[string]map[string]float64),
 	}
+	if o.LeanRegistry != nil {
+		// Lean mode: every node aliases the one population registry, whose
+		// counters already aggregate across peers — snapshot it once
+		// (summing per node would multiply by the population). No per-peer
+		// snapshots exist to sample.
+		for k, v := range o.LeanRegistry.Snapshot() {
+			if !histogramDetail(k) {
+				s.Totals[k] = v
+			}
+		}
+		return s
+	}
 	for _, n := range nodes {
 		for k, v := range n.Metrics.Snapshot() {
 			if !histogramDetail(k) {

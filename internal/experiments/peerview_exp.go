@@ -39,6 +39,12 @@ type PeerviewSpec struct {
 	// schedulers (see deploy.Spec.Shards). 0 or 1 keeps the serial engine
 	// and its bit-exact golden trajectories.
 	Shards int
+	// Pipeline enables window pipelining on the sharded engine
+	// (deploy.Spec.PipelineWindows): per-(src,dst) sealed exchange queues
+	// instead of the global window barrier. The sparse peerview workload is
+	// exactly where the barrier caps the speedup bound, so this is the
+	// pipelined engine's showcase axis.
+	Pipeline bool
 }
 
 func (s PeerviewSpec) withDefaults() PeerviewSpec {
@@ -98,12 +104,13 @@ type PeerviewResult struct {
 func RunPeerview(spec PeerviewSpec) (PeerviewResult, error) {
 	spec = spec.withDefaults()
 	o, err := deploy.Build(deploy.Spec{
-		Seed:     spec.Seed,
-		NumRdv:   spec.R,
-		Topology: spec.Topology,
-		Fanout:   spec.Fanout,
-		Shards:   spec.Shards,
-		Peerview: peerview.Config{EntryExpiry: spec.EntryExpiry},
+		Seed:            spec.Seed,
+		NumRdv:          spec.R,
+		Topology:        spec.Topology,
+		Fanout:          spec.Fanout,
+		Shards:          spec.Shards,
+		PipelineWindows: spec.Pipeline,
+		Peerview:        peerview.Config{EntryExpiry: spec.EntryExpiry},
 	})
 	if err != nil {
 		return PeerviewResult{}, err

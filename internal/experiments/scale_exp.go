@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"jxta/internal/deploy"
@@ -24,6 +25,15 @@ type ScaleSpec struct {
 	Edges int
 	// Shards selects the engine (≤1 serial, >1 conservative sharded).
 	Shards int
+	// Pipeline enables window pipelining on the sharded engine
+	// (deploy.Spec.PipelineWindows): per-(src,dst) sealed exchange queues
+	// instead of the global window barrier. Deterministic per
+	// (Seed, Shards, Pipeline); pinned by its own golden.
+	Pipeline bool
+	// Lean shares one population-wide metrics registry across peers and
+	// drops per-node trace rings — the memory configuration for 100k+
+	// edge populations (deploy.Spec.LeanMetrics).
+	Lean bool
 	// Duration is the virtual experiment length (default 10 min).
 	Duration time.Duration
 	// Lease overrides the lease duration (default 1 min: renewals at 30 s
@@ -65,6 +75,12 @@ type ScaleResult struct {
 	// Wall-clock measurements.
 	WallMs       float64
 	EventsPerSec float64
+	// HeapBytesPerEdge is the live-heap delta from just before deployment
+	// to just after the run (two GC cycles settle finalizer-freed memory),
+	// divided by the edge population: the marginal resident cost of one
+	// simulated edge. Hardware-independent to first order; the CI memory
+	// smoke pins a ceiling on it.
+	HeapBytesPerEdge float64
 	// Sharded-engine window instrumentation (zero for serial runs).
 	Windows      uint64
 	MaxBusy      int
@@ -94,13 +110,16 @@ func RunScale(spec ScaleSpec) (ScaleResult, error) {
 			groups = append(groups, deploy.EdgeGroup{AttachTo: i, Count: count})
 		}
 	}
+	baseHeap := liveHeap()
 	o, err := deploy.Build(deploy.Spec{
-		Seed:     spec.Seed,
-		NumRdv:   spec.R,
-		Shards:   spec.Shards,
-		Topology: topology.Chain,
-		Lease:    rendezvous.Config{LeaseDuration: spec.Lease},
-		Edges:    groups,
+		Seed:            spec.Seed,
+		NumRdv:          spec.R,
+		Shards:          spec.Shards,
+		PipelineWindows: spec.Pipeline,
+		LeanMetrics:     spec.Lean,
+		Topology:        topology.Chain,
+		Lease:           rendezvous.Config{LeaseDuration: spec.Lease},
+		Edges:           groups,
 	})
 	if err != nil {
 		return ScaleResult{}, err
@@ -109,6 +128,7 @@ func RunScale(spec ScaleSpec) (ScaleResult, error) {
 	start := time.Now()
 	o.Sched.Run(spec.Duration)
 	wall := time.Since(start)
+	runHeap := liveHeap()
 
 	res := ScaleResult{Spec: spec, Peers: spec.R + spec.Edges}
 	res.Steps = o.Sched.Steps()
@@ -138,7 +158,20 @@ func RunScale(spec ScaleSpec) (ScaleResult, error) {
 		res.CrossShard = ps.CrossShard
 		res.SpeedupBound = ps.SpeedupBound()
 	}
+	if spec.Edges > 0 && runHeap > baseHeap {
+		res.HeapBytesPerEdge = float64(runHeap-baseHeap) / float64(spec.Edges)
+	}
 	res.NodeMetrics = CollectNodeMetrics(o, 2)
 	o.StopAll()
 	return res, nil
+}
+
+// liveHeap settles the collector (two cycles so anything freed by the first
+// cycle's finalizers is gone too) and returns the live-heap size.
+func liveHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
 }

@@ -50,31 +50,63 @@ func TestGoldenScaleShardedReplay(t *testing.T) {
 	}
 }
 
+// goldenScalePipelined pins the window-pipelined engine's determinism
+// contract on the same scenario as goldenScale: with PipelineWindows on,
+// window boundaries move (per-pair sealing replaces the global barrier), so
+// the trajectory legitimately differs from the barrier golden — but it must
+// replay bit-for-bit at any GOMAXPROCS. Recapture per the note at the top
+// of golden_test.go.
+const goldenScalePipelined = "steps=10094 msgs=3722 bytes=1659829 dropped=0 view=0x1.1p+04 leased=54 windows=450 maxbusy=4 cross=1953"
+
+func TestGoldenScalePipelinedReplay(t *testing.T) {
+	spec := goldenScaleSpec()
+	spec.Pipeline = true
+	res, err := RunScale(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scaleFingerprint(res)
+	if goldenScalePipelined == "UNSET" {
+		t.Fatalf("golden uninitialized; capture this:\n%s", got)
+	}
+	if got != goldenScalePipelined {
+		t.Fatalf("pipelined golden diverged:\n got %s\nwant %s", got, goldenScalePipelined)
+	}
+	if res.Leased != res.Spec.Edges {
+		t.Fatalf("only %d/%d edges leased", res.Leased, res.Spec.Edges)
+	}
+}
+
 // TestScaleShardedGOMAXPROCSInvariant is the cross-GOMAXPROCS determinism
 // property: the window coordinator decides barriers from event content
 // alone, so the same spec must produce byte-identical stats whether shard
-// windows run on one OS thread or eight.
+// windows run on one OS thread or eight. The pipelined path makes the same
+// promise with a different mechanism — drains and seals decided from
+// window indices and sealed watermarks, never thread timing — so both run
+// under the property.
 func TestScaleShardedGOMAXPROCSInvariant(t *testing.T) {
-	spec := ScaleSpec{R: 18, Edges: 36, Shards: 8,
-		Duration: 6 * time.Minute, Lease: time.Minute, Seed: 21}
-	var base string
-	for _, gmp := range []int{1, 2, 8} {
-		prev := runtime.GOMAXPROCS(gmp)
-		res, err := RunScale(spec)
-		runtime.GOMAXPROCS(prev)
-		if err != nil {
-			t.Fatal(err)
-		}
-		fp := scaleFingerprint(res)
-		if base == "" {
-			base = fp
-			if res.CrossShard == 0 {
-				t.Fatal("scenario exercised no cross-shard traffic")
+	for _, pipeline := range []bool{false, true} {
+		spec := ScaleSpec{R: 18, Edges: 36, Shards: 8, Pipeline: pipeline,
+			Duration: 6 * time.Minute, Lease: time.Minute, Seed: 21}
+		var base string
+		for _, gmp := range []int{1, 2, 8} {
+			prev := runtime.GOMAXPROCS(gmp)
+			res, err := RunScale(spec)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				t.Fatal(err)
 			}
-			continue
-		}
-		if fp != base {
-			t.Fatalf("GOMAXPROCS=%d diverged:\n got %s\nwant %s", gmp, fp, base)
+			fp := scaleFingerprint(res)
+			if base == "" {
+				base = fp
+				if res.CrossShard == 0 {
+					t.Fatal("scenario exercised no cross-shard traffic")
+				}
+				continue
+			}
+			if fp != base {
+				t.Fatalf("pipeline=%v GOMAXPROCS=%d diverged:\n got %s\nwant %s", pipeline, gmp, fp, base)
+			}
 		}
 	}
 }

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// The §5 axes run their measurement loops from inside the simulation —
+// query chains on the searcher's shard, kill schedules and sampling on the
+// quiesced driver scheduler — so nothing in them may depend on thread
+// timing. These tests pin that: a sharded run replayed with the same seed
+// reproduces every outcome exactly.
+
+func TestDiscoveryShardedDeterministic(t *testing.T) {
+	spec := DiscoverySpec{R: 12, Queries: 8, Shards: 4, Seed: 7,
+		Converge: 10 * time.Minute}
+	a, err := RunDiscovery(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDiscovery(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.NetStats != b.NetStats {
+		t.Fatalf("sharded discovery replay diverged: steps %d vs %d, net %+v vs %+v",
+			a.Steps, b.Steps, a.NetStats, b.NetStats)
+	}
+	if a.Latency.N() != b.Latency.N() || a.MeanMs != b.MeanMs || a.Timeouts != b.Timeouts {
+		t.Fatalf("sharded discovery outcomes diverged: n=%d/%d mean=%v/%v timeouts=%d/%d",
+			a.Latency.N(), b.Latency.N(), a.MeanMs, b.MeanMs, a.Timeouts, b.Timeouts)
+	}
+	if a.Latency.N()+a.Timeouts != spec.Queries {
+		t.Fatalf("lost queries: %d samples + %d timeouts != %d",
+			a.Latency.N(), a.Timeouts, spec.Queries)
+	}
+}
+
+func TestVolatilityShardedDeterministic(t *testing.T) {
+	spec := VolatilitySpec{R: 6, EdgesPerRdv: 1, Kills: 3, Queries: 6,
+		KillEvery: []time.Duration{2 * time.Minute}, Shards: 4, Seed: 7}
+	a, err := RunVolatility(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunVolatility(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.NetStats != b.NetStats {
+		t.Fatalf("sharded volatility replay diverged: steps %d vs %d, net %+v vs %+v",
+			a.Steps, b.Steps, a.NetStats, b.NetStats)
+	}
+	pa, pb := a.Points[0], b.Points[0]
+	if pa.Phase.Succeeded != pb.Phase.Succeeded || pa.Phase.Timeouts != pb.Phase.Timeouts ||
+		pa.Promotions != pb.Promotions || pa.LiveTier != pb.LiveTier ||
+		pa.MeanView != pb.MeanView || pa.Reconverged != pb.Reconverged {
+		t.Fatalf("sharded volatility outcomes diverged: %+v vs %+v", pa, pb)
+	}
+}

@@ -52,6 +52,10 @@ type VolatilitySpec struct {
 	IslandMerge bool
 	// MergeSettle caps the merge phase (default 30 min virtual time).
 	MergeSettle time.Duration
+	// Shards partitions the simulated network across per-core shard
+	// schedulers (see deploy.Spec.Shards). 0 or 1 keeps the serial engine;
+	// results are deterministic per (Seed, Shards).
+	Shards int
 	// Seed is the master determinism seed.
 	Seed int64
 }
@@ -208,6 +212,7 @@ func runVolatilityPoint(spec VolatilitySpec, killEvery time.Duration) (Volatilit
 	o, err := deploy.Build(deploy.Spec{
 		Seed:     spec.Seed,
 		NumRdv:   spec.R,
+		Shards:   spec.Shards,
 		Topology: topology.Chain,
 		Peerview: peerview.Config{ProbeTimeoutRounds: 3},
 		Lease: rendezvous.Config{

@@ -166,12 +166,30 @@ type Registry struct {
 	mu     sync.Mutex
 	byName map[string]*family
 	fams   []*family
+	// discard marks the process-wide pre-bind sink: Func registrations are
+	// dropped on it (see Discard).
+	discard bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]*family)}
 }
+
+// discard is the process-wide pre-bind registry behind Discard.
+var discard = &Registry{byName: make(map[string]*family), discard: true}
+
+// Discard returns the process-wide pre-bind registry: a write-only sink
+// service constructors instrument against so their counter fields are
+// always valid, before the node assembly re-instruments them onto the
+// node's own registry. Sharing one sink instead of allocating a throwaway
+// Registry per service per peer matters at population scale — seven
+// registries per node otherwise. Never encode or snapshot it: its real
+// counters aggregate every uninstrumented component in the process. Func
+// registrations are dropped outright — their closures capture protocol
+// state, and retaining them here would pin every service (and through it
+// every overlay) ever constructed in the process.
+func Discard() *Registry { return discard }
 
 // register creates or fetches a family, panicking on a kind/label
 // mismatch — that is always a programming error, caught in tests.
@@ -215,12 +233,18 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 // CounterFunc registers a collector-backed counter whose value is read
 // from fn at encode/snapshot time.
 func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	if r.discard {
+		return
+	}
 	r.register(name, help, KindCounterFunc, "", nil).getOrAdd("").cf = fn
 }
 
 // GaugeFunc registers a collector-backed gauge whose value is read from
 // fn at encode/snapshot time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r.discard {
+		return
+	}
 	r.register(name, help, KindGaugeFunc, "", nil).getOrAdd("").gf = fn
 }
 
@@ -229,6 +253,9 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 // per-shard event counters use this). Same-name registrations must agree
 // on labelKey; re-registering a label value replaces its callback.
 func (r *Registry) CounterFuncWith(name, help, labelKey, labelValue string, fn func() uint64) {
+	if r.discard {
+		return
+	}
 	r.register(name, help, KindCounterFunc, labelKey, nil).getOrAdd(labelValue).cf = fn
 }
 

@@ -42,12 +42,14 @@ type Trace struct {
 const DefaultTraceCapacity = 256
 
 // NewTrace returns a ring holding the last capacity events
-// (DefaultTraceCapacity if capacity <= 0).
+// (DefaultTraceCapacity if capacity <= 0). The ring storage is allocated
+// lazily on the first Record: protocol transitions are rare, so most
+// peers in a large quiet population never pay for the buffer at all.
 func NewTrace(capacity int) *Trace {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Trace{cap: capacity, buf: make([]TraceEvent, 0, capacity)}
+	return &Trace{cap: capacity}
 }
 
 // Record appends one event, evicting the oldest when full. Safe on a
@@ -60,6 +62,9 @@ func (t *Trace) Record(at time.Duration, typ, detail string) {
 	t.seq++
 	ev := TraceEvent{Seq: t.seq, At: at, Type: typ, Detail: detail}
 	if len(t.buf) < t.cap {
+		if t.buf == nil {
+			t.buf = make([]TraceEvent, 0, t.cap)
+		}
 		t.buf = append(t.buf, ev)
 	} else {
 		t.buf[t.start] = ev

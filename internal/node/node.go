@@ -30,6 +30,7 @@ package node
 
 import (
 	"jxta/internal/advertisement"
+	"jxta/internal/advstore"
 	"jxta/internal/cm"
 	"jxta/internal/discovery"
 	"jxta/internal/endpoint"
@@ -84,6 +85,23 @@ type Config struct {
 	Discovery discovery.Config
 	// Socket tunables (stream layer); zero fields take defaults.
 	Socket socket.Config
+	// AdvStore, when set, is the interning table for every advertisement
+	// this node caches or holds in its peerview. Deployments pass one store
+	// per overlay so equal advertisements dedupe across the population and
+	// the table dies with the overlay; nil falls back to the process-wide
+	// default store.
+	AdvStore *advstore.Store
+	// Metrics, when set, puts the node in lean-metrics mode: instead of
+	// allocating a private registry and trace ring, the node's services
+	// bind their counters into this shared (typically population-wide)
+	// registry, node-level gauges are skipped, and Trace stays nil. Real
+	// counters then aggregate across every peer sharing the registry;
+	// Func-backed instruments (size gauges, stats bridges) are last-writer
+	// -wins and only describe one arbitrary peer — population totals for
+	// those come from experiment drivers, not the registry. This is the
+	// memory configuration for 100k+ peer simulations, where a per-peer
+	// registry dominates the per-node footprint.
+	Metrics *metrics.Registry
 }
 
 // Node is a fully assembled peer.
@@ -137,10 +155,16 @@ func New(e env.Env, tr transport.Transport, cfg Config) *Node {
 	if cfg.Name == "" {
 		cfg.Name = e.Name()
 	}
+	if cfg.AdvStore == nil {
+		cfg.AdvStore = advstore.Default()
+	}
+	// The peerview (including one built later by PromoteToRendezvous, which
+	// reads n.Config.Peerview) interns against the same table as the cache.
+	cfg.Peerview.AdvStore = cfg.AdvStore
 	id := ids.NewRandom(ids.KindPeer, e.Rand())
 	ep := endpoint.New(e, id, tr)
 	res := resolver.New(e, ep)
-	cache := cm.New(e)
+	cache := cm.NewWithStore(e, cfg.AdvStore)
 
 	n := &Node{
 		Env:      e,
@@ -149,8 +173,14 @@ func New(e env.Env, tr transport.Transport, cfg Config) *Node {
 		Endpoint: ep,
 		Resolver: res,
 		Cache:    cache,
-		Metrics:  metrics.NewRegistry(),
-		Trace:    metrics.NewTrace(0),
+	}
+	if cfg.Metrics != nil {
+		// Lean mode: share the caller's registry, no trace ring (a nil
+		// *Trace is a valid no-op sink everywhere).
+		n.Metrics = cfg.Metrics
+	} else {
+		n.Metrics = metrics.NewRegistry()
+		n.Trace = metrics.NewTrace(0)
 	}
 	if cfg.Role == Rendezvous {
 		n.rdvAdv = &advertisement.Rdv{
@@ -186,24 +216,28 @@ func New(e env.Env, tr transport.Transport, cfg Config) *Node {
 	n.Discovery.Instrument(n.Metrics)
 	n.Pipe.Instrument(n.Metrics)
 	n.Socket.Instrument(n.Metrics)
-	n.Metrics.GaugeFunc("jxta_node_role", "Peer role: 1 rendezvous, 0 edge.",
-		func() float64 {
-			if n.IsRendezvous() {
-				return 1
-			}
-			return 0
-		})
-	n.Metrics.GaugeFunc("jxta_node_started", "Lifecycle state: 1 started, 0 stopped.",
-		func() float64 {
-			if n.Started() {
-				return 1
-			}
-			return 0
-		})
-	n.Metrics.GaugeFunc("jxta_cache_records", "Advertisements in the local cache.",
-		func() float64 { return float64(cache.Len()) })
-	n.Metrics.GaugeFunc("jxta_cache_index_entries", "Attribute index entries in the local cache.",
-		func() float64 { return float64(cache.IndexSize()) })
+	// Node-level gauges are per-peer by nature — in lean mode (shared
+	// registry) they would just clobber each other, so skip them.
+	if cfg.Metrics == nil {
+		n.Metrics.GaugeFunc("jxta_node_role", "Peer role: 1 rendezvous, 0 edge.",
+			func() float64 {
+				if n.IsRendezvous() {
+					return 1
+				}
+				return 0
+			})
+		n.Metrics.GaugeFunc("jxta_node_started", "Lifecycle state: 1 started, 0 stopped.",
+			func() float64 {
+				if n.Started() {
+					return 1
+				}
+				return 0
+			})
+		n.Metrics.GaugeFunc("jxta_cache_records", "Advertisements in the local cache.",
+			func() float64 { return float64(cache.Len()) })
+		n.Metrics.GaugeFunc("jxta_cache_index_entries", "Attribute index entries in the local cache.",
+			func() float64 { return float64(cache.IndexSize()) })
+	}
 
 	// Lifecycle registry, transport-nearest first; Stop runs in reverse so
 	// streams FIN and the lease cancel leave before the endpoint quiesces.

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"jxta/internal/advertisement"
+	"jxta/internal/advstore"
 	"jxta/internal/endpoint"
 	"jxta/internal/env"
 	"jxta/internal/ids"
@@ -95,6 +96,10 @@ type Config struct {
 	// enable it so a crashed rendezvous disappears from neighbouring views
 	// within a few PEERVIEW_INTERVALs and walks route around it.
 	ProbeTimeoutRounds int
+	// AdvStore interns the view's rendezvous advertisements; nil uses the
+	// process-wide default store. Deployments pass one store per overlay so
+	// interned advertisements do not outlive it.
+	AdvStore *advstore.Store
 }
 
 // DefaultConfig returns the paper's default tunables.
@@ -121,6 +126,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReferralsPerProbe <= 0 {
 		c.ReferralsPerProbe = d.ReferralsPerProbe
+	}
+	if c.AdvStore == nil {
+		c.AdvStore = advstore.Default()
 	}
 	return c
 }
@@ -344,9 +352,22 @@ type Listener func(kind EventKind, peer ids.ID, at time.Duration)
 type MergeListener func(peer ids.ID)
 
 // entry is one peerview slot: the advertisement plus its last refresh time.
+// adv is the canonical interned instance (advstore), shared with every
+// other peerview holding the same rendezvous — a tier of r rendezvous would
+// otherwise keep ~r² private decodes alive. sh is the interning handle,
+// released when the entry leaves the view.
 type entry struct {
 	adv     *advertisement.Rdv
+	sh      *advstore.Shared
 	renewed time.Duration
+}
+
+// release drops the entry's interning handle (idempotent via nil-ing).
+func (en *entry) release() {
+	if en.sh != nil {
+		en.sh.Release()
+		en.sh = nil
+	}
 }
 
 // PeerView runs the protocol for one rendezvous peer.
@@ -401,7 +422,7 @@ func New(e env.Env, ep *endpoint.Endpoint, self *advertisement.Rdv, cfg Config, 
 		missed: make(map[ids.ID]int),
 	}
 	ep.Register(ServiceName, pv.receive)
-	pv.Instrument(metrics.NewRegistry())
+	pv.Instrument(metrics.Discard())
 	return pv
 }
 
@@ -436,6 +457,9 @@ func (pv *PeerView) Stop() {
 // from the seeds. No membership events are emitted for the dropped entries
 // (the process observing them is the one restarting).
 func (pv *PeerView) Reset() {
+	for _, en := range pv.entries {
+		en.release()
+	}
 	pv.entries = nil
 	pv.byID = make(map[ids.ID]*entry)
 	pv.probed = make(map[ids.ID]time.Duration)
@@ -581,6 +605,7 @@ func (pv *PeerView) probeTimeoutSweep() {
 		if pv.missed[id] >= pv.cfg.ProbeTimeoutRounds {
 			delete(pv.byID, id)
 			delete(pv.missed, id)
+			en.release()
 			pv.m.probeEvicts.Inc()
 			pv.notify(EventRemove, id)
 			continue
@@ -602,9 +627,11 @@ func (pv *PeerView) expireSweep() {
 	kept := pv.entries[:0]
 	for _, en := range pv.entries {
 		if now-en.renewed > pv.cfg.EntryExpiry {
-			delete(pv.byID, en.adv.PeerID)
+			id := en.adv.PeerID
+			delete(pv.byID, id)
+			en.release()
 			pv.m.expiries.Inc()
-			pv.notify(EventRemove, en.adv.PeerID)
+			pv.notify(EventRemove, id)
 			continue
 		}
 		kept = append(kept, en)
@@ -625,12 +652,23 @@ func (pv *PeerView) upsert(adv *advertisement.Rdv) bool {
 		return false
 	}
 	pv.ep.AddRoute(adv.PeerID, transport.Addr(adv.Address))
+	// Intern the advertisement: equal Rdv advs (same peer, address, name)
+	// received across the whole tier collapse to one canonical decode.
+	sh := pv.cfg.AdvStore.Intern(adv)
+	canon, ok := sh.Adv().(*advertisement.Rdv)
+	if !ok {
+		// Only possible if another holder interned an equal encoding under
+		// a different decoded type — cannot happen for jxta:RdvAdvertisement.
+		sh.Release()
+		canon, sh = adv, nil
+	}
 	if en, ok := pv.byID[adv.PeerID]; ok {
-		en.adv = adv
+		en.release()
+		en.adv, en.sh = canon, sh
 		en.renewed = pv.env.Now()
 		return false
 	}
-	en := &entry{adv: adv, renewed: pv.env.Now()}
+	en := &entry{adv: canon, sh: sh, renewed: pv.env.Now()}
 	pv.byID[adv.PeerID] = en
 	// Binary insertion keeping ID order.
 	lo, hi := 0, len(pv.entries)

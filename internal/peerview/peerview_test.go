@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"jxta/internal/advertisement"
+	"jxta/internal/advstore"
 	"jxta/internal/endpoint"
 	"jxta/internal/ids"
 	"jxta/internal/message"
@@ -75,11 +76,16 @@ func TestDefaultsMatchPaper(t *testing.T) {
 
 func TestWithDefaultsFillsZeroes(t *testing.T) {
 	cfg := Config{}.withDefaults()
+	if cfg.AdvStore != advstore.Default() {
+		t.Fatalf("withDefaults AdvStore = %p, want process default", cfg.AdvStore)
+	}
+	cfg.AdvStore = nil
 	if cfg != DefaultConfig() {
 		t.Fatalf("withDefaults = %+v", cfg)
 	}
+	own := advstore.New()
 	custom := Config{Interval: time.Second, EntryExpiry: time.Minute,
-		HappySize: 2, ReferralsPerProbe: 5}
+		HappySize: 2, ReferralsPerProbe: 5, AdvStore: own}
 	if custom.withDefaults() != custom {
 		t.Fatal("withDefaults overwrote non-zero fields")
 	}

@@ -97,7 +97,7 @@ func New(e env.Env, ep *endpoint.Endpoint, disco *discovery.Service, rdv *rendez
 		bound:    make(map[ids.ID]*InputPipe),
 		propSeen: make(map[string]bool),
 	}
-	s.Instrument(metrics.NewRegistry())
+	s.Instrument(metrics.Discard())
 	ep.Register(ServiceName, s.receive)
 	ep.Register(PropagateService, s.receivePropagate)
 	if rdv != nil {

@@ -282,7 +282,7 @@ func newService(e env.Env, ep *endpoint.Endpoint, cfg Config) *Service {
 	}
 	ep.Register(LeaseService, s.receiveLease)
 	ep.Register(WalkService, s.receiveWalk)
-	s.Instrument(metrics.NewRegistry(), nil)
+	s.Instrument(metrics.Discard(), nil)
 	return s
 }
 

@@ -93,7 +93,7 @@ func New(e env.Env, ep *endpoint.Endpoint) *Service {
 		Timeout:  30 * time.Second,
 	}
 	ep.Register(ServiceName, s.receive)
-	s.Instrument(metrics.NewRegistry())
+	s.Instrument(metrics.Discard())
 	return s
 }
 

@@ -1,0 +1,544 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Window-pipelined conservative engine.
+//
+// The barrier engine in sharded.go synchronises every shard at the end of
+// every lookahead window: the wall time of a window is its slowest shard,
+// even when the other shards' next windows depend only on input that is
+// already in hand. Pipelining removes the global barrier. Cross-shard
+// events travel through per-(src,dst) exchange queues bucketed by the
+// sender's window; a sender "seals" a window when it finishes executing it,
+// and a receiver may execute its window T as soon as every inbound queue is
+// sealed far enough — specifically up to T - lag(src,dst), where the lag
+// matrix counts how many whole windows the (src,dst) latency floor spans.
+// Shards on distant site pairs therefore run several windows apart without
+// ever waiting on each other, which both overlaps wall time and loosens the
+// critical-path speedup bound that the global barrier caps at the
+// burst-alignment limit.
+//
+// Determinism: every execution and every queue drain below is decided from
+// event content (timestamps, window indices, sealed watermarks), never from
+// thread timing. Which windows a shard executes, which bucket entries it
+// drains before each window, and the (at, src, seq) order it inserts them
+// in are all invariant across goroutine interleavings, so a fixed-seed run
+// is bit-reproducible at any GOMAXPROCS — same contract as the barrier
+// path, different fingerprint (window boundaries differ), which is why
+// pipelining sits behind its own golden.
+
+// pipeBucket holds the cross-shard events one shard emitted toward another
+// during one of its execution windows. Buckets in a pair queue are strictly
+// increasing in window index; a bucket is immutable once its window is
+// sealed by the sender.
+type pipeBucket struct {
+	window  int64
+	minAt   time.Duration
+	entries []xentry
+}
+
+// pipePair is the (src,dst) exchange queue. The mutex serialises the
+// sender's appends against the receiver's peeks and drains; it is held only
+// for slice bookkeeping, never across event execution.
+type pipePair struct {
+	mu      sync.Mutex
+	buckets []pipeBucket
+}
+
+// fpoint is one point of a shard's critical-path history within a phase:
+// after executing window win, the shard's earliest possible completion is f
+// events deep. See pipeRunWindow for the recurrence.
+type fpoint struct {
+	win int64
+	f   uint64
+}
+
+// pipeState carries the per-phase control state of the pipelined engine.
+type pipeState struct {
+	// lag[src][dst] is how many whole lookahead windows the (src,dst)
+	// latency floor spans (≥ 1): an event emitted during sender window w
+	// arrives no earlier than window w+lag, so the receiver may run window
+	// T once sealed[src] ≥ T-lag[src][dst] for every src.
+	lag [][]int32
+	// pairs are the (src,dst) exchange queues, indexed src*n+dst.
+	pairs []pipePair
+	// sealed[s] is the highest window index shard s has finished (or
+	// promised to stay silent through); -1 at phase start. Written under
+	// pmu, read locklessly — it only ever grows, so a stale read is
+	// conservative.
+	sealed []atomic.Int64
+	// curWin[s] is the window shard s is currently executing; only the
+	// owning goroutine touches it (XSchedule runs on that goroutine).
+	curWin []int64
+
+	// Phase extent, written by the coordinator before shard goroutines
+	// spawn: the window lattice is [base + k·W, base + (k+1)·W) for
+	// k ∈ [0, k); end clips the last window.
+	base time.Duration
+	end  time.Duration
+	k    int64
+
+	// inPhase routes XSchedule to the bucket queues while shard
+	// goroutines run; the spawn/join edges order it against their reads.
+	inPhase bool
+
+	// Everything below is guarded by pmu.
+	pmu  sync.Mutex
+	cond *sync.Cond
+	// ver counts content-publishing events (execution seals). A shard's
+	// stuck registration is valid only if ver is unchanged since before
+	// its peek, which makes the all-stuck snapshot consistent.
+	ver uint64
+	// stuck/nextw/liveStuck implement the idle-jump protocol: a shard
+	// that cannot execute registers the window of its earliest pending
+	// event (k as "none"); when every live shard is registered the
+	// all-stuck snapshot is consistent and the phase fast-forwards every
+	// seal to min(nextw)-1 in one step instead of ratcheting.
+	stuck     []bool
+	nextw     []int64
+	liveStuck int
+	exited    int
+	// hist[s] is shard s's critical-path history; busy counts executing
+	// shards per window index; total/cross accumulate phase stats.
+	hist  [][]fpoint
+	busy  map[int64]int
+	total uint64
+	cross uint64
+	// batch[s] is shard s's private drain scratch buffer.
+	batch [][]xentry
+}
+
+// EnablePipelining switches the engine from the global window barrier to
+// per-(src,dst) sealed exchange queues. lag[src][dst] must be ≥ 1 for
+// src ≠ dst and satisfy lag·lookahead ≤ the (src,dst) cross-shard latency
+// floor (netmodel.ShardLagMatrix derives it). Must be called while the
+// engine is quiesced (normally right after NewSharded). A single-shard
+// engine ignores the call: it already runs barrier-free to the horizon.
+func (ss *ShardedScheduler) EnablePipelining(lag [][]int) {
+	n := len(ss.shards)
+	if n == 1 {
+		ss.pipe = nil
+		return
+	}
+	if len(lag) != n {
+		panic(fmt.Sprintf("simnet: lag matrix is %d×?, want %d×%d", len(lag), n, n))
+	}
+	p := &pipeState{
+		lag:    make([][]int32, n),
+		pairs:  make([]pipePair, n*n),
+		sealed: make([]atomic.Int64, n),
+		curWin: make([]int64, n),
+		stuck:  make([]bool, n),
+		nextw:  make([]int64, n),
+		hist:   make([][]fpoint, n),
+		busy:   make(map[int64]int),
+		batch:  make([][]xentry, n),
+	}
+	for s := range p.lag {
+		if len(lag[s]) != n {
+			panic(fmt.Sprintf("simnet: lag matrix row %d has %d entries, want %d", s, len(lag[s]), n))
+		}
+		p.lag[s] = make([]int32, n)
+		for d, l := range lag[s] {
+			if s != d && l < 1 {
+				panic(fmt.Sprintf("simnet: lag[%d][%d] = %d, want ≥ 1", s, d, l))
+			}
+			if l < 1 {
+				l = 1
+			}
+			p.lag[s][d] = int32(l)
+		}
+	}
+	p.cond = sync.NewCond(&p.pmu)
+	ss.pipe = p
+}
+
+// Pipelined reports whether the engine runs the pipelined path.
+func (ss *ShardedScheduler) Pipelined() bool { return ss.pipe != nil }
+
+// runPipelined is the Run loop of the pipelined engine. Driver events still
+// quiesce every shard at their exact timestamp — they may touch any node —
+// so the loop alternates driver windows with pipelined phases spanning the
+// whole stretch of virtual time to the next driver event or the horizon.
+// Halt is phase-granular here (the barrier engine is window-granular): a
+// halt requested mid-phase takes effect at the next phase boundary, keeping
+// the stop point content-deterministic.
+func (ss *ShardedScheduler) runPipelined(until time.Duration) uint64 {
+	start := ss.Steps()
+	defer ss.park()
+	horizon := until + 1
+	for !ss.halted.Load() {
+		ss.mergeCross()
+		t, ok := ss.nextTime()
+		if !ok || t > until {
+			break
+		}
+		if dt, ok := ss.driver.nextEventAt(); ok && dt == t {
+			ss.setTime(t)
+			ss.driver.runWindow(t + 1)
+			continue
+		}
+		end := horizon
+		if dt, ok := ss.driver.nextEventAt(); ok && dt < end {
+			end = dt
+		}
+		ss.runPipelinedPhase(t, end)
+	}
+	if !ss.halted.Load() {
+		ss.setTime(until)
+	}
+	return ss.Steps() - start
+}
+
+// runPipelinedPhase executes every event in [base, end) across all shards
+// with per-window sealing instead of a barrier. A phase that fits in a
+// single window degenerates to exactly one barrier window and reuses that
+// path (identical semantics, no goroutine spawn).
+func (ss *ShardedScheduler) runPipelinedPhase(base, end time.Duration) {
+	w := ss.lookahead
+	k := int64((end - base + w - 1) / w)
+	if k <= 1 {
+		ss.runShardWindow(end)
+		return
+	}
+	p := ss.pipe
+	n := len(ss.shards)
+	p.base, p.end, p.k = base, end, k
+	for s := 0; s < n; s++ {
+		p.sealed[s].Store(-1)
+		p.curWin[s] = -1
+		p.stuck[s] = false
+		p.nextw[s] = k
+		p.hist[s] = p.hist[s][:0]
+	}
+	for win := range p.busy {
+		delete(p.busy, win)
+	}
+	p.ver, p.liveStuck, p.exited = 0, 0, 0
+	p.total, p.cross = 0, 0
+	p.inPhase = true
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ss.pipeShardLoop(s)
+		}(s)
+	}
+	wg.Wait()
+	p.inPhase = false
+
+	// Advance every clock to the phase end, then flush leftover bucket
+	// entries into their destination heaps. Every leftover arrives at or
+	// after end: an entry sealed into a bucket that could arrive earlier
+	// would have been peeked (contradicting its receiver's exit) or
+	// drained by the watermark of the receiver's last window.
+	ss.now = end
+	for _, sh := range ss.shards {
+		if sh.now < end {
+			sh.now = end
+		}
+	}
+	for dst := 0; dst < n; dst++ {
+		batch := ss.merged[:0]
+		for src := 0; src < n; src++ {
+			pr := &p.pairs[src*n+dst]
+			for i := range pr.buckets {
+				batch = append(batch, pr.buckets[i].entries...)
+				pr.buckets[i] = pipeBucket{}
+			}
+			pr.buckets = pr.buckets[:0]
+		}
+		if len(batch) == 0 {
+			ss.merged = batch
+			continue
+		}
+		sortXEntries(batch)
+		sh := ss.shards[dst]
+		for i := range batch {
+			e := &batch[i]
+			if e.at < end {
+				panic(fmt.Sprintf("simnet: pipelined leftover at %v precedes phase end %v", e.at, end))
+			}
+			sh.AtCall(e.at, e.fn, e.arg)
+		}
+		ss.stat.CrossShard += uint64(len(batch))
+		for i := range batch {
+			batch[i] = xentry{}
+		}
+		ss.merged = batch[:0]
+	}
+
+	// Fold phase stats into the engine counters. The critical path of a
+	// pipelined phase is the deepest per-shard completion front F — the
+	// lag-matrix recurrence in pipeRunWindow — which is what replaces the
+	// barrier's per-window max.
+	var crit uint64
+	for s := 0; s < n; s++ {
+		if h := p.hist[s]; len(h) > 0 && h[len(h)-1].f > crit {
+			crit = h[len(h)-1].f
+		}
+	}
+	ss.stat.CriticalEvents += crit
+	ss.stat.TotalEvents += p.total
+	ss.stat.CrossShard += p.cross
+	ss.stat.Windows += uint64(len(p.busy))
+	for _, c := range p.busy {
+		ss.stat.BusyShardSum += uint64(c)
+		if c > ss.stat.MaxBusy {
+			ss.stat.MaxBusy = c
+		}
+	}
+}
+
+// pipeShardLoop is one shard's phase worker. Each iteration either executes
+// the earliest window it can prove complete, or registers as stuck and
+// sleeps until new input is sealed or an idle jump fast-forwards the phase.
+func (ss *ShardedScheduler) pipeShardLoop(s int) {
+	p := ss.pipe
+	n := len(ss.shards)
+	sh := ss.shards[s]
+	w := ss.lookahead
+	k := p.k
+	for {
+		if p.sealed[s].Load() == k-1 {
+			// Done: nothing below end remains for this shard, and every
+			// future inbound event provably arrives at ≥ end. Register as
+			// permanently exited so the all-stuck check still fires.
+			p.pmu.Lock()
+			p.exited++
+			if p.liveStuck+p.exited == n {
+				p.jumpLocked()
+			}
+			p.pmu.Unlock()
+			return
+		}
+		p.pmu.Lock()
+		ver := p.ver
+		p.pmu.Unlock()
+
+		// kReady is the highest window this shard could prove complete:
+		// every inbound queue must be sealed to at least kReady-lag.
+		// sealed only grows, so the lockless read is a safe lower bound.
+		kReady := k - 1
+		for src := 0; src < n; src++ {
+			if src == s {
+				continue
+			}
+			if r := p.sealed[src].Load() + int64(p.lag[src][s]); r < kReady {
+				kReady = r
+			}
+		}
+
+		// Peek the earliest actionable event: the local heap plus every
+		// sealed inbound bucket. Entries in unsealed buckets arrive in
+		// windows > kReady, so ignoring them cannot select a wrong window.
+		x, have := sh.nextEventAt()
+		for src := 0; src < n; src++ {
+			if src == s {
+				continue
+			}
+			sl := p.sealed[src].Load()
+			pr := &p.pairs[src*n+s]
+			pr.mu.Lock()
+			for i := range pr.buckets {
+				b := &pr.buckets[i]
+				if b.window > sl {
+					break
+				}
+				if len(b.entries) > 0 && (!have || b.minAt < x) {
+					x, have = b.minAt, true
+				}
+			}
+			pr.mu.Unlock()
+		}
+
+		nextw := k // sentinel: no pending event below end
+		if have && x < p.end {
+			kx := int64((x - p.base) / w)
+			if kx <= kReady {
+				if kx <= p.sealed[s].Load() {
+					panic(fmt.Sprintf("simnet: pipelined shard %d re-entered window %d (sealed %d)", s, kx, p.sealed[s].Load()))
+				}
+				ss.pipeRunWindow(s, kx)
+				continue
+			}
+			nextw = kx
+		}
+
+		// Cannot execute. Register as stuck; if the registration makes
+		// the all-stuck snapshot complete, fast-forward, else sleep until
+		// a sealer clears the registration. The ver check rejects a
+		// registration whose peek raced a seal, which is what makes the
+		// complete snapshot consistent: when all n shards are registered,
+		// no seal happened after any of their peeks began, so no
+		// executable event below end is hiding anywhere.
+		p.pmu.Lock()
+		if p.ver != ver {
+			p.pmu.Unlock()
+			continue
+		}
+		p.stuck[s] = true
+		p.nextw[s] = nextw
+		p.liveStuck++
+		if p.liveStuck+p.exited == n {
+			p.jumpLocked()
+		} else {
+			for p.stuck[s] {
+				p.cond.Wait()
+			}
+		}
+		p.pmu.Unlock()
+	}
+}
+
+// jumpLocked fast-forwards an all-stuck phase: no shard can execute, so the
+// earliest window anyone will ever execute again is kmin = min over stuck
+// shards of their pending window (k if everyone is idle). Sealing every
+// shard to kmin-1 in one step is therefore safe — emissions from future
+// executions land at ≥ kmin+1 — and it unblocks the kmin shard immediately,
+// replacing O(k) lag-at-a-time seal ratcheting through empty stretches with
+// O(1) per executed window. Caller holds pmu.
+func (p *pipeState) jumpLocked() {
+	kmin := p.k
+	for s, st := range p.stuck {
+		if st && p.nextw[s] < kmin {
+			kmin = p.nextw[s]
+		}
+	}
+	target := kmin - 1
+	for s := range p.sealed {
+		if p.sealed[s].Load() < target {
+			p.sealed[s].Store(target)
+		}
+	}
+	for s := range p.stuck {
+		p.stuck[s] = false
+	}
+	p.liveStuck = 0
+	p.cond.Broadcast()
+}
+
+// pipeRunWindow executes window kx on shard s: drain every inbound bucket
+// up to the exact watermark kx-lag (everything that could arrive before the
+// window's end, all provably sealed by the kReady condition), merge in
+// (at, src, seq) order, run the window, then publish the seal and the
+// critical-path update.
+func (ss *ShardedScheduler) pipeRunWindow(s int, kx int64) {
+	p := ss.pipe
+	n := len(ss.shards)
+	sh := ss.shards[s]
+	batch := p.batch[s][:0]
+	for src := 0; src < n; src++ {
+		if src == s {
+			continue
+		}
+		wm := kx - int64(p.lag[src][s])
+		pr := &p.pairs[src*n+s]
+		pr.mu.Lock()
+		cut := 0
+		for cut < len(pr.buckets) && pr.buckets[cut].window <= wm {
+			batch = append(batch, pr.buckets[cut].entries...)
+			cut++
+		}
+		if cut > 0 {
+			rest := copy(pr.buckets, pr.buckets[cut:])
+			tail := pr.buckets[rest:]
+			for i := range tail {
+				tail[i] = pipeBucket{}
+			}
+			pr.buckets = pr.buckets[:rest]
+		}
+		pr.mu.Unlock()
+	}
+	if len(batch) > 0 {
+		sortXEntries(batch)
+		for i := range batch {
+			e := &batch[i]
+			sh.AtCall(e.at, e.fn, e.arg)
+		}
+	}
+	drained := uint64(len(batch))
+	for i := range batch {
+		batch[i] = xentry{}
+	}
+	p.batch[s] = batch[:0]
+
+	p.curWin[s] = kx
+	winEnd := p.base + time.Duration(kx+1)*ss.lookahead
+	if winEnd > p.end {
+		winEnd = p.end
+	}
+	steps := sh.runWindow(winEnd)
+
+	// Seal and publish under pmu. F(s, kx) = max(F(s, prev), max over
+	// senders of F(src, kx-lag)) + steps: window kx could not start before
+	// its own previous window or any sender window it waited on finished.
+	// The sender history below the watermark is final because the kReady
+	// condition proved sealed[src] ≥ kx-lag.
+	p.pmu.Lock()
+	var f uint64
+	if h := p.hist[s]; len(h) > 0 {
+		f = h[len(h)-1].f
+	}
+	for src := 0; src < n; src++ {
+		if src == s {
+			continue
+		}
+		if g := histAt(p.hist[src], kx-int64(p.lag[src][s])); g > f {
+			f = g
+		}
+	}
+	f += steps
+	p.hist[s] = append(p.hist[s], fpoint{win: kx, f: f})
+	p.busy[kx]++
+	p.total += steps
+	p.cross += drained
+	p.sealed[s].Store(kx)
+	p.ver++
+	for i := range p.stuck {
+		p.stuck[i] = false
+	}
+	p.liveStuck = 0
+	p.cond.Broadcast()
+	p.pmu.Unlock()
+}
+
+// histAt returns the critical-path depth of a shard at window k: the f of
+// the latest history point with win ≤ k, or 0 before the first.
+func histAt(h []fpoint, k int64) uint64 {
+	lo, hi := 0, len(h)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h[mid].win <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return h[lo-1].f
+}
+
+// sortXEntries orders a cross-shard batch by (at, src, seq) — the merge
+// order shared by the barrier and pipelined paths.
+func sortXEntries(batch []xentry) {
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := &batch[i], &batch[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+}

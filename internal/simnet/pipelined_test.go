@@ -1,0 +1,294 @@
+package simnet
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// uniformLag builds the minimal valid lag matrix (every pair one window).
+func uniformLag(n int) [][]int {
+	lag := make([][]int, n)
+	for i := range lag {
+		lag[i] = make([]int, n)
+		for j := range lag[i] {
+			lag[i][j] = 1
+		}
+	}
+	return lag
+}
+
+// pipePingPong drives the same RNG-jittered cross-shard cascade as
+// TestShardedDeterministicReplay and returns an order-sensitive fingerprint
+// of the execution: determinism means the exact sequence is invariant, not
+// just the totals.
+func pipePingPong(t *testing.T, pipelined bool) (uint64, uint64, uint64) {
+	t.Helper()
+	ss := NewSharded(42, 4, time.Millisecond)
+	if pipelined {
+		ss.EnablePipelining(uniformLag(4))
+	}
+	envs := make([]*NodeEnv, 4)
+	for i := range envs {
+		envs[i] = ss.NewEnvOn(i, "n")
+	}
+	// hashes[i] is only ever touched by shard i's goroutine (events run on
+	// their destination shard), so the per-shard sequences are exact; the
+	// cross-shard fold below is in fixed index order.
+	var hashes [4]uint64
+	var pingPong func(from, to int, at time.Duration)
+	pingPong = func(from, to int, at time.Duration) {
+		ss.XSchedule(from, to, at, func(any) {
+			hashes[to] = (hashes[to] ^ (uint64(to)<<32 ^ uint64(at))) * 1099511628211
+			if at < 50*time.Millisecond {
+				jitter := time.Duration(envs[to].Rand().Intn(1000)) * time.Microsecond
+				pingPong(to, (to+1)%4, at+time.Millisecond+jitter)
+			}
+		}, nil)
+	}
+	ss.Shard(0).At(0, func() { pingPong(0, 1, 2*time.Millisecond) })
+	ss.Run(100 * time.Millisecond)
+	if ss.Now() != 100*time.Millisecond {
+		t.Fatalf("Now = %v, want 100ms", ss.Now())
+	}
+	hash := uint64(14695981039346656037)
+	for _, h := range hashes {
+		hash = (hash ^ h) * 1099511628211
+	}
+	return ss.Steps(), ss.ParallelStats().CrossShard, hash
+}
+
+func TestPipelinedDeterministicReplay(t *testing.T) {
+	s1, x1, h1 := pipePingPong(t, true)
+	s2, x2, h2 := pipePingPong(t, true)
+	if s1 != s2 || x1 != x2 || h1 != h2 {
+		t.Fatalf("pipelined replay diverged: (%d,%d,%x) vs (%d,%d,%x)", s1, x1, h1, s2, x2, h2)
+	}
+	if x1 == 0 {
+		t.Fatal("scenario exercised no cross-shard traffic")
+	}
+}
+
+func TestPipelinedGOMAXPROCSInvariant(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	type res struct {
+		s, x, h uint64
+	}
+	var got []res
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		s, x, h := pipePingPong(t, true)
+		got = append(got, res{s, x, h})
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatalf("GOMAXPROCS run %d diverged: %+v vs %+v", i, got[i], got[0])
+		}
+	}
+}
+
+func TestPipelinedMatchesBarrierEventContent(t *testing.T) {
+	// A deterministic (RNG-free) workload must execute the identical event
+	// multiset under the barrier and pipelined paths: pipelining changes
+	// window boundaries, never which events run or when in virtual time.
+	// The fingerprint is order-insensitive (a commutative sum) because
+	// equal-timestamp ties across paths may legitimately order differently.
+	run := func(pipelined bool) (uint64, uint64) {
+		ss := NewSharded(7, 3, time.Millisecond)
+		if pipelined {
+			ss.EnablePipelining(uniformLag(3))
+		}
+		// sums[i] is only touched by events executing on shard i; the
+		// combine below is commutative, so it is mode-independent.
+		var sums [3]uint64
+		var cascade func(shard int, at time.Duration)
+		cascade = func(shard int, at time.Duration) {
+			dst := (shard + 1) % 3
+			ss.XSchedule(shard, dst, at, func(any) {
+				sums[dst] += uint64(at) * uint64(shard*7+13)
+				if at < 40*time.Millisecond {
+					cascade(dst, at+1500*time.Microsecond)
+				}
+			}, nil)
+		}
+		for i := 0; i < 3; i++ {
+			i := i
+			ss.Shard(i).At(0, func() { cascade(i, 2*time.Millisecond) })
+			e := ss.NewEnvOn(i, "n")
+			for j := 1; j <= 20; j++ {
+				at := time.Duration(j) * 2 * time.Millisecond // ties with cascade arrivals
+				e.After(at, func() { sums[i] += uint64(at) * uint64(i+29) })
+			}
+		}
+		ss.Run(60 * time.Millisecond)
+		return ss.Steps(), sums[0] + sums[1] + sums[2]
+	}
+	bs, bsum := run(false)
+	ps, psum := run(true)
+	if bs != ps || bsum != psum {
+		t.Fatalf("pipelined content diverged from barrier: steps %d vs %d, sum %x vs %x", ps, bs, psum, bsum)
+	}
+}
+
+func TestPipelinedSparseEventsJumpWindows(t *testing.T) {
+	// One busy shard, one idle shard, events seconds apart with a 1ms
+	// window: the idle-jump protocol must fast-forward the lattice instead
+	// of seal-ratcheting through thousands of empty windows per event.
+	ss := NewSharded(1, 2, time.Millisecond)
+	ss.EnablePipelining(uniformLag(2))
+	e := ss.NewEnvOn(0, "a")
+	fired := 0
+	for i := 1; i <= 5; i++ {
+		e.After(time.Duration(i)*time.Second, func() { fired++ })
+	}
+	done := make(chan struct{})
+	go func() {
+		ss.Run(10 * time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sparse pipelined run did not finish: idle fast-forward broken")
+	}
+	if fired != 5 {
+		t.Fatalf("fired = %d, want 5", fired)
+	}
+	if w := ss.ParallelStats().Windows; w > 10 {
+		t.Fatalf("%d windows for 5 sparse events: empty windows executed", w)
+	}
+	if ss.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s", ss.Now())
+	}
+}
+
+func TestPipelinedPerPairLagLoosensCriticalPath(t *testing.T) {
+	// Two shards exchange strictly alternating messages with a 5-window
+	// latency. Under the barrier model every window holds one busy shard,
+	// so CriticalEvents equals TotalEvents (bound 1.0). With lag 5 the
+	// reply chain still serialises — but each shard's *local* follow-up
+	// work overlaps the flight time, so the pipelined critical path must
+	// come out strictly shorter than the total.
+	ss := NewSharded(3, 2, time.Millisecond)
+	lag := uniformLag(2)
+	lag[0][1], lag[1][0] = 5, 5
+	ss.EnablePipelining(lag)
+	for i := 0; i < 2; i++ {
+		ss.NewEnvOn(i, "n")
+	}
+	var volley func(from int, at time.Duration)
+	volley = func(from int, at time.Duration) {
+		to := 1 - from
+		ss.XSchedule(from, to, at, func(any) {
+			// Local follow-up burst on the receiving shard: work that can
+			// overlap the next message's flight.
+			for j := 1; j <= 4; j++ {
+				ss.shards[to].At(at+time.Duration(j)*300*time.Microsecond, func() {})
+			}
+			if at < 80*time.Millisecond {
+				volley(to, at+5*time.Millisecond)
+			}
+		}, nil)
+	}
+	ss.Shard(0).At(0, func() { volley(0, 5*time.Millisecond) })
+	ss.Run(120 * time.Millisecond)
+	st := ss.ParallelStats()
+	if st.CrossShard == 0 || st.TotalEvents == 0 {
+		t.Fatalf("degenerate run: %+v", st)
+	}
+	if st.CriticalEvents >= st.TotalEvents {
+		t.Fatalf("CriticalEvents %d ≥ TotalEvents %d: per-pair lag did not overlap local work with flight time", st.CriticalEvents, st.TotalEvents)
+	}
+}
+
+func TestPipelinedLeftoverCrossPhaseDelivery(t *testing.T) {
+	// A cross-shard event emitted during a phase but arriving beyond its
+	// end must survive the final drain and fire in a later Run.
+	ss := NewSharded(9, 2, time.Millisecond)
+	ss.EnablePipelining(uniformLag(2))
+	fired := false
+	ss.Shard(0).At(2*time.Millisecond, func() {
+		ss.XSchedule(0, 1, 50*time.Millisecond, func(any) { fired = true }, nil)
+	})
+	ss.Run(10 * time.Millisecond)
+	if fired {
+		t.Fatal("future event fired inside the wrong phase")
+	}
+	if p := ss.Pending(); p != 1 {
+		t.Fatalf("Pending = %d, want 1 leftover", p)
+	}
+	ss.Run(60 * time.Millisecond)
+	if !fired {
+		t.Fatal("leftover cross-phase event never fired")
+	}
+}
+
+func TestPipelinedDriverQuiescesShards(t *testing.T) {
+	// Driver callbacks split pipelined phases exactly as they split
+	// barrier windows: every shard clock aligned at the driver timestamp.
+	ss := NewSharded(1, 2, time.Millisecond)
+	ss.EnablePipelining(uniformLag(2))
+	e0 := ss.NewEnvOn(0, "a")
+	e1 := ss.NewEnvOn(1, "b")
+	var before, after int
+	e0.After(2*time.Millisecond, func() { before++ })
+	e1.After(7*time.Millisecond, func() { after++ })
+	checked := false
+	ss.After(5*time.Millisecond, func() {
+		checked = true
+		if ss.Now() != 5*time.Millisecond {
+			t.Errorf("driver Now = %v, want 5ms", ss.Now())
+		}
+		for i := 0; i < ss.Shards(); i++ {
+			if got := ss.Shard(i).Now(); got != 5*time.Millisecond {
+				t.Errorf("shard %d Now = %v, want 5ms", i, got)
+			}
+		}
+		if before != 1 || after != 0 {
+			t.Errorf("driver saw before=%d after=%d, want 1, 0", before, after)
+		}
+	})
+	ss.Run(10 * time.Millisecond)
+	if !checked {
+		t.Fatal("driver callback did not run")
+	}
+	if after != 1 {
+		t.Fatal("post-driver shard event did not run")
+	}
+}
+
+func TestPipelinedSingleShardIsNoop(t *testing.T) {
+	ss := NewSharded(1, 1, 0)
+	ss.EnablePipelining(uniformLag(1))
+	if ss.Pipelined() {
+		t.Fatal("single-shard engine must ignore EnablePipelining")
+	}
+	fired := 0
+	ss.NewEnvOn(0, "a").After(3*time.Millisecond, func() { fired++ })
+	ss.Run(10 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestPipelinedRunLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ss := NewSharded(1, 4, time.Millisecond)
+	ss.EnablePipelining(uniformLag(4))
+	for i := 0; i < 4; i++ {
+		e := ss.NewEnvOn(i, "n")
+		for j := 0; j < 8; j++ {
+			e.After(time.Duration(j+1)*700*time.Microsecond, func() {})
+		}
+	}
+	ss.Run(time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("%d goroutines after Run, %d before: phase workers leaked", got, before)
+	}
+}

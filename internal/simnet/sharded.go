@@ -2,7 +2,6 @@ package simnet
 
 import (
 	"fmt"
-	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -115,6 +114,9 @@ type ShardedScheduler struct {
 	merged   []xentry
 	dispatch []int
 	stat     ParallelStats
+	// pipe, when non-nil, replaces the global window barrier with the
+	// window-pipelined path (see pipelined.go / EnablePipelining).
+	pipe *pipeState
 }
 
 // NewSharded creates a sharded engine with the given number of shards and
@@ -189,6 +191,13 @@ func (ss *ShardedScheduler) Pending() int {
 	for _, q := range ss.xq {
 		p += len(q)
 	}
+	if ss.pipe != nil {
+		for i := range ss.pipe.pairs {
+			for _, b := range ss.pipe.pairs[i].buckets {
+				p += len(b.entries)
+			}
+		}
+	}
 	return p
 }
 
@@ -229,6 +238,33 @@ func (ss *ShardedScheduler) NewEnvOn(shard int, name string) *NodeEnv {
 // current window — violations panic at merge time.
 func (ss *ShardedScheduler) XSchedule(src, dst int, at time.Duration, fn func(any), arg any) {
 	q := src*len(ss.shards) + dst
+	if p := ss.pipe; p != nil && p.inPhase {
+		// Pipelined phase: bucket the entry under the sender's current
+		// window in the (src,dst) pair queue. The seq counter is shared
+		// with the barrier path so per-pair FIFO order stays monotone
+		// across modes; each pair row is written by exactly one shard
+		// goroutine, so the counter needs no lock.
+		e := xentry{at: at, seq: ss.xseq[q], fn: fn, arg: arg, src: int32(src)}
+		ss.xseq[q]++
+		if src == dst {
+			ss.shards[dst].AtCall(at, fn, arg)
+			return
+		}
+		w := p.curWin[src]
+		pr := &p.pairs[q]
+		pr.mu.Lock()
+		if k := len(pr.buckets); k > 0 && pr.buckets[k-1].window == w {
+			b := &pr.buckets[k-1]
+			if at < b.minAt {
+				b.minAt = at
+			}
+			b.entries = append(b.entries, e)
+		} else {
+			pr.buckets = append(pr.buckets, pipeBucket{window: w, minAt: at, entries: []xentry{e}})
+		}
+		pr.mu.Unlock()
+		return
+	}
 	ss.xq[q] = append(ss.xq[q], xentry{at: at, seq: ss.xseq[q], fn: fn, arg: arg, src: int32(src)})
 	ss.xseq[q]++
 }
@@ -257,16 +293,7 @@ func (ss *ShardedScheduler) mergeCross() {
 			ss.merged = batch
 			continue
 		}
-		sort.Slice(batch, func(i, j int) bool {
-			a, b := &batch[i], &batch[j]
-			if a.at != b.at {
-				return a.at < b.at
-			}
-			if a.src != b.src {
-				return a.src < b.src
-			}
-			return a.seq < b.seq
-		})
+		sortXEntries(batch)
 		sh := ss.shards[dst]
 		for i := range batch {
 			e := &batch[i]
@@ -314,6 +341,9 @@ func (ss *ShardedScheduler) setTime(t time.Duration) {
 func (ss *ShardedScheduler) Run(until time.Duration) uint64 {
 	start := ss.Steps()
 	ss.halted.Store(false)
+	if ss.pipe != nil {
+		return ss.runPipelined(until)
+	}
 	defer ss.park()
 	horizon := until + 1 // exclusive window bound admitting events at exactly until
 	for !ss.halted.Load() {

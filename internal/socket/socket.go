@@ -210,7 +210,7 @@ func New(e env.Env, ep *endpoint.Endpoint, pipes *pipe.Service, cfg Config) *Ser
 		conns:     make(map[connKey]*Conn),
 	}
 	ep.Register(ServiceName, s.receive)
-	s.Instrument(metrics.NewRegistry())
+	s.Instrument(metrics.Discard())
 	return s
 }
 

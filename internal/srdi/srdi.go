@@ -43,8 +43,15 @@ type entryInfo struct {
 	numValue int64
 }
 
+// pubEntry is one publisher's registration in a key's posting list.
+type pubEntry struct {
+	pub ids.ID
+	entryInfo
+}
+
 // numericEntry is one publisher's numeric registration under an attribute.
 type numericEntry struct {
+	pub     ids.ID
 	value   int64
 	addr    transport.Addr
 	expires time.Duration
@@ -55,11 +62,17 @@ type numericEntry struct {
 // hashes over, it keeps a numeric tier supporting the range queries the
 // paper's conclusion lists as future work ("the mechanisms used by JXTA-C
 // to address complex queries, such as range queries").
+//
+// Both tiers keep per-key posting lists as slices sorted by publisher ID
+// rather than maps: an LC-DHT key embeds the indexed value, so almost
+// every key has exactly one publisher, and a one-element slice costs a
+// tenth of a one-element map — the difference between a rendezvous
+// carrying 100k edges fitting in RAM or not.
 type Index struct {
 	env     env.Env
-	entries map[string]map[ids.ID]entryInfo
+	entries map[string][]pubEntry
 	// numeric maps "Type+Attr" to per-publisher numeric values.
-	numeric map[string]map[ids.ID]numericEntry
+	numeric map[string][]numericEntry
 	size    int
 }
 
@@ -67,8 +80,8 @@ type Index struct {
 func New(e env.Env) *Index {
 	return &Index{
 		env:     e,
-		entries: make(map[string]map[ids.ID]entryInfo),
-		numeric: make(map[string]map[ids.ID]numericEntry),
+		entries: make(map[string][]pubEntry),
+		numeric: make(map[string][]numericEntry),
 	}
 }
 
@@ -80,22 +93,25 @@ func (x *Index) Size() int { return x.size }
 // Add registers a tuple, replacing any previous registration by the same
 // publisher under the same key.
 func (x *Index) Add(t Tuple) {
-	set, ok := x.entries[t.Key]
-	if !ok {
-		set = make(map[ids.ID]entryInfo)
-		x.entries[t.Key] = set
-	}
-	if _, exists := set[t.Publisher]; !exists {
-		x.size++
-	}
 	var expires time.Duration
 	if t.Lifetime > 0 {
 		expires = x.env.Now() + t.Lifetime
 	}
-	set[t.Publisher] = entryInfo{
+	info := entryInfo{
 		addr: t.PublisherAddr, expires: expires,
 		numAttr: t.NumAttr, numValue: t.NumValue,
 	}
+	lst := x.entries[t.Key]
+	i := sort.Search(len(lst), func(i int) bool { return !lst[i].pub.Less(t.Publisher) })
+	if i < len(lst) && lst[i].pub == t.Publisher {
+		lst[i].entryInfo = info
+		return
+	}
+	lst = append(lst, pubEntry{})
+	copy(lst[i+1:], lst[i:])
+	lst[i] = pubEntry{pub: t.Publisher, entryInfo: info}
+	x.entries[t.Key] = lst
+	x.size++
 }
 
 // Tuples exports every fresh registration as a complete tuple with its
@@ -112,24 +128,22 @@ func (x *Index) Tuples() []Tuple {
 	sort.Strings(keys)
 	var out []Tuple
 	for _, key := range keys {
-		set := x.entries[key]
-		tuples := make([]Tuple, 0, len(set))
-		for pub, info := range set {
-			if info.expires > 0 && info.expires <= now {
+		// Posting lists are kept sorted by publisher, so the export order
+		// (key, publisher) needs no per-key sort.
+		for _, e := range x.entries[key] {
+			if e.expires > 0 && e.expires <= now {
 				continue
 			}
 			var remaining time.Duration
-			if info.expires > 0 {
-				remaining = info.expires - now
+			if e.expires > 0 {
+				remaining = e.expires - now
 			}
-			tuples = append(tuples, Tuple{
-				Key: key, Publisher: pub, PublisherAddr: info.addr,
+			out = append(out, Tuple{
+				Key: key, Publisher: e.pub, PublisherAddr: e.addr,
 				Lifetime: remaining,
-				NumAttr:  info.numAttr, NumValue: info.numValue,
+				NumAttr:  e.numAttr, NumValue: e.numValue,
 			})
 		}
-		sortTuples(tuples)
-		out = append(out, tuples...)
 	}
 	return out
 }
@@ -140,25 +154,19 @@ func (x *Index) Tuples() []Tuple {
 // forwards and ultimately the presentation order of merged discovery
 // responses — would vary run to run (the seed's last nondeterminism).
 func (x *Index) Publishers(key string) []Tuple {
-	set, ok := x.entries[key]
+	lst, ok := x.entries[key]
 	if !ok {
 		return nil
 	}
 	now := x.env.Now()
 	var out []Tuple
-	for pub, info := range set {
-		if info.expires > 0 && info.expires <= now {
+	for _, e := range lst {
+		if e.expires > 0 && e.expires <= now {
 			continue
 		}
-		out = append(out, Tuple{Key: key, Publisher: pub, PublisherAddr: info.addr})
+		out = append(out, Tuple{Key: key, Publisher: e.pub, PublisherAddr: e.addr})
 	}
-	sortTuples(out)
 	return out
-}
-
-// sortTuples orders tuples by publisher ID (stable total order).
-func sortTuples(ts []Tuple) {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Publisher.Less(ts[j].Publisher) })
 }
 
 // Has reports whether at least one fresh publisher exists for key.
@@ -166,19 +174,29 @@ func (x *Index) Has(key string) bool { return len(x.Publishers(key)) > 0 }
 
 // RemovePublisher drops every registration by a publisher (peer departure).
 func (x *Index) RemovePublisher(pub ids.ID) {
-	for key, set := range x.entries {
-		if _, ok := set[pub]; ok {
-			delete(set, pub)
-			x.size--
-			if len(set) == 0 {
-				delete(x.entries, key)
-			}
+	for key, lst := range x.entries {
+		i := sort.Search(len(lst), func(i int) bool { return !lst[i].pub.Less(pub) })
+		if i >= len(lst) || lst[i].pub != pub {
+			continue
+		}
+		lst = append(lst[:i], lst[i+1:]...)
+		x.size--
+		if len(lst) == 0 {
+			delete(x.entries, key)
+		} else {
+			x.entries[key] = lst
 		}
 	}
-	for key, set := range x.numeric {
-		delete(set, pub)
-		if len(set) == 0 {
+	for key, lst := range x.numeric {
+		i := sort.Search(len(lst), func(i int) bool { return !lst[i].pub.Less(pub) })
+		if i >= len(lst) || lst[i].pub != pub {
+			continue
+		}
+		lst = append(lst[:i], lst[i+1:]...)
+		if len(lst) == 0 {
 			delete(x.numeric, key)
+		} else {
+			x.numeric[key] = lst
 		}
 	}
 }
@@ -187,27 +205,35 @@ func (x *Index) RemovePublisher(pub ids.ID) {
 func (x *Index) GC() int {
 	now := x.env.Now()
 	evicted := 0
-	for key, set := range x.entries {
-		for pub, info := range set {
-			if info.expires > 0 && info.expires <= now {
-				delete(set, pub)
+	for key, lst := range x.entries {
+		kept := lst[:0]
+		for _, e := range lst {
+			if e.expires > 0 && e.expires <= now {
 				x.size--
 				evicted++
+				continue
 			}
+			kept = append(kept, e)
 		}
-		if len(set) == 0 {
+		if len(kept) == 0 {
 			delete(x.entries, key)
+		} else {
+			x.entries[key] = kept
 		}
 	}
-	for key, set := range x.numeric {
-		for pub, e := range set {
+	for key, lst := range x.numeric {
+		kept := lst[:0]
+		for _, e := range lst {
 			if e.expires > 0 && e.expires <= now {
-				delete(set, pub)
 				evicted++
+				continue
 			}
+			kept = append(kept, e)
 		}
-		if len(set) == 0 {
+		if len(kept) == 0 {
 			delete(x.numeric, key)
+		} else {
+			x.numeric[key] = kept
 		}
 	}
 	return evicted
@@ -219,36 +245,39 @@ func (x *Index) Keys() int { return len(x.entries) }
 // AddNumeric registers a publisher's numeric value under "Type+Attr".
 // Replaces any previous registration by the same publisher.
 func (x *Index) AddNumeric(typeAttr string, value int64, pub ids.ID, addr transport.Addr, lifetime time.Duration) {
-	set, ok := x.numeric[typeAttr]
-	if !ok {
-		set = make(map[ids.ID]numericEntry)
-		x.numeric[typeAttr] = set
-	}
 	var expires time.Duration
 	if lifetime > 0 {
 		expires = x.env.Now() + lifetime
 	}
-	set[pub] = numericEntry{value: value, addr: addr, expires: expires}
+	lst := x.numeric[typeAttr]
+	i := sort.Search(len(lst), func(i int) bool { return !lst[i].pub.Less(pub) })
+	if i < len(lst) && lst[i].pub == pub {
+		lst[i] = numericEntry{pub: pub, value: value, addr: addr, expires: expires}
+		return
+	}
+	lst = append(lst, numericEntry{})
+	copy(lst[i+1:], lst[i:])
+	lst[i] = numericEntry{pub: pub, value: value, addr: addr, expires: expires}
+	x.numeric[typeAttr] = lst
 }
 
 // RangePublishers returns the fresh publishers whose registered value under
 // "Type+Attr" lies in [lo, hi].
 func (x *Index) RangePublishers(typeAttr string, lo, hi int64) []Tuple {
-	set, ok := x.numeric[typeAttr]
+	lst, ok := x.numeric[typeAttr]
 	if !ok {
 		return nil
 	}
 	now := x.env.Now()
 	var out []Tuple
-	for pub, e := range set {
+	for _, e := range lst {
 		if e.expires > 0 && e.expires <= now {
 			continue
 		}
 		if e.value < lo || e.value > hi {
 			continue
 		}
-		out = append(out, Tuple{Key: typeAttr, Publisher: pub, PublisherAddr: e.addr})
+		out = append(out, Tuple{Key: typeAttr, Publisher: e.pub, PublisherAddr: e.addr})
 	}
-	sortTuples(out)
 	return out
 }

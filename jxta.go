@@ -128,6 +128,19 @@ type SimOptions struct {
 	// Shards) pair at any GOMAXPROCS, but trajectories differ between
 	// shard counts.
 	Shards int
+	// PipelineWindows, with Shards > 1, replaces the sharded engine's
+	// global window barrier with per-(src,dst) sealed exchange queues:
+	// shards whose inputs are ready start their next lookahead window
+	// without waiting for the globally slowest shard. Fixed-seed runs stay
+	// bit-reproducible at any GOMAXPROCS, but trajectories differ from the
+	// barrier path (window boundaries move), so determinism is per
+	// (Seed, Shards, PipelineWindows). Default off.
+	PipelineWindows bool
+	// LeanMetrics shares one population-wide metrics registry across all
+	// simulated peers and drops per-node trace rings and gauges — the
+	// memory/assembly-cost mode for very large populations (100k+ edges).
+	// Per-peer metric snapshots are unavailable in this mode. Default off.
+	LeanMetrics bool
 	// LeaseDuration overrides the rendezvous lease length (0 keeps the
 	// JXTA-C default of 20 minutes; renewals happen at half of it).
 	// Volatility scenarios shorten it so failure detection, failover and
@@ -194,12 +207,14 @@ func NewSimulation(opts SimOptions) (*Simulation, error) {
 		}
 	}
 	spec := deploy.Spec{
-		Seed:      opts.Seed,
-		NumRdv:    opts.Rendezvous,
-		Shards:    opts.Shards,
-		Topology:  kind,
-		Discovery: discovery.DefaultConfig(),
-		Socket:    socket.Config{WindowBytes: opts.SocketWindowBytes},
+		Seed:            opts.Seed,
+		NumRdv:          opts.Rendezvous,
+		Shards:          opts.Shards,
+		PipelineWindows: opts.PipelineWindows,
+		LeanMetrics:     opts.LeanMetrics,
+		Topology:        kind,
+		Discovery:       discovery.DefaultConfig(),
+		Socket:          socket.Config{WindowBytes: opts.SocketWindowBytes},
 	}
 	spec.Lease.LeaseDuration = opts.LeaseDuration
 	if !opts.DisableSelfHealing {
