@@ -69,6 +69,7 @@ var (
 	expFlag        = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|volatility|ablations|bandwidth|perf|scale|all")
 	quickFlag      = flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
 	maxHeapPerEdge = flag.Float64("maxheapedge", 0, "scale: fail if the lean memory point's heap_bytes_per_edge exceeds this many bytes (0 disables; the CI memory smoke pins it)")
+	hibernateFlag  = flag.Bool("hibernate", false, "scale: force edge hibernation on every scale workload (lean memory points hibernate regardless; the CI hibernation smoke sets this)")
 	liveFlag       = flag.Bool("live", false, "bandwidth: also measure over real loopback TCP (wall-clock, nondeterministic)")
 	csvFlag        = flag.Bool("csv", false, "emit CSV instead of ASCII plots")
 	seedFlag       = flag.Int64("seed", 42, "master determinism seed")
@@ -270,12 +271,17 @@ func perf() (any, error) {
 // an ideal one-core-per-shard machine (total events over barrier-model
 // critical-path events), so the trajectory stays comparable across boxes.
 type scalePoint struct {
-	Workload     string  `json:"workload"`
-	R            int     `json:"r"`
-	Edges        int     `json:"edges"`
-	Shards       int     `json:"shards"`
-	Pipeline     bool    `json:"pipeline,omitempty"`
+	Workload string `json:"workload"`
+	R        int    `json:"r"`
+	Edges    int    `json:"edges"`
+	Shards   int    `json:"shards"`
+	// Barrier marks a run on the opt-out global-barrier engine; sharded
+	// runs are window-pipelined by default since PR 9 (earlier trajectory
+	// files carry the inverse "pipeline" flag from when the barrier was
+	// the default).
+	Barrier      bool    `json:"barrier,omitempty"`
 	Lean         bool    `json:"lean,omitempty"`
+	Hibernate    bool    `json:"hibernate,omitempty"`
 	GOMAXPROCS   int     `json:"gomaxprocs"`
 	WallMs       float64 `json:"wall_ms"`
 	Steps        uint64  `json:"steps"`
@@ -288,6 +294,12 @@ type scalePoint struct {
 	// HeapBytesPerEdge is the live-heap cost of one simulated edge
 	// (experiments.ScaleResult.HeapBytesPerEdge); zero when not measured.
 	HeapBytesPerEdge float64 `json:"heap_bytes_per_edge,omitempty"`
+	// Hibernation occupancy at the end of the virtual run: how many edges
+	// were freeze-dried when the clock stopped, plus cumulative
+	// wake/freeze transitions (zero when hibernation is off).
+	Hibernating int    `json:"hibernating,omitempty"`
+	HibWakes    uint64 `json:"hib_wakes,omitempty"`
+	HibFreezes  uint64 `json:"hib_freezes,omitempty"`
 	// NodeMetrics is the per-node runtime-metrics section: population
 	// totals plus sampled full snapshots (see experiments.CollectNodeMetrics).
 	NodeMetrics *experiments.NodeMetricsSummary `json:"node_metrics,omitempty"`
@@ -315,36 +327,46 @@ func scale() (any, error) {
 	}
 	summary := map[string]any{}
 	if *csvFlag {
-		fmt.Println("workload,r,edges,shards,pipeline,lean,gomaxprocs,wallMs,steps,eventsPerSec,windows,avgBusy,crossShard,speedupBound,speedupWall,heapBytesPerEdge")
+		fmt.Println("workload,r,edges,shards,barrier,lean,hibernate,gomaxprocs,wallMs,steps,eventsPerSec,windows,avgBusy,crossShard,speedupBound,speedupWall,heapBytesPerEdge,hibernating,hibWakes,hibFreezes")
 	}
 	emit := func(p scalePoint) {
 		if *csvFlag {
-			fmt.Printf("%s,%d,%d,%d,%v,%v,%d,%.1f,%d,%.0f,%d,%.2f,%d,%.2f,%.2f,%.0f\n",
-				p.Workload, p.R, p.Edges, p.Shards, p.Pipeline, p.Lean, p.GOMAXPROCS, p.WallMs, p.Steps,
-				p.EventsPerSec, p.Windows, p.AvgBusy, p.CrossShard, p.SpeedupBound, p.SpeedupWall, p.HeapBytesPerEdge)
+			fmt.Printf("%s,%d,%d,%d,%v,%v,%v,%d,%.1f,%d,%.0f,%d,%.2f,%d,%.2f,%.2f,%.0f,%d,%d,%d\n",
+				p.Workload, p.R, p.Edges, p.Shards, p.Barrier, p.Lean, p.Hibernate, p.GOMAXPROCS, p.WallMs, p.Steps,
+				p.EventsPerSec, p.Windows, p.AvgBusy, p.CrossShard, p.SpeedupBound, p.SpeedupWall, p.HeapBytesPerEdge,
+				p.Hibernating, p.HibWakes, p.HibFreezes)
 			return
 		}
 		heap := ""
 		if p.HeapBytesPerEdge > 0 {
 			heap = fmt.Sprintf("  heap/edge=%.0f B", p.HeapBytesPerEdge)
 		}
-		fmt.Printf("  %-18s shards=%-2d gmp=%-2d wall=%9.1f ms  events/sec=%-9.0f bound=%-5.2f wallx=%-5.2f windows=%-7d avgBusy=%.2f%s\n",
+		hib := ""
+		if p.Hibernate {
+			hib = fmt.Sprintf("  hib=%d/%d", p.Hibernating, p.Edges)
+		}
+		fmt.Printf("  %-18s shards=%-2d gmp=%-2d wall=%9.1f ms  events/sec=%-9.0f bound=%-5.2f wallx=%-5.2f windows=%-7d avgBusy=%.2f%s%s\n",
 			p.Workload, p.Shards, p.GOMAXPROCS, p.WallMs, p.EventsPerSec,
-			p.SpeedupBound, p.SpeedupWall, p.Windows, p.AvgBusy, heap)
+			p.SpeedupBound, p.SpeedupWall, p.Windows, p.AvgBusy, heap, hib)
 	}
 	runOne := func(name string, spec experiments.ScaleSpec, serialEps float64) (scalePoint, error) {
+		if *hibernateFlag && !spec.NoHibernate {
+			spec.Hibernate = true
+		}
 		res, err := experiments.RunScale(spec)
 		if err != nil {
 			return scalePoint{}, err
 		}
 		p := scalePoint{
 			Workload: name, R: spec.R, Edges: spec.Edges, Shards: res.Spec.Shards,
-			Pipeline: spec.Pipeline, Lean: spec.Lean,
+			Barrier: spec.Barrier, Lean: spec.Lean,
+			Hibernate:  (spec.Hibernate || spec.Lean) && !spec.NoHibernate,
 			GOMAXPROCS: runtime.GOMAXPROCS(0), WallMs: res.WallMs, Steps: res.Steps,
 			EventsPerSec: res.EventsPerSec, Windows: res.Windows, AvgBusy: res.AvgBusy,
 			CrossShard: res.CrossShard, SpeedupBound: res.SpeedupBound,
 			HeapBytesPerEdge: res.HeapBytesPerEdge,
-			NodeMetrics:      res.NodeMetrics,
+			Hibernating:      res.Hibernating, HibWakes: res.HibWakes, HibFreezes: res.HibFreezes,
+			NodeMetrics: res.NodeMetrics,
 		}
 		if p.SpeedupBound == 0 {
 			p.SpeedupBound = 1 // serial engine: no windows, bound is unity
@@ -375,25 +397,25 @@ func scale() (any, error) {
 	}
 	summary["shard_sweep"] = points
 
-	// The same sweep window-pipelined: per-(src,dst) sealed exchange queues
-	// instead of the global barrier (SimOptions.PipelineWindows). The bound
-	// column is what moves — pipelining loosens the critical path that the
-	// barrier pins to the slowest shard of every window.
-	var pipePoints []scalePoint
+	// The same sweep on the opt-out global-barrier engine (sharded runs
+	// are window-pipelined by default since PR 9). The bound column is
+	// what moves — pipelining loosens the critical path that the barrier
+	// pins to the slowest shard of every window.
+	var barrierPoints []scalePoint
 	for _, shards := range sweepShards {
 		if shards == 1 {
 			continue // single shard runs barrier-free either way
 		}
-		p, err := runOne("edge-lease-pipe", experiments.ScaleSpec{
-			R: sweepR, Edges: sweepEdges, Shards: shards, Pipeline: true,
+		p, err := runOne("edge-lease-barrier", experiments.ScaleSpec{
+			R: sweepR, Edges: sweepEdges, Shards: shards, Barrier: true,
 			Duration: sweepDur, Seed: *seedFlag,
 		}, serialEps)
 		if err != nil {
 			return nil, err
 		}
-		pipePoints = append(pipePoints, p)
+		barrierPoints = append(barrierPoints, p)
 	}
-	summary["pipeline_sweep"] = pipePoints
+	summary["barrier_sweep"] = barrierPoints
 
 	// GOMAXPROCS curve at the highest shard count: same virtual run, only
 	// the OS-thread budget varies (deterministic stats, varying wall time).
@@ -419,22 +441,22 @@ func scale() (any, error) {
 	// 9 shards places one site per shard.
 	var pv []scalePoint
 	pvSerial := 0.0
-	runPV := func(shards int, pipeline bool) error {
+	runPV := func(shards int, barrier bool) error {
 		start := time.Now()
 		res, err := experiments.RunPeerview(experiments.PeerviewSpec{
 			R: pvR, Topology: topology.Chain, Duration: pvDur,
-			Seed: *seedFlag, Shards: shards, Pipeline: pipeline,
+			Seed: *seedFlag, Shards: shards, Barrier: barrier,
 		})
 		if err != nil {
 			return err
 		}
 		wall := time.Since(start)
 		name := fmt.Sprintf("peerview-r%d-%dmin", pvR, int(pvDur.Minutes()))
-		if pipeline {
-			name += "-pipe"
+		if barrier {
+			name += "-barrier"
 		}
 		p := scalePoint{
-			Workload: name, Pipeline: pipeline,
+			Workload: name, Barrier: barrier,
 			R: pvR, Shards: shards, GOMAXPROCS: runtime.GOMAXPROCS(0),
 			WallMs:       float64(wall.Nanoseconds()) / 1e6,
 			Steps:        res.Steps,
@@ -446,7 +468,7 @@ func scale() (any, error) {
 		if res.Parallel.Windows > 0 {
 			p.AvgBusy = float64(res.Parallel.BusyShardSum) / float64(res.Parallel.Windows)
 		}
-		if shards == 1 && !pipeline {
+		if shards == 1 && !barrier {
 			pvSerial = p.EventsPerSec
 			p.SpeedupWall = 1
 		} else if pvSerial > 0 {
@@ -456,14 +478,15 @@ func scale() (any, error) {
 		pv = append(pv, p)
 		return nil
 	}
+	// Default (pipelined) points: the sparse peerview workload is where the
+	// global barrier caps the bound (burst-aligned gossip rounds), so this
+	// is the pipelined engine's showcase.
 	for _, shards := range pvShards {
 		if err := runPV(shards, false); err != nil {
 			return nil, err
 		}
 	}
-	// The pipelined engine's showcase: the sparse peerview workload is where
-	// the global barrier caps the bound (burst-aligned gossip rounds), so
-	// re-run the sharded points with PipelineWindows on.
+	// The barrier opt-out on the same sharded points, for the comparison.
 	for _, shards := range pvShards {
 		if shards == 1 {
 			continue
@@ -494,10 +517,12 @@ func scale() (any, error) {
 		summary["r1000"] = big
 	}
 
-	// Memory series: heap_bytes_per_edge at a fixed workload, default vs
-	// lean-metrics configuration, then the 100k-edge proof point (full scale
-	// only). The lean point doubles as the CI memory smoke: -maxheapedge
-	// pins a ceiling it must stay under.
+	// Memory series: heap_bytes_per_edge at a fixed workload across the
+	// three memory regimes — default, lean metrics with hibernation held
+	// off, and lean + hibernation (the large-population configuration; Lean
+	// implies Hibernate since PR 9) — then the 100k/250k proof points (full
+	// scale only). The lean+hibernate point doubles as the CI memory smoke:
+	// -maxheapedge pins a ceiling it must stay under.
 	memR, memEdges, memDur := 250, 10_000, 10*time.Minute
 	memShards := 8
 	if *quickFlag {
@@ -506,32 +531,52 @@ func scale() (any, error) {
 	}
 	var mem []scalePoint
 	leanHeap := 0.0
-	for _, lean := range []bool{false, true} {
-		p, err := runOne("memory", experiments.ScaleSpec{
-			R: memR, Edges: memEdges, Shards: memShards, Lean: lean,
+	for _, cfg := range []struct {
+		name  string
+		lean  bool
+		nohib bool
+	}{
+		{"memory", false, true},
+		{"memory-lean", true, true},
+		{"memory-hibernate", true, false},
+	} {
+		p, err := runOne(cfg.name, experiments.ScaleSpec{
+			R: memR, Edges: memEdges, Shards: memShards,
+			Lean: cfg.lean, NoHibernate: cfg.nohib,
 			Duration: memDur, Seed: *seedFlag,
 		}, 0)
 		if err != nil {
 			return nil, err
 		}
-		if lean {
+		if cfg.lean && !cfg.nohib {
 			leanHeap = p.HeapBytesPerEdge
 		}
 		mem = append(mem, p)
 	}
 	if !*quickFlag {
-		// The tentpole proof: 100k leased edges on one box. Lean metrics,
-		// pipelined windows, 5 virtual minutes (the heap plateaus once every
-		// edge holds a lease and its renewal state).
-		p, err := runOne("memory-100k", experiments.ScaleSpec{
-			R: 1000, Edges: 100_000, Shards: memShards, Lean: true, Pipeline: true,
-			Duration: 5 * time.Minute, Seed: *seedFlag,
-		}, 0)
-		if err != nil {
-			return nil, err
+		// The tentpole proof points: 100k, 250k, then the full million
+		// leased edges on one box. Lean metrics + hibernation, 5 virtual
+		// minutes (the heap plateaus once every edge holds a lease and
+		// its renewal state, and the steady-state population
+		// freeze-dries).
+		for _, big := range []struct {
+			name  string
+			edges int
+		}{
+			{"memory-100k", 100_000},
+			{"memory-250k", 250_000},
+			{"memory-1m", 1_000_000},
+		} {
+			p, err := runOne(big.name, experiments.ScaleSpec{
+				R: 1000, Edges: big.edges, Shards: memShards, Lean: true,
+				Duration: 5 * time.Minute, Seed: *seedFlag,
+			}, 0)
+			if err != nil {
+				return nil, err
+			}
+			leanHeap = p.HeapBytesPerEdge
+			mem = append(mem, p)
 		}
-		leanHeap = p.HeapBytesPerEdge
-		mem = append(mem, p)
 	}
 	summary["memory"] = mem
 	if *maxHeapPerEdge > 0 && leanHeap > *maxHeapPerEdge {
@@ -549,13 +594,13 @@ func scale() (any, error) {
 		pvStart := time.Now()
 		pvRes, err := experiments.RunPeerview(experiments.PeerviewSpec{
 			R: bigR, Topology: topology.Chain, Duration: 120 * time.Minute,
-			Seed: *seedFlag, Shards: memShards, Pipeline: true,
+			Seed: *seedFlag, Shards: memShards,
 		})
 		if err != nil {
 			return nil, err
 		}
 		axes["peerview"] = map[string]any{
-			"r": bigR, "shards": memShards, "pipeline": true,
+			"r": bigR, "shards": memShards,
 			"wall_ms":       float64(time.Since(pvStart)) / 1e6,
 			"steps":         pvRes.Steps,
 			"max_size":      pvRes.MaxSize,

@@ -135,6 +135,7 @@ func (c *Cache) IndexSize() int {
 // one another peer published first, so callers must not mutate adv after
 // publishing it.
 func (c *Cache) Put(adv advertisement.Advertisement, lifetime time.Duration, local bool) {
+	c.thaw()
 	sh := c.store.Intern(adv)
 	adv = sh.Adv()
 	id := adv.ID()

@@ -1,0 +1,54 @@
+package cm
+
+import (
+	"jxta/internal/hibpool"
+	"jxta/internal/ids"
+)
+
+// Edge hibernation (PR 9). A cache only freezes while empty (Quiescent),
+// so freezing is purely structural: the three index map shells go back to
+// free lists and the record arena is dropped. Every read path ranges or
+// looks up the nil maps safely and correctly reports an empty cache, so
+// only Put — the one mutation that can run on a frozen cache (an
+// experiment driver publishing into a hibernated edge) — rehydrates.
+
+var (
+	cmByIDPool  hibpool.Maps[ids.ID, *Record]
+	cmIndexPool hibpool.Maps[string, []ids.ID]
+	cmNumPool   hibpool.Maps[string, *numPostings]
+)
+
+// Quiescent reports whether the cache can be frozen: nothing stored.
+func (c *Cache) Quiescent() bool { return len(c.byID) == 0 }
+
+// Freeze releases the empty cache's map shells and record arena. Caller
+// must have checked Quiescent. Idempotent; the nil byID is the marker.
+func (c *Cache) Freeze() {
+	if c.byID == nil {
+		return
+	}
+	cmByIDPool.Put(c.byID)
+	cmIndexPool.Put(c.index)
+	cmNumPool.Put(c.numIndex)
+	c.byID = nil
+	c.index = nil
+	c.numIndex = nil
+	// The arena holds only free records when the cache is empty; dropping
+	// both slab and free list releases the chunks. newRecord rebuilds from
+	// the same nil state it starts from.
+	c.slab = nil
+	c.free = nil
+}
+
+// thaw rehydrates a frozen cache; a single nil check when live.
+func (c *Cache) thaw() {
+	if c.byID != nil {
+		return
+	}
+	c.byID = cmByIDPool.Get()
+	c.index = cmIndexPool.Get()
+	c.numIndex = cmNumPool.Get()
+}
+
+// Resident reports whether the cache's maps are materialized (tests).
+func (c *Cache) Resident() bool { return c.byID != nil }

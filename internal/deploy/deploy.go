@@ -22,6 +22,12 @@ import (
 	"jxta/internal/transport"
 )
 
+// ForceHibernate, when set, arms edge hibernation on every deployed overlay
+// regardless of Spec.Hibernate. Test hook: the golden-trajectory suite
+// replays every experiment with it on to prove hibernation never changes an
+// event trajectory.
+var ForceHibernate bool
+
 // EdgeGroup attaches Count edge peers to the rendezvous at index AttachTo.
 type EdgeGroup struct {
 	AttachTo int
@@ -44,15 +50,31 @@ type Spec struct {
 	// deterministic for a given (Seed, Shards) pair but differ between
 	// shard counts: per-node RNG streams derive from per-shard seeds.
 	Shards int
-	// PipelineWindows, with Shards > 1, replaces the sharded engine's
-	// global window barrier with per-(src,dst) sealed exchange queues: a
-	// shard starts its next window as soon as its own inputs are sealed
-	// instead of waiting for the globally slowest shard. Runs stay
-	// bit-reproducible at any GOMAXPROCS, but window boundaries differ
-	// from the barrier path, so outcomes are deterministic per
-	// (Seed, Shards, PipelineWindows) triple. Default off: the barrier
-	// path is byte-identical to earlier releases.
+	// PipelineWindows is deprecated and ignored: window pipelining is now
+	// the default whenever Shards > 1. Set BarrierWindows to opt back into
+	// the global-barrier engine.
 	PipelineWindows bool
+	// BarrierWindows, with Shards > 1, opts out of window pipelining and
+	// runs the sharded engine's original global window barrier: every
+	// shard waits for the globally slowest shard between windows. The
+	// barrier path is byte-identical to earlier barrier-mode releases; the
+	// default pipelined path replaces the barrier with per-(src,dst)
+	// sealed exchange queues, so a shard starts its next window as soon as
+	// its own inputs are sealed. Both are bit-reproducible at any
+	// GOMAXPROCS, but window boundaries differ between the two, so
+	// outcomes are deterministic per (Seed, Shards, BarrierWindows)
+	// triple.
+	BarrierWindows bool
+	// Hibernate freeze-dries steady-state edge peers between events: once
+	// an edge holds its lease and has no pending queries, streams or
+	// timers beyond the armed renewals, its service maps, metric caches
+	// and RNG register are packed into pooled records and released,
+	// cutting live heap per idle edge by roughly 2-3x. Any inbound
+	// delivery, timer fire or direct driver call rehydrates transparently;
+	// event trajectories and wire traffic are byte-identical either way.
+	// Edge-only: rendezvous peers stay hot. Requires the simulated clock
+	// (no-op on real-clock envs).
+	Hibernate bool
 	// LeanMetrics shrinks per-node observability for large simulated
 	// populations: nodes share one population-wide metrics registry
 	// (counters aggregate across peers) and skip the per-node trace ring
@@ -148,7 +170,7 @@ func Build(spec Spec) (*Overlay, error) {
 			return nil, fmt.Errorf("deploy: model admits no conservative lookahead across %d shards (zero inter-site latency)", shards)
 		}
 		ss := simnet.NewSharded(spec.Seed, shards, lookahead)
-		if spec.PipelineWindows {
+		if !spec.BarrierWindows {
 			ss.EnablePipelining(model.ShardLagMatrix(assign, shards, lookahead))
 		}
 		net, err := transport.NewShardedNetwork(ss, model, assign)
@@ -238,6 +260,9 @@ func (o *Overlay) AddEdge(name string, attachTo int) (*node.Node, error) {
 		AdvStore:  o.AdvStore,
 		Metrics:   o.LeanRegistry,
 	})
+	if o.spec.Hibernate || ForceHibernate {
+		n.EnableHibernation()
+	}
 	n.RoleChanged = func(nn *node.Node) {
 		if o.OnPromotion != nil {
 			o.OnPromotion(nn)

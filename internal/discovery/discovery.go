@@ -154,6 +154,9 @@ type Service struct {
 	// m holds the stored runtime instruments; always non-nil (New
 	// pre-instruments, node.New re-instruments with the node's registry).
 	m *discoMetrics
+
+	// frozen implements edge hibernation; see hibernate.go.
+	frozen *discoFrozen
 }
 
 // New assembles the discovery service over the peer's resolver, rendezvous
@@ -204,6 +207,7 @@ func New(e env.Env, ep *endpoint.Endpoint, res *resolver.Service, rdvSvc *rendez
 // index (and replicated over the new peerview). Call after the rendezvous
 // service switched roles.
 func (s *Service) Promote() {
+	s.thaw()
 	if s.index != nil || !s.rdv.IsRendezvous() {
 		return
 	}
@@ -227,6 +231,7 @@ func (s *Service) Promote() {
 // deterministic under a fixed seed. Tuples already marked replicated stay
 // replicated at the receiver (no cascade).
 func (s *Service) Rereplicate() {
+	s.thaw()
 	if !s.started() || s.index == nil || !s.rdv.IsRendezvous() {
 		return
 	}
@@ -322,6 +327,7 @@ func (s *Service) Stop() {
 // the query dedup set. The local advertisement cache is application data
 // and survives.
 func (s *Service) Reset() {
+	s.thaw()
 	if s.index != nil {
 		s.index = srdi.New(s.env)
 	}
@@ -387,6 +393,7 @@ func (s *Service) pushAll() {
 // indexes (and replicates) directly; an edge sends one SRDI message to its
 // lease holder.
 func (s *Service) pushTuples(tuples []srdi.Tuple) {
+	s.thaw()
 	if len(tuples) == 0 {
 		return
 	}
@@ -468,6 +475,7 @@ func (s *Service) started() bool { return s.ticker != nil }
 // receiveSRDI handles index pushes at a rendezvous. Replicated pushes are
 // stored but not re-replicated (loop guard).
 func (s *Service) receiveSRDI(src ids.ID, m *message.Message) {
+	s.thaw()
 	if !s.started() || s.index == nil {
 		return
 	}
@@ -691,6 +699,7 @@ func decodeResponse(data []byte) []advertisement.Advertisement {
 
 // handleQuery is the resolver handler running on every peer.
 func (s *Service) handleQuery(q *resolver.Query) {
+	s.thaw()
 	if !s.started() {
 		return // stopped peers do not serve or route queries
 	}
@@ -856,6 +865,7 @@ func (s *Service) startWalk(q *resolver.Query, body queryBody) {
 // handleWalk inspects a walked query at each visited rendezvous: on an SRDI
 // hit the query is forwarded to the publisher and the walk stops.
 func (s *Service) handleWalk(origin ids.ID, dir rendezvous.Direction, bodyMsg *message.Message) bool {
+	s.thaw()
 	if !s.started() || s.index == nil {
 		return false
 	}

@@ -1,0 +1,83 @@
+package discovery
+
+import (
+	"jxta/internal/env"
+	"jxta/internal/hibpool"
+)
+
+// Edge hibernation (PR 9). A steady-state edge's discovery service keeps
+// its push ticker armed (the periodic wake source) but otherwise retains
+// only three maps: the delta-push ledger, the query dedup set and the
+// scan-cost timer table (empty when quiescent). Freeze packs the ledger
+// and dedup keys into a pooled record and releases the shells. pushAll
+// ticks on a frozen edge never touch them — an edge with local
+// advertisements has a non-empty cache and is never frozen — so the
+// 30-second ticker does not thrash the freeze.
+
+// discoFrozen is the freeze-dried service: the push-ledger and dedup keys.
+type discoFrozen struct {
+	pushed []string
+	seen   []string
+}
+
+var (
+	discoFrozenPool = hibpool.Records[discoFrozen]{Reset: func(f *discoFrozen) {
+		clear(f.pushed)
+		f.pushed = f.pushed[:0]
+		clear(f.seen)
+		f.seen = f.seen[:0]
+	}}
+	discoPushedPool hibpool.Maps[string, bool]
+	discoSeenPool   hibpool.Maps[string, bool]
+	discoCostPool   hibpool.Maps[uint64, env.Timer]
+)
+
+// Quiescent reports whether the service can be frozen: edge role (no SRDI
+// index) and no in-flight scan-cost delays.
+func (s *Service) Quiescent() bool {
+	return s.index == nil && len(s.costTimers) == 0
+}
+
+// Freeze packs the service's maps into a pooled record. Caller must have
+// checked Quiescent. Idempotent.
+func (s *Service) Freeze() {
+	if s.frozen != nil {
+		return
+	}
+	f := discoFrozenPool.Get()
+	for k := range s.pushed {
+		f.pushed = append(f.pushed, k)
+	}
+	for k := range s.seen {
+		f.seen = append(f.seen, k)
+	}
+	discoPushedPool.Put(s.pushed)
+	discoSeenPool.Put(s.seen)
+	discoCostPool.Put(s.costTimers)
+	s.pushed = nil
+	s.seen = nil
+	s.costTimers = nil
+	s.frozen = f
+}
+
+// thaw rehydrates a frozen service; a single nil check when live.
+func (s *Service) thaw() {
+	if s.frozen == nil {
+		return
+	}
+	f := s.frozen
+	s.frozen = nil
+	s.pushed = discoPushedPool.Get()
+	for _, k := range f.pushed {
+		s.pushed[k] = true
+	}
+	s.seen = discoSeenPool.Get()
+	for _, k := range f.seen {
+		s.seen[k] = true
+	}
+	s.costTimers = discoCostPool.Get()
+	discoFrozenPool.Put(f)
+}
+
+// Frozen reports whether the service is currently freeze-dried (tests).
+func (s *Service) Frozen() bool { return s.frozen != nil }

@@ -102,6 +102,12 @@ type Endpoint struct {
 	// m holds the runtime instruments; always non-nil (New pre-instruments
 	// against a private registry, node.New re-instruments with the node's).
 	m *epMetrics
+
+	// hib and frozen implement edge hibernation; see hibernate.go. While
+	// frozen is non-nil the maps above are released and their entries live
+	// in the packed record.
+	hib    *hibBracket
+	frozen *epFrozen
 }
 
 // New binds an endpoint service for peer id over the given transport and
@@ -138,6 +144,7 @@ func New(e env.Env, id ids.ID, tr transport.Transport) *Endpoint {
 // once, with ok=false on timeout; a stopped endpoint silences the waiter
 // without firing it.
 func (ep *Endpoint) Hello(addr transport.Addr, cb func(peer ids.ID, ok bool)) {
+	ep.thaw()
 	done := false
 	var failTimer env.Timer
 	timer := ep.env.After(helloTimeout, func() {
@@ -220,12 +227,14 @@ func (ep *Endpoint) Addr() transport.Addr { return ep.tr.Addr() }
 // Register installs a service handler. Registering the same name twice
 // replaces the handler (services restart across leases).
 func (ep *Endpoint) Register(service string, h Handler) {
+	ep.thaw()
 	ep.handlers[service] = h
 }
 
 // Unregister removes a service handler; subsequent messages for the service
 // are counted as drops. Unregistering an unknown name is a no-op.
 func (ep *Endpoint) Unregister(service string) {
+	ep.thaw()
 	delete(ep.handlers, service)
 }
 
@@ -238,6 +247,7 @@ func (ep *Endpoint) Transport() transport.Transport { return ep.tr }
 // never fire). Handlers, routes and the transport binding are retained, so
 // the endpoint keeps serving a restarted node.
 func (ep *Endpoint) Stop() {
+	ep.thaw()
 	for _, w := range ep.helloWaiters {
 		w.cancel()
 	}
@@ -259,6 +269,7 @@ func (ep *Endpoint) Close() {
 // Reset clears the learned route table (restart with fresh state: routes are
 // re-learned from seeds, advertisements and inbound traffic).
 func (ep *Endpoint) Reset() {
+	ep.thaw()
 	ep.Stop()
 	for peer := range ep.routes {
 		delete(ep.routes, peer)
@@ -267,6 +278,7 @@ func (ep *Endpoint) Reset() {
 
 // AddRoute records a direct route to a peer.
 func (ep *Endpoint) AddRoute(peer ids.ID, addr transport.Addr) {
+	ep.thaw()
 	if peer.Equal(ep.id) || addr == "" {
 		return
 	}
@@ -281,16 +293,21 @@ func (ep *Endpoint) AddRoute(peer ids.ID, addr transport.Addr) {
 }
 
 // DropRoute forgets a route (lease expiry, crash suspicion).
-func (ep *Endpoint) DropRoute(peer ids.ID) { delete(ep.routes, peer) }
+func (ep *Endpoint) DropRoute(peer ids.ID) {
+	ep.thaw()
+	delete(ep.routes, peer)
+}
 
 // RouteTo reports the known route to a peer.
 func (ep *Endpoint) RouteTo(peer ids.ID) (transport.Addr, bool) {
+	ep.thaw()
 	a, ok := ep.routes[peer]
 	return a, ok
 }
 
 // KnownPeers returns the peers with direct routes, in unspecified order.
 func (ep *Endpoint) KnownPeers() []ids.ID {
+	ep.thaw()
 	out := make([]ids.ID, 0, len(ep.routes))
 	for id := range ep.routes {
 		out = append(out, id)
@@ -302,6 +319,7 @@ func (ep *Endpoint) KnownPeers() []ids.ID {
 // direct route. The message is wrapped in an envelope carrying the local
 // peer ID and address so the receiver learns the return route.
 func (ep *Endpoint) Send(dst ids.ID, service string, msg *message.Message) error {
+	ep.thaw()
 	if dst.Equal(ep.id) {
 		// Local delivery without touching the network (a rendezvous acts
 		// as its own rendezvous, §3.3 step 1).
@@ -322,6 +340,7 @@ func (ep *Endpoint) Send(dst ids.ID, service string, msg *message.Message) error
 // SendVia relays msg toward dst through an intermediate peer with a known
 // route (the edge peer's rendezvous, typically).
 func (ep *Endpoint) SendVia(relay, dst ids.ID, service string, msg *message.Message) error {
+	ep.thaw()
 	addr, ok := ep.routes[relay]
 	if !ok {
 		return fmt.Errorf("%w: relay %s", ErrNoRoute, relay.Short())
@@ -347,9 +366,12 @@ func (ep *Endpoint) sendTo(addr transport.Addr, dst ids.ID, service string, msg 
 // traffic without depending on envelope internals.
 func ServiceOf(m *message.Message) string { return m.GetString(ns, elemSvc) }
 
-// receive demultiplexes an inbound wire message: learn the return route,
-// then either deliver locally or relay toward the destination.
-func (ep *Endpoint) receive(from transport.Addr, wire *message.Message) {
+// dispatch demultiplexes an inbound wire message: learn the return route,
+// then either deliver locally or relay toward the destination. Deliveries
+// arrive through receive (hibernate.go), which brackets this with the
+// node's wake/settle hooks.
+func (ep *Endpoint) dispatch(from transport.Addr, wire *message.Message) {
+	ep.thaw()
 	srcID, err := ids.Parse(wire.GetString(ns, elemSrc))
 	if err != nil {
 		ep.Drops++
@@ -413,6 +435,7 @@ func (ep *Endpoint) relay(dst ids.ID, wire *message.Message) {
 // we can already reach (usually the rendezvous). If the route is already
 // known the callback fires on the next tick.
 func (ep *Endpoint) ResolveRoute(target, via ids.ID, cb RouteCallback) {
+	ep.thaw()
 	if addr, ok := ep.routes[target]; ok {
 		ep.env.After(0, func() { cb(target, addr, true) })
 		return

@@ -39,12 +39,14 @@ type PeerviewSpec struct {
 	// schedulers (see deploy.Spec.Shards). 0 or 1 keeps the serial engine
 	// and its bit-exact golden trajectories.
 	Shards int
-	// Pipeline enables window pipelining on the sharded engine
-	// (deploy.Spec.PipelineWindows): per-(src,dst) sealed exchange queues
-	// instead of the global window barrier. The sparse peerview workload is
-	// exactly where the barrier caps the speedup bound, so this is the
-	// pipelined engine's showcase axis.
+	// Pipeline is deprecated and ignored: window pipelining is the default
+	// whenever Shards > 1. Set Barrier to opt back out.
 	Pipeline bool
+	// Barrier opts out of window pipelining on the sharded engine and runs
+	// the original global window barrier (deploy.Spec.BarrierWindows). The
+	// sparse peerview workload is exactly where the barrier caps the
+	// speedup bound, so the default pipelined path is the showcase axis.
+	Barrier bool
 }
 
 func (s PeerviewSpec) withDefaults() PeerviewSpec {
@@ -104,13 +106,13 @@ type PeerviewResult struct {
 func RunPeerview(spec PeerviewSpec) (PeerviewResult, error) {
 	spec = spec.withDefaults()
 	o, err := deploy.Build(deploy.Spec{
-		Seed:            spec.Seed,
-		NumRdv:          spec.R,
-		Topology:        spec.Topology,
-		Fanout:          spec.Fanout,
-		Shards:          spec.Shards,
-		PipelineWindows: spec.Pipeline,
-		Peerview:        peerview.Config{EntryExpiry: spec.EntryExpiry},
+		Seed:           spec.Seed,
+		NumRdv:         spec.R,
+		Topology:       spec.Topology,
+		Fanout:         spec.Fanout,
+		Shards:         spec.Shards,
+		BarrierWindows: spec.Barrier,
+		Peerview:       peerview.Config{EntryExpiry: spec.EntryExpiry},
 	})
 	if err != nil {
 		return PeerviewResult{}, err

@@ -25,15 +25,28 @@ type ScaleSpec struct {
 	Edges int
 	// Shards selects the engine (≤1 serial, >1 conservative sharded).
 	Shards int
-	// Pipeline enables window pipelining on the sharded engine
-	// (deploy.Spec.PipelineWindows): per-(src,dst) sealed exchange queues
-	// instead of the global window barrier. Deterministic per
-	// (Seed, Shards, Pipeline); pinned by its own golden.
+	// Pipeline is deprecated and ignored: window pipelining is the
+	// default whenever Shards > 1. Set Barrier to opt back out.
 	Pipeline bool
+	// Barrier opts out of window pipelining on the sharded engine and
+	// runs the original global window barrier
+	// (deploy.Spec.BarrierWindows). Deterministic per
+	// (Seed, Shards, Barrier); each path is pinned by its own golden.
+	Barrier bool
 	// Lean shares one population-wide metrics registry across peers and
 	// drops per-node trace rings — the memory configuration for 100k+
-	// edge populations (deploy.Spec.LeanMetrics).
+	// edge populations (deploy.Spec.LeanMetrics). Lean also turns on edge
+	// hibernation unless NoHibernate is set: the two memory regimes
+	// target the same populations.
 	Lean bool
+	// Hibernate freeze-dries steady-state edges between events
+	// (deploy.Spec.Hibernate): packed service records replace live maps
+	// and the RNG register while an edge is idle. Trajectories are
+	// byte-identical either way — the goldens replay with it forced on.
+	Hibernate bool
+	// NoHibernate forces hibernation off even when Lean or Hibernate
+	// would turn it on (before/after memory comparisons).
+	NoHibernate bool
 	// Duration is the virtual experiment length (default 10 min).
 	Duration time.Duration
 	// Lease overrides the lease duration (default 1 min: renewals at 30 s
@@ -87,6 +100,16 @@ type ScaleResult struct {
 	AvgBusy      float64
 	CrossShard   uint64
 	SpeedupBound float64
+	// Hibernation occupancy, sampled at the end of the virtual run but
+	// before teardown (StopAll wakes nodes to cancel leases): how many
+	// edges ended the run freeze-dried, and the cumulative wake/freeze
+	// transition counts across the population. All zero when hibernation
+	// is off. Excluded from the golden fingerprint: occupancy depends on
+	// where the virtual clock stops relative to renewal timers, which is
+	// deterministic but not a protocol outcome.
+	Hibernating int
+	HibWakes    uint64
+	HibFreezes  uint64
 	// NodeMetrics aggregates every peer's runtime registry at the end of
 	// the run (totals over the population + sampled full snapshots).
 	NodeMetrics *NodeMetricsSummary
@@ -112,14 +135,15 @@ func RunScale(spec ScaleSpec) (ScaleResult, error) {
 	}
 	baseHeap := liveHeap()
 	o, err := deploy.Build(deploy.Spec{
-		Seed:            spec.Seed,
-		NumRdv:          spec.R,
-		Shards:          spec.Shards,
-		PipelineWindows: spec.Pipeline,
-		LeanMetrics:     spec.Lean,
-		Topology:        topology.Chain,
-		Lease:           rendezvous.Config{LeaseDuration: spec.Lease},
-		Edges:           groups,
+		Seed:           spec.Seed,
+		NumRdv:         spec.R,
+		Shards:         spec.Shards,
+		BarrierWindows: spec.Barrier,
+		LeanMetrics:    spec.Lean,
+		Hibernate:      (spec.Hibernate || spec.Lean) && !spec.NoHibernate,
+		Topology:       topology.Chain,
+		Lease:          rendezvous.Config{LeaseDuration: spec.Lease},
+		Edges:          groups,
 	})
 	if err != nil {
 		return ScaleResult{}, err
@@ -157,6 +181,14 @@ func RunScale(spec ScaleSpec) (ScaleResult, error) {
 		}
 		res.CrossShard = ps.CrossShard
 		res.SpeedupBound = ps.SpeedupBound()
+	}
+	for _, e := range o.Edges {
+		if e.Hibernating() {
+			res.Hibernating++
+		}
+		w, f := e.HibernationStats()
+		res.HibWakes += w
+		res.HibFreezes += f
 	}
 	if spec.Edges > 0 && runHeap > baseHeap {
 		res.HeapBytesPerEdge = float64(runHeap-baseHeap) / float64(spec.Edges)

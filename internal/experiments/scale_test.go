@@ -25,13 +25,16 @@ func goldenScaleSpec() ScaleSpec {
 		Duration: 10 * time.Minute, Lease: 2 * time.Minute, Seed: 7}
 }
 
-// goldenScale pins the sharded engine's own determinism contract: the
-// serial goldens above prove Shards=1 is byte-identical to the original
-// engine, and this fingerprint proves the multi-shard path replays
-// bit-for-bit (window barriers, exchange-queue merges, per-shard RNG
-// streams included). Captured from the first sharded engine; recapture per
-// the note at the top of golden_test.go only for intended model changes.
-const goldenScale = "steps=10094 msgs=3722 bytes=1659829 dropped=0 view=0x1.1p+04 leased=54 windows=400 maxbusy=4 cross=1953"
+// goldenScale pins the sharded engine's determinism contract on its
+// default path, which since PR 9 is window-pipelined: per-pair sealing
+// replaces the global barrier, so window boundaries differ from the barrier
+// golden below, but the trajectory replays bit-for-bit at any GOMAXPROCS.
+// The serial goldens above prove Shards=1 is byte-identical to the original
+// engine. Recapture per the note at the top of golden_test.go only for
+// intended model changes. (Identical to PR 8's goldenScalePipelined — the
+// default flip changed which spec reaches this trajectory, not the
+// trajectory itself.)
+const goldenScale = "steps=10094 msgs=3722 bytes=1659829 dropped=0 view=0x1.1p+04 leased=54 windows=450 maxbusy=4 cross=1953"
 
 func TestGoldenScaleShardedReplay(t *testing.T) {
 	res, err := RunScale(goldenScaleSpec())
@@ -50,27 +53,25 @@ func TestGoldenScaleShardedReplay(t *testing.T) {
 	}
 }
 
-// goldenScalePipelined pins the window-pipelined engine's determinism
-// contract on the same scenario as goldenScale: with PipelineWindows on,
-// window boundaries move (per-pair sealing replaces the global barrier), so
-// the trajectory legitimately differs from the barrier golden — but it must
-// replay bit-for-bit at any GOMAXPROCS. Recapture per the note at the top
-// of golden_test.go.
-const goldenScalePipelined = "steps=10094 msgs=3722 bytes=1659829 dropped=0 view=0x1.1p+04 leased=54 windows=450 maxbusy=4 cross=1953"
+// goldenScaleBarrier pins the opt-out global-barrier engine on the same
+// scenario: byte-identical to the pre-PR-9 default-path golden (then named
+// goldenScale), proving the Barrier switch reaches the exact engine that
+// shipped in PR 6. Recapture per the note at the top of golden_test.go.
+const goldenScaleBarrier = "steps=10094 msgs=3722 bytes=1659829 dropped=0 view=0x1.1p+04 leased=54 windows=400 maxbusy=4 cross=1953"
 
-func TestGoldenScalePipelinedReplay(t *testing.T) {
+func TestGoldenScaleBarrierReplay(t *testing.T) {
 	spec := goldenScaleSpec()
-	spec.Pipeline = true
+	spec.Barrier = true
 	res, err := RunScale(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := scaleFingerprint(res)
-	if goldenScalePipelined == "UNSET" {
+	if goldenScaleBarrier == "UNSET" {
 		t.Fatalf("golden uninitialized; capture this:\n%s", got)
 	}
-	if got != goldenScalePipelined {
-		t.Fatalf("pipelined golden diverged:\n got %s\nwant %s", got, goldenScalePipelined)
+	if got != goldenScaleBarrier {
+		t.Fatalf("barrier golden diverged:\n got %s\nwant %s", got, goldenScaleBarrier)
 	}
 	if res.Leased != res.Spec.Edges {
 		t.Fatalf("only %d/%d edges leased", res.Leased, res.Spec.Edges)
@@ -80,13 +81,13 @@ func TestGoldenScalePipelinedReplay(t *testing.T) {
 // TestScaleShardedGOMAXPROCSInvariant is the cross-GOMAXPROCS determinism
 // property: the window coordinator decides barriers from event content
 // alone, so the same spec must produce byte-identical stats whether shard
-// windows run on one OS thread or eight. The pipelined path makes the same
-// promise with a different mechanism — drains and seals decided from
-// window indices and sealed watermarks, never thread timing — so both run
-// under the property.
+// windows run on one OS thread or eight. The default pipelined path makes
+// the same promise with a different mechanism — drains and seals decided
+// from window indices and sealed watermarks, never thread timing — so both
+// it and the barrier opt-out run under the property.
 func TestScaleShardedGOMAXPROCSInvariant(t *testing.T) {
-	for _, pipeline := range []bool{false, true} {
-		spec := ScaleSpec{R: 18, Edges: 36, Shards: 8, Pipeline: pipeline,
+	for _, barrier := range []bool{false, true} {
+		spec := ScaleSpec{R: 18, Edges: 36, Shards: 8, Barrier: barrier,
 			Duration: 6 * time.Minute, Lease: time.Minute, Seed: 21}
 		var base string
 		for _, gmp := range []int{1, 2, 8} {
@@ -105,7 +106,7 @@ func TestScaleShardedGOMAXPROCSInvariant(t *testing.T) {
 				continue
 			}
 			if fp != base {
-				t.Fatalf("pipeline=%v GOMAXPROCS=%d diverged:\n got %s\nwant %s", pipeline, gmp, fp, base)
+				t.Fatalf("barrier=%v GOMAXPROCS=%d diverged:\n got %s\nwant %s", barrier, gmp, fp, base)
 			}
 		}
 	}

@@ -1,0 +1,110 @@
+package node
+
+// Edge hibernation (PR 9). A steady-state edge — lease held, renewal timer
+// armed, no pending queries, no streams, empty cache — spends minutes of
+// simulated time completely idle, yet retains ~14 KB of live heap: service
+// maps, metric caches, self-healing slices and a ~4.9 KB math/rand
+// register. The hibernation layer freeze-dries all of it between events:
+//
+//   - After every dispatch on the node (timer callback or inbound
+//     delivery), the settle hook checks every service for quiescence and,
+//     if all agree, packs each one into a pooled record (releasing map
+//     shells to free lists) and drops the RNG register, keeping only the
+//     stream position.
+//   - Execution re-enters a node in exactly two ways — an env.After
+//     callback or an inbound endpoint delivery — and both are bracketed by
+//     wake/settle hooks (simnet.NodeEnv.SetHibernation and
+//     endpoint.SetHibernation). Services additionally rehydrate lazily on
+//     first touch, so experiment drivers calling into a hibernated node
+//     directly (Publish, Query, Dial, node verbs) are transparently safe.
+//
+// Freezing never cancels or re-arms a timer, never allocates IDs and never
+// reorders events, and the packed records are content-preserving, so a
+// hibernating run's event trajectory and wire traffic are byte-identical
+// to a never-hibernating run. The golden-trajectory suite replays every
+// experiment with hibernation forced on to prove it.
+//
+// Only edge-role nodes freeze: a rendezvous runs the peerview and LC-DHT
+// and is permanently hot, matching the paper's super-peer asymmetry.
+
+// hibEnv is the engine support hibernation needs from the node's env; the
+// simulator's NodeEnv implements it, real-clock envs do not (a live
+// process has no reason to freeze-dry nodes).
+type hibEnv interface {
+	SetHibernation(wake, settle func())
+	FreezeRand()
+	RandResident() bool
+}
+
+// hibernator tracks one node's hibernation state.
+type hibernator struct {
+	env     hibEnv
+	frozen  bool
+	wakes   uint64
+	freezes uint64
+}
+
+// EnableHibernation arms hibernation for this node. Must run before the
+// node starts (hooks wrap callbacks armed after installation). Reports
+// whether the env supports it; calling twice is a no-op.
+func (n *Node) EnableHibernation() bool {
+	if n.hib != nil {
+		return true
+	}
+	he, ok := n.Env.(hibEnv)
+	if !ok {
+		return false
+	}
+	n.hib = &hibernator{env: he}
+	he.SetHibernation(n.hibWake, n.hibSettle)
+	n.Endpoint.SetHibernation(n.hibWake, n.hibSettle)
+	return true
+}
+
+// hibWake marks the node live. Rehydration itself is lazy — each service
+// thaws on its first touch during the dispatch — so waking costs two
+// stores, and a dispatch that touches nothing (a discovery push tick on an
+// idle edge) re-freezes for free.
+func (n *Node) hibWake() {
+	if h := n.hib; h != nil && h.frozen {
+		h.frozen = false
+		h.wakes++
+	}
+}
+
+// hibSettle freeze-dries the node if every service is quiescent. Runs
+// after every dispatch on a hibernation-enabled node; the checks are a
+// handful of len() reads.
+func (n *Node) hibSettle() {
+	h := n.hib
+	if h == nil || h.frozen || n.PeerView != nil {
+		return
+	}
+	if !n.Endpoint.Quiescent() || !n.Resolver.Quiescent() ||
+		!n.Rendezvous.Quiescent() || !n.Discovery.Quiescent() ||
+		!n.Pipe.Quiescent() || !n.Socket.Quiescent() || !n.Cache.Quiescent() {
+		return
+	}
+	n.Endpoint.Freeze()
+	n.Resolver.Freeze()
+	n.Rendezvous.Freeze()
+	n.Discovery.Freeze()
+	n.Pipe.Freeze()
+	n.Socket.Freeze()
+	n.Cache.Freeze()
+	h.env.FreezeRand()
+	h.frozen = true
+	h.freezes++
+}
+
+// Hibernating reports whether the node is currently freeze-dried.
+func (n *Node) Hibernating() bool { return n.hib != nil && n.hib.frozen }
+
+// HibernationStats returns the cumulative wake and freeze counts (zero
+// when hibernation is not enabled).
+func (n *Node) HibernationStats() (wakes, freezes uint64) {
+	if n.hib == nil {
+		return 0, 0
+	}
+	return n.hib.wakes, n.hib.freezes
+}

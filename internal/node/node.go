@@ -139,7 +139,10 @@ type Node struct {
 	MergeObserved func(n *Node, peer ids.ID)
 
 	rdvAdv *advertisement.Rdv
-	reg    lifecycle.Registry
+	// hib, when non-nil, freeze-dries the node between dispatches; see
+	// hibernate.go.
+	hib *hibernator
+	reg lifecycle.Registry
 	// pvRegIndex is where the peerview service lives (or would live) in the
 	// lifecycle registry: after endpoint and resolver, before rendezvous.
 	pvRegIndex int
@@ -280,6 +283,7 @@ func (n *Node) PromoteToRendezvous() {
 	if n.PeerView != nil {
 		return
 	}
+	n.hibWake()
 	n.Config.Role = Rendezvous
 	n.rdvAdv = &advertisement.Rdv{
 		PeerID:  n.ID,
@@ -327,7 +331,10 @@ func (n *Node) PromoteToRendezvous() {
 }
 
 // Start brings the peer's services up in registry order. Idempotent.
-func (n *Node) Start() { n.reg.Start() }
+func (n *Node) Start() {
+	n.hibWake()
+	n.reg.Start()
+}
 
 // Started reports whether the node is currently up.
 func (n *Node) Started() bool { return n.reg.Started() }
@@ -336,15 +343,23 @@ func (n *Node) Started() bool { return n.reg.Started() }
 // streams FIN or reset, the edge lease is cancelled, and every timer any
 // service armed is cancelled, so a stopped node owns no pending callbacks.
 // The transport stays attached — Start brings the node back in place.
-func (n *Node) Stop() { n.reg.Stop() }
+// A hibernation-enabled node re-freezes once stopped: a down node is as
+// quiescent as an idle one.
+func (n *Node) Stop() {
+	n.hibWake()
+	n.reg.Stop()
+	n.hibSettle()
+}
 
 // Kill crashes the peer: the same teardown as Stop but nothing is sent —
 // no FIN, no lease cancel — and the transport endpoint closes, so remote
 // peers learn of the death only through their own timeouts (lease renewal,
 // retransmission limits, peerview entry expiry).
 func (n *Node) Kill() {
+	n.hibWake()
 	n.reg.Abort()
 	n.Endpoint.Close()
+	n.hibSettle()
 }
 
 // Restart cold-restarts the peer in place: graceful Stop if still running,
@@ -355,6 +370,7 @@ func (n *Node) Kill() {
 // same transport address. If the node was killed, the caller must
 // re-attach the transport first (deploy.Overlay.RestartRdv/RestartEdge do).
 func (n *Node) Restart() {
+	n.hibWake()
 	n.Stop()
 	n.Endpoint.Reset()
 	if n.PeerView != nil {
@@ -373,6 +389,7 @@ func (n *Node) Restart() {
 // outside any Locked section (or Stop under the lock and close the
 // transport separately, as cmd/jxta-node does).
 func (n *Node) Close() {
+	n.hibWake()
 	n.Stop()
 	n.Endpoint.Close()
 }
@@ -380,6 +397,7 @@ func (n *Node) Close() {
 // AddSeed wires an additional rendezvous seed at runtime and, for edges,
 // immediately tries to lease from it.
 func (n *Node) AddSeed(seed peerview.Seed) {
+	n.hibWake()
 	if n.PeerView != nil {
 		n.PeerView.AddSeed(seed)
 	}

@@ -1,0 +1,64 @@
+package peerview
+
+import (
+	"jxta/internal/hibpool"
+	"jxta/internal/ids"
+)
+
+// Edge hibernation (PR 9, satellite): a dormant edge's RumorStore pins two
+// map shells even when the store is empty or fully settled — the ordered
+// rumor slice alone carries all the information. Freeze packs the aging
+// counters into a slice and releases both maps; the order slice (the data)
+// and cursor stay. Thaw rebuilds the index from the order.
+
+// rumorMiss is the packed form of one aging counter.
+type rumorMiss struct {
+	id ids.ID
+	n  int
+}
+
+var (
+	rumorIndexPool  hibpool.Maps[ids.ID, int]
+	rumorMissesPool hibpool.Maps[ids.ID, int]
+)
+
+// Freeze releases the store's maps, packing the aging counters. Idempotent;
+// the nil index is the frozen marker.
+func (rs *RumorStore) Freeze() {
+	if rs.byID == nil {
+		return
+	}
+	for id, n := range rs.misses {
+		rs.frozenMisses = append(rs.frozenMisses, rumorMiss{id: id, n: n})
+	}
+	rumorIndexPool.Put(rs.byID)
+	rumorMissesPool.Put(rs.misses)
+	rs.byID = nil
+	rs.misses = nil
+	// Excess append growth on the order slice is dead weight for a store
+	// that may stay dormant for the rest of the run; repack it tight.
+	if cap(rs.order) > len(rs.order) {
+		rs.order = append(make([]Rumor, 0, len(rs.order)), rs.order...)
+	}
+}
+
+// Thaw rebuilds the maps from the ordered slice and packed counters. A
+// single nil check when live.
+func (rs *RumorStore) Thaw() {
+	if rs.byID != nil {
+		return
+	}
+	rs.byID = rumorIndexPool.Get()
+	for i, r := range rs.order {
+		rs.byID[r.ID] = i
+	}
+	rs.misses = rumorMissesPool.Get()
+	for _, m := range rs.frozenMisses {
+		rs.misses[m.id] = m.n
+	}
+	clear(rs.frozenMisses)
+	rs.frozenMisses = rs.frozenMisses[:0]
+}
+
+// Resident reports whether the store's maps are materialized (tests).
+func (rs *RumorStore) Resident() bool { return rs.byID != nil }

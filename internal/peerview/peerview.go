@@ -199,10 +199,13 @@ func ParseRumor(v string) (Rumor, bool) {
 // exactly that it may name a rendezvous the *current* island has never
 // heard of. Entries without an address are rejected: they cannot be probed.
 type RumorStore struct {
-	byID   map[ids.ID]int // index into ordered
+	byID   map[ids.ID]int // index into ordered; nil while frozen (hibernate.go)
 	order  []Rumor        // ascending ID
 	cursor int            // rotating window position (NextWindow)
 	misses map[ids.ID]int // consecutive Sweep calls an identity was dead
+	// frozenMisses holds the packed aging counters while the maps are
+	// released; see Freeze/Thaw.
+	frozenMisses []rumorMiss
 }
 
 // NewRumorStore builds an empty store.
@@ -216,6 +219,7 @@ func (rs *RumorStore) Add(r Rumor) bool {
 	if !r.Verify() || r.Addr == "" || r.ID.IsNil() {
 		return false
 	}
+	rs.Thaw()
 	delete(rs.misses, r.ID) // a fresh sighting resets the aging clock
 	if i, ok := rs.byID[r.ID]; ok {
 		if rs.order[i].Addr == r.Addr {
@@ -293,6 +297,7 @@ func (rs *RumorStore) Sweep(deadAfter int, live func(ids.ID) bool) int {
 	if deadAfter <= 0 {
 		return 0
 	}
+	rs.Thaw()
 	kept := rs.order[:0]
 	evicted, shift := 0, 0
 	for i, r := range rs.order {

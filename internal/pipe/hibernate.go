@@ -1,0 +1,78 @@
+package pipe
+
+import (
+	"jxta/internal/hibpool"
+	"jxta/internal/ids"
+)
+
+// Edge hibernation (PR 9). The pipe service owns no timers — it is always
+// quiescent — so freezing packs the binding table and propagation dedup
+// set into a pooled record and releases the shells. InputPipe.Close on a
+// frozen service rehydrates through its owning service.
+
+// pipeBinding is the packed form of one pipe binding.
+type pipeBinding struct {
+	id ids.ID
+	in *InputPipe
+}
+
+// pipeFrozen is the freeze-dried service.
+type pipeFrozen struct {
+	bound    []pipeBinding
+	propSeen []string
+}
+
+var (
+	pipeFrozenPool = hibpool.Records[pipeFrozen]{Reset: func(f *pipeFrozen) {
+		clear(f.bound)
+		f.bound = f.bound[:0]
+		clear(f.propSeen)
+		f.propSeen = f.propSeen[:0]
+	}}
+	pipeBoundPool hibpool.Maps[ids.ID, *InputPipe]
+	pipeSeenPool  hibpool.Maps[string, bool]
+)
+
+// Quiescent reports whether the service can be frozen — always: sends are
+// fire-and-forget and inbound delivery rehydrates on demand.
+func (s *Service) Quiescent() bool { return true }
+
+// Freeze packs the service's maps into a pooled record. Idempotent.
+func (s *Service) Freeze() {
+	if s.frozen != nil {
+		return
+	}
+	f := pipeFrozenPool.Get()
+	for id, in := range s.bound {
+		f.bound = append(f.bound, pipeBinding{id: id, in: in})
+	}
+	for k := range s.propSeen {
+		f.propSeen = append(f.propSeen, k)
+	}
+	pipeBoundPool.Put(s.bound)
+	pipeSeenPool.Put(s.propSeen)
+	s.bound = nil
+	s.propSeen = nil
+	s.frozen = f
+}
+
+// thaw rehydrates a frozen service; a single nil check when live.
+func (s *Service) thaw() {
+	if s.frozen == nil {
+		return
+	}
+	f := s.frozen
+	s.frozen = nil
+	s.bound = pipeBoundPool.Get()
+	for _, b := range f.bound {
+		s.bound[b.id] = b.in
+	}
+	s.propSeen = pipeSeenPool.Get()
+	for _, k := range f.propSeen {
+		s.propSeen[k] = true
+	}
+	pipeFrozenPool.Put(f)
+}
+
+// Frozen reports whether the service is currently freeze-dried (tests).
+func (s *Service) Frozen() bool { return s.frozen != nil }

@@ -84,6 +84,9 @@ type Service struct {
 	// m holds the runtime instruments; always non-nil (New pre-instruments,
 	// node.New re-instruments with the node's shared registry).
 	m *pipeMetrics
+
+	// frozen implements edge hibernation; see hibernate.go.
+	frozen *pipeFrozen
 }
 
 // New wires the pipe service into a peer's endpoint, discovery and
@@ -121,6 +124,7 @@ type InputPipe struct {
 // advertisement so senders can resolve this peer. One binder per pipe per
 // peer.
 func (s *Service) Bind(adv *advertisement.Pipe, recv Receiver) (*InputPipe, error) {
+	s.thaw()
 	if adv.Kind == "" {
 		adv.Kind = UnicastType
 	}
@@ -135,6 +139,7 @@ func (s *Service) Bind(adv *advertisement.Pipe, recv Receiver) (*InputPipe, erro
 
 // Close unbinds the pipe. Already-in-flight messages are dropped.
 func (in *InputPipe) Close() {
+	in.svc.thaw()
 	delete(in.svc.bound, in.Adv.PipeID)
 }
 
@@ -153,6 +158,7 @@ func (s *Service) Stop() { s.stopped = true }
 // back. Propagation instance IDs keep increasing so pre-restart sends are
 // still deduplicated by peers that saw them.
 func (s *Service) Reset() {
+	s.thaw()
 	s.bound = make(map[ids.ID]*InputPipe)
 	s.propSeen = make(map[string]bool)
 }
@@ -227,6 +233,7 @@ func (o *OutputPipe) Send(data []byte) error {
 
 // receive dispatches inbound pipe traffic to the bound receiver.
 func (s *Service) receive(src ids.ID, m *message.Message) {
+	s.thaw()
 	if s.stopped {
 		return
 	}
@@ -275,6 +282,7 @@ func (s *Service) markProp(pid string) bool {
 // propagate originates a one-to-many send: deliver locally, then hand the
 // message to the rendezvous tier for group-wide fan-out.
 func (s *Service) propagate(pipeID ids.ID, data []byte) error {
+	s.thaw()
 	s.nextPropID++
 	pid := s.ep.ID().Short() + "-" + strconv.FormatUint(s.nextPropID, 10)
 	s.markProp(pid) // echoes of our own send are dropped
@@ -311,6 +319,7 @@ func (s *Service) propagate(pipeID ids.ID, data []byte) error {
 // at an edge this is the final delivery; at a rendezvous it is the first
 // hop of the fan-out (deliver locally, forward to clients, start walks).
 func (s *Service) receivePropagate(src ids.ID, m *message.Message) {
+	s.thaw()
 	if s.stopped {
 		return
 	}
@@ -337,6 +346,7 @@ func (s *Service) receivePropagate(src ids.ID, m *message.Message) {
 // rendezvous: deliver locally, forward to this rendezvous' clients, and let
 // the walk continue (return false) so the whole peerview is covered.
 func (s *Service) handlePropagateWalk(_ ids.ID, _ rendezvous.Direction, body *message.Message) bool {
+	s.thaw()
 	if s.stopped {
 		return false
 	}

@@ -1,0 +1,122 @@
+package rendezvous
+
+import (
+	"time"
+
+	"jxta/internal/hibpool"
+	"jxta/internal/ids"
+	"jxta/internal/peerview"
+)
+
+// Edge hibernation (PR 9). A steady-state edge holds a lease and waits for
+// its renewal timer; between renewals its rendezvous service retains four
+// map shells (all empty in the edge role or quiescent), the walk-handler
+// table, the seed/alternate/roster slices and the rumor store's index
+// maps. Freeze packs the retained data into a pooled record and releases
+// everything else; any touch — the renewal firing, an inbound grant,
+// redirect or tier probe, a node verb — rehydrates first. Only edges
+// freeze: the rendezvous role is permanently hot.
+
+// rdvWalkHandler is the packed form of one walk-handler registration.
+type rdvWalkHandler struct {
+	svc string
+	h   WalkHandler
+}
+
+// rdvFrozen is the freeze-dried edge service: walk handlers and the
+// self-healing slices, packed tight.
+type rdvFrozen struct {
+	walkHandlers []rdvWalkHandler
+	seeds        []peerview.Seed
+	alternates   []peerview.Seed
+	roster       []peerview.Seed
+}
+
+var (
+	rdvFrozenPool = hibpool.Records[rdvFrozen]{Reset: func(f *rdvFrozen) {
+		clear(f.walkHandlers)
+		f.walkHandlers = f.walkHandlers[:0]
+		clear(f.seeds)
+		f.seeds = f.seeds[:0]
+		clear(f.alternates)
+		f.alternates = f.alternates[:0]
+		clear(f.roster)
+		f.roster = f.roster[:0]
+	}}
+	rdvClientsPool hibpool.Maps[ids.ID, clientLease]
+	rdvWalkHPool   hibpool.Maps[string, WalkHandler]
+	rdvSeenPool    hibpool.Maps[string, bool]
+	rdvTriedPool   hibpool.Maps[ids.ID, time.Duration]
+)
+
+// Quiescent reports whether the service can be frozen: edge role, no lease
+// attempt in flight (the armed renewal timer is the wake source, not a
+// blocker), and every map empty. Dormant edges qualify — waking one via a
+// tier probe is exactly a rehydration.
+func (s *Service) Quiescent() bool {
+	return !s.IsRendezvous() && s.grantTimer == nil && !s.awaitingSucc &&
+		len(s.clients) == 0 && len(s.walkSeen) == 0 && len(s.mergeTried) == 0
+}
+
+// Freeze packs the edge service into a pooled record and releases the map
+// shells, slices and rumor-store index. Caller must have checked
+// Quiescent. Idempotent.
+func (s *Service) Freeze() {
+	if s.frozen != nil {
+		return
+	}
+	f := rdvFrozenPool.Get()
+	for svc, h := range s.walkHandlers {
+		f.walkHandlers = append(f.walkHandlers, rdvWalkHandler{svc: svc, h: h})
+	}
+	f.seeds = append(f.seeds, s.seeds...)
+	f.alternates = append(f.alternates, s.alternates...)
+	f.roster = append(f.roster, s.roster...)
+	rdvClientsPool.Put(s.clients)
+	rdvWalkHPool.Put(s.walkHandlers)
+	rdvSeenPool.Put(s.walkSeen)
+	rdvTriedPool.Put(s.mergeTried)
+	s.clients = nil
+	s.walkHandlers = nil
+	s.walkSeen = nil
+	s.mergeTried = nil
+	s.seeds = nil
+	s.alternates = nil
+	s.roster = nil
+	s.rumors.Freeze()
+	s.frozen = f
+}
+
+// thaw rehydrates a frozen service; a single nil check when live. The
+// rumor store thaws separately, on its own first touch.
+func (s *Service) thaw() {
+	if s.frozen == nil {
+		return
+	}
+	f := s.frozen
+	s.frozen = nil
+	s.clients = rdvClientsPool.Get()
+	s.walkHandlers = rdvWalkHPool.Get()
+	for _, wh := range f.walkHandlers {
+		s.walkHandlers[wh.svc] = wh.h
+	}
+	s.walkSeen = rdvSeenPool.Get()
+	s.mergeTried = rdvTriedPool.Get()
+	if len(f.seeds) > 0 {
+		s.seeds = append([]peerview.Seed(nil), f.seeds...)
+	}
+	if len(f.alternates) > 0 {
+		s.alternates = append([]peerview.Seed(nil), f.alternates...)
+	}
+	if len(f.roster) > 0 {
+		s.roster = append([]peerview.Seed(nil), f.roster...)
+	}
+	rdvFrozenPool.Put(f)
+}
+
+// Frozen reports whether the service is currently freeze-dried (tests).
+func (s *Service) Frozen() bool { return s.frozen != nil }
+
+// RumorsResident reports whether the tier-rumor store's index maps are
+// currently materialized (tests: freeze must release them).
+func (s *Service) RumorsResident() bool { return s.rumors.Resident() }

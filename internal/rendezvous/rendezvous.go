@@ -267,6 +267,10 @@ type Service struct {
 	// trace receives rare protocol transitions and may be nil.
 	m     *rdvMetrics
 	trace *metrics.Trace
+
+	// frozen implements edge hibernation; see hibernate.go. While non-nil
+	// the maps and self-healing slices above live in the packed record.
+	frozen *rdvFrozen
 }
 
 func newService(e env.Env, ep *endpoint.Endpoint, cfg Config) *Service {
@@ -563,6 +567,7 @@ func (s *Service) receiveMergeRoster(src ids.ID, m *message.Message) {
 // every hop. Handlers may be installed while the peer is still an edge;
 // they only run once it holds the rendezvous role.
 func (s *Service) SetWalkHandler(svc string, h WalkHandler) {
+	s.thaw()
 	s.walkHandlers[svc] = h
 }
 
@@ -573,6 +578,7 @@ func (s *Service) SetWalkHandler(svc string, h WalkHandler) {
 // registered at construction, so after Promote the peer grants leases,
 // relays walks and joins the peerview gossip immediately.
 func (s *Service) Promote(pv *peerview.PeerView) {
+	s.thaw()
 	if s.IsRendezvous() || pv == nil {
 		return
 	}
@@ -605,6 +611,7 @@ func (s *Service) Promote(pv *peerview.PeerView) {
 // takeover after a crash): each client is granted an implicit lease so
 // propagation fan-out reaches it before it re-leases explicitly.
 func (s *Service) AdoptClients(roster []peerview.Seed, dur time.Duration) {
+	s.thaw()
 	if !s.IsRendezvous() {
 		return
 	}
@@ -629,6 +636,7 @@ func (s *Service) AdoptClients(roster []peerview.Seed, dur time.Duration) {
 // lease grant (SelfHeal) — the seed set a promoted edge re-joins the
 // rendezvous network with.
 func (s *Service) Alternates() []peerview.Seed {
+	s.thaw()
 	out := make([]peerview.Seed, len(s.alternates))
 	copy(out, s.alternates)
 	return out
@@ -636,6 +644,7 @@ func (s *Service) Alternates() []peerview.Seed {
 
 // Roster returns the last-known co-client roster (SelfHeal), sorted by ID.
 func (s *Service) Roster() []peerview.Seed {
+	s.thaw()
 	out := make([]peerview.Seed, len(s.roster))
 	copy(out, s.roster)
 	return out
@@ -648,6 +657,7 @@ func (s *Service) Dormant() bool { return s.dormant }
 // Start begins the role's periodic work: client sweeping for rendezvous,
 // lease acquisition for edges.
 func (s *Service) Start() {
+	s.thaw()
 	if s.started {
 		return
 	}
@@ -671,6 +681,7 @@ func (s *Service) Stop() { s.halt(true) }
 func (s *Service) Abort() { s.halt(false) }
 
 func (s *Service) halt(sendCancel bool) {
+	s.thaw()
 	if !s.started {
 		return
 	}
@@ -714,6 +725,7 @@ func (s *Service) cancelTimers() {
 // increasing — other peers' dedup sets may remember this peer's pre-restart
 // walks.
 func (s *Service) Reset() {
+	s.thaw()
 	s.clients = make(map[ids.ID]clientLease)
 	s.walkSeen = make(map[string]bool)
 	s.seedIdx = 0
@@ -733,6 +745,7 @@ func (s *Service) Reset() {
 // AddSeed appends a rendezvous seed at runtime (live joins that discovered
 // the seed's ID via the endpoint hello).
 func (s *Service) AddSeed(seed peerview.Seed) {
+	s.thaw()
 	s.seeds = append(s.seeds, seed)
 }
 
@@ -740,6 +753,7 @@ func (s *Service) AddSeed(seed peerview.Seed) {
 // late AddSeed on an already-started service. It also revives a dormant
 // edge with a fresh failover budget.
 func (s *Service) Connect() {
+	s.thaw()
 	if s.started && !s.IsRendezvous() {
 		s.dormant = false
 		s.awaitingSucc = false
@@ -802,6 +816,7 @@ func (s *Service) candidates() []peerview.Seed {
 // requestLease asks the current candidate for a lease and arms the failover
 // timer.
 func (s *Service) requestLease() {
+	s.thaw()
 	if !s.started || s.IsRendezvous() || s.dormant {
 		return
 	}
@@ -888,6 +903,7 @@ const episodePhases = 8
 // to the rotation, so the next election picks the next candidate — or go
 // dormant once the episode budget is gone.
 func (s *Service) onLeaseTimeout(target ids.ID) {
+	s.thaw()
 	s.grantTimer = nil
 	s.m.timeouts.Inc()
 	s.traceEvent("lease-timeout", target)
@@ -982,6 +998,7 @@ func pickSuccessor(p PromotionPolicy, roster []peerview.Seed) peerview.Seed {
 // Clients returns the edges currently holding leases, in ascending ID order
 // so fan-out paths (pipe propagation) stay deterministic under a fixed seed.
 func (s *Service) Clients() []ids.ID {
+	s.thaw()
 	out := make([]ids.ID, 0, len(s.clients))
 	for id := range s.clients {
 		out = append(out, id)
@@ -992,6 +1009,7 @@ func (s *Service) Clients() []ids.ID {
 
 // HasClient reports whether the edge currently leases here.
 func (s *Service) HasClient(edge ids.ID) bool {
+	s.thaw()
 	cl, ok := s.clients[edge]
 	return ok && cl.expires > s.env.Now()
 }
@@ -1219,6 +1237,7 @@ func (s *Service) chooseHandoffSuccessor() (succ peerview.Seed, ok bool) {
 // serve leases nor arm a renewal timer off a late grant (the leak-free
 // teardown contract); only the state-shedding Cancel branch always runs.
 func (s *Service) receiveLease(src ids.ID, m *message.Message) {
+	s.thaw()
 	if req := m.GetString(leaseNS, elemRequest); req != "" {
 		if !s.started || !s.IsRendezvous() {
 			return // edges and stopped peers do not grant leases

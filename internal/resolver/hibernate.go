@@ -1,0 +1,87 @@
+package resolver
+
+import (
+	"jxta/internal/hibpool"
+	"jxta/internal/metrics"
+)
+
+// Edge hibernation (PR 9): a quiescent resolver (no in-flight local
+// queries) packs its handler table and per-handler counter cache into a
+// pooled record and releases the map shells. See internal/endpoint for the
+// pattern.
+
+type (
+	resHandler struct {
+		name string
+		h    Handler
+	}
+	resCounter struct {
+		name string
+		c    *metrics.Counter
+	}
+)
+
+type resFrozen struct {
+	handlers  []resHandler
+	byHandler []resCounter
+}
+
+var (
+	resFrozenPool = hibpool.Records[resFrozen]{Reset: func(f *resFrozen) {
+		clear(f.handlers)
+		f.handlers = f.handlers[:0]
+		clear(f.byHandler)
+		f.byHandler = f.byHandler[:0]
+	}}
+	resHandlersPool hibpool.Maps[string, Handler]
+	resCounterPool  hibpool.Maps[string, *metrics.Counter]
+	resPendingPool  hibpool.Maps[uint64, *pendingQuery]
+)
+
+// Quiescent reports whether the resolver can be frozen: no locally issued
+// query is awaiting a response or timeout.
+func (s *Service) Quiescent() bool { return len(s.pending) == 0 }
+
+// Freeze packs the resolver's maps into a pooled record. Caller must have
+// checked Quiescent. Idempotent.
+func (s *Service) Freeze() {
+	if s.frozen != nil {
+		return
+	}
+	f := resFrozenPool.Get()
+	for name, h := range s.handlers {
+		f.handlers = append(f.handlers, resHandler{name: name, h: h})
+	}
+	for name, c := range s.m.byHandler {
+		f.byHandler = append(f.byHandler, resCounter{name: name, c: c})
+	}
+	resHandlersPool.Put(s.handlers)
+	resCounterPool.Put(s.m.byHandler)
+	resPendingPool.Put(s.pending)
+	s.handlers = nil
+	s.m.byHandler = nil
+	s.pending = nil
+	s.frozen = f
+}
+
+// thaw rehydrates a frozen resolver; a single nil check when live.
+func (s *Service) thaw() {
+	if s.frozen == nil {
+		return
+	}
+	f := s.frozen
+	s.frozen = nil
+	s.handlers = resHandlersPool.Get()
+	for _, h := range f.handlers {
+		s.handlers[h.name] = h.h
+	}
+	s.m.byHandler = resCounterPool.Get()
+	for _, c := range f.byHandler {
+		s.m.byHandler[c.name] = c.c
+	}
+	s.pending = resPendingPool.Get()
+	resFrozenPool.Put(f)
+}
+
+// Frozen reports whether the resolver is currently freeze-dried (tests).
+func (s *Service) Frozen() bool { return s.frozen != nil }

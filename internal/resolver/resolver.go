@@ -68,6 +68,9 @@ type Service struct {
 	pending  map[uint64]*pendingQuery
 	nextQID  uint64
 
+	// frozen implements edge hibernation; see hibernate.go.
+	frozen *resFrozen
+
 	// Timeout is how long a locally issued query waits for its first
 	// response before the timeout callback fires. Zero disables timeouts.
 	Timeout time.Duration
@@ -99,6 +102,7 @@ func New(e env.Env, ep *endpoint.Endpoint) *Service {
 
 // RegisterHandler installs (or replaces) the named query handler.
 func (s *Service) RegisterHandler(name string, h Handler) {
+	s.thaw()
 	s.handlers[name] = h
 }
 
@@ -107,6 +111,7 @@ func (s *Service) RegisterHandler(name string, h Handler) {
 // every response received; onTimeout (optional) fires once if nothing
 // arrived within Timeout. The query ID is returned for correlation.
 func (s *Service) SendQuery(dst ids.ID, handler string, payload []byte, cb ResponseCallback, onTimeout TimeoutCallback) (uint64, error) {
+	s.thaw()
 	s.nextQID++
 	qid := s.nextQID
 	p := &pendingQuery{cb: cb, onTimeout: onTimeout}
@@ -143,6 +148,7 @@ func (s *Service) SendQuery(dst ids.ID, handler string, payload []byte, cb Respo
 
 // Cancel abandons a pending query; late responses are dropped silently.
 func (s *Service) Cancel(qid uint64) {
+	s.thaw()
 	if p, ok := s.pending[qid]; ok {
 		delete(s.pending, qid)
 		if p.timer != nil {
@@ -157,6 +163,7 @@ func (s *Service) Cancel(qid uint64) {
 // Query IDs keep increasing across restarts (late responses to pre-stop
 // queries must not be confused with answers to new ones).
 func (s *Service) Stop() {
+	s.thaw()
 	for qid, p := range s.pending {
 		if p.timer != nil {
 			p.timer.Cancel()
@@ -209,6 +216,7 @@ func HandlerOf(m *message.Message) string { return m.GetString(ns, elemHandler) 
 
 // receive demultiplexes resolver traffic.
 func (s *Service) receive(src ids.ID, m *message.Message) {
+	s.thaw()
 	qidStr := m.GetString(ns, elemQID)
 	qid, err := strconv.ParseUint(qidStr, 10, 64)
 	if err != nil {

@@ -1,0 +1,96 @@
+package simnet
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// This file holds the engine half of edge hibernation: a per-node RNG that
+// can be freeze-dried to a 16-byte stream position and rebuilt on demand,
+// plus the wake/settle hooks a node installs around its own event dispatch.
+//
+// The per-node *rand.Rand is, by a wide margin, the largest single object a
+// steady-state simulated edge retains: math/rand's default source carries a
+// 607-word feedback register (~4.9 KB). A hibernating node releases the
+// source and keeps only (derived seed, draws consumed); rebuilding re-seeds
+// an identical register and fast-forwards the recorded number of steps, so
+// the stream continues bit-for-bit where it left off. Replay cost is one
+// register re-seed plus one feedback step per historical draw — steady-state
+// edges draw only at construction (peer ID), so wakes fast-forward a
+// handful of steps.
+
+// countingSource wraps the stock math/rand source and counts feedback
+// steps. Both Int63 and Uint64 advance the underlying register by exactly
+// one step, so the count alone pins the stream position. Values pass
+// through untouched: streams are bit-identical to an unwrapped source,
+// which is what keeps every pre-hibernation golden valid.
+type countingSource struct {
+	inner rand.Source64
+	n     uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.inner.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.inner.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.n = 0
+	c.inner.Seed(seed)
+}
+
+// sourcePool recycles the ~4.9 KB feedback registers across wake cycles:
+// with at most one node executing per shard, a handful of registers
+// circulate through an arbitrarily large hibernating population.
+var sourcePool = sync.Pool{New: func() any { return rand.NewSource(0).(rand.Source64) }}
+
+// newNodeRand builds a node's RNG at stream position pos: a pooled register
+// re-seeded from the node's derived seed, fast-forwarded pos steps.
+func newNodeRand(seed int64, pos uint64) (*rand.Rand, *countingSource) {
+	inner := sourcePool.Get().(rand.Source64)
+	inner.Seed(seed)
+	for i := uint64(0); i < pos; i++ {
+		inner.Uint64()
+	}
+	src := &countingSource{inner: inner, n: pos}
+	return rand.New(src), src
+}
+
+// hibHooks carries the wake/settle callbacks a hibernating node installs
+// around every timer dispatch (SetHibernation).
+type hibHooks struct {
+	wake   func()
+	settle func()
+}
+
+// SetHibernation installs dispatch hooks for a hibernating node: wake runs
+// before, and settle after, every callback subsequently armed through this
+// env's After. wake rehydrates freeze-dried state ahead of the callback;
+// settle lets the node re-freeze once the dispatch quiesced. Deliveries
+// enter through the endpoint's own hooks, not these.
+func (n *NodeEnv) SetHibernation(wake, settle func()) {
+	n.hib = &hibHooks{wake: wake, settle: settle}
+}
+
+// FreezeRand releases the RNG register, keeping only the stream position.
+// The next Rand() call rebuilds the identical stream. Must not be called
+// while other goroutines may draw — the env serialization contract already
+// guarantees that.
+func (n *NodeEnv) FreezeRand() {
+	if n.rng == nil {
+		return
+	}
+	n.pos = n.src.n
+	sourcePool.Put(n.src.inner)
+	n.src = nil
+	n.rng = nil
+}
+
+// RandResident reports whether the RNG register is currently materialized
+// (hibernation tests assert the freeze actually released it).
+func (n *NodeEnv) RandResident() bool { return n.rng != nil }

@@ -417,9 +417,5 @@ func (s *Scheduler) Halt() { s.halted = true }
 // decorrelated from other streams by hashing the master seed with the index
 // (SplitMix64 finalizer).
 func (s *Scheduler) DeriveRand(index int64) *rand.Rand {
-	z := uint64(s.seed) + 0x9e3779b97f4a7c15*uint64(index+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return rand.New(rand.NewSource(int64(z)))
+	return rand.New(rand.NewSource(deriveSeed(s.seed, index)))
 }

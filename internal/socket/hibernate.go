@@ -1,0 +1,82 @@
+package socket
+
+import (
+	"jxta/internal/hibpool"
+	"jxta/internal/ids"
+)
+
+// Edge hibernation (PR 9). A socket service with no live connections packs
+// its listener table into a pooled record and releases both map shells.
+// Connection churn additionally recycles each Conn's out-of-order
+// reassembly map through a free list: the map is private to the receive
+// path, so it is released the moment a connection leaves the table for
+// good (failure, linger expiry, teardown) while the *Conn itself stays
+// readable by the application.
+
+// sockListener is the packed form of one listener registration.
+type sockListener struct {
+	id ids.ID
+	l  *Listener
+}
+
+// sockFrozen is the freeze-dried service.
+type sockFrozen struct {
+	listeners []sockListener
+}
+
+var (
+	sockFrozenPool = hibpool.Records[sockFrozen]{Reset: func(f *sockFrozen) {
+		clear(f.listeners)
+		f.listeners = f.listeners[:0]
+	}}
+	sockListenersPool hibpool.Maps[ids.ID, *Listener]
+	sockConnsPool     hibpool.Maps[connKey, *Conn]
+	// oooPool recycles per-conn reassembly maps across connection churn.
+	oooPool hibpool.Maps[uint64, []byte]
+)
+
+// Quiescent reports whether the service can be frozen: no connection in
+// any state (including TIME_WAIT) occupies the table.
+func (s *Service) Quiescent() bool { return len(s.conns) == 0 }
+
+// Freeze packs the listener table into a pooled record and releases the
+// map shells. Caller must have checked Quiescent. Idempotent.
+func (s *Service) Freeze() {
+	if s.frozen != nil {
+		return
+	}
+	f := sockFrozenPool.Get()
+	for id, l := range s.listeners {
+		f.listeners = append(f.listeners, sockListener{id: id, l: l})
+	}
+	sockListenersPool.Put(s.listeners)
+	sockConnsPool.Put(s.conns)
+	s.listeners = nil
+	s.conns = nil
+	s.frozen = f
+}
+
+// thaw rehydrates a frozen service; a single nil check when live.
+func (s *Service) thaw() {
+	if s.frozen == nil {
+		return
+	}
+	f := s.frozen
+	s.frozen = nil
+	s.listeners = sockListenersPool.Get()
+	for _, le := range f.listeners {
+		s.listeners[le.id] = le.l
+	}
+	s.conns = sockConnsPool.Get()
+	sockFrozenPool.Put(f)
+}
+
+// Frozen reports whether the service is currently freeze-dried (tests).
+func (s *Service) Frozen() bool { return s.frozen != nil }
+
+// releaseOOO recycles the connection's reassembly map once it can no
+// longer receive segments (removed from the table).
+func (c *Conn) releaseOOO() {
+	oooPool.Put(c.ooo)
+	c.ooo = nil
+}

@@ -197,6 +197,9 @@ type Service struct {
 	// m holds the stored runtime instruments; always non-nil (New
 	// pre-instruments, node.New re-instruments with the node's registry).
 	m *sockMetrics
+
+	// frozen implements edge hibernation; see hibernate.go.
+	frozen *sockFrozen
 }
 
 // New wires the stream layer into a peer's endpoint and pipe services.
@@ -232,6 +235,7 @@ func (s *Service) Stop() { s.shutdown(true) }
 func (s *Service) Abort() { s.shutdown(false) }
 
 func (s *Service) shutdown(announce bool) {
+	s.thaw()
 	for _, l := range s.sortedListeners() {
 		l.Close()
 	}
@@ -248,6 +252,7 @@ func (s *Service) shutdown(announce bool) {
 // connection ID counter keeps increasing so segments from pre-restart
 // connections can never alias new ones.
 func (s *Service) Reset() {
+	s.thaw()
 	s.listeners = make(map[ids.ID]*Listener)
 	s.conns = make(map[connKey]*Conn)
 }
@@ -292,6 +297,7 @@ func (s *Service) teardownConn(c *Conn, announce bool) {
 		c.stopTimers()
 		if cur, ok := s.conns[c.key]; ok && cur == c {
 			delete(s.conns, c.key)
+			c.releaseOOO()
 		}
 		return
 	}
@@ -326,6 +332,7 @@ type Listener struct {
 // advertisement so dialers can resolve this peer. accept fires once per
 // established inbound connection.
 func (s *Service) Listen(adv *advertisement.Pipe, accept func(*Conn)) (*Listener, error) {
+	s.thaw()
 	if _, dup := s.listeners[adv.PipeID]; dup {
 		return nil, ErrAlreadyBound
 	}
@@ -345,6 +352,7 @@ func (s *Service) Listen(adv *advertisement.Pipe, accept func(*Conn)) (*Listener
 // been accepted (the dialer sees ErrReset rather than a stream nobody
 // serves).
 func (l *Listener) Close() {
+	l.svc.thaw()
 	delete(l.svc.listeners, l.Adv.PipeID)
 	l.in.Close()
 	for _, c := range l.svc.conns {
@@ -370,6 +378,7 @@ func (s *Service) Dial(pipeID ids.ID, cb func(*Conn, error)) {
 // DialPeer handshakes directly with a known binder peer (a route to it must
 // exist or be installable by the endpoint).
 func (s *Service) DialPeer(binder, pipeID ids.ID, cb func(*Conn, error)) {
+	s.thaw()
 	s.nextConn++
 	s.Stats.ConnsDialed++
 	c := s.newConn(connKey{peer: binder, id: s.nextConn, initiated: true})
@@ -466,7 +475,7 @@ func (s *Service) newConn(key connKey) *Conn {
 		svc:     s,
 		key:     key,
 		peerWnd: s.cfg.WindowBytes, // until the first advertisement arrives
-		ooo:     make(map[uint64][]byte),
+		ooo:     oooPool.Get(),
 	}
 }
 
@@ -574,6 +583,7 @@ func (c *Conn) fail(err error) {
 	c.err = err
 	c.stopTimers()
 	delete(c.svc.conns, c.key)
+	c.releaseOOO()
 	if wasSynSent && c.onDialed != nil {
 		cb := c.onDialed
 		c.onDialed = nil
@@ -832,6 +842,7 @@ func (c *Conn) sendRst() {
 
 // receive dispatches inbound stream traffic.
 func (s *Service) receive(src ids.ID, m *message.Message) {
+	s.thaw()
 	t := m.GetString(ns, elemType)
 	id, err := strconv.ParseUint(m.GetString(ns, elemConn), 10, 64)
 	if err != nil {
@@ -1102,6 +1113,7 @@ func (c *Conn) maybeTeardown() {
 		c.lingerTmr = nil
 		if cur, ok := svc.conns[key]; ok && cur == c {
 			delete(svc.conns, key)
+			c.releaseOOO()
 		}
 	})
 	if c.onReadable != nil {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jxta/internal/hibpool"
 	"jxta/internal/message"
 	"jxta/internal/netmodel"
 	"jxta/internal/simnet"
@@ -327,6 +328,9 @@ func (s *Sim) Send(to Addr, msg *message.Message) error {
 	if last := s.lastArrival[to]; arrival <= last {
 		arrival = last + time.Microsecond
 	}
+	if s.lastArrival == nil { // released by FreezeArrivals while hibernating
+		s.lastArrival = arrivalsPool.Get()
+	}
 	s.lastArrival[to] = arrival
 	s.maybePruneArrivals()
 	dstShard := s.shard
@@ -404,11 +408,62 @@ func (s *Sim) maybePruneArrivals() {
 		return
 	}
 	s.nextArrivalPrune = now + arrivalPruneEvery
-	for a, last := range s.lastArrival {
-		if last < now {
-			delete(s.lastArrival, a)
+	n := 0
+	for _, last := range s.lastArrival {
+		if last >= now {
+			n++
 		}
 	}
+	// delete() never returns bucket memory, so a wide-fanout sender (a
+	// rendezvous serving hundreds of peers) pruned in place would keep its
+	// high-water bucket array forever. When the sweep would discard most of
+	// the map, rebuild the survivors into an exact-size shell instead; when
+	// the map is mostly live, deleting in place avoids the allocation.
+	if 2*n >= len(s.lastArrival) {
+		for a, last := range s.lastArrival {
+			if last < now {
+				delete(s.lastArrival, a)
+			}
+		}
+		return
+	}
+	m := make(map[Addr]time.Duration, n)
+	for a, last := range s.lastArrival {
+		if last >= now {
+			m[a] = last
+		}
+	}
+	s.lastArrival = m
+}
+
+// arrivalsPool recycles FIFO-clamp map shells across freeze/wake cycles.
+var arrivalsPool hibpool.Maps[Addr, time.Duration]
+
+// FreezeArrivals releases the FIFO-clamp map while the owning node
+// hibernates. An entry strictly in the past can never bind — latencies are
+// nonnegative, so every future arrival lands at or after now (the same
+// argument maybePruneArrivals relies on) — and a quiescent edge rarely
+// holds any other kind, so the common case frees the map outright. Rare
+// still-binding entries (a fire-and-forget send whose arrival is ahead of
+// now) keep a map alive, shrunk to just those entries; delete() never
+// returns bucket memory, which is why the map is swapped, not pruned in
+// place. Send rebuilds the map lazily on the next transmission.
+func (s *Sim) FreezeArrivals() {
+	if s.lastArrival == nil {
+		return
+	}
+	now := s.sh.sched.Now()
+	var keep map[Addr]time.Duration
+	for to, last := range s.lastArrival {
+		if last >= now {
+			if keep == nil {
+				keep = arrivalsPool.Get()
+			}
+			keep[to] = last
+		}
+	}
+	arrivalsPool.Put(s.lastArrival)
+	s.lastArrival = keep
 }
 
 // siteOf resolves the destination site from this shard's attached endpoints

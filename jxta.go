@@ -128,14 +128,26 @@ type SimOptions struct {
 	// Shards) pair at any GOMAXPROCS, but trajectories differ between
 	// shard counts.
 	Shards int
-	// PipelineWindows, with Shards > 1, replaces the sharded engine's
-	// global window barrier with per-(src,dst) sealed exchange queues:
-	// shards whose inputs are ready start their next lookahead window
-	// without waiting for the globally slowest shard. Fixed-seed runs stay
-	// bit-reproducible at any GOMAXPROCS, but trajectories differ from the
-	// barrier path (window boundaries move), so determinism is per
-	// (Seed, Shards, PipelineWindows). Default off.
+	// PipelineWindows is deprecated and ignored: window pipelining is the
+	// default whenever Shards > 1. Set BarrierWindows to opt back out.
 	PipelineWindows bool
+	// BarrierWindows, with Shards > 1, opts out of window pipelining and
+	// runs the sharded engine's original global window barrier: every
+	// shard waits for the globally slowest one between lookahead windows.
+	// The default pipelined path instead runs per-(src,dst) sealed
+	// exchange queues, so shards whose inputs are ready start their next
+	// window immediately. Fixed-seed runs are bit-reproducible at any
+	// GOMAXPROCS on both paths, but trajectories differ between them
+	// (window boundaries move), so determinism is per
+	// (Seed, Shards, BarrierWindows).
+	BarrierWindows bool
+	// Hibernate freeze-dries steady-state edge peers between events:
+	// an idle leased edge's service maps, metric caches and RNG register
+	// are packed into pooled records and released, cutting live heap per
+	// idle edge roughly 2-3x at 100k+ populations. Any delivery, timer or
+	// API call on the peer rehydrates transparently, and trajectories are
+	// byte-identical with it on or off. Default off.
+	Hibernate bool
 	// LeanMetrics shares one population-wide metrics registry across all
 	// simulated peers and drops per-node trace rings and gauges — the
 	// memory/assembly-cost mode for very large populations (100k+ edges).
@@ -207,14 +219,15 @@ func NewSimulation(opts SimOptions) (*Simulation, error) {
 		}
 	}
 	spec := deploy.Spec{
-		Seed:            opts.Seed,
-		NumRdv:          opts.Rendezvous,
-		Shards:          opts.Shards,
-		PipelineWindows: opts.PipelineWindows,
-		LeanMetrics:     opts.LeanMetrics,
-		Topology:        kind,
-		Discovery:       discovery.DefaultConfig(),
-		Socket:          socket.Config{WindowBytes: opts.SocketWindowBytes},
+		Seed:           opts.Seed,
+		NumRdv:         opts.Rendezvous,
+		Shards:         opts.Shards,
+		BarrierWindows: opts.BarrierWindows,
+		LeanMetrics:    opts.LeanMetrics,
+		Hibernate:      opts.Hibernate,
+		Topology:       kind,
+		Discovery:      discovery.DefaultConfig(),
+		Socket:         socket.Config{WindowBytes: opts.SocketWindowBytes},
 	}
 	spec.Lease.LeaseDuration = opts.LeaseDuration
 	if !opts.DisableSelfHealing {
