@@ -66,7 +66,7 @@ import (
 )
 
 var (
-	expFlag        = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|volatility|ablations|bandwidth|perf|scale|all")
+	expFlag        = flag.String("exp", "all", "experiment: table1|fig3left|fig3right|fig4left|fig4right|baselines|churn|volatility|ablations|bandwidth|perf|scale|routing|all")
 	quickFlag      = flag.Bool("quick", false, "scaled-down parameters (seconds instead of minutes)")
 	maxHeapPerEdge = flag.Float64("maxheapedge", 0, "scale: fail if the lean memory point's heap_bytes_per_edge exceeds this many bytes (0 disables; the CI memory smoke pins it)")
 	hibernateFlag  = flag.Bool("hibernate", false, "scale: force edge hibernation on every scale workload (lean memory points hibernate regardless; the CI hibernation smoke sets this)")
@@ -128,8 +128,9 @@ func run() int {
 		"bandwidth":  bandwidth,
 		"perf":       perf,
 		"scale":      scale,
+		"routing":    routingExp,
 	}
-	order := []string{"table1", "fig3left", "fig3right", "fig4left", "fig4right", "baselines", "churn", "volatility", "ablations", "bandwidth", "perf", "scale"}
+	order := []string{"table1", "fig3left", "fig3right", "fig4left", "fig4right", "baselines", "churn", "volatility", "ablations", "bandwidth", "perf", "scale", "routing"}
 	var selected []string
 	if *expFlag == "all" {
 		selected = order
@@ -961,6 +962,55 @@ func fig4Right() (any, error) {
 	}
 	if !*csvFlag {
 		fmt.Println(chart.Render())
+	}
+	return summary, nil
+}
+
+// routingExp is the structured-routing bake-off: the same publish / lookup /
+// maintenance / churn scenario driven through flood, SRDI-walk, Chord and
+// Kademlia backends at equal scale. Full mode sweeps up to r=1,000 (the
+// scale the peerview plateau fix unblocked); quick mode pins the CI-sized
+// scenario the conformance and golden-replay tests share.
+func routingExp() (any, error) {
+	ns := []int{128, 1000}
+	keys, lookups := 8, 16
+	if *quickFlag {
+		ns = []int{16}
+		keys, lookups = 6, 12
+	}
+	fmt.Println("Routing bake-off (§3.3 trade-off space): flood vs SRDI-walk vs Chord vs Kademlia")
+	var summary []map[string]any
+	for _, n := range ns {
+		spec := experiments.RoutingSpec{N: n, Keys: keys, Lookups: lookups, Seed: *seedFlag}
+		if *quickFlag {
+			spec.Converge = 12 * time.Minute
+			spec.MaintWindow = 5 * time.Minute
+		}
+		res, err := experiments.RunRouting(spec)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("  n=%d\n", n)
+		fmt.Printf("  %-9s %-9s %-8s %-6s %-9s %-9s %-10s %-7s %-9s %-6s\n",
+			"backend", "pub-msgs", "ok", "hops", "lat-ms", "look-msgs", "maint/min", "killed", "churn-ok", "chops")
+		for _, pt := range res.Points {
+			fmt.Printf("  %-9s %-9.1f %3d/%-4d %-6.2f %-9.1f %-9.1f %-10.1f %-7d %3d/%-5d %-6.2f\n",
+				pt.Backend, pt.PublishMsgsPerOp, pt.Success, pt.Lookups,
+				pt.MeanHops, pt.Latency.Mean(), pt.LookupMsgsPerOp,
+				pt.MaintMsgsPerMin, pt.Killed, pt.ChurnSuccess, pt.ChurnLookups,
+				pt.ChurnMeanHops)
+			summary = append(summary, map[string]any{
+				"backend": pt.Backend, "n": pt.N,
+				"publish_msgs_op": pt.PublishMsgsPerOp,
+				"lookups":         pt.Lookups, "success": pt.Success,
+				"mean_hops": pt.MeanHops, "latency_ms": pt.Latency.Mean(),
+				"lookup_msgs_op": pt.LookupMsgsPerOp,
+				"maint_msgs_min": pt.MaintMsgsPerMin,
+				"killed":         pt.Killed,
+				"churn_lookups":  pt.ChurnLookups, "churn_success": pt.ChurnSuccess,
+				"churn_mean_hops": pt.ChurnMeanHops,
+			})
+		}
 	}
 	return summary, nil
 }

@@ -46,11 +46,12 @@ type Node struct {
 	fingers [fingerBits]uint64 // finger[i] = successor(ID + 2^i)
 	succ    uint64
 	store   map[uint64]bool // keys this node owns (stored values)
+	dead    bool
 }
 
 // Ring is a deployed Chord overlay.
 type Ring struct {
-	sched   *simnet.Scheduler
+	eng     simnet.Engine
 	net     *transport.Network
 	nodes   map[uint64]*Node
 	sorted  []uint64
@@ -65,19 +66,20 @@ type lookup struct {
 }
 
 // Build deploys n nodes with deterministic pseudo-random IDs on the given
-// scheduler/network, spread over the Grid'5000 sites, and computes finger
-// tables from the (static) membership.
-func Build(sched *simnet.Scheduler, net *transport.Network, n int) (*Ring, error) {
+// engine/network, spread over the Grid'5000 sites, and computes finger
+// tables from the (static) membership. Any simnet.Engine works (the serial
+// Scheduler satisfies it), so the ring deploys on sharded engines too.
+func Build(eng simnet.Engine, net *transport.Network, n int) (*Ring, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("chord: n=%d", n)
 	}
 	r := &Ring{
-		sched:   sched,
+		eng:     eng,
 		net:     net,
 		nodes:   make(map[uint64]*Node, n),
 		pending: make(map[uint64]*lookup),
 	}
-	rng := sched.DeriveRand(7777)
+	rng := eng.NewEnv("chord-ids").Rand()
 	sites := netmodel.SpreadSites(n)
 	for i := 0; i < n; i++ {
 		id := rng.Uint64()
@@ -170,13 +172,16 @@ func (r *Ring) route(from *Node, key uint64, kind string, cb func(uint64, int, t
 	r.nextReq++
 	req := r.nextReq
 	if cb != nil {
-		r.pending[req] = &lookup{cb: cb, start: r.sched.Now()}
+		r.pending[req] = &lookup{cb: cb, start: r.eng.Now()}
 	}
 	from.handle(key, kind, req, 0, from.tr.Addr())
 }
 
 // handle processes a routing step locally (zero hops) or forwards it.
 func (n *Node) handle(key uint64, kind string, req uint64, hops int, origin transport.Addr) {
+	if n.dead {
+		return
+	}
 	if n.owns(key) {
 		n.terminal(key, kind, req, hops, origin)
 		return
@@ -216,11 +221,30 @@ func (r *Ring) complete(req, owner uint64, hops int) {
 	}
 	l.done = true
 	delete(r.pending, req)
-	l.cb(owner, hops, r.sched.Now()-l.start)
+	l.cb(owner, hops, r.eng.Now()-l.start)
 }
+
+// Kill fail-stops the node: its transport detaches (in-flight messages to
+// it are dropped) and it processes nothing further. Fingers are NOT
+// recomputed — the ring is static, so routes through the dead node simply
+// vanish. That fragility is the point of the churn comparison: a static
+// structured overlay has no repair path.
+func (n *Node) Kill() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	_ = n.tr.Close()
+}
+
+// Alive reports whether the node has not been killed.
+func (n *Node) Alive() bool { return !n.dead }
 
 // receive handles inbound chord messages at a node.
 func (n *Node) receive(_ transport.Addr, m *message.Message) {
+	if n.dead {
+		return
+	}
 	kind := m.GetString(ns, elemKind)
 	req, err := strconv.ParseUint(m.GetString(ns, elemReqID), 10, 64)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"jxta/internal/node"
 	"jxta/internal/peerview"
 	"jxta/internal/rendezvous"
+	"jxta/internal/routing"
 	"jxta/internal/simnet"
 	"jxta/internal/socket"
 	"jxta/internal/topology"
@@ -91,6 +92,11 @@ type Spec struct {
 	Lease     rendezvous.Config
 	Discovery discovery.Config
 	Socket    socket.Config
+	// Routing names the replica-placement strategy every peer uses:
+	// "" or "lcdht" for the paper's linear position hash, "kademlia" for
+	// XOR-closest placement (routing.ParseStrategy). An explicit
+	// Discovery.Router wins over this name.
+	Routing string
 	// Edges attaches edge peers to rendezvous.
 	Edges []EdgeGroup
 }
@@ -152,6 +158,13 @@ func Build(spec Spec) (*Overlay, error) {
 	model := spec.Model
 	if model == nil {
 		model = netmodel.Grid5000()
+	}
+	if spec.Routing != "" && spec.Discovery.Router == nil {
+		strat, err := routing.ParseStrategy(spec.Routing)
+		if err != nil {
+			return nil, err
+		}
+		spec.Discovery.Router = strat
 	}
 	o := &Overlay{spec: spec, AdvStore: advstore.New()}
 	if spec.LeanMetrics {

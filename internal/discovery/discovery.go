@@ -31,6 +31,7 @@ import (
 	"jxta/internal/metrics"
 	"jxta/internal/rendezvous"
 	"jxta/internal/resolver"
+	"jxta/internal/routing"
 	"jxta/internal/srdi"
 	"jxta/internal/transport"
 )
@@ -72,6 +73,11 @@ type Config struct {
 	// DisableWalk turns the O(r) fallback walk off (ablation experiments
 	// only): replica misses then go unanswered.
 	DisableWalk bool
+	// Router overrides replica placement: which peerview member holds (and
+	// is asked for) a key's replica. Nil uses the paper's linear position
+	// hash (ReplicaPeer). Publish and query sides both go through it, so
+	// any pure function of (view, key) keeps property (2) intact.
+	Router routing.Strategy
 }
 
 // DefaultConfig returns paper-faithful defaults. ScanCost is calibrated so
@@ -108,6 +114,11 @@ type Result struct {
 	Advs    []advertisement.Advertisement
 	From    ids.ID
 	Elapsed time.Duration
+	// Hops counts resolver forwards the query took before it was answered
+	// (0: local cache hit or answered by the first-hop rendezvous), echoed
+	// back by the resolver response. The routing bake-off reads it to
+	// compare LC-DHT hop counts against the structured baselines.
+	Hops int
 }
 
 // Stats counts discovery-protocol activity on this peer.
@@ -240,7 +251,7 @@ func (s *Service) Rereplicate() {
 	counts := make(map[ids.ID]uint64)
 	var order []ids.ID // first-seen over sorted tuples: deterministic
 	for _, tpl := range s.index.Tuples() {
-		replica := ReplicaPeer(view, tpl.Key)
+		replica := s.place(view, tpl.Key)
 		if replica.IsNil() || replica.Equal(s.ep.ID()) {
 			continue
 		}
@@ -505,7 +516,7 @@ func (s *Service) indexAndReplicate(tpl srdi.Tuple, replicated bool) {
 		return
 	}
 	view := s.rdv.PeerView().View()
-	replica := ReplicaPeer(view, tpl.Key)
+	replica := s.place(view, tpl.Key)
 	if replica.IsNil() || replica.Equal(s.ep.ID()) {
 		return
 	}
@@ -555,14 +566,14 @@ func (s *Service) query(advType, attr, value string, useCache bool, cb func(Resu
 	start := s.env.Now()
 	s.Stats.QueriesSent++
 	_, err := s.res.SendQuery(target, HandlerName, payload,
-		func(data []byte, from ids.ID) {
+		func(data []byte, from ids.ID, hops int) {
 			advs := decodeResponse(data)
 			for _, adv := range advs {
 				s.cache.Put(adv, advertisement.DefaultExpiration, false)
 			}
 			elapsed := s.env.Now() - start
 			s.m.queryLatency.Observe(elapsed.Seconds())
-			cb(Result{Advs: advs, From: from, Elapsed: elapsed})
+			cb(Result{Advs: advs, From: from, Elapsed: elapsed, Hops: hops})
 		},
 		func(uint64) {
 			if onTimeout != nil {
@@ -596,14 +607,14 @@ func (s *Service) QueryRange(advType, attr string, lo, hi int64, cb func(Result)
 	start := s.env.Now()
 	s.Stats.QueriesSent++
 	_, err := s.res.SendQuery(target, HandlerName, payload,
-		func(data []byte, from ids.ID) {
+		func(data []byte, from ids.ID, hops int) {
 			advs := decodeResponse(data)
 			for _, adv := range advs {
 				s.cache.Put(adv, advertisement.DefaultExpiration, false)
 			}
 			elapsed := s.env.Now() - start
 			s.m.queryLatency.Observe(elapsed.Seconds())
-			cb(Result{Advs: advs, From: from, Elapsed: elapsed})
+			cb(Result{Advs: advs, From: from, Elapsed: elapsed, Hops: hops})
 		},
 		func(uint64) {
 			if onTimeout != nil {
@@ -786,7 +797,7 @@ func (s *Service) routeQuery(q *resolver.Query, body queryBody) {
 	// 2. Initial stage: forward to the computed replica peer.
 	if body.stage == stageInitial {
 		view := s.rdv.PeerView().View()
-		replica := ReplicaPeer(view, key)
+		replica := s.place(view, key)
 		if !replica.IsNil() && !replica.Equal(s.ep.ID()) {
 			s.Stats.ReplicaForwards++
 			fq := *q

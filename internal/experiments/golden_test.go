@@ -94,6 +94,19 @@ func islandMergeFingerprint(res VolatilityResult) string {
 		s, res.Steps, res.NetStats.Messages, res.NetStats.Bytes, res.NetStats.Dropped)
 }
 
+func routingFingerprint(res RoutingResult) string {
+	s := ""
+	for _, pt := range res.Points {
+		s += fmt.Sprintf("%s[n=%d pub=%s ok=%d/%d hops=%s lat=%s msgs=%s maint=%s kill=%d churn=%d/%d chops=%s];",
+			pt.Backend, pt.N, hexFloat(pt.PublishMsgsPerOp),
+			pt.Success, pt.Lookups, hexFloat(pt.MeanHops),
+			hexFloat(pt.Latency.Mean()), hexFloat(pt.LookupMsgsPerOp),
+			hexFloat(pt.MaintMsgsPerMin), pt.Killed,
+			pt.ChurnSuccess, pt.ChurnLookups, hexFloat(pt.ChurnMeanHops))
+	}
+	return s
+}
+
 func volatilityFingerprint(res VolatilityResult) string {
 	s := ""
 	for _, pt := range res.Points {
@@ -105,11 +118,30 @@ func volatilityFingerprint(res VolatilityResult) string {
 		s, res.Steps, res.NetStats.Messages, res.NetStats.Bytes, res.NetStats.Dropped)
 }
 
+// Recapture note (PR 10): every simulation golden below was recaptured
+// after three intentional protocol changes moved all fixed-seed
+// trajectories at once. (1) The peerview referral batch rewrite — the
+// r=1,000 plateau fix — replaced per-probe i.i.d. random referral draws
+// with a rotating no-replacement cursor (removing RNG consumption from
+// every probe) and ships one referral message with batched advertisement
+// elements instead of several single-adv messages, so message counts,
+// bytes and every downstream RNG draw shift. (2) Resolver responses now
+// echo the query's hop count (one extra wire element: byte counts move).
+// (3) rendezvous.Config.RumorDeadSweeps gained a non-zero default, so
+// island-merge scenarios retire dead tier-probe targets they previously
+// probed forever (volatility/island-merge traffic shrinks). The peerview
+// golden's plateau/consistency claims still hold (reached=true,
+// consistent=true — convergence is now slightly later at this small r
+// because referrals arrive batched per probe rather than scattered); the
+// island-merge golden still asserts single-tier convergence and 100%
+// post-merge discovery. The bandwidth 4 KiB point now crosses one
+// retransmission (retx=1): the RNG-draw shift moved which packets the 1%
+// deterministic loss hits, not the stream layer's behavior.
 const (
-	goldenPeerview  = "max=23 final=23 plateau=0x1.7p+04 reached=true@240000000000 consistent=true steps=14948 msgs=6500 bytes=3385821 dropped=0 series=919b4d4c24dbca9b"
-	goldenDiscovery = "mean=0x1.b20ba493c89f4p+03 n=12 min=0x1.5e0216c61522ap+03 p50=0x1.a74c32a8c9b84p+03 p95=0x1.064bbe6cb7b94p+04 max=0x1.0efdfa00e27e1p+04 timeouts=0 walk=0x0p+00 steps=2944 msgs=1230 bytes=633255 dropped=0"
-	goldenBandwidth = "size=4096 msgs=128 tput=0x1.28fecad8b2731p+03 rtt=0x1.4ea199780baa6p+03 elapsed=0x1.c3eb313be22e6p+05 retx=0;size=65536 msgs=8 tput=0x1.416a048d01756p+04 rtt=0x1.c6a052502eec8p+03 elapsed=0x1.a195c422036p+04 retx=0; steps=2073 msgs=932 bytes=1738970 dropped=6"
-	goldenRecovery  = "base[ok=8 to=0 mean=0x1.aad5c7cd898b2p+03] outage[ok=6 to=2 mean=0x1.a0651468b4663p+03] rec[ok=8 to=0 mean=0x1.e177ea1c68ec5p+03] views=0x1.6p+03/0x1.6p+03/0x1.6p+03 reconv=true steps=15808 msgs=6493 bytes=3358451 dropped=72"
+	goldenPeerview  = "max=23 final=23 plateau=0x1.7p+04 reached=true@270000000000 consistent=true steps=12048 msgs=5050 bytes=3014127 dropped=0 series=2d647532512cdb66"
+	goldenDiscovery = "mean=0x1.a8ed6e47dc37bp+03 n=12 min=0x1.4f56238da3c21p+03 p50=0x1.99961f5be5d9ep+03 p95=0x1.036f18bc8f67ep+04 max=0x1.08dccb7d41744p+04 timeouts=0 walk=0x0p+00 steps=2418 msgs=967 bytes=561367 dropped=0"
+	goldenBandwidth = "size=4096 msgs=128 tput=0x1.6e18623593af5p+00 rtt=0x1.510a686e7e62ep+03 elapsed=0x1.6e9ea4441787p+08 retx=1;size=65536 msgs=8 tput=0x1.30175d96dfb09p+04 rtt=0x1.d30896dd26b72p+03 elapsed=0x1.b95f87f023e9fp+04 retx=0; steps=2080 msgs=935 bytes=1744378 dropped=6"
+	goldenRecovery  = "base[ok=8 to=0 mean=0x1.a0d91e215336fp+03] outage[ok=6 to=2 mean=0x1.a51d57a620d84p+03] rec[ok=8 to=0 mean=0x1.ddadc054ef459p+03] views=0x1.5d55555555555p+03/0x1.6p+03/0x1.6p+03 reconv=true steps=12840 msgs=5008 bytes=2944545 dropped=70"
 
 	// goldenVolatility pins the whole self-healing machinery — lease-grant
 	// state snapshots, missed-renewal detection, deterministic successor
@@ -117,7 +149,7 @@ const (
 	// re-leasing — to the bit-for-bit replay contract: a fixed-seed full
 	// attrition (kills with no rejoin) plus a kill/rejoin churn point must
 	// reproduce every query outcome, promotion and counter exactly.
-	goldenVolatility = "kill=1m30s ok=23 to=17 mean=0x1.07edd89eb77fep+03 promos=3 live=3 view=0x1.5555555555555p-01 reconv=false; steps=8462 msgs=3599 bytes=1843611 dropped=609 || kill=1m30s ok=32 to=8 mean=0x1.01adb8fde2ef5p+03 promos=0 live=4 view=0x1.8p+01 reconv=true; steps=10742 msgs=4391 bytes=2293155 dropped=67"
+	goldenVolatility = "kill=1m30s ok=23 to=17 mean=0x1.09e38203a037cp+03 promos=3 live=3 view=0x1.5555555555555p-01 reconv=false; steps=7602 msgs=3169 bytes=1761359 dropped=609 || kill=1m30s ok=32 to=8 mean=0x1.0333fc9795b36p+03 promos=0 live=4 view=0x1.8p+01 reconv=true; steps=9040 msgs=3540 bytes=2096868 dropped=67"
 
 	// goldenIslandMerge pins the island-merge subsystem end to end — rumor
 	// piggyback on lease traffic, tier probes and their anchor redirects,
@@ -127,7 +159,13 @@ const (
 	// with IslandMerge on, the three promoted islands must gossip each
 	// other into a single tier and post-merge discovery success must return
 	// to 100%, bit for bit on every replay.
-	goldenIslandMerge = "kill=1m30s ok=30 to=10 mean=0x1.0c4fda7a7c0ebp+03 promos=3 live=3 view=0x1p+01 reconv=true merges=8 ttst=0s conv=true post[ok=40 to=0 mean=0x1.0a4d3811bf452p+03]; steps=7957 msgs=3363 bytes=1841663 dropped=228"
+	goldenIslandMerge = "kill=1m30s ok=28 to=12 mean=0x1.0fba5046e4278p+03 promos=3 live=3 view=0x1p+01 reconv=true merges=8 ttst=0s conv=true post[ok=40 to=0 mean=0x1.0a479fdf2df86p+03]; steps=6959 msgs=2864 bytes=1724115 dropped=224"
+
+	// goldenRouting pins the four-backend bake-off (flood, SRDI walk,
+	// Chord, Kademlia over one publish/lookup/maintenance/churn scenario)
+	// to the bit-for-bit replay contract: per-backend message costs, hop
+	// counts, latencies and churn survival must reproduce exactly.
+	goldenRouting = "flood[n=16 pub=0x0p+00 ok=12/12 hops=0x1.0aaaaaaaaaaabp+01 lat=0x1.49e22036006d1p+03 msgs=0x1.12aaaaaaaaaabp+06 maint=0x0p+00 kill=4 churn=12/12 chops=0x1.d555555555555p+00];srdi[n=16 pub=0x1.7d55555555555p+05 ok=12/12 hops=0x1.d555555555555p+00 lat=0x1.3cee831ad2136p+03 msgs=0x1.c555555555555p+04 maint=0x1.0d9999999999ap+07 kill=4 churn=10/12 chops=0x0p+00];chord[n=16 pub=0x1.1555555555555p+02 ok=12/12 hops=0x1.3555555555555p+01 lat=0x1.a50c19ab13864p+03 msgs=0x1.b555555555555p+01 maint=0x0p+00 kill=4 churn=6/12 chops=0x1.2aaaaaaaaaaabp+01];kademlia[n=16 pub=0x1.2aaaaaaaaaaabp+06 ok=12/12 hops=0x1p+00 lat=0x1.26a65811c837dp+02 msgs=0x1.6555555555555p+05 maint=0x1.3333333333333p+07 kill=4 churn=12/12 chops=0x1p+00];"
 )
 
 func TestGoldenPeerviewReplay(t *testing.T) {
@@ -272,6 +310,24 @@ func TestGoldenIslandMergeReplay(t *testing.T) {
 	}
 	if got != goldenIslandMerge {
 		t.Errorf("island-merge replay diverged from golden behavior\n got:  %s\n want: %s", got, goldenIslandMerge)
+	}
+}
+
+// TestGoldenRoutingReplay pins the structured-routing bake-off (see
+// goldenRouting): all four routing.Backend implementations, including the
+// iterative Kademlia overlay and the resolver hop-echo extension the SRDI
+// adapter reads, replay bit for bit.
+func TestGoldenRoutingReplay(t *testing.T) {
+	res, err := RunRouting(quickRoutingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := routingFingerprint(res)
+	if goldenRouting == "UNSET" {
+		t.Fatalf("capture golden:\n%s", got)
+	}
+	if got != goldenRouting {
+		t.Errorf("routing bake-off replay diverged from golden behavior\n got:  %s\n want: %s", got, goldenRouting)
 	}
 }
 

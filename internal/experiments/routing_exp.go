@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"jxta/internal/advertisement"
+	"jxta/internal/chord"
+	"jxta/internal/deploy"
+	"jxta/internal/discovery"
+	"jxta/internal/flood"
+	"jxta/internal/ids"
+	"jxta/internal/metrics"
+	"jxta/internal/netmodel"
+	"jxta/internal/routing"
+	"jxta/internal/simnet"
+	"jxta/internal/topology"
+	"jxta/internal/transport"
+)
+
+// RoutingSpec parameterizes the structured-routing bake-off: the same
+// publish / lookup / maintenance / churn scenario driven through each
+// routing.Backend at equal scale, quantifying the §3.3 trade-off space the
+// paper describes qualitatively (flooding vs. loosely-consistent DHT vs.
+// structured DHTs).
+type RoutingSpec struct {
+	// N is the overlay size (the paper's r: every member is a rendezvous-
+	// class peer).
+	N int
+	// Keys is how many distinct keys are published before measuring.
+	Keys int
+	// Lookups is the number of lookup operations per wave (one healthy
+	// wave, one post-churn wave).
+	Lookups int
+	// KillFrac is the fraction of the overlay fail-stopped between the
+	// two waves (publish originators are spared so the comparison
+	// measures routing resilience, not data loss).
+	KillFrac float64
+	// Backends selects which overlays run; nil runs all four
+	// ("flood", "srdi", "chord", "kademlia").
+	Backends []string
+	// Converge is the settle window after deployment (peerview phase 3
+	// for SRDI, bootstrap lookups for Kademlia). Zero derives from N.
+	Converge time.Duration
+	// MaintWindow is the idle window over which maintenance traffic is
+	// measured (default 10 minutes).
+	MaintWindow time.Duration
+	// Seed is the master determinism seed.
+	Seed int64
+}
+
+func (s RoutingSpec) withDefaults() RoutingSpec {
+	if s.Keys <= 0 {
+		s.Keys = 8
+	}
+	if s.Lookups <= 0 {
+		s.Lookups = 2 * s.Keys
+	}
+	if s.KillFrac == 0 {
+		s.KillFrac = 0.25
+	}
+	if len(s.Backends) == 0 {
+		s.Backends = []string{"flood", "srdi", "chord", "kademlia"}
+	}
+	if s.Converge <= 0 {
+		if s.N <= 50 {
+			s.Converge = 15 * time.Minute
+		} else {
+			s.Converge = 45 * time.Minute
+		}
+	}
+	if s.MaintWindow <= 0 {
+		s.MaintWindow = 10 * time.Minute
+	}
+	return s
+}
+
+// RoutingPoint is one backend's scorecard.
+type RoutingPoint struct {
+	Backend string
+	N       int
+
+	// PublishMsgsPerOp is network messages per publish, settling traffic
+	// included (the LC-DHT's O(1) claim vs. Kademlia's iterative store).
+	PublishMsgsPerOp float64
+
+	// Healthy lookup wave.
+	Lookups         int
+	Success         int
+	MeanHops        float64 // over successful lookups
+	Latency         metrics.Samples
+	LookupMsgsPerOp float64
+
+	// MaintMsgsPerMin is idle-window maintenance traffic (peerview probes
+	// + SRDI pushes for the JXTA stack, bucket refreshes for Kademlia,
+	// zero for the static baselines).
+	MaintMsgsPerMin float64
+
+	// Post-churn lookup wave, issued by surviving originators after
+	// KillFrac of the overlay fail-stops with no warning.
+	Killed        int
+	ChurnLookups  int
+	ChurnSuccess  int
+	ChurnMeanHops float64
+}
+
+// RoutingResult is the full bake-off.
+type RoutingResult struct {
+	Spec   RoutingSpec
+	Points []RoutingPoint
+}
+
+// routingBackendErr wraps build failures with the backend name.
+func routingBackendErr(name string, err error) error {
+	return fmt.Errorf("experiments: routing backend %s: %w", name, err)
+}
+
+// RunRouting executes the bake-off. Each backend gets its own scheduler and
+// network (message counters must not bleed across overlays); seeds derive
+// from Spec.Seed plus a per-backend offset, so adding a backend to the list
+// never perturbs the others.
+func RunRouting(spec RoutingSpec) (RoutingResult, error) {
+	spec = spec.withDefaults()
+	if spec.N < 4 {
+		return RoutingResult{}, fmt.Errorf("experiments: routing N=%d", spec.N)
+	}
+	res := RoutingResult{Spec: spec}
+	for _, name := range spec.Backends {
+		pt, err := runRoutingBackend(spec, name)
+		if err != nil {
+			return res, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// backendSeedOffset gives each backend a fixed seed lane.
+func backendSeedOffset(name string) int64 {
+	switch name {
+	case "flood":
+		return 101
+	case "srdi":
+		return 202
+	case "chord":
+		return 303
+	case "kademlia":
+		return 404
+	}
+	return 999
+}
+
+func runRoutingBackend(spec RoutingSpec, name string) (RoutingPoint, error) {
+	seed := spec.Seed + backendSeedOffset(name)
+	var (
+		b   routing.Backend
+		eng simnet.Engine
+		net *transport.Network
+	)
+	switch name {
+	case "flood":
+		sched := simnet.NewScheduler(seed)
+		net = transport.NewNetwork(sched, netmodel.Grid5000())
+		fn, err := flood.Build(sched, net, spec.N, 4)
+		if err != nil {
+			return RoutingPoint{}, routingBackendErr(name, err)
+		}
+		b, eng = routing.NewFloodBackend(fn), sched
+		eng.Run(eng.Now() + time.Minute) // static graph: nothing to converge
+	case "chord":
+		sched := simnet.NewScheduler(seed)
+		net = transport.NewNetwork(sched, netmodel.Grid5000())
+		ring, err := chord.Build(sched, net, spec.N)
+		if err != nil {
+			return RoutingPoint{}, routingBackendErr(name, err)
+		}
+		b, eng = routing.NewChordBackend(ring), sched
+		eng.Run(eng.Now() + time.Minute) // fingers precomputed: static
+	case "kademlia":
+		sched := simnet.NewScheduler(seed)
+		net = transport.NewNetwork(sched, netmodel.Grid5000())
+		kad, err := routing.BuildKademlia(sched, net, spec.N, routing.KadConfig{
+			RefreshInterval: 2 * time.Minute,
+		})
+		if err != nil {
+			return RoutingPoint{}, routingBackendErr(name, err)
+		}
+		kad.Bootstrap()
+		b, eng = kad, sched
+		eng.Run(eng.Now() + spec.Converge)
+	case "srdi":
+		sb, err := buildSRDIBackend(spec, seed)
+		if err != nil {
+			return RoutingPoint{}, routingBackendErr(name, err)
+		}
+		b, eng, net = sb, sb.o.Sched, sb.o.Net
+		eng.Run(eng.Now() + spec.Converge)
+	default:
+		return RoutingPoint{}, fmt.Errorf("experiments: unknown routing backend %q", name)
+	}
+
+	pt := RoutingPoint{Backend: name, N: spec.N}
+
+	// --- Publish phase: Keys keys from deterministic spread originators.
+	publishers := make(map[int]bool)
+	before := net.Stats().Messages
+	for k := 0; k < spec.Keys; k++ {
+		from := (k * 31) % spec.N
+		publishers[from] = true
+		b.Publish(from, routingKey(k))
+	}
+	eng.Run(eng.Now() + 2*time.Minute) // let replication/stores settle
+	pt.PublishMsgsPerOp = float64(net.Stats().Messages-before) / float64(spec.Keys)
+
+	// --- Healthy lookup wave. The message delta includes background
+	// maintenance running inside the wave window (SRDI pushes, peerview
+	// probes, bucket refreshes) — deliberately: that is each system's real
+	// steady-state cost of serving lookups; the idle window below isolates
+	// the maintenance-only component.
+	before = net.Stats().Messages
+	ok, hops, lat := runLookupWave(spec, b, eng, nil)
+	pt.Lookups = spec.Lookups
+	pt.Success = ok
+	pt.MeanHops = hops
+	pt.Latency = lat
+	pt.LookupMsgsPerOp = float64(net.Stats().Messages-before) / float64(spec.Lookups)
+
+	// --- Maintenance window: idle traffic.
+	before = net.Stats().Messages
+	b.Maintain()
+	eng.Run(eng.Now() + spec.MaintWindow)
+	pt.MaintMsgsPerMin = float64(net.Stats().Messages-before) / spec.MaintWindow.Minutes()
+
+	// --- Churn: fail-stop KillFrac of the overlay (sparing publishers),
+	// then a second wave from surviving originators.
+	toKill := int(float64(spec.N) * spec.KillFrac)
+	killed := make(map[int]bool)
+	for i := 0; i < spec.N && len(killed) < toKill; i++ {
+		victim := (i*37 + 11) % spec.N
+		if publishers[victim] || killed[victim] {
+			continue
+		}
+		killed[victim] = true
+		b.Kill(victim)
+	}
+	pt.Killed = len(killed)
+	eng.Run(eng.Now() + 30*time.Second) // deaths are silent; no grace period
+
+	ok, hops, _ = runLookupWave(spec, b, eng, killed)
+	pt.ChurnLookups = spec.Lookups
+	pt.ChurnSuccess = ok
+	pt.ChurnMeanHops = hops
+	return pt, nil
+}
+
+func routingKey(k int) string { return fmt.Sprintf("bakeoff-key-%d", k) }
+
+// runLookupWave issues spec.Lookups staggered lookups from live originators
+// and runs the clock until every callback fired or the deadline passed.
+// Returns successes, mean hops over successes, and the latency samples.
+func runLookupWave(spec RoutingSpec, b routing.Backend, eng simnet.Engine, dead map[int]bool) (int, float64, metrics.Samples) {
+	ok, fired, totalHops := 0, 0, 0
+	var lat metrics.Samples
+	for i := 0; i < spec.Lookups; i++ {
+		from := (i*17 + 5) % spec.N
+		for dead[from] || !b.Alive(from) {
+			from = (from + 1) % spec.N
+		}
+		key := routingKey(i % spec.Keys)
+		origin := from
+		eng.After(time.Duration(i)*200*time.Millisecond, func() {
+			b.Lookup(origin, key, func(r routing.Result) {
+				fired++
+				if r.OK {
+					ok++
+					totalHops += r.Hops
+					lat.AddDuration(r.Latency)
+				}
+			})
+		})
+	}
+	// Deadline generous enough for full-TTL floods and timeout-routed
+	// Kademlia waves; callbacks that never fire count as failures.
+	eng.Run(eng.Now() + time.Duration(spec.Lookups)*200*time.Millisecond + 2*time.Minute)
+	mean := 0.0
+	if ok > 0 {
+		mean = float64(totalHops) / float64(ok)
+	}
+	return ok, mean, lat
+}
+
+// srdiBackend adapts the full JXTA stack — peerview, rendezvous tier, SRDI
+// replication and the resolver walk — to routing.Backend. It lives here
+// rather than in internal/routing because discovery imports routing (the
+// Strategy seam); the adapter needs discovery and deploy.
+type srdiBackend struct {
+	o      *deploy.Overlay
+	killed []bool
+}
+
+func buildSRDIBackend(spec RoutingSpec, seed int64) (*srdiBackend, error) {
+	o, err := deploy.Build(deploy.Spec{
+		Seed:      seed,
+		NumRdv:    spec.N,
+		Topology:  topology.Chain,
+		Discovery: discovery.DefaultConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	o.StartAll()
+	return &srdiBackend{o: o, killed: make([]bool, spec.N)}, nil
+}
+
+func (s *srdiBackend) Name() string { return "srdi" }
+
+func (s *srdiBackend) N() int { return len(s.o.Rdvs) }
+
+func (s *srdiBackend) Alive(i int) bool { return !s.killed[i] }
+
+// Publish stores the advertisement at rendezvous i: local index + SRDI
+// replication to the replica peer (the paper's O(1) publish).
+func (s *srdiBackend) Publish(from int, key string) {
+	s.o.Rdvs[from].Discovery.Publish(&advertisement.Resource{
+		ResID: ids.FromName(ids.KindAdv, key),
+		Name:  key,
+	}, 0)
+}
+
+// Lookup resolves through the LC-DHT: replica forward, then the O(r) walk
+// on a miss. Hops are resolver forwards (echoed by the response).
+func (s *srdiBackend) Lookup(from int, key string, cb func(routing.Result)) {
+	err := s.o.Rdvs[from].Discovery.QueryRemote("Resource", "Name", key,
+		func(r discovery.Result) {
+			cb(routing.Result{OK: true, Hops: r.Hops, Latency: r.Elapsed})
+		},
+		func() { cb(routing.Result{OK: false}) })
+	if err != nil {
+		cb(routing.Result{OK: false})
+	}
+}
+
+// Maintain is a no-op: peerview probing and SRDI pushes are timer-driven
+// and already running; the maintenance window measures them directly.
+func (s *srdiBackend) Maintain() {}
+
+// Kill fail-stops rendezvous i (transport detach, no goodbye).
+func (s *srdiBackend) Kill(i int) {
+	if s.killed[i] {
+		return
+	}
+	s.killed[i] = true
+	s.o.KillRdv(i)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// quickRoutingSpec is the small-scale bake-off the conformance and golden
+// tests share: big enough that every backend routes nontrivially, small
+// enough for CI.
+func quickRoutingSpec() RoutingSpec {
+	return RoutingSpec{
+		N: 16, Keys: 6, Lookups: 12, KillFrac: 0.25,
+		Converge:    12 * time.Minute,
+		MaintWindow: 5 * time.Minute,
+		Seed:        42,
+	}
+}
+
+// TestRoutingConformance runs the identical publish/lookup/churn scenario
+// against all four backends and asserts the behavioral contract each must
+// honor, whatever its internals: full lookup success on a healthy overlay,
+// and nonzero resilience everywhere except the repair-free static ring.
+func TestRoutingConformance(t *testing.T) {
+	res, err := RunRouting(quickRoutingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d backends, want 4", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Success != pt.Lookups {
+			t.Errorf("%s: healthy wave %d/%d succeeded", pt.Backend, pt.Success, pt.Lookups)
+		}
+		if pt.Killed == 0 {
+			t.Errorf("%s: churn phase killed nobody", pt.Backend)
+		}
+		switch pt.Backend {
+		case "flood", "kademlia", "srdi":
+			// Flooding routes around holes by sheer coverage; Kademlia by
+			// timeout-driven eviction; the JXTA stack by lease failover,
+			// walk fallback and peerview self-healing. All must keep
+			// resolving after losing a quarter of the overlay.
+			if pt.ChurnSuccess == 0 {
+				t.Errorf("%s: no lookup survived 25%% churn", pt.Backend)
+			}
+		case "chord":
+			// The static ring has no repair path — the bake-off's point of
+			// contrast. No floor asserted: routes through dead fingers die.
+		}
+		if pt.Backend == "kademlia" && pt.MaintMsgsPerMin == 0 {
+			t.Errorf("kademlia: bucket refresh produced no maintenance traffic")
+		}
+		if pt.Backend == "srdi" && pt.MaintMsgsPerMin == 0 {
+			t.Errorf("srdi: peerview/SRDI maintenance produced no traffic")
+		}
+	}
+}
+
+// TestRoutingBakeoffDeterminism: the full four-backend bake-off replayed
+// twice in one process must be byte-identical (the same contract the golden
+// replay gate enforces in CI against the pinned fingerprint).
+func TestRoutingBakeoffDeterminism(t *testing.T) {
+	a, err := RunRouting(quickRoutingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRouting(quickRoutingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := routingFingerprint(a), routingFingerprint(b)
+	if fa != fb {
+		t.Errorf("same-seed bake-off diverged\n first:  %s\n second: %s", fa, fb)
+	}
+}

@@ -34,7 +34,7 @@ func goldenScaleSpec() ScaleSpec {
 // intended model changes. (Identical to PR 8's goldenScalePipelined — the
 // default flip changed which spec reaches this trajectory, not the
 // trajectory itself.)
-const goldenScale = "steps=10094 msgs=3722 bytes=1659829 dropped=0 view=0x1.1p+04 leased=54 windows=450 maxbusy=4 cross=1953"
+const goldenScale = "steps=8722 msgs=3036 bytes=1448039 dropped=0 view=0x1.1p+04 leased=54 windows=418 maxbusy=4 cross=1430"
 
 func TestGoldenScaleShardedReplay(t *testing.T) {
 	res, err := RunScale(goldenScaleSpec())
@@ -57,7 +57,7 @@ func TestGoldenScaleShardedReplay(t *testing.T) {
 // scenario: byte-identical to the pre-PR-9 default-path golden (then named
 // goldenScale), proving the Barrier switch reaches the exact engine that
 // shipped in PR 6. Recapture per the note at the top of golden_test.go.
-const goldenScaleBarrier = "steps=10094 msgs=3722 bytes=1659829 dropped=0 view=0x1.1p+04 leased=54 windows=400 maxbusy=4 cross=1953"
+const goldenScaleBarrier = "steps=8722 msgs=3036 bytes=1448039 dropped=0 view=0x1.1p+04 leased=54 windows=354 maxbusy=4 cross=1430"
 
 func TestGoldenScaleBarrierReplay(t *testing.T) {
 	spec := goldenScaleSpec()

@@ -38,11 +38,12 @@ type Node struct {
 	neighbors []int
 	keys      map[string]bool
 	seen      map[uint64]bool
+	dead      bool
 }
 
 // Network is a deployed flooding overlay.
 type Network struct {
-	sched   *simnet.Scheduler
+	eng     simnet.Engine
 	nodes   []*Node
 	pending map[uint64]*query
 	nextReq uint64
@@ -54,12 +55,13 @@ type query struct {
 	done  bool
 }
 
-// Build deploys n nodes in a connected random graph of degree ~k.
-func Build(sched *simnet.Scheduler, net *transport.Network, n, k int) (*Network, error) {
+// Build deploys n nodes in a connected random graph of degree ~k. Any
+// simnet.Engine works (the serial Scheduler satisfies it).
+func Build(eng simnet.Engine, net *transport.Network, n, k int) (*Network, error) {
 	if n <= 0 || k <= 0 {
 		return nil, fmt.Errorf("flood: n=%d k=%d", n, k)
 	}
-	fn := &Network{sched: sched, pending: make(map[uint64]*query)}
+	fn := &Network{eng: eng, pending: make(map[uint64]*query)}
 	sites := netmodel.SpreadSites(n)
 	for i := 0; i < n; i++ {
 		tr, err := net.Attach(fmt.Sprintf("flood%d", i), sites[i])
@@ -72,7 +74,7 @@ func Build(sched *simnet.Scheduler, net *transport.Network, n, k int) (*Network,
 		fn.nodes = append(fn.nodes, node)
 	}
 	// Ring edge for connectivity plus random chords up to degree k.
-	rng := sched.DeriveRand(8888)
+	rng := eng.NewEnv("flood-graph").Rand()
 	addEdge := func(a, b int) {
 		if a == b {
 			return
@@ -108,12 +110,12 @@ func (n *Node) Publish(key string) { n.keys[key] = true }
 func (f *Network) Query(from *Node, key string, ttl int, cb func(hops int, elapsed time.Duration)) {
 	f.nextReq++
 	req := f.nextReq
-	f.pending[req] = &query{cb: cb, start: f.sched.Now()}
+	f.pending[req] = &query{cb: cb, start: f.eng.Now()}
 	from.handleQuery(key, req, ttl, 0, from.tr.Addr())
 }
 
 func (n *Node) handleQuery(key string, req uint64, ttl, hops int, origin transport.Addr) {
-	if n.seen[req] {
+	if n.dead || n.seen[req] {
 		return
 	}
 	n.seen[req] = true
@@ -154,10 +156,27 @@ func (f *Network) complete(req uint64, hops int) {
 	}
 	q.done = true
 	delete(f.pending, req)
-	q.cb(hops, f.sched.Now()-q.start)
+	q.cb(hops, f.eng.Now()-q.start)
 }
 
+// Kill fail-stops the node: its transport detaches and it stops relaying.
+// The flood graph is static, so queries route around the hole only as far
+// as the surviving edges allow.
+func (n *Node) Kill() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	_ = n.tr.Close()
+}
+
+// Alive reports whether the node has not been killed.
+func (n *Node) Alive() bool { return !n.dead }
+
 func (n *Node) receive(_ transport.Addr, m *message.Message) {
+	if n.dead {
+		return
+	}
 	req, err := strconv.ParseUint(m.GetString(ns, elemReqID), 10, 64)
 	if err != nil {
 		return

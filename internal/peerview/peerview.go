@@ -83,10 +83,19 @@ type Config struct {
 	// HappySize is HAPPY_SIZE, the minimum view size below which the peer
 	// probes aggressively (neighbours every round, plus seeds).
 	HappySize int
-	// ReferralsPerProbe is how many referral advertisements a rendezvous
-	// returns for each probe. JXTA-C returns one referral message per
-	// probe; the message may carry several advertisements. This is the
-	// gossip fan-out that sets the steady-state view size at large r.
+	// ReferralsPerProbe is the *minimum* number of referral advertisements
+	// a rendezvous returns for each probe (JXTA-C returns one referral
+	// message per probe; the message may carry several advertisements).
+	// This is the gossip fan-out that sets the steady-state view size at
+	// large r, so the effective batch grows with the view: a peer renews
+	// an entry only when some message mentions it, and a view of l entries
+	// expiring after EntryExpiry needs ≥ l·Interval/EntryExpiry mentions
+	// per round just to stand still. The service sends
+	// max(ReferralsPerProbe, ⌈2·l·Interval/EntryExpiry⌉) advertisements
+	// per referral message, drawn from a rotating no-replacement cursor
+	// (see sendReferrals), which is what lets the r=1,000 view converge
+	// within the paper's 120-minute horizon instead of plateauing at the
+	// coupon-collector bound of i.i.d. random draws.
 	ReferralsPerProbe int
 	// ProbeTimeoutRounds enables active failure detection: a view member
 	// that was probed this many consecutive iterations without any message
@@ -396,6 +405,11 @@ type PeerView struct {
 	// probed tracks outstanding probes triggered by referrals, so one
 	// referral storm cannot launch duplicate probes within an interval.
 	probed map[ids.ID]time.Duration
+
+	// refCursor is the rotating no-replacement position sendReferrals draws
+	// referral batches from, so successive probes walk the whole ID-ordered
+	// view instead of re-drawing i.i.d. random samples (see sendReferrals).
+	refCursor int
 
 	// missed counts consecutive unanswered neighbour probes per view member
 	// (ProbeTimeoutRounds failure detection; unused when disabled).
@@ -807,6 +821,24 @@ func (pv *PeerView) receive(src ids.ID, m *message.Message) {
 		pv.receiveMerge(src, msgType, m)
 		return
 	}
+	if msgType == typeReferral {
+		// One referral message carries a batch of advertisements as repeated
+		// RdvAdv elements (JXTA-C ships several advertisements per referral
+		// message); apply each independently.
+		for _, el := range m.Elements() {
+			if el.Namespace != ns || el.Name != elemAdv {
+				continue
+			}
+			advAny, err := advertisement.DecodeXML(el.Data)
+			if err != nil {
+				continue
+			}
+			if adv, ok := advAny.(*advertisement.Rdv); ok {
+				pv.receiveReferral(adv)
+			}
+		}
+		return
+	}
 	data, ok := m.Get(ns, elemAdv)
 	if !ok {
 		return
@@ -824,7 +856,7 @@ func (pv *PeerView) receive(src ids.ID, m *message.Message) {
 	case typeProbe:
 		// The probe carries the sender's advertisement: learn/refresh it,
 		// then answer with our own advertisement plus a separate referral
-		// message naming randomly chosen other rendezvous.
+		// message naming a batch of other rendezvous from the local view.
 		pv.upsert(adv)
 		pv.send(src, typeResponse, pv.self)
 		pv.sendReferrals(src)
@@ -832,52 +864,87 @@ func (pv *PeerView) receive(src ids.ID, m *message.Message) {
 		pv.upsert(adv)
 	case typeUpdate:
 		pv.upsert(adv)
-	case typeReferral:
-		if pv.byID[adv.PeerID] != nil {
-			// Known peer: the referral's fresh advertisement renews it.
-			pv.upsert(adv)
-			return
-		}
-		if adv.PeerID.Equal(pv.self.PeerID) {
-			return
-		}
-		// Unknown peer: probe before adding (§3.2). Dedup within an
-		// interval to avoid probe storms under referral bursts.
-		if _, inflight := pv.probed[adv.PeerID]; inflight {
-			return
-		}
-		pv.probed[adv.PeerID] = pv.env.Now()
-		pv.ep.AddRoute(adv.PeerID, transport.Addr(adv.Address))
-		pv.sendProbe(adv.PeerID)
 	}
 }
 
-// sendReferrals picks up to ReferralsPerProbe random entries (excluding the
-// prober and ourselves) and sends each as a referral message to the prober.
+// receiveReferral applies one referred advertisement: a known peer is
+// renewed in place, an unknown one is probed before insertion (§3.2), with
+// per-interval dedup so referral bursts cannot launch duplicate probes.
+func (pv *PeerView) receiveReferral(adv *advertisement.Rdv) {
+	if pv.byID[adv.PeerID] != nil {
+		// Known peer: the referral's fresh advertisement renews it.
+		pv.upsert(adv)
+		return
+	}
+	if adv.PeerID.Equal(pv.self.PeerID) {
+		return
+	}
+	if _, inflight := pv.probed[adv.PeerID]; inflight {
+		return
+	}
+	pv.probed[adv.PeerID] = pv.env.Now()
+	pv.ep.AddRoute(adv.PeerID, transport.Addr(adv.Address))
+	pv.sendProbe(adv.PeerID)
+}
+
+// referralBatch returns how many advertisements to pack into one referral
+// message: the ReferralsPerProbe floor, raised so that a view of l entries
+// is fully re-mentioned about twice per EntryExpiry horizon. An entry
+// survives only while something renews it within EntryExpiry; each of the
+// two steady-state neighbour probes per round pulls one batch back, so the
+// view cycles through the cursor at ~2·batch entries per Interval and the
+// batch must be ≥ l·Interval/(2·(EntryExpiry/2)) = l·Interval/EntryExpiry
+// per probe to outpace expiry — doubled for slack against probe/update
+// randomization and lost messages. At the paper defaults this stays at the
+// floor (2) until l exceeds 40 and reaches 50 at l=999 — still one message.
+func (pv *PeerView) referralBatch() int {
+	want := pv.cfg.ReferralsPerProbe
+	l := len(pv.entries)
+	need := int((2*time.Duration(l)*pv.cfg.Interval + pv.cfg.EntryExpiry - 1) / pv.cfg.EntryExpiry)
+	if need > want {
+		want = need
+	}
+	if want > l {
+		want = l
+	}
+	return want
+}
+
+// sendReferrals answers a probe with one referral message carrying a batch
+// of view advertisements (excluding the prober). Entries are drawn from a
+// rotating no-replacement cursor over the ID-ordered view, so successive
+// probes hand out the whole view in deterministic rotation. The pre-PR 10
+// behaviour — i.i.d. random draws, fixed at ReferralsPerProbe — hits the
+// coupon-collector bound at large r (240 rounds × ~4 draws over 999
+// identities mention ~62% of them) and renews entries too rarely to beat
+// EntryExpiry, which is exactly the ~605/999 plateau PERFORMANCE.md § PR 8
+// recorded. Inserts and removals shift the cursor's anchor by at most one
+// entry per change; the rotation stays complete.
 func (pv *PeerView) sendReferrals(to ids.ID) {
 	n := len(pv.entries)
 	if n == 0 {
 		return
 	}
-	want := pv.cfg.ReferralsPerProbe
-	if want > n {
-		want = n
-	}
-	rng := pv.env.Rand()
-	sent := 0
-	// Sample without replacement via a bounded number of draws.
-	seen := make(map[int]bool, want*2)
-	for tries := 0; tries < 4*want && sent < want; tries++ {
-		i := rng.Intn(n)
-		if seen[i] {
+	want := pv.referralBatch()
+	m := message.New()
+	m.AddString(ns, elemType, typeReferral)
+	added := 0
+	for i := 0; i < n && added < want; i++ {
+		if pv.refCursor >= n {
+			pv.refCursor = 0
+		}
+		en := pv.entries[pv.refCursor]
+		pv.refCursor++
+		if en.adv.PeerID.Equal(to) {
 			continue
 		}
-		seen[i] = true
-		adv := pv.entries[i].adv
-		if adv.PeerID.Equal(to) {
-			continue
+		if data, err := advertisement.EncodeXML(en.adv); err == nil {
+			m.Add(ns, elemAdv, data)
+			added++
 		}
-		pv.send(to, typeReferral, adv)
-		sent++
 	}
+	if added == 0 {
+		return
+	}
+	_ = pv.ep.Send(to, ServiceName, m)
 }

@@ -146,12 +146,26 @@ type Config struct {
 	// RumorDeadSweeps bounds the IslandMerge rumor store on long-lived
 	// deployments: an identity that is neither a peerview member nor a
 	// leased client for this many consecutive client sweeps (every
-	// LeaseDuration/4) is evicted. Re-gossip of the identity restarts its
-	// clock, so only rumors the whole overlay stopped mentioning age out.
-	// 0 (default) disables aging — the store grows monotonically, and the
-	// PR 5 wire format and gossip rotation stay byte-identical.
+	// LeaseDuration/4) is evicted — and with it the periodic tier probe
+	// retryMerges keeps sending to that identity, so a confirmed-dead
+	// rumor stops consuming probe traffic after N sweeps (the PR 5
+	// "anchors probe dead identities forever" limit). Re-gossip of the
+	// identity restarts its clock, so only rumors the whole overlay
+	// stopped mentioning age out; a dormant edge revives on the first
+	// probe it answers, well inside the grace window. 0 (the zero value)
+	// selects the default of DefaultRumorDeadSweeps; a negative value
+	// disables aging entirely, restoring the unbounded PR 5 behaviour.
 	RumorDeadSweeps int
 }
+
+// DefaultRumorDeadSweeps is the default rumor aging horizon: an identity
+// that answers nothing — not a view member, not a leased client, never
+// re-gossiped — for this many consecutive client sweeps (each
+// LeaseDuration/4) is retired from the rumor store and stops being tier
+// probed. Four sweeps is one full LeaseDuration: every live peer renews a
+// lease (and so re-gossips or re-appears) at least once inside that window,
+// while a dormant edge only needs to answer one probe to revive.
+const DefaultRumorDeadSweeps = 4
 
 // DefaultConfig returns JXTA-C-like lease tunables.
 func DefaultConfig() Config {
@@ -160,6 +174,7 @@ func DefaultConfig() Config {
 		RenewFraction:    0.5,
 		ResponseTimeout:  15 * time.Second,
 		FailoverAttempts: 8,
+		RumorDeadSweeps:  DefaultRumorDeadSweeps,
 	}
 }
 
@@ -176,6 +191,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FailoverAttempts <= 0 {
 		c.FailoverAttempts = d.FailoverAttempts
+	}
+	if c.RumorDeadSweeps == 0 {
+		c.RumorDeadSweeps = d.RumorDeadSweeps
 	}
 	return c
 }

@@ -691,10 +691,11 @@ func TestElectionSkipsDeadSuccessor(t *testing.T) {
 
 func TestRumorAgingEvictsDeadIdentities(t *testing.T) {
 	// A rumor for an identity that is never a peerview member or leased
-	// client must age out of the store once RumorDeadSweeps is set, while
-	// live tier members survive indefinitely. With the knob at its zero
-	// default the store keeps everything (the PR 5 contract).
-	for _, deadSweeps := range []int{0, 2} {
+	// client must age out of the store under RumorDeadSweeps (on by default
+	// since PR 10; 0 selects DefaultRumorDeadSweeps), while live tier
+	// members survive indefinitely. A negative knob disables aging and
+	// restores the unbounded PR 5 behaviour.
+	for _, deadSweeps := range []int{-1, 0, 2} {
 		sched := simnet.NewScheduler(1)
 		net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
 		cfg := DefaultConfig()
@@ -720,14 +721,119 @@ func TestRumorAgingEvictsDeadIdentities(t *testing.T) {
 			hasGhost = hasGhost || r.ID.Equal(ghost.ID)
 			hasPeer = hasPeer || r.ID.Equal(rdvs[1].id)
 		}
-		if deadSweeps == 0 && !hasGhost {
+		if deadSweeps < 0 && !hasGhost {
 			t.Fatal("aging disabled but the dead rumor was evicted")
 		}
-		if deadSweeps > 0 && hasGhost {
-			t.Fatal("dead rumor survived 19 minutes of sweeps")
+		if deadSweeps >= 0 && hasGhost {
+			t.Fatalf("dead rumor survived 19 minutes of sweeps (deadSweeps=%d)", deadSweeps)
 		}
 		if !hasPeer {
 			t.Fatalf("live tier member evicted (deadSweeps=%d)", deadSweeps)
 		}
+	}
+}
+
+func TestDeadRumorRetiresFromTierProbes(t *testing.T) {
+	// PR 5 known limit: an anchor kept tier-probing every rumored identity
+	// forever, dead or not. With rumor aging on by default (PR 10), a
+	// confirmed-dead identity must stop consuming probe traffic after
+	// RumorDeadSweeps sweeps; with aging disabled (negative), the probes
+	// continue indefinitely (the old behaviour, kept reachable on purpose).
+	for _, deadSweeps := range []int{0, -1} {
+		sched := simnet.NewScheduler(55)
+		net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+		cfg := DefaultConfig()
+		cfg.LeaseDuration = 2 * time.Minute // sweep every 30s, probe retry every 1m
+		cfg.IslandMerge = true
+		cfg.RumorDeadSweeps = deadSweeps
+		rdvs := newRdvOverlayCfg(t, sched, net, 1, cfg)
+
+		// A silent listener at the ghost's address: it counts the tier
+		// probes it receives and never answers — a dead peer, except that
+		// we can see the traffic wasted on it.
+		ghostEnv := sched.NewEnv("ghost")
+		ghostTr, err := net.Attach("ghost", netmodel.Site(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ghostID := ids.FromName(ids.KindPeer, "long-gone")
+		ghostEP := endpoint.New(ghostEnv, ghostID, ghostTr)
+		probes := 0
+		ghostEP.Register(LeaseService, func(src ids.ID, m *message.Message) { probes++ })
+
+		sched.After(time.Minute, func() {
+			rdvs[0].svc.rumors.Add(peerview.NewRumor(peerview.Seed{
+				ID: ghostID, Addr: ghostTr.Addr(),
+			}))
+		})
+		sched.Run(15 * time.Minute)
+		early := probes
+		if early == 0 {
+			t.Fatal("ghost rumor never probed at all")
+		}
+		sched.Run(45 * time.Minute)
+		late := probes
+		if deadSweeps >= 0 {
+			if late != early {
+				t.Fatalf("dead identity still probed after eviction: %d probes at 15m, %d at 45m", early, late)
+			}
+			if hasGhostRumor(rdvs[0].svc, ghostID) {
+				t.Fatal("dead rumor still stored after its aging horizon")
+			}
+		} else if late <= early {
+			t.Fatalf("aging disabled but probing stopped: %d at 15m, %d at 45m", early, late)
+		}
+	}
+}
+
+func hasGhostRumor(s *Service, id ids.ID) bool {
+	for _, r := range s.Rumors() {
+		if r.ID.Equal(id) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDormantEdgeRevivedByTierProbe(t *testing.T) {
+	// The flip side of rumor aging: a genuinely dormant edge must still be
+	// revived by the tier probes sent inside its grace window — aging must
+	// retire only identities that answer nothing, not sleeping bridges.
+	sched := simnet.NewScheduler(56)
+	net := transport.NewNetwork(sched, netmodel.Uniform(time.Millisecond))
+	cfg := DefaultConfig()
+	cfg.LeaseDuration = 2 * time.Minute
+	cfg.ResponseTimeout = 10 * time.Second
+	cfg.FailoverAttempts = 3
+	cfg.IslandMerge = true
+	rdvs := newRdvOverlayCfg(t, sched, net, 2, cfg)
+	edge := newEdge(t, sched, net, "edge0",
+		[]peerview.Seed{{ID: rdvs[1].id, Addr: rdvs[1].tr.Addr()}}, cfg)
+	edge.svc.Start()
+	sched.Run(time.Minute)
+	if got, ok := edge.svc.ConnectedRdv(); !ok || !got.Equal(rdvs[1].id) {
+		t.Fatal("edge did not lease from its seed")
+	}
+	// The edge's only rendezvous dies; with no alternates the edge burns its
+	// failover budget and goes dormant.
+	rdvs[1].pv.Stop()
+	rdvs[1].svc.Abort()
+	rdvs[1].tr.Close()
+	sched.Run(20 * time.Minute)
+	if !edge.svc.Dormant() {
+		t.Fatal("edge never went dormant")
+	}
+	// The surviving anchor hears a rumor naming the dormant edge (e.g. from
+	// an old roster). Its first tier probe must wake the edge, which then
+	// leases from the prober — before aging could retire it.
+	rdvs[0].svc.rumors.Add(peerview.NewRumor(peerview.Seed{
+		ID: edge.id, Addr: edge.tr.Addr(),
+	}))
+	sched.Run(sched.Now() + 5*time.Minute)
+	if edge.svc.Dormant() {
+		t.Fatal("tier probe did not revive the dormant edge")
+	}
+	if got, ok := edge.svc.ConnectedRdv(); !ok || !got.Equal(rdvs[0].id) {
+		t.Fatalf("revived edge not leased to the probing anchor (connected=%v)", ok)
 	}
 }

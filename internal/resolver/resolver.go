@@ -53,8 +53,10 @@ type Query struct {
 type Handler func(q *Query)
 
 // ResponseCallback receives a response to a locally issued query. from is
-// the responding peer.
-type ResponseCallback func(payload []byte, from ids.ID)
+// the responding peer; hops is how many resolver forwards the query took
+// before it was answered (0: answered by the peer it was sent to), echoed
+// back in the response so originators can account routing cost per lookup.
+type ResponseCallback func(payload []byte, from ids.ID, hops int)
 
 // TimeoutCallback fires if no response arrived within the query timeout.
 type TimeoutCallback func(qid uint64)
@@ -181,6 +183,7 @@ func (s *Service) Respond(q *Query, payload []byte) error {
 	m := message.New()
 	m.AddString(ns, elemHandler, q.Handler)
 	m.AddString(ns, elemQID, strconv.FormatUint(q.QID, 10))
+	m.AddString(ns, elemHops, strconv.Itoa(q.Hops))
 	m.Add(ns, elemResponse, payload)
 	if err := s.ep.Send(q.Src, ServiceName, m); err != nil {
 		return err
@@ -230,8 +233,14 @@ func (s *Service) receive(src ids.ID, m *message.Message) {
 				p.timer.Cancel()
 				p.timer = nil
 			}
+			// Hop count echoed by Respond; absent (or malformed) reads as 0
+			// so responses from older peers still complete the query.
+			hops, err := strconv.Atoi(m.GetString(ns, elemHops))
+			if err != nil || hops < 0 {
+				hops = 0
+			}
 			s.m.responsesIn.Inc()
-			p.cb(payload, src)
+			p.cb(payload, src, hops)
 		}
 		return
 	}

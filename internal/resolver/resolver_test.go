@@ -55,7 +55,7 @@ func TestQueryResponse(t *testing.T) {
 	})
 	var got string
 	var from ids.ID
-	_, err := a.res.SendQuery(b.id, "echo", []byte("hi"), func(p []byte, src ids.ID) {
+	_, err := a.res.SendQuery(b.id, "echo", []byte("hi"), func(p []byte, src ids.ID, _ int) {
 		got = string(p)
 		from = src
 	}, nil)
@@ -74,7 +74,7 @@ func TestQueryFields(t *testing.T) {
 	a, b := ps[0], ps[1]
 	var seen *Query
 	b.res.RegisterHandler("inspect", func(q *Query) { seen = q })
-	qid, _ := a.res.SendQuery(b.id, "inspect", []byte("xyz"), func([]byte, ids.ID) {}, nil)
+	qid, _ := a.res.SendQuery(b.id, "inspect", []byte("xyz"), func([]byte, ids.ID, int) {}, nil)
 	sched.Run(time.Second)
 	if seen == nil {
 		t.Fatal("handler never ran")
@@ -100,7 +100,7 @@ func TestForwardPreservesOriginator(t *testing.T) {
 		c.res.Respond(q, []byte("from-c"))
 	})
 	var got string
-	a.res.SendQuery(b.id, "svc", []byte("q"), func(p []byte, _ ids.ID) { got = string(p) }, nil)
+	a.res.SendQuery(b.id, "svc", []byte("q"), func(p []byte, _ ids.ID, _ int) { got = string(p) }, nil)
 	sched.Run(time.Second)
 	if atC == nil || !atC.Src.Equal(a.id) || atC.Hops != 1 {
 		t.Fatalf("forwarded query wrong: %+v", atC)
@@ -127,7 +127,7 @@ func TestResponderWithoutPriorRouteUsesSrcAddr(t *testing.T) {
 	b.res.RegisterHandler("svc", func(q *Query) { b.res.Forward(q, c.id) })
 	c.res.RegisterHandler("svc", func(q *Query) { c.res.Respond(q, []byte("ok")) })
 	var got string
-	a.res.SendQuery(b.id, "svc", nil, func(p []byte, _ ids.ID) { got = string(p) }, nil)
+	a.res.SendQuery(b.id, "svc", nil, func(p []byte, _ ids.ID, _ int) { got = string(p) }, nil)
 	sched.Run(time.Second)
 	if got != "ok" {
 		t.Fatal("response never reached originator lacking prior route")
@@ -143,7 +143,7 @@ func TestTimeoutFires(t *testing.T) {
 	timedOut := false
 	responded := false
 	a.res.SendQuery(b.id, "void", nil,
-		func([]byte, ids.ID) { responded = true },
+		func([]byte, ids.ID, int) { responded = true },
 		func(uint64) { timedOut = true })
 	sched.Run(time.Minute)
 	if !timedOut || responded {
@@ -159,7 +159,7 @@ func TestResponseAfterTimeoutIgnored(t *testing.T) {
 	b.res.RegisterHandler("late", func(q *Query) { saved = q })
 	a.res.Timeout = time.Second
 	responses := 0
-	a.res.SendQuery(b.id, "late", nil, func([]byte, ids.ID) { responses++ }, nil)
+	a.res.SendQuery(b.id, "late", nil, func([]byte, ids.ID, int) { responses++ }, nil)
 	sched.Run(10 * time.Second)
 	// Answer long after the timeout.
 	b.res.Respond(saved, []byte("too late"))
@@ -179,7 +179,7 @@ func TestMultipleResponses(t *testing.T) {
 	})
 	c.res.RegisterHandler("multi", func(q *Query) { c.res.Respond(q, []byte("c")) })
 	var got []string
-	a.res.SendQuery(b.id, "multi", nil, func(p []byte, _ ids.ID) { got = append(got, string(p)) }, nil)
+	a.res.SendQuery(b.id, "multi", nil, func(p []byte, _ ids.ID, _ int) { got = append(got, string(p)) }, nil)
 	sched.Run(time.Minute)
 	if len(got) != 2 {
 		t.Fatalf("got %v, want two responses", got)
@@ -192,7 +192,7 @@ func TestCancelDropsResponses(t *testing.T) {
 	a, b := ps[0], ps[1]
 	b.res.RegisterHandler("slow", func(q *Query) { b.res.Respond(q, []byte("x")) })
 	calls := 0
-	qid, _ := a.res.SendQuery(b.id, "slow", nil, func([]byte, ids.ID) { calls++ }, nil)
+	qid, _ := a.res.SendQuery(b.id, "slow", nil, func([]byte, ids.ID, int) { calls++ }, nil)
 	a.res.Cancel(qid)
 	sched.Run(time.Minute)
 	if calls != 0 {
@@ -206,7 +206,7 @@ func TestUnknownHandlerIgnored(t *testing.T) {
 	a, b := ps[0], ps[1]
 	timedOut := false
 	a.res.Timeout = 2 * time.Second
-	a.res.SendQuery(b.id, "nobody-home", nil, func([]byte, ids.ID) {
+	a.res.SendQuery(b.id, "nobody-home", nil, func([]byte, ids.ID, int) {
 		t.Error("response from unregistered handler")
 	}, func(uint64) { timedOut = true })
 	sched.Run(time.Minute)
@@ -224,7 +224,7 @@ func TestSendQueryNoRoute(t *testing.T) {
 	ep := endpoint.New(e, id, tr)
 	res := New(e, ep)
 	ghost := ids.FromName(ids.KindPeer, "ghost")
-	if _, err := res.SendQuery(ghost, "svc", nil, func([]byte, ids.ID) {}, nil); err == nil {
+	if _, err := res.SendQuery(ghost, "svc", nil, func([]byte, ids.ID, int) {}, nil); err == nil {
 		t.Fatal("SendQuery without route succeeded")
 	}
 }
@@ -275,7 +275,7 @@ func TestForwardHopLimit(t *testing.T) {
 		bounces++
 		b.res.Forward(q, a.id)
 	})
-	a.res.SendQuery(b.id, "pingpong", nil, func([]byte, ids.ID) {}, nil)
+	a.res.SendQuery(b.id, "pingpong", nil, func([]byte, ids.ID, int) {}, nil)
 	sched.Run(time.Hour)
 	if bounces == 0 || bounces > 2*MaxHops {
 		t.Fatalf("bounces = %d, hop limit broken", bounces)
@@ -299,7 +299,7 @@ func BenchmarkQueryResponse(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := x.res.SendQuery(y.id, "echo", payload, func([]byte, ids.ID) {}, nil); err != nil {
+		if _, err := x.res.SendQuery(y.id, "echo", payload, func([]byte, ids.ID, int) {}, nil); err != nil {
 			b.Fatal(err)
 		}
 		for sched.Pending() > 0 {

@@ -1,0 +1,189 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"jxta/internal/ids"
+	"jxta/internal/netmodel"
+	"jxta/internal/simnet"
+	"jxta/internal/transport"
+)
+
+func buildKad(t *testing.T, seed int64, n int) (*Kademlia, *simnet.Scheduler) {
+	t.Helper()
+	sched := simnet.NewScheduler(seed)
+	net := transport.NewNetwork(sched, netmodel.Grid5000())
+	kad, err := BuildKademlia(sched, net, n, KadConfig{RefreshInterval: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kad.Bootstrap()
+	sched.Run(sched.Now() + 10*time.Minute)
+	return kad, sched
+}
+
+func TestKademliaPublishLookup(t *testing.T) {
+	kad, sched := buildKad(t, 42, 32)
+	for k := 0; k < 8; k++ {
+		kad.Publish((k*5)%32, fmt.Sprintf("key-%d", k))
+	}
+	sched.Run(sched.Now() + time.Minute)
+	ok, maxHops := 0, 0
+	for k := 0; k < 8; k++ {
+		kad.Lookup((k*7+3)%32, fmt.Sprintf("key-%d", k), func(r Result) {
+			if r.OK {
+				ok++
+				if r.Hops > maxHops {
+					maxHops = r.Hops
+				}
+			}
+		})
+		sched.Run(sched.Now() + 30*time.Second)
+	}
+	if ok != 8 {
+		t.Fatalf("lookups succeeded %d/8", ok)
+	}
+	// 32 nodes, K=8: everything resolves within a few iterations.
+	if maxHops > 6 {
+		t.Errorf("max lookup depth %d, want <= 6", maxHops)
+	}
+}
+
+func TestKademliaMissReportsFailure(t *testing.T) {
+	kad, sched := buildKad(t, 43, 16)
+	fired, ok := false, true
+	kad.Lookup(0, "never-published", func(r Result) { fired, ok = true, r.OK })
+	sched.Run(sched.Now() + 2*time.Minute)
+	if !fired {
+		t.Fatal("miss lookup never called back")
+	}
+	if ok {
+		t.Fatal("lookup of unpublished key reported OK")
+	}
+}
+
+// TestKademliaRoutesAroundChurn is the backend's reason to exist: after a
+// quarter of the overlay fail-stops silently, iterative lookups time out on
+// dead contacts, evict them, and still find live replicas.
+func TestKademliaRoutesAroundChurn(t *testing.T) {
+	n := 32
+	kad, sched := buildKad(t, 44, n)
+	for k := 0; k < 8; k++ {
+		kad.Publish((k*5)%n, fmt.Sprintf("key-%d", k))
+	}
+	sched.Run(sched.Now() + time.Minute)
+	// Kill 8 of 32, sparing the publishers (indices 0,5,10,...,35 mod 32).
+	publishers := map[int]bool{}
+	for k := 0; k < 8; k++ {
+		publishers[(k*5)%n] = true
+	}
+	killed := 0
+	for i := 0; i < n && killed < n/4; i++ {
+		if publishers[i] {
+			continue
+		}
+		kad.Kill(i)
+		killed++
+	}
+	sched.Run(sched.Now() + 30*time.Second)
+	ok := 0
+	for k := 0; k < 8; k++ {
+		from := (k*7 + 3) % n
+		for !kad.Alive(from) {
+			from = (from + 1) % n
+		}
+		kad.Lookup(from, fmt.Sprintf("key-%d", k), func(r Result) {
+			if r.OK {
+				ok++
+			}
+		})
+		sched.Run(sched.Now() + 2*time.Minute)
+	}
+	// K=8 replicas per key and 25% dead: every key should still resolve.
+	if ok < 7 {
+		t.Errorf("post-churn lookups succeeded %d/8, want >= 7", ok)
+	}
+}
+
+// TestKademliaDeterminism: identical seeds must replay identical outcomes
+// (hop counts and latencies included) across two runs in one process.
+func TestKademliaDeterminism(t *testing.T) {
+	run := func() string {
+		kad, sched := buildKad(t, 45, 24)
+		for k := 0; k < 6; k++ {
+			kad.Publish((k*5)%24, fmt.Sprintf("key-%d", k))
+		}
+		sched.Run(sched.Now() + time.Minute)
+		out := ""
+		for k := 0; k < 6; k++ {
+			kad.Lookup((k*7+3)%24, fmt.Sprintf("key-%d", k), func(r Result) {
+				out += fmt.Sprintf("%v/%d/%v;", r.OK, r.Hops, r.Latency)
+			})
+			sched.Run(sched.Now() + 30*time.Second)
+		}
+		return fmt.Sprintf("%s steps=%d", out, sched.Steps())
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same-seed kademlia runs diverged\n first:  %s\n second: %s", a, b)
+	}
+}
+
+func TestXORPlacementConsistency(t *testing.T) {
+	rng := simnet.NewScheduler(7).NewEnv("t").Rand()
+	view := make([]ids.ID, 20)
+	for i := range view {
+		view[i] = ids.NewRandom(ids.KindPeer, rng)
+	}
+	s := XORPlacement{}
+	for k := 0; k < 50; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		p := s.Place(view, key)
+		if p.IsNil() {
+			t.Fatalf("nil placement for %s", key)
+		}
+		// Consistent across calls and across view copies (property (2)
+		// requires placement be a pure function of view+key).
+		cp := append([]ids.ID(nil), view...)
+		if !s.Place(cp, key).Equal(p) {
+			t.Fatalf("placement not a pure function of view for %s", key)
+		}
+		// The chosen member really is the XOR-closest.
+		want := IDHash(p) ^ KeyHash(key)
+		for _, id := range view {
+			if d := IDHash(id) ^ KeyHash(key); d < want {
+				t.Fatalf("closer member than placement for %s", key)
+			}
+		}
+	}
+	if !s.Place(nil, "x").IsNil() {
+		t.Error("empty view must place to nil")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, name := range []string{"", "lcdht", "srdi"} {
+		s, err := ParseStrategy(name)
+		if err != nil || s != nil {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want nil, nil", name, s, err)
+		}
+	}
+	s, err := ParseStrategy("kademlia")
+	if err != nil || s == nil {
+		t.Fatalf("ParseStrategy(kademlia) = %v, %v", s, err)
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("ParseStrategy(bogus) did not error")
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	if got := BucketIndex(0, 1<<63); got != 0 {
+		t.Errorf("most distant contact in bucket %d, want 0", got)
+	}
+	if got := BucketIndex(0, 1); got != 63 {
+		t.Errorf("closest contact in bucket %d, want 63", got)
+	}
+}

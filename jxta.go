@@ -175,6 +175,12 @@ type SimOptions struct {
 	// PromoteHighestID flips the successor election to pick the client
 	// with the largest peer ID (default: smallest).
 	PromoteHighestID bool
+	// Routing names the replica-placement strategy the LC-DHT uses:
+	// "" or "lcdht" keeps the paper's linear position hash; "kademlia"
+	// places replicas on the XOR-closest hashed peer ID instead. Both run
+	// over the same peerview/SRDI machinery — this only swaps the hash →
+	// peer mapping (internal/routing.Strategy).
+	Routing string
 	// DisableIslandMerge turns the gossip-driven island merge off while
 	// keeping the rest of the self-healing machinery. By default (with
 	// self-healing on) lease traffic piggybacks checksummed "tier rumor"
@@ -228,6 +234,7 @@ func NewSimulation(opts SimOptions) (*Simulation, error) {
 		Topology:       kind,
 		Discovery:      discovery.DefaultConfig(),
 		Socket:         socket.Config{WindowBytes: opts.SocketWindowBytes},
+		Routing:        opts.Routing,
 	}
 	spec.Lease.LeaseDuration = opts.LeaseDuration
 	if !opts.DisableSelfHealing {
